@@ -1,0 +1,55 @@
+//! Ablation: why coarse windows lose solvability.
+//!
+//! The paper attributes unsolvable CNFs at coarse granularities to policy
+//! changes landing inside the window (§3.2, Figure 1a). This ablation
+//! sweeps the policy-change probability and reports the UNSAT fraction per
+//! granularity: day windows should stay solvable while month/year windows
+//! degrade as more censors flip policies mid-period.
+//!
+//! Declared with `harness = false`: analysis program, not a timing bench.
+//! Run with: `cargo bench -p churnlab-bench --bench ablation_granularity`
+
+use churnlab_bgp::{ChurnConfig, Granularity, RoutingSim};
+use churnlab_censor::{CensorConfig, CensorshipScenario};
+use churnlab_core::pipeline::{Pipeline, PipelineConfig};
+use churnlab_platform::{NoiseConfig, Platform, PlatformConfig, PlatformScale};
+use churnlab_topology::{generator, WorldConfig, WorldScale};
+
+fn main() {
+    println!("== Ablation: UNSAT fraction vs policy-change probability ==");
+    println!(
+        "{:>12} {:>10} {:>10} {:>10} {:>10}",
+        "change_prob", "day", "week", "month", "year"
+    );
+    for change_prob in [0.0, 0.25, 0.5, 1.0] {
+        let wcfg = WorldConfig::preset(WorldScale::Smoke, 17);
+        let world = generator::generate(&wcfg);
+        let mut ccfg = CensorConfig::scaled_for(wcfg.n_countries);
+        // A long-enough period that month windows can straddle changes.
+        ccfg.total_days = 120;
+        ccfg.policy_change_prob = change_prob;
+        let scenario = CensorshipScenario::generate(&world.topology, &ccfg);
+        let mut pcfg = PlatformConfig::preset(PlatformScale::Smoke, 18);
+        pcfg.total_days = 120;
+        pcfg.tests_per_pair = 16;
+        // Noise off: isolate the policy-change effect.
+        pcfg.noise = NoiseConfig::none();
+        let platform = Platform::new(&world, &scenario, pcfg.clone());
+        let churn = ChurnConfig { total_days: pcfg.total_days, ..ChurnConfig::default() };
+        let sim = RoutingSim::new(&world.topology, &churn);
+        let mut pipeline =
+            Pipeline::new(&platform, PipelineConfig::paper(pcfg.total_days));
+        platform.run(&sim, |m| pipeline.ingest(&m));
+        let results = pipeline.finish();
+        let unsat = |g| results.solvability_fractions(Some(g), None)[0] * 100.0;
+        println!(
+            "{:>12.2} {:>9.1}% {:>9.1}% {:>9.1}% {:>9.1}%",
+            change_prob,
+            unsat(Granularity::Day),
+            unsat(Granularity::Week),
+            unsat(Granularity::Month),
+            unsat(Granularity::Year),
+        );
+    }
+    println!("\nexpected: UNSAT grows with window size and change probability.");
+}

@@ -1,0 +1,83 @@
+//! Detector throughput over clean and censored captures — the per-test
+//! cost that dominates the measurement campaign.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use churnlab_censor::{
+    ActiveCensor, CensorPolicy, Mechanism, MechanismProfile, TestContext, UrlCategory,
+};
+use churnlab_net::{
+    Capture, FlowConfig, FlowOutcome, FlowSimulator, HopPath, HttpRequest, HttpResponse,
+    OnPathObserver,
+};
+use churnlab_platform::detect;
+use churnlab_topology::{Asn, Ipv4Prefix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+fn path() -> HopPath {
+    let asns = [Asn(10), Asn(20), Asn(30), Asn(40)];
+    let prefixes: HashMap<Asn, Vec<Ipv4Prefix>> = asns
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| (a, vec![Ipv4Prefix::new(((i as u32) + 1) << 24, 16).unwrap()]))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(3);
+    let server = prefixes[&Asn(40)][0].nth_host(1);
+    HopPath::expand(&asns, &prefixes, 7, server, (1, 3), &mut rng)
+}
+
+fn captures(censored: bool) -> (Capture, FlowOutcome, Vec<u8>) {
+    let p = path();
+    let body = HttpResponse::ok(&"x".repeat(4000));
+    let req = HttpRequest::get("site.example", "/");
+    let cfg = FlowConfig::default();
+    if censored {
+        let policy = CensorPolicy::steady(
+            Asn(20),
+            vec![Mechanism::RstInjection],
+            MechanismProfile::default(),
+            [UrlCategory::News],
+            365,
+        );
+        let compiled = policy.compile(&[("site.example".into(), UrlCategory::News)]);
+        let mut armed = ActiveCensor::new(&compiled, TestContext { day: 1, mimic_init_ttl: 60 });
+        let mut obs: Vec<(usize, &mut dyn OnPathObserver)> = vec![(1, &mut armed)];
+        let (cap, outcome) = FlowSimulator::http_get(&p, &cfg, &req, &body, &mut obs);
+        (cap, outcome, body.body)
+    } else {
+        let (cap, outcome) = FlowSimulator::http_get(&p, &cfg, &req, &body, &mut []);
+        (cap, outcome, body.body)
+    }
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let fps = churnlab_censor::blockpage::fingerprint_list();
+    let mut g = c.benchmark_group("detectors");
+    g.sample_size(30);
+    for (label, censored) in [("clean", false), ("censored", true)] {
+        let (cap, outcome, control) = captures(censored);
+        let dns = Capture::new();
+        g.bench_function(format!("detect_all_{label}"), |b| {
+            b.iter(|| {
+                black_box(detect::detect_all(&dns, &cap, &outcome, &fps, Some(&control)))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_flow_synthesis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flow");
+    g.sample_size(30);
+    g.bench_function("http_get_clean", |b| {
+        b.iter(|| black_box(captures(false)))
+    });
+    g.bench_function("http_get_censored", |b| {
+        b.iter(|| black_box(captures(true)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_detectors, bench_flow_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! End-to-end pipeline performance: a full smoke-scale study per
+//! iteration (world → censors → campaign → localization), plus the
+//! instance-solving stage in isolation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use churnlab_bench::{Bench, Scale};
+use churnlab_core::analyze::{analyze, SolveConfig};
+use churnlab_core::instance::{InstanceBuilder, InstanceKey};
+use churnlab_bgp::{Granularity, TimeWindow};
+use churnlab_platform::AnomalyType;
+use churnlab_topology::Asn;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.bench_function("smoke_study", |b| {
+        b.iter(|| {
+            let bench = Bench::assemble(Scale::Smoke, 5);
+            let cfg = bench.pipeline_cfg();
+            black_box(bench.run(cfg))
+        })
+    });
+    g.finish();
+}
+
+fn bench_instance_analysis(c: &mut Criterion) {
+    // A realistic mid-size instance: 12 paths over 30 ASes, one censor.
+    let key = InstanceKey {
+        url_id: 0,
+        anomaly: AnomalyType::Ttl,
+        window: TimeWindow::of(0, Granularity::Week, 365),
+    };
+    let mut b = InstanceBuilder::new(key);
+    for i in 0..6 {
+        let path: Vec<Asn> =
+            vec![Asn(1 + i), Asn(100), Asn(40 + i), Asn(60 + i), Asn(99)];
+        b.observe(&path, true); // censored paths share AS100
+    }
+    for i in 0..6 {
+        let path: Vec<Asn> = vec![Asn(1 + i), Asn(40 + i), Asn(60 + i), Asn(99)];
+        b.observe(&path, false);
+    }
+    let inst = b.build().expect("non-empty");
+    let mut g = c.benchmark_group("instance");
+    g.sample_size(30);
+    g.bench_function("analyze_midsize", |bch| {
+        bch.iter(|| black_box(analyze(&inst, &SolveConfig::default())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end, bench_instance_analysis);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Routing-substrate performance: per-destination route-tree computation
+//! (the operation the measurement campaign amortises via caching) and
+//! cached path queries.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use churnlab_bgp::{ChurnConfig, RouteTree, RoutingSim};
+use churnlab_topology::asys::AsRole;
+use churnlab_topology::{generator, WorldConfig, WorldScale};
+
+fn bench_route_tree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("route_tree");
+    g.sample_size(20);
+    for (label, scale) in [("smoke", WorldScale::Smoke), ("small", WorldScale::Small)] {
+        let world = generator::generate(&WorldConfig::preset(scale, 3));
+        let topo = &world.topology;
+        let dest = topo.select(|a| a.role == AsRole::Stub)[0];
+        g.bench_with_input(BenchmarkId::new("compute", label), &(), |b, _| {
+            b.iter(|| {
+                black_box(RouteTree::compute(topo, dest, &|_| true, &|x| x as u64))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_path_queries(c: &mut Criterion) {
+    let world = generator::generate(&WorldConfig::preset(WorldScale::Small, 3));
+    let sim = RoutingSim::new(&world.topology, &ChurnConfig::default());
+    let stubs = world.topology.select(|a| a.role == AsRole::Stub);
+    let mut g = c.benchmark_group("path_query");
+    g.sample_size(20);
+    g.bench_function("cold_and_cached", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let s = stubs[i % stubs.len()];
+            let d = stubs[(i * 7 + 3) % stubs.len()];
+            i += 1;
+            black_box(sim.asn_path(s, d, (i % 2000) as u32))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_route_tree, bench_path_queries);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! SAT toolkit performance on tomography-shaped instances:
+//! positive clauses over overlapping AS paths plus unit negations, at the
+//! sizes the pipeline actually produces (tens of variables).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use churnlab_sat::{backbone, census, count_solutions, solve, Cnf, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Build a tomography-shaped CNF: `n_vars` ASes, `n_pos` censored paths of
+/// length ~5 sharing a censor, `n_neg` clean paths.
+fn tomography_cnf(n_vars: usize, n_pos: usize, n_neg: usize, seed: u64) -> Cnf {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut f = Cnf::new(n_vars);
+    let censor = Var(0);
+    for _ in 0..n_pos {
+        let mut path = vec![censor];
+        for _ in 0..4 {
+            path.push(Var(rng.gen_range(1..n_vars as u32)));
+        }
+        f.add_positive_clause(path);
+    }
+    for _ in 0..n_neg {
+        let vars: Vec<Var> =
+            (0..4).map(|_| Var(rng.gen_range(1..n_vars as u32))).collect();
+        f.add_negative_facts(vars);
+    }
+    f
+}
+
+fn bench_solve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sat_solve");
+    g.sample_size(20);
+    for n in [10usize, 40, 120] {
+        let f = tomography_cnf(n, 6, 10, 7);
+        g.bench_with_input(BenchmarkId::new("solve", n), &f, |b, f| {
+            b.iter(|| black_box(solve(f)))
+        });
+        g.bench_with_input(BenchmarkId::new("census_cap64", n), &f, |b, f| {
+            b.iter(|| black_box(census(f, 64)))
+        });
+        g.bench_with_input(BenchmarkId::new("backbone", n), &f, |b, f| {
+            b.iter(|| black_box(backbone(f)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_count(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sat_count");
+    g.sample_size(20);
+    // Wide monotone instance: counting must hit the cap fast.
+    let mut f = Cnf::new(40);
+    f.add_positive_clause((0..40).map(Var));
+    g.bench_function("count_wide_cap64", |b| {
+        b.iter(|| black_box(count_solutions(&f, 64)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_solve, bench_count);
+criterion_main!(benches);

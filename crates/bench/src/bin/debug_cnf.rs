@@ -1,0 +1,112 @@
+//! Diagnostic: dissect day-granularity CNFs — who is in them, why are they
+//! multiple-solution? Development tool, not part of the experiment suite.
+
+use churnlab_bench::{Bench, Scale};
+use churnlab_bgp::Granularity;
+use churnlab_sat::Solvability;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let bench = Bench::assemble(Scale::Small, seed);
+    let (_, results) = bench.run(bench.pipeline_cfg());
+    let topo = &bench.world.topology;
+    let day_outcomes: Vec<_> = results
+        .outcomes
+        .iter()
+        .filter(|o| o.key.window.granularity == Granularity::Day)
+        .collect();
+    println!("day CNFs: {}", day_outcomes.len());
+
+    // Histogram by (solvability, n_positive bucket).
+    let mut hist: std::collections::BTreeMap<(String, usize), usize> = Default::default();
+    for o in &day_outcomes {
+        let np = o.n_positive.min(9);
+        *hist.entry((o.solvability.label().to_string(), np)).or_default() += 1;
+    }
+    println!("(solvability, n_positive) -> count");
+    for ((s, np), c) in &hist {
+        println!("  {s:>2} pos={np} -> {c}");
+    }
+
+    // UNSAT day CNFs by anomaly type.
+    let mut unsat_by: std::collections::BTreeMap<&str, usize> = Default::default();
+    let mut total_by: std::collections::BTreeMap<&str, usize> = Default::default();
+    for o in &day_outcomes {
+        *total_by.entry(o.key.anomaly.label()).or_default() += 1;
+        if o.solvability == Solvability::Unsat {
+            *unsat_by.entry(o.key.anomaly.label()).or_default() += 1;
+        }
+    }
+    println!("day UNSAT by anomaly:");
+    for (a, c) in &unsat_by {
+        println!("  {a}: {c}/{} = {:.1}%", total_by[a], 100.0 * *c as f64 / total_by[a] as f64);
+    }
+
+    // Multiples by URL: is the URL's destination hosted in a censoring
+    // country (dest-behind-censor ambiguity)?
+    {
+        let platform = churnlab_platform::Platform::new(
+            &bench.world,
+            &bench.scenario,
+            bench.platform_cfg.clone(),
+        );
+        let mut per_url: std::collections::BTreeMap<u32, usize> = Default::default();
+        for o in day_outcomes.iter().filter(|o| o.solvability == Solvability::Multiple) {
+            *per_url.entry(o.key.url_id).or_default() += 1;
+        }
+        let mut rows: Vec<(usize, u32)> = per_url.iter().map(|(u, c)| (*c, *u)).collect();
+        rows.sort_by(|a, b| b.cmp(a));
+        let total_multi: usize = per_url.values().sum();
+        println!("multiples: {total_multi} across {} urls; top:", per_url.len());
+        for (c, u) in rows.iter().take(10) {
+            let e = platform.corpus().get(*u);
+            let dest_country = topo.info_by_asn(e.server_asn).unwrap().country;
+            let dest_censoring = bench
+                .scenario
+                .country_tiers
+                .contains_key(&dest_country);
+            println!(
+                "  url={u} count={c} dest={} {} dest_country_censors={}",
+                e.server_asn, dest_country, dest_censoring
+            );
+        }
+    }
+
+    // For multiple-solution day CNFs: how many obs, vars, and what kind of
+    // ASes remain potential censors?
+    let multiples: Vec<_> = day_outcomes
+        .iter()
+        .filter(|o| o.solvability == Solvability::Multiple)
+        .take(12)
+        .collect();
+    for o in multiples {
+        let roles: Vec<String> = o
+            .potential_censors
+            .iter()
+            .map(|a| {
+                let info = topo.info_by_asn(*a).unwrap();
+                format!("{}({}:{},{})", a, info.country, info.role, info.class)
+            })
+            .collect();
+        let truth: Vec<String> = o
+            .potential_censors
+            .iter()
+            .filter(|a| bench.scenario.is_censor(**a))
+            .map(|a| a.to_string())
+            .collect();
+        println!(
+            "url={} anomaly={} obs={} pos={} vars={} elim={:.0}% potential={:?} true_censors_in_set={:?}",
+            o.key.url_id,
+            o.key.anomaly,
+            o.n_observations,
+            o.n_positive,
+            o.n_vars,
+            o.eliminated_frac * 100.0,
+            roles,
+            truth,
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Diagnostic: in FirstPathOnly mode, which CNFs remain positive and why
+//! are they still unique? Development tool, not part of the suite.
+
+use churnlab_bench::{Bench, Scale};
+use churnlab_bgp::Granularity;
+use churnlab_core::pipeline::ChurnMode;
+use churnlab_sat::Solvability;
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let bench = Bench::assemble(Scale::Small, seed);
+    let mut cfg = bench.pipeline_cfg();
+    cfg.churn_mode = ChurnMode::FirstPathOnly;
+    let (_, results) = bench.run(cfg);
+    let topo = &bench.world.topology;
+
+    let day: Vec<_> = results
+        .outcomes
+        .iter()
+        .filter(|o| o.key.window.granularity == Granularity::Day)
+        .collect();
+    let uniq: Vec<_> = day.iter().filter(|o| o.solvability == Solvability::Unique).collect();
+    println!("day CNFs {} (unique {})", day.len(), uniq.len());
+
+    // Histogram: unique CNFs by (n_positive, n_observations bucket).
+    let mut by_pos: std::collections::BTreeMap<usize, usize> = Default::default();
+    for o in &uniq {
+        *by_pos.entry(o.n_positive.min(9)).or_default() += 1;
+    }
+    println!("unique day CNFs by n_positive: {by_pos:?}");
+
+    // Sample unique CNFs: print identified censors and their roles.
+    for o in uniq.iter().take(8) {
+        let censors: Vec<String> = o
+            .censors
+            .iter()
+            .map(|a| {
+                let i = topo.info_by_asn(*a).unwrap();
+                let org = bench.world.orgs.iter().any(|g| g.public == *a);
+                format!("{a}({}:{}:{}{})", i.country, i.role, i.class, if org { ":org" } else { "" })
+            })
+            .collect();
+        println!(
+            "  url={} anomaly={} obs={} pos={} vars={} censors={:?}",
+            o.key.url_id, o.key.anomaly, o.n_observations, o.n_positive, o.n_vars, censors
+        );
+    }
+}

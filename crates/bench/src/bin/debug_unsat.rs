@@ -1,0 +1,127 @@
+//! Diagnostic: dissect UNSAT day-granularity CNFs — which observations
+//! contradict, and why. Development tool, not part of the experiment suite.
+
+use churnlab_bench::{Bench, Scale};
+use churnlab_bgp::{Granularity, RoutingSim, TimeWindow};
+use churnlab_core::convert::{convert_measurement, ConversionStats};
+use churnlab_core::instance::{InstanceBuilder, InstanceKey};
+use churnlab_platform::{AnomalyType, Platform};
+use churnlab_sat::{census, Solvability};
+use std::collections::HashMap;
+
+fn main() {
+    let bench = Bench::assemble(Scale::Small, 42);
+    let platform = Platform::new(&bench.world, &bench.scenario, bench.platform_cfg.clone());
+    let sim = RoutingSim::new(&bench.world.topology, &bench.churn_cfg);
+    let (ms, _) = platform.run_collect(&sim);
+    let db = platform.measured_ip2as();
+    let mut stats = ConversionStats::default();
+    let total_days = bench.platform_cfg.total_days;
+
+    // (url, window) -> (vp_id, day, path, detected-dns)
+    let mut groups: HashMap<(u32, TimeWindow), Vec<(u32, u32, Vec<churnlab_topology::Asn>, bool)>> =
+        HashMap::new();
+    for m in &ms {
+        if let Some(path) = convert_measurement(m, db, &mut stats) {
+            let w = TimeWindow::of(m.day, Granularity::Day, total_days);
+            groups.entry((m.url_id, w)).or_default().push((
+                m.vp_id,
+                m.day,
+                path,
+                m.detected.contains(AnomalyType::Dns),
+            ));
+        }
+    }
+    let mut shown = 0;
+    let mut keys: Vec<_> = groups.keys().copied().collect();
+    keys.sort_by_key(|(u, w)| (*u, w.index));
+    for key in keys {
+        let obs = &groups[&key];
+        if !obs.iter().any(|o| o.3) {
+            continue;
+        }
+        let mut b = InstanceBuilder::new(InstanceKey {
+            url_id: key.0,
+            anomaly: AnomalyType::Dns,
+            window: key.1,
+        });
+        for (_, _, path, det) in obs {
+            b.observe(path, *det);
+        }
+        let inst = b.build().unwrap();
+        if census(&inst.cnf, 64).solvability() != Solvability::Unsat {
+            continue;
+        }
+        shown += 1;
+        if shown > 4 {
+            break;
+        }
+        println!("=== UNSAT url={} window={:?} ({} raw obs)", key.0, key.1, obs.len());
+        // Print the distinct observations: positives first.
+        for o in inst.observations.iter().filter(|o| o.censored) {
+            let path: Vec<String> = o
+                .path
+                .iter()
+                .map(|a| {
+                    let i = bench.world.topology.info_by_asn(*a).unwrap();
+                    let c = if bench.scenario.is_censor(*a) { "*" } else { "" };
+                    format!("{a}{c}({}:{})", i.country, i.role)
+                })
+                .collect();
+            println!("  POS {}", path.join(" -> "));
+        }
+        // Which vantage points produced positives/negatives over the same path set?
+        for (vp, day, path, det) in obs {
+            let truth_censored = path.iter().any(|a| {
+                bench.world.orgs.iter().any(|o| o.public == *a && o.pops.iter().any(|p| bench.scenario.is_censor(*p)))
+                    || bench.scenario.is_censor(*a)
+            });
+            if *det || truth_censored {
+                println!(
+                    "  vp={vp} day={day} det={} truth_on_path={} path_len={}",
+                    det, truth_censored, path.len()
+                );
+            }
+        }
+    }
+    println!("total UNSAT dns day CNFs shown: {shown}");
+
+    // Dissect the org that owns AS6960 (or the first self-censoring org).
+    let target = churnlab_topology::Asn(6960);
+    println!("target {target}: is_org_pop={} policy={:?}", bench.world.is_org_pop(target), bench.scenario.policy_of(target).map(|p| (&p.mechanisms, &p.phases)));
+    for org in &bench.world.orgs {
+        if org.public != target {
+            continue;
+        }
+        println!("--- org {} public={}", org.name, org.public);
+        if let Some(pol) = bench.scenario.policy_of(org.pops[0]) {
+            println!("    mechanisms={:?}", pol.mechanisms);
+            for ph in &pol.phases {
+                println!("    phase {}..{} cats={:?}", ph.from_day, ph.to_day, ph.categories);
+            }
+        }
+        for pop in &org.pops {
+            let info = bench.world.topology.info_by_asn(*pop).unwrap();
+            let vp = platform.vantage_points().iter().find(|v| v.asn == *pop);
+            println!(
+                "    pop {pop} {} vp_id={:?}",
+                info.country,
+                vp.map(|v| v.id)
+            );
+        }
+        for pop in &org.pops {
+            println!("    pop {pop} policy={:?}", bench.scenario.policy_of(*pop).map(|p| (&p.mechanisms, &p.phases)));
+        }
+        // URL 30 detection by this org's exits on day 2.
+        for m in ms.iter().filter(|m| m.url_id == 30 && m.day == 2) {
+            let vp = &platform.vantage_points()[m.vp_id as usize];
+            if org.pops.contains(&vp.asn) {
+                println!(
+                    "    url30 day2 vp={} pop={} detected={:?}",
+                    m.vp_id, vp.asn, m.detected
+                );
+            }
+        }
+        break;
+    }
+}

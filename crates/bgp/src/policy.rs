@@ -1,0 +1,119 @@
+//! Gao–Rexford routing policy: route classes and preference.
+//!
+//! Export rules (Gao & Rexford 2001):
+//!
+//! * routes learned from a **customer** are exported to everyone;
+//! * routes learned from a **peer** or **provider** are exported to
+//!   customers only.
+//!
+//! The resulting paths are *valley-free*: an uphill (customer→provider)
+//! segment, at most one peering edge, then a downhill (provider→customer)
+//! segment. Route selection prefers customer routes over peer routes over
+//! provider routes (economics first), then shorter AS paths, then a
+//! deterministic salted tiebreak (our stand-in for hot-potato/tie-break
+//! details that shift over time and contribute churn).
+
+use serde::{Deserialize, Serialize};
+
+/// The class of a selected route, by how it was learned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RouteClass {
+    /// Learned from a customer (most preferred — revenue).
+    Customer = 0,
+    /// Learned from a settlement-free peer.
+    Peer = 1,
+    /// Learned from a provider (least preferred — cost).
+    Provider = 2,
+}
+
+impl RouteClass {
+    /// Preference rank; lower is better.
+    pub fn rank(self) -> u8 {
+        self as u8
+    }
+
+    /// Label for debugging/reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RouteClass::Customer => "customer",
+            RouteClass::Peer => "peer",
+            RouteClass::Provider => "provider",
+        }
+    }
+}
+
+impl std::fmt::Display for RouteClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Verify that an AS-level path (as a sequence of edge kinds walked from
+/// the source) is valley-free: zero or more "up" steps, at most one "peer"
+/// step, then zero or more "down" steps.
+///
+/// `steps` yields, for each consecutive AS pair `(x, y)` along the path,
+/// the relationship of the edge from x's perspective.
+pub fn is_valley_free(steps: &[StepKind]) -> bool {
+    #[derive(PartialEq, PartialOrd)]
+    enum Phase {
+        Up,
+        Peered,
+        Down,
+    }
+    let mut phase = Phase::Up;
+    for s in steps {
+        match (s, &phase) {
+            (StepKind::Up, Phase::Up) => {}
+            (StepKind::Peer, Phase::Up) => phase = Phase::Peered,
+            (StepKind::Down, _) => phase = Phase::Down,
+            (StepKind::Up, _) => return false, // climbing after peering/descending = valley
+            (StepKind::Peer, _) => return false, // second peering edge
+        }
+    }
+    true
+}
+
+/// Direction of one step along a path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepKind {
+    /// Customer → provider.
+    Up,
+    /// Peer → peer.
+    Peer,
+    /// Provider → customer.
+    Down,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use StepKind::*;
+
+    #[test]
+    fn class_preference_order() {
+        assert!(RouteClass::Customer.rank() < RouteClass::Peer.rank());
+        assert!(RouteClass::Peer.rank() < RouteClass::Provider.rank());
+        assert!(RouteClass::Customer < RouteClass::Peer);
+    }
+
+    #[test]
+    fn valley_free_accepts_classic_shapes() {
+        assert!(is_valley_free(&[])); // src == dst's AS
+        assert!(is_valley_free(&[Up, Up, Down, Down]));
+        assert!(is_valley_free(&[Up, Peer, Down]));
+        assert!(is_valley_free(&[Peer]));
+        assert!(is_valley_free(&[Down, Down]));
+        assert!(is_valley_free(&[Up, Up]));
+    }
+
+    #[test]
+    fn valley_free_rejects_valleys_and_double_peering() {
+        assert!(!is_valley_free(&[Down, Up]));
+        assert!(!is_valley_free(&[Up, Down, Up]));
+        assert!(!is_valley_free(&[Peer, Peer]));
+        assert!(!is_valley_free(&[Up, Peer, Up]));
+        assert!(!is_valley_free(&[Peer, Up]));
+        assert!(!is_valley_free(&[Down, Peer]));
+    }
+}

@@ -1,0 +1,134 @@
+//! Blockpage template corpus.
+//!
+//! ICLab identifies blockpages by regular-expression matching against
+//! known blockpage examples provided by the OONI project, plus comparison
+//! with censorship-free US fetches (Jones et al., IMC'14). We play both
+//! roles: censors serve pages from this corpus, and the platform's
+//! blockpage detector matches against the corpus's *signatures* — so a
+//! censor using a template whose signature is absent from the detector's
+//! list (see [`BlockpageTemplate::fingerprinted`]) is only caught by the
+//! length-based comparison heuristic, giving the detector a realistic
+//! false-negative mode.
+
+use churnlab_net::HttpResponse;
+use serde::{Deserialize, Serialize};
+
+/// One blockpage template.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockpageTemplate {
+    /// Stable name.
+    pub name: &'static str,
+    /// Signature phrase that appears verbatim in the served page (what
+    /// detectors' regexes match on).
+    pub signature: &'static str,
+    /// Whether the OONI-style fingerprint list includes this signature.
+    pub fingerprinted: bool,
+    /// HTTP status the censor serves the page with.
+    pub status: u16,
+}
+
+impl BlockpageTemplate {
+    /// Render the template into a complete HTTP response for `domain`.
+    pub fn render(&self, domain: &str) -> HttpResponse {
+        let body = format!(
+            "<html><head><title>Blocked</title></head><body>\
+             <h1>{sig}</h1>\
+             <p>The website <b>{domain}</b> is not accessible from your network.</p>\
+             <p>Reference: policy/{name}</p>\
+             </body></html>",
+            sig = self.signature,
+            domain = domain,
+            name = self.name,
+        );
+        let mut resp = HttpResponse::ok(&body);
+        resp.status = self.status;
+        resp.reason = if self.status == 200 { "OK" } else { "Forbidden" }.to_string();
+        resp
+    }
+}
+
+/// The blockpage corpus. Index 0..n; censors are assigned a template by
+/// their [`crate::MechanismProfile::blockpage_id`].
+pub fn corpus() -> &'static [BlockpageTemplate] {
+    const CORPUS: &[BlockpageTemplate] = &[
+        BlockpageTemplate {
+            name: "natfw",
+            signature: "This website has been blocked by order of the national authority",
+            fingerprinted: true,
+            status: 403,
+        },
+        BlockpageTemplate {
+            name: "isp-filter",
+            signature: "Access to this site is restricted by your internet provider",
+            fingerprinted: true,
+            status: 200,
+        },
+        BlockpageTemplate {
+            name: "courtorder",
+            signature: "Bu siteye erisim mahkeme karariyla engellenmistir",
+            fingerprinted: true,
+            status: 200,
+        },
+        BlockpageTemplate {
+            name: "safegate",
+            signature: "SafeGate Web Filter: this category is not permitted",
+            fingerprinted: true,
+            status: 403,
+        },
+        BlockpageTemplate {
+            name: "generic-denied",
+            // Deliberately bland wording and NOT in the fingerprint list:
+            // only the US-comparison heuristic can catch this one.
+            signature: "The requested page is unavailable",
+            fingerprinted: false,
+            status: 200,
+        },
+    ];
+    CORPUS
+}
+
+/// Signatures the detector's fingerprint list contains (the OONI analogue).
+pub fn fingerprint_list() -> Vec<&'static str> {
+    corpus().iter().filter(|t| t.fingerprinted).map(|t| t.signature).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_nonempty_and_distinct() {
+        let c = corpus();
+        assert!(c.len() >= 4);
+        let mut sigs: Vec<_> = c.iter().map(|t| t.signature).collect();
+        sigs.sort();
+        sigs.dedup();
+        assert_eq!(sigs.len(), c.len());
+    }
+
+    #[test]
+    fn rendered_page_contains_signature_and_domain() {
+        for t in corpus() {
+            let page = t.render("blocked.example.net");
+            let text = page.body_text();
+            assert!(text.contains(t.signature));
+            assert!(text.contains("blocked.example.net"));
+            assert_eq!(page.status, t.status);
+        }
+    }
+
+    #[test]
+    fn fingerprint_list_excludes_stealth_templates() {
+        let fp = fingerprint_list();
+        assert!(fp.len() < corpus().len(), "at least one template must be unfingerprinted");
+        assert!(!fp.contains(&"The requested page is unavailable"));
+    }
+
+    #[test]
+    fn rendered_pages_parse_as_http() {
+        let t = &corpus()[0];
+        let wire = t.render("x.y").serialize();
+        let parsed = HttpResponse::parse(&wire).unwrap();
+        assert_eq!(parsed.status, t.status);
+    }
+}

@@ -1,0 +1,157 @@
+//! Censorship mechanisms and per-censor fingerprint profiles.
+//!
+//! Each mechanism maps onto the anomaly signatures ICLab detects (§2.1):
+//!
+//! | mechanism        | primary anomaly | side anomalies                  |
+//! |------------------|-----------------|---------------------------------|
+//! | DNS injection    | DNS             | —                               |
+//! | RST injection    | RESET           | TTL (unless mimicking), SEQNO (if fuzzing) |
+//! | Blockpage        | Blockpage       | TTL (unless mimicking)          |
+//! | Seq manipulation | SEQNO           | TTL                             |
+//!
+//! Profiles capture injector sloppiness: the initial TTL an injector
+//! stamps (64 / 128 / 255 are all seen in the wild), whether it tries to
+//! mimic the server's TTL (defeating the TTL detector), and how precise
+//! its forged sequence numbers are (imprecision triggers the SEQNO
+//! detector — Weaver et al.'s observation that injectors can't perfectly
+//! mirror TCP state).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A censorship mechanism a policy can deploy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Mechanism {
+    /// Spoofed DNS responses racing the resolver.
+    DnsInjection,
+    /// Forged TCP RSTs tearing down matched connections.
+    RstInjection,
+    /// Injected HTTP blockpage followed by connection teardown.
+    Blockpage,
+    /// Corrupting injections at wrong sequence offsets (connection
+    /// poisoning without a full takeover).
+    SeqManipulation,
+}
+
+impl Mechanism {
+    /// All mechanisms in stable order.
+    pub const ALL: [Mechanism; 4] = [
+        Mechanism::DnsInjection,
+        Mechanism::RstInjection,
+        Mechanism::Blockpage,
+        Mechanism::SeqManipulation,
+    ];
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mechanism::DnsInjection => "dns-injection",
+            Mechanism::RstInjection => "rst-injection",
+            Mechanism::Blockpage => "blockpage",
+            Mechanism::SeqManipulation => "seq-manipulation",
+        }
+    }
+}
+
+impl std::fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Fingerprint profile of one censor's injector hardware.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MechanismProfile {
+    /// Initial TTL the injector stamps on forged packets.
+    pub init_ttl: u8,
+    /// Attempt to mimic the server's remaining TTL (defeats the TTL
+    /// detector; a minority capability).
+    pub mimic_ttl: bool,
+    /// Maximum absolute error in forged sequence numbers (0 = exact;
+    /// nonzero triggers SEQNO anomalies on injected RSTs).
+    pub seq_fuzz: u32,
+    /// Number of RSTs fired per trigger (real injectors often send 3).
+    pub rst_burst: u8,
+    /// Processing delay before the forged packet leaves the injector, µs.
+    pub delay_us: u64,
+    /// Blockpage template index into [`crate::blockpage::corpus`].
+    pub blockpage_id: usize,
+}
+
+impl Default for MechanismProfile {
+    fn default() -> Self {
+        MechanismProfile {
+            init_ttl: 64,
+            mimic_ttl: false,
+            seq_fuzz: 0,
+            rst_burst: 3,
+            delay_us: 300,
+            blockpage_id: 0,
+        }
+    }
+}
+
+impl MechanismProfile {
+    /// Sample a diverse, deterministic profile for one censor.
+    pub fn sample<R: Rng>(rng: &mut R, n_blockpages: usize) -> Self {
+        let init_ttl = [64u8, 128, 255][rng.gen_range(0..3usize)];
+        MechanismProfile {
+            init_ttl,
+            // ~15% of injectors mimic TTLs well enough to evade the TTL
+            // detector.
+            mimic_ttl: rng.gen_bool(0.15),
+            // ~35% of injectors are sloppy about sequence numbers.
+            seq_fuzz: if rng.gen_bool(0.35) { rng.gen_range(1..=900) } else { 0 },
+            rst_burst: rng.gen_range(1..=3),
+            delay_us: rng.gen_range(100..=900),
+            blockpage_id: rng.gen_range(0..n_blockpages.max(1)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn labels_unique() {
+        let mut l: Vec<_> = Mechanism::ALL.iter().map(|m| m.label()).collect();
+        l.sort();
+        l.dedup();
+        assert_eq!(l.len(), Mechanism::ALL.len());
+    }
+
+    #[test]
+    fn sampled_profiles_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let p = MechanismProfile::sample(&mut rng, 4);
+            assert!([64, 128, 255].contains(&p.init_ttl));
+            assert!((1..=3).contains(&p.rst_burst));
+            assert!(p.seq_fuzz <= 900);
+            assert!(p.blockpage_id < 4);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let a = MechanismProfile::sample(&mut StdRng::seed_from_u64(7), 4);
+        let b = MechanismProfile::sample(&mut StdRng::seed_from_u64(7), 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn profile_diversity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let profiles: Vec<_> =
+            (0..100).map(|_| MechanismProfile::sample(&mut rng, 4)).collect();
+        let ttls: std::collections::HashSet<u8> =
+            profiles.iter().map(|p| p.init_ttl).collect();
+        assert!(ttls.len() >= 2, "expected TTL diversity");
+        assert!(profiles.iter().any(|p| p.seq_fuzz > 0));
+        assert!(profiles.iter().any(|p| p.seq_fuzz == 0));
+        assert!(profiles.iter().any(|p| p.mimic_ttl));
+    }
+}

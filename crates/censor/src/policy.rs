@@ -1,0 +1,280 @@
+//! Censorship policies and their schedules.
+//!
+//! A [`CensorPolicy`] says: *this AS*, using *these mechanisms*, blocks
+//! *these URL categories*, during *these day ranges*. Schedules are
+//! first-class because policy churn is one of the paper's two explanations
+//! for unsolvable CNFs ("changing censorship policies within the specified
+//! time granularity", §3.2) — a CNF spanning a policy flip contains both a
+//! True and a False clause over the same path and becomes UNSAT.
+//!
+//! Policies target *categories*; the platform compiles them against its
+//! URL corpus into concrete domain sets ([`CompiledCensor`]) that the
+//! packet-level engine matches against.
+
+use crate::mechanism::{Mechanism, MechanismProfile};
+use crate::urlcat::UrlCategory;
+use churnlab_topology::Asn;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashSet};
+
+/// One contiguous phase of a policy: which categories are blocked over a
+/// day range (`from_day` inclusive, `to_day` exclusive).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyPhase {
+    /// First day (inclusive).
+    pub from_day: u32,
+    /// Last day (exclusive).
+    pub to_day: u32,
+    /// Categories blocked during the phase (empty = policy dormant).
+    pub categories: BTreeSet<UrlCategory>,
+}
+
+/// A censorship policy attached to one AS.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CensorPolicy {
+    /// The censoring AS.
+    pub asn: Asn,
+    /// Mechanisms this censor deploys (every mechanism applies to every
+    /// targeted URL).
+    pub mechanisms: Vec<Mechanism>,
+    /// Injector fingerprint profile.
+    pub profile: MechanismProfile,
+    /// The schedule: non-overlapping, ordered phases covering the period.
+    pub phases: Vec<PolicyPhase>,
+    /// Salt for the per-domain mechanism/fuzz assignment. One *deployment*
+    /// (one blocklist, one injector farm) keeps one key: PoPs of a
+    /// multi-country hosting org replicate the org's deployment, so their
+    /// policies share the donor's key and block each domain the same way
+    /// at every exit.
+    pub blocklist_key: u64,
+}
+
+impl CensorPolicy {
+    /// A policy active with fixed categories for the whole period.
+    pub fn steady(
+        asn: Asn,
+        mechanisms: Vec<Mechanism>,
+        profile: MechanismProfile,
+        categories: impl IntoIterator<Item = UrlCategory>,
+        total_days: u32,
+    ) -> Self {
+        CensorPolicy {
+            asn,
+            mechanisms,
+            profile,
+            phases: vec![PolicyPhase {
+                from_day: 0,
+                to_day: total_days,
+                categories: categories.into_iter().collect(),
+            }],
+            blocklist_key: u64::from(asn.0),
+        }
+    }
+
+    /// Categories blocked on `day` (empty set when dormant).
+    pub fn categories_on(&self, day: u32) -> BTreeSet<UrlCategory> {
+        self.phases
+            .iter()
+            .find(|p| day >= p.from_day && day < p.to_day)
+            .map(|p| p.categories.clone())
+            .unwrap_or_default()
+    }
+
+    /// True if this censor blocks `category` with any mechanism on `day`.
+    pub fn blocks_on(&self, category: UrlCategory, day: u32) -> bool {
+        self.categories_on(day).contains(&category)
+    }
+
+    /// True if the policy ever changes (categories differ across phases).
+    pub fn changes_over_time(&self) -> bool {
+        self.phases.windows(2).any(|w| w[0].categories != w[1].categories)
+    }
+
+    /// Validate the schedule: ordered, non-overlapping, contiguous.
+    pub fn validate(&self, total_days: u32) -> Result<(), String> {
+        if self.phases.is_empty() {
+            return Err("no phases".into());
+        }
+        if self.phases[0].from_day != 0 {
+            return Err("schedule must start at day 0".into());
+        }
+        for w in self.phases.windows(2) {
+            if w[0].to_day != w[1].from_day {
+                return Err(format!(
+                    "phase gap/overlap at day {} vs {}",
+                    w[0].to_day, w[1].from_day
+                ));
+            }
+        }
+        let last = self.phases.last().expect("non-empty");
+        if last.to_day != total_days {
+            return Err(format!("schedule ends at {} not {}", last.to_day, total_days));
+        }
+        for p in &self.phases {
+            if p.from_day >= p.to_day {
+                return Err(format!("empty phase {}..{}", p.from_day, p.to_day));
+            }
+        }
+        Ok(())
+    }
+
+    /// Compile the category targets into concrete blocked-domain sets using
+    /// the platform's URL corpus (`urls` = (domain, category) pairs).
+    pub fn compile(&self, urls: &[(String, UrlCategory)]) -> CompiledCensor {
+        let phases = self
+            .phases
+            .iter()
+            .map(|p| CompiledPhase {
+                from_day: p.from_day,
+                to_day: p.to_day,
+                domains: urls
+                    .iter()
+                    .filter(|(_, c)| p.categories.contains(c))
+                    .map(|(d, _)| d.clone())
+                    .collect(),
+            })
+            .collect();
+        CompiledCensor {
+            asn: self.asn,
+            mechanisms: self.mechanisms.clone(),
+            profile: self.profile.clone(),
+            phases,
+            blocklist_key: self.blocklist_key,
+        }
+    }
+}
+
+/// A phase compiled to concrete domains.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompiledPhase {
+    /// First day (inclusive).
+    pub from_day: u32,
+    /// Last day (exclusive).
+    pub to_day: u32,
+    /// Blocked domains.
+    pub domains: HashSet<String>,
+}
+
+/// A policy compiled against a URL corpus: what the packet engine consults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledCensor {
+    /// The censoring AS.
+    pub asn: Asn,
+    /// Deployed mechanisms.
+    pub mechanisms: Vec<Mechanism>,
+    /// Injector fingerprints.
+    pub profile: MechanismProfile,
+    /// Compiled schedule.
+    pub phases: Vec<CompiledPhase>,
+    /// Deployment salt (see [`CensorPolicy::blocklist_key`]).
+    pub blocklist_key: u64,
+}
+
+impl CompiledCensor {
+    /// Does this censor block `domain` on `day`?
+    pub fn blocks_domain(&self, domain: &str, day: u32) -> bool {
+        self.phases
+            .iter()
+            .find(|p| day >= p.from_day && day < p.to_day)
+            .map(|p| p.domains.contains(domain))
+            .unwrap_or(false)
+    }
+
+    /// Does this censor deploy `mechanism`?
+    pub fn has_mechanism(&self, m: Mechanism) -> bool {
+        self.mechanisms.contains(&m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use UrlCategory::*;
+
+    fn policy_with_change() -> CensorPolicy {
+        CensorPolicy {
+            asn: Asn(42),
+            mechanisms: vec![Mechanism::RstInjection],
+            profile: MechanismProfile::default(),
+            blocklist_key: 42,
+            phases: vec![
+                PolicyPhase {
+                    from_day: 0,
+                    to_day: 100,
+                    categories: [News].into_iter().collect(),
+                },
+                PolicyPhase {
+                    from_day: 100,
+                    to_day: 365,
+                    categories: [News, SocialMedia].into_iter().collect(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn steady_policy_constant() {
+        let p = CensorPolicy::steady(
+            Asn(1),
+            vec![Mechanism::DnsInjection],
+            MechanismProfile::default(),
+            [Gambling],
+            365,
+        );
+        assert!(p.blocks_on(Gambling, 0));
+        assert!(p.blocks_on(Gambling, 364));
+        assert!(!p.blocks_on(News, 100));
+        assert!(!p.changes_over_time());
+        assert!(p.validate(365).is_ok());
+    }
+
+    #[test]
+    fn scheduled_policy_switches() {
+        let p = policy_with_change();
+        assert!(p.blocks_on(News, 50));
+        assert!(!p.blocks_on(SocialMedia, 50));
+        assert!(p.blocks_on(SocialMedia, 100));
+        assert!(p.changes_over_time());
+        assert!(p.validate(365).is_ok());
+    }
+
+    #[test]
+    fn out_of_period_day_is_dormant() {
+        let p = policy_with_change();
+        assert!(p.categories_on(400).is_empty());
+    }
+
+    #[test]
+    fn validation_catches_bad_schedules() {
+        let mut p = policy_with_change();
+        p.phases[1].from_day = 101; // gap
+        assert!(p.validate(365).is_err());
+        let mut p = policy_with_change();
+        p.phases[1].to_day = 300; // doesn't cover period
+        assert!(p.validate(365).is_err());
+        let mut p = policy_with_change();
+        p.phases[0].from_day = 5; // doesn't start at 0
+        assert!(p.validate(365).is_err());
+        let mut p = policy_with_change();
+        p.phases.clear();
+        assert!(p.validate(365).is_err());
+    }
+
+    #[test]
+    fn compile_resolves_categories_to_domains() {
+        let urls = vec![
+            ("news1.example".to_string(), News),
+            ("news2.example".to_string(), News),
+            ("shop.example".to_string(), OnlineShopping),
+            ("social.example".to_string(), SocialMedia),
+        ];
+        let c = policy_with_change().compile(&urls);
+        assert!(c.blocks_domain("news1.example", 10));
+        assert!(!c.blocks_domain("social.example", 10));
+        assert!(c.blocks_domain("social.example", 200));
+        assert!(!c.blocks_domain("shop.example", 200));
+        assert!(!c.blocks_domain("unknown.example", 200));
+        assert!(c.has_mechanism(Mechanism::RstInjection));
+        assert!(!c.has_mechanism(Mechanism::Blockpage));
+    }
+}

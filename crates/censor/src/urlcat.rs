@@ -1,0 +1,132 @@
+//! McAfee-style URL categories.
+//!
+//! The paper reports (via the McAfee URL categorization database) that the
+//! most commonly censored URLs fall into Online Shopping and Classifieds,
+//! that most ASes censor only a few categories, that Cypriot ASes censor
+//! across many, and that a handful of western-European ASes exclusively
+//! censor *advertising* domains. The taxonomy below is the subset needed
+//! to express those observations.
+
+use serde::{Deserialize, Serialize};
+
+/// URL content category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum UrlCategory {
+    /// E-commerce storefronts.
+    OnlineShopping,
+    /// Classified-ads marketplaces.
+    Classifieds,
+    /// News and media outlets.
+    News,
+    /// Social networks and messaging.
+    SocialMedia,
+    /// Gambling and betting.
+    Gambling,
+    /// Adult content.
+    Adult,
+    /// Advertising networks and trackers.
+    Advertising,
+    /// Censorship circumvention (VPN/proxy/Tor-related).
+    Circumvention,
+    /// Audio/video streaming.
+    Streaming,
+    /// Political organisations and commentary.
+    Politics,
+    /// Religious content.
+    Religion,
+    /// Peer-to-peer and file sharing.
+    FileSharing,
+}
+
+impl UrlCategory {
+    /// All categories, in stable order.
+    pub const ALL: [UrlCategory; 12] = [
+        UrlCategory::OnlineShopping,
+        UrlCategory::Classifieds,
+        UrlCategory::News,
+        UrlCategory::SocialMedia,
+        UrlCategory::Gambling,
+        UrlCategory::Adult,
+        UrlCategory::Advertising,
+        UrlCategory::Circumvention,
+        UrlCategory::Streaming,
+        UrlCategory::Politics,
+        UrlCategory::Religion,
+        UrlCategory::FileSharing,
+    ];
+
+    /// Short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            UrlCategory::OnlineShopping => "online-shopping",
+            UrlCategory::Classifieds => "classifieds",
+            UrlCategory::News => "news",
+            UrlCategory::SocialMedia => "social-media",
+            UrlCategory::Gambling => "gambling",
+            UrlCategory::Adult => "adult",
+            UrlCategory::Advertising => "advertising",
+            UrlCategory::Circumvention => "circumvention",
+            UrlCategory::Streaming => "streaming",
+            UrlCategory::Politics => "politics",
+            UrlCategory::Religion => "religion",
+            UrlCategory::FileSharing => "file-sharing",
+        }
+    }
+
+    /// A plausible relative share of a sensitive-URL test list, used by
+    /// the platform's URL-corpus generator. Shares are weights, not exact
+    /// probabilities; shopping/classifieds lead, matching the paper's
+    /// category findings.
+    pub fn weight(self) -> u32 {
+        match self {
+            UrlCategory::OnlineShopping => 16,
+            UrlCategory::Classifieds => 14,
+            UrlCategory::News => 12,
+            UrlCategory::SocialMedia => 10,
+            UrlCategory::Gambling => 8,
+            UrlCategory::Adult => 8,
+            UrlCategory::Advertising => 8,
+            UrlCategory::Circumvention => 6,
+            UrlCategory::Streaming => 6,
+            UrlCategory::Politics => 5,
+            UrlCategory::Religion => 4,
+            UrlCategory::FileSharing => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for UrlCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_unique() {
+        let mut l: Vec<_> = UrlCategory::ALL.iter().map(|c| c.label()).collect();
+        l.sort();
+        l.dedup();
+        assert_eq!(l.len(), UrlCategory::ALL.len());
+    }
+
+    #[test]
+    fn shopping_and_classifieds_lead() {
+        for c in UrlCategory::ALL {
+            if c != UrlCategory::OnlineShopping {
+                assert!(UrlCategory::OnlineShopping.weight() >= c.weight());
+            }
+            if !matches!(c, UrlCategory::OnlineShopping | UrlCategory::Classifieds) {
+                assert!(UrlCategory::Classifieds.weight() >= c.weight());
+            }
+        }
+    }
+
+    #[test]
+    fn weights_positive() {
+        assert!(UrlCategory::ALL.iter().all(|c| c.weight() > 0));
+    }
+}

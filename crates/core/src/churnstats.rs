@@ -1,0 +1,193 @@
+//! Measured path-churn accounting (Figure 3), memory-bounded for
+//! paper-scale runs.
+//!
+//! Accumulates one compact record per converted measurement — the
+//! (vantage point, destination) pair, the day, and a 64-bit hash of the
+//! AS-level path — then computes the distinct-path distributions per
+//! day/week/month/year window, plus the per-destination-class breakdown
+//! the paper uses to note that churn does not differ by destination type.
+
+use churnlab_bgp::stats::DistinctPathDist;
+use churnlab_bgp::{Granularity, TimeWindow};
+use churnlab_topology::{AsClass, Asn, Topology};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// One compact path observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Sample {
+    day: u32,
+    path_hash: u64,
+}
+
+/// Streaming accumulator of per-pair path observations. Pairs are keyed
+/// by the *vantage AS* — the source field the paper's measurement records
+/// carry (§3.1: "the vantage point AS"). Exits of one multi-country VPN
+/// provider share a registered AS while routing from entirely different
+/// places, so an org's (AS, destination) pair legitimately observes
+/// several distinct AS-level paths per window; that exit diversity is part
+/// of the path diversity the paper's Figure 3 measures and Figure 4
+/// removes.
+#[derive(Debug, Default)]
+pub struct ChurnAccumulator {
+    per_pair: HashMap<(Asn, Asn), Vec<Sample>>,
+}
+
+/// Hash an AS path (FNV-1a over ASNs — stable across runs).
+pub fn path_hash(path: &[Asn]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for a in path {
+        for b in a.0.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+impl ChurnAccumulator {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one converted measurement (`vp` = the vantage AS as
+    /// registered, i.e. [`churnlab_platform::Measurement::vp_asn`]).
+    pub fn add(&mut self, vp: Asn, dest: Asn, day: u32, path: &[Asn]) {
+        self.per_pair
+            .entry((vp, dest))
+            .or_default()
+            .push(Sample { day, path_hash: path_hash(path) });
+    }
+
+    /// Number of (vantage, destination) pairs observed.
+    pub fn n_pairs(&self) -> usize {
+        self.per_pair.len()
+    }
+
+    /// Distinct-path distributions at the given granularities. A (pair,
+    /// window) combo participates only when observed at least twice
+    /// (churn is unobservable from a single measurement).
+    pub fn distributions(
+        &self,
+        granularities: &[Granularity],
+        total_days: u32,
+    ) -> Vec<DistinctPathDist> {
+        self.distributions_filtered(granularities, total_days, |_| true)
+    }
+
+    /// Like [`ChurnAccumulator::distributions`], restricted to pairs whose
+    /// destination satisfies `keep` (used for the by-destination-class
+    /// breakdown).
+    pub fn distributions_filtered(
+        &self,
+        granularities: &[Granularity],
+        total_days: u32,
+        keep: impl Fn(Asn) -> bool,
+    ) -> Vec<DistinctPathDist> {
+        granularities
+            .iter()
+            .map(|&g| {
+                let mut buckets = [0u64; 5];
+                let mut total = 0u64;
+                for ((_, dest), samples) in &self.per_pair {
+                    if !keep(*dest) {
+                        continue;
+                    }
+                    let mut windows: HashMap<TimeWindow, (HashSet<u64>, u32)> = HashMap::new();
+                    for s in samples {
+                        let w = TimeWindow::of(s.day, g, total_days);
+                        let e = windows.entry(w).or_default();
+                        e.0.insert(s.path_hash);
+                        e.1 += 1;
+                    }
+                    for (paths, n_obs) in windows.values() {
+                        if *n_obs < 2 {
+                            continue;
+                        }
+                        buckets[paths.len().min(5) - 1] += 1;
+                        total += 1;
+                    }
+                }
+                DistinctPathDist { granularity: g, buckets, total }
+            })
+            .collect()
+    }
+
+    /// Per-destination-class churn fractions at one granularity — the
+    /// paper's check that content/enterprise/transit destinations churn
+    /// alike.
+    pub fn churn_by_dest_class(
+        &self,
+        topo: &Topology,
+        granularity: Granularity,
+        total_days: u32,
+    ) -> Vec<(AsClass, f64)> {
+        AsClass::ALL
+            .iter()
+            .map(|&class| {
+                let d = self.distributions_filtered(&[granularity], total_days, |dest| {
+                    topo.info_by_asn(dest).map(|i| i.class == class).unwrap_or(false)
+                });
+                (class, d[0].churn_fraction())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asns(v: &[u32]) -> Vec<Asn> {
+        v.iter().map(|x| Asn(*x)).collect()
+    }
+
+    #[test]
+    fn hash_distinguishes_paths() {
+        assert_eq!(path_hash(&asns(&[1, 2, 3])), path_hash(&asns(&[1, 2, 3])));
+        assert_ne!(path_hash(&asns(&[1, 2, 3])), path_hash(&asns(&[1, 3, 2])));
+        assert_ne!(path_hash(&asns(&[1, 2])), path_hash(&asns(&[1, 2, 3])));
+    }
+
+    #[test]
+    fn stable_pair_no_churn() {
+        let mut acc = ChurnAccumulator::new();
+        for d in 0..20 {
+            acc.add(Asn(1), Asn(2), d, &asns(&[1, 5, 2]));
+            acc.add(Asn(1), Asn(2), d, &asns(&[1, 5, 2]));
+        }
+        let dist = acc.distributions(&[Granularity::Day, Granularity::Year], 365);
+        assert_eq!(dist[0].churn_fraction(), 0.0);
+        assert_eq!(dist[1].churn_fraction(), 0.0);
+    }
+
+    #[test]
+    fn churny_pair_counts() {
+        let mut acc = ChurnAccumulator::new();
+        acc.add(Asn(1), Asn(2), 0, &asns(&[1, 5, 2]));
+        acc.add(Asn(1), Asn(2), 0, &asns(&[1, 6, 2]));
+        let dist = acc.distributions(&[Granularity::Day], 365);
+        assert_eq!(dist[0].buckets, [0, 1, 0, 0, 0]);
+        assert_eq!(dist[0].churn_fraction(), 1.0);
+    }
+
+    #[test]
+    fn single_observation_windows_skipped() {
+        let mut acc = ChurnAccumulator::new();
+        acc.add(Asn(1), Asn(2), 0, &asns(&[1, 2]));
+        acc.add(Asn(1), Asn(2), 100, &asns(&[1, 9, 2]));
+        let dist = acc.distributions(&[Granularity::Day, Granularity::Year], 365);
+        assert_eq!(dist[0].total, 0, "day windows each saw one observation");
+        assert_eq!(dist[1].buckets, [0, 1, 0, 0, 0], "year window sees both");
+    }
+
+    #[test]
+    fn n_pairs_counts_pairs() {
+        let mut acc = ChurnAccumulator::new();
+        acc.add(Asn(1), Asn(2), 0, &asns(&[1, 2]));
+        acc.add(Asn(1), Asn(3), 0, &asns(&[1, 3]));
+        acc.add(Asn(1), Asn(2), 1, &asns(&[1, 2]));
+        assert_eq!(acc.n_pairs(), 2);
+    }
+}

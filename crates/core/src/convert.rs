@@ -1,0 +1,322 @@
+//! Traceroute → AS-level path conversion with the paper's elimination
+//! rules (§3.1).
+//!
+//! A test is discarded when:
+//!
+//! 1. IP-to-AS mapping was not possible for the IPs observed;
+//! 2. traceroutes were not possible due to errors;
+//! 3. AS inference was not possible — a non-responsive (or unmappable)
+//!    hop run is flanked by *different* ASes on the two sides;
+//! 4. the test's three traceroutes convert to more than one distinct
+//!    AS-level path.
+//!
+//! The vantage point's own AS is known to the platform operator (it is in
+//! the record) and anchors the front of every converted path.
+
+use churnlab_platform::{Measurement, TracerouteRecord};
+use churnlab_topology::{Asn, Ip2AsDb};
+use serde::{Deserialize, Serialize};
+
+/// Why a test was discarded (maps 1:1 to the paper's four rules).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DiscardReason {
+    /// Rule 1: no IP in the traceroute could be mapped.
+    MappingImpossible,
+    /// Rule 2: the traceroute run errored (failed or truncated), or the
+    /// test could not run at all.
+    TracerouteError,
+    /// Rule 3: a non-responsive/unmappable run flanked by different ASes.
+    InferenceAmbiguous,
+    /// Rule 4: the three traceroutes yielded >1 distinct AS-level path.
+    MultipleAsPaths,
+}
+
+impl DiscardReason {
+    /// Stable label for stats output.
+    pub fn label(self) -> &'static str {
+        match self {
+            DiscardReason::MappingImpossible => "rule1-mapping",
+            DiscardReason::TracerouteError => "rule2-error",
+            DiscardReason::InferenceAmbiguous => "rule3-inference",
+            DiscardReason::MultipleAsPaths => "rule4-multipath",
+        }
+    }
+}
+
+/// Conversion counters, accumulated across a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConversionStats {
+    /// Tests successfully converted.
+    pub converted: u64,
+    /// Tests discarded, by rule.
+    pub discarded: [u64; 4],
+}
+
+impl ConversionStats {
+    /// Record a discard.
+    pub fn discard(&mut self, r: DiscardReason) {
+        let i = match r {
+            DiscardReason::MappingImpossible => 0,
+            DiscardReason::TracerouteError => 1,
+            DiscardReason::InferenceAmbiguous => 2,
+            DiscardReason::MultipleAsPaths => 3,
+        };
+        self.discarded[i] += 1;
+    }
+
+    /// Total discards.
+    pub fn total_discarded(&self) -> u64 {
+        self.discarded.iter().sum()
+    }
+
+    /// Fraction of tests converted.
+    pub fn conversion_rate(&self) -> f64 {
+        let total = self.converted + self.total_discarded();
+        if total == 0 {
+            0.0
+        } else {
+            self.converted as f64 / total as f64
+        }
+    }
+}
+
+/// Convert a single traceroute to an AS-level path.
+fn convert_one(
+    tr: &TracerouteRecord,
+    vp_asn: Asn,
+    db: &Ip2AsDb,
+) -> Result<Vec<Asn>, DiscardReason> {
+    if tr.error.is_some() || tr.hops.is_empty() {
+        return Err(DiscardReason::TracerouteError);
+    }
+    // Map each hop; non-responsive and unmappable hops both become None.
+    let mapped: Vec<Option<Asn>> = tr
+        .hops
+        .iter()
+        .map(|h| h.and_then(|ip| db.lookup(ip)))
+        .collect();
+    if mapped.iter().all(|m| m.is_none()) {
+        return Err(DiscardReason::MappingImpossible);
+    }
+    // The final hop is the destination server; if it can't be identified
+    // the path's endpoint is unknown (inference impossible).
+    if mapped.last().expect("non-empty").is_none() {
+        return Err(DiscardReason::InferenceAmbiguous);
+    }
+    // Collapse into an AS sequence anchored at the vantage AS, checking
+    // that every None-run is flanked by the same AS on both sides.
+    let mut path = vec![vp_asn];
+    let mut pending_gap = false;
+    for m in &mapped {
+        match m {
+            None => pending_gap = true,
+            Some(asn) => {
+                let last = *path.last().expect("anchored at vp");
+                if *asn == last {
+                    pending_gap = false; // gap inside one AS: absorbed
+                } else {
+                    if pending_gap {
+                        // Unknown hops between two different ASes: cannot
+                        // infer who owns them.
+                        return Err(DiscardReason::InferenceAmbiguous);
+                    }
+                    path.push(*asn);
+                }
+            }
+        }
+    }
+    Ok(path)
+}
+
+/// Convert a full measurement (three traceroutes) under the paper's rules.
+pub fn convert_measurement(
+    m: &Measurement,
+    db: &Ip2AsDb,
+    stats: &mut ConversionStats,
+) -> Option<Vec<Asn>> {
+    if m.failed {
+        stats.discard(DiscardReason::TracerouteError);
+        return None;
+    }
+    let mut paths: Vec<Vec<Asn>> = Vec::with_capacity(3);
+    let mut first_err: Option<DiscardReason> = None;
+    for tr in &m.traceroutes {
+        match convert_one(tr, m.vp_asn, db) {
+            Ok(p) => paths.push(p),
+            Err(e) => first_err = first_err.or(Some(e)),
+        }
+    }
+    if paths.is_empty() {
+        stats.discard(first_err.unwrap_or(DiscardReason::TracerouteError));
+        return None;
+    }
+    paths.sort();
+    paths.dedup();
+    if paths.len() > 1 {
+        stats.discard(DiscardReason::MultipleAsPaths);
+        return None;
+    }
+    stats.converted += 1;
+    paths.pop()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use churnlab_platform::AnomalySet;
+    use churnlab_topology::Ipv4Prefix;
+
+    fn db() -> Ip2AsDb {
+        Ip2AsDb::from_entries([
+            (Ipv4Prefix::from_octets(1, 0, 0, 0, 8).unwrap(), Asn(10)),
+            (Ipv4Prefix::from_octets(2, 0, 0, 0, 8).unwrap(), Asn(20)),
+            (Ipv4Prefix::from_octets(3, 0, 0, 0, 8).unwrap(), Asn(30)),
+        ])
+        .unwrap()
+    }
+
+    fn ip(top: u8, low: u8) -> u32 {
+        u32::from_be_bytes([top, 0, 0, low])
+    }
+
+    fn tr(hops: Vec<Option<u32>>) -> TracerouteRecord {
+        TracerouteRecord { hops, error: None }
+    }
+
+    fn measurement(trs: Vec<TracerouteRecord>) -> Measurement {
+        Measurement {
+            vp_id: 0,
+            vp_asn: Asn(10),
+            url_id: 0,
+            dest_asn: Asn(30),
+            day: 0,
+            epoch: 0,
+            detected: AnomalySet::empty(),
+            traceroutes: trs,
+            failed: false,
+        }
+    }
+
+    #[test]
+    fn clean_conversion() {
+        let m = measurement(vec![
+            tr(vec![Some(ip(1, 1)), Some(ip(2, 1)), Some(ip(2, 2)), Some(ip(3, 1))]);
+            3
+        ]);
+        let mut stats = ConversionStats::default();
+        let path = convert_measurement(&m, &db(), &mut stats).unwrap();
+        assert_eq!(path, vec![Asn(10), Asn(20), Asn(30)]);
+        assert_eq!(stats.converted, 1);
+        assert_eq!(stats.total_discarded(), 0);
+    }
+
+    #[test]
+    fn gap_inside_one_as_absorbed() {
+        // 1.x (AS10), *, 2.x 2.y (AS20), *, 2.z (AS20 again), 3.x (AS30):
+        // the second gap is flanked by AS20 on both sides — absorbed.
+        let m = measurement(vec![
+            tr(vec![
+                Some(ip(1, 1)),
+                Some(ip(2, 1)),
+                None,
+                Some(ip(2, 3)),
+                Some(ip(3, 1)),
+            ]);
+            3
+        ]);
+        let mut stats = ConversionStats::default();
+        let path = convert_measurement(&m, &db(), &mut stats).unwrap();
+        assert_eq!(path, vec![Asn(10), Asn(20), Asn(30)]);
+    }
+
+    #[test]
+    fn rule1_no_mappable_hops() {
+        let m = measurement(vec![tr(vec![Some(ip(9, 1)), Some(ip(9, 2))]); 3]);
+        let mut stats = ConversionStats::default();
+        assert!(convert_measurement(&m, &db(), &mut stats).is_none());
+        assert_eq!(stats.discarded[0], 1, "rule 1 must fire");
+    }
+
+    #[test]
+    fn rule2_traceroute_errors() {
+        let m = measurement(vec![TracerouteRecord::failed(); 3]);
+        let mut stats = ConversionStats::default();
+        assert!(convert_measurement(&m, &db(), &mut stats).is_none());
+        assert_eq!(stats.discarded[1], 1, "rule 2 must fire");
+        // A failed test (no route) is also rule 2.
+        let mut m2 = measurement(vec![]);
+        m2.failed = true;
+        assert!(convert_measurement(&m2, &db(), &mut stats).is_none());
+        assert_eq!(stats.discarded[1], 2);
+    }
+
+    #[test]
+    fn rule3_gap_between_different_ases() {
+        // AS10, *, AS30 — the unknown hop could be AS10, AS30, or neither.
+        let m = measurement(vec![tr(vec![Some(ip(1, 1)), None, Some(ip(3, 1))]); 3]);
+        let mut stats = ConversionStats::default();
+        assert!(convert_measurement(&m, &db(), &mut stats).is_none());
+        assert_eq!(stats.discarded[2], 1, "rule 3 must fire");
+    }
+
+    #[test]
+    fn rule3_unmapped_hop_between_ases() {
+        // A responsive hop whose prefix is missing from the (stale) DB acts
+        // like a non-responsive hop.
+        let m = measurement(vec![tr(vec![Some(ip(1, 1)), Some(ip(9, 9)), Some(ip(3, 1))]); 3]);
+        let mut stats = ConversionStats::default();
+        assert!(convert_measurement(&m, &db(), &mut stats).is_none());
+        assert_eq!(stats.discarded[2], 1);
+    }
+
+    #[test]
+    fn rule3_unknown_destination() {
+        let m = measurement(vec![tr(vec![Some(ip(1, 1)), Some(ip(2, 1)), None]); 3]);
+        let mut stats = ConversionStats::default();
+        assert!(convert_measurement(&m, &db(), &mut stats).is_none());
+        assert_eq!(stats.discarded[2], 1);
+    }
+
+    #[test]
+    fn rule4_divergent_traceroutes() {
+        let m = measurement(vec![
+            tr(vec![Some(ip(1, 1)), Some(ip(2, 1)), Some(ip(3, 1))]),
+            tr(vec![Some(ip(1, 1)), Some(ip(2, 1)), Some(ip(3, 1))]),
+            tr(vec![Some(ip(1, 1)), Some(ip(3, 1))]), // different path
+        ]);
+        let mut stats = ConversionStats::default();
+        assert!(convert_measurement(&m, &db(), &mut stats).is_none());
+        assert_eq!(stats.discarded[3], 1, "rule 4 must fire");
+    }
+
+    #[test]
+    fn one_good_traceroute_suffices() {
+        let m = measurement(vec![
+            TracerouteRecord::failed(),
+            tr(vec![Some(ip(1, 1)), Some(ip(2, 1)), Some(ip(3, 1))]),
+            TracerouteRecord::failed(),
+        ]);
+        let mut stats = ConversionStats::default();
+        let path = convert_measurement(&m, &db(), &mut stats).unwrap();
+        assert_eq!(path, vec![Asn(10), Asn(20), Asn(30)]);
+    }
+
+    #[test]
+    fn leading_hop_in_foreign_as_extends_path() {
+        // First mapped hop is AS20 (vantage egress already outside AS10):
+        // the path is anchored at the vantage AS.
+        let m = measurement(vec![tr(vec![Some(ip(2, 1)), Some(ip(3, 1))]); 3]);
+        let mut stats = ConversionStats::default();
+        let path = convert_measurement(&m, &db(), &mut stats).unwrap();
+        assert_eq!(path, vec![Asn(10), Asn(20), Asn(30)]);
+    }
+
+    #[test]
+    fn conversion_rate_math() {
+        let mut s = ConversionStats::default();
+        s.converted = 3;
+        s.discard(DiscardReason::MappingImpossible);
+        assert!((s.conversion_rate() - 0.75).abs() < 1e-9);
+        assert_eq!(ConversionStats::default().conversion_rate(), 0.0);
+    }
+}

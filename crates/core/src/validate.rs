@@ -1,0 +1,115 @@
+//! Ground-truth validation — the check the paper could not run.
+//!
+//! Because churnlab's substrate is simulated, the true censor set is
+//! known. We score the localization's *identified censors* (unique-solution
+//! CNFs) against it:
+//!
+//! * **precision** — identified ∧ true / identified;
+//! * **recall** — identified ∧ true / true;
+//! * **observable recall** — recall against only those true censors that
+//!   had a chance of being caught (they appeared on at least one censored
+//!   AS path in the dataset); a censor nobody routed through is invisible
+//!   to any tomography method.
+
+use churnlab_censor::CensorshipScenario;
+use churnlab_topology::Asn;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Validation scores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// ASes identified as censors by unique-solution CNFs.
+    pub identified: usize,
+    /// Identified ASes that truly censor.
+    pub true_positives: usize,
+    /// Identified ASes that do not censor (noise artifacts).
+    pub false_positives: usize,
+    /// Ground-truth censors in the scenario.
+    pub true_censors: usize,
+    /// Ground-truth censors that appeared on ≥1 censored path.
+    pub observable_censors: usize,
+    /// Precision over identified.
+    pub precision: f64,
+    /// Recall over all true censors.
+    pub recall: f64,
+    /// Recall over observable censors only.
+    pub observable_recall: f64,
+}
+
+/// Score `identified` against the scenario's ground truth.
+///
+/// `on_censored_path` is the set of ASes that appeared on at least one
+/// positive (censored) observation — the observability horizon.
+///
+/// `project` maps ground-truth node ASNs to their *registered* (public)
+/// ASNs ([`churnlab_topology::GeneratedWorld::public_asn`]): localization
+/// operates on registry-derived AS paths, so a censoring hosting-org PoP
+/// is correctly identified when the org's public ASN is named. Pass the
+/// identity function for worlds without hosting orgs.
+pub fn validate(
+    identified: &HashSet<Asn>,
+    scenario: &CensorshipScenario,
+    on_censored_path: &HashSet<Asn>,
+    project: impl Fn(Asn) -> Asn,
+) -> ValidationReport {
+    let truth: HashSet<Asn> = scenario.censoring_asns().into_iter().map(project).collect();
+    let tp = identified.intersection(&truth).count();
+    let fp = identified.len() - tp;
+    let observable: HashSet<Asn> =
+        truth.intersection(on_censored_path).copied().collect();
+    let tp_observable = identified.intersection(&observable).count();
+    let frac = |num: usize, den: usize| if den == 0 { 1.0 } else { num as f64 / den as f64 };
+    ValidationReport {
+        identified: identified.len(),
+        true_positives: tp,
+        false_positives: fp,
+        true_censors: truth.len(),
+        observable_censors: observable.len(),
+        precision: frac(tp, identified.len()),
+        recall: frac(tp, truth.len()),
+        observable_recall: frac(tp_observable, observable.len()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use churnlab_censor::CensorConfig;
+    use churnlab_topology::{generator, WorldConfig, WorldScale};
+
+    #[test]
+    fn scoring_math() {
+        let w = generator::generate(&WorldConfig::preset(WorldScale::Small, 3));
+        let cfg = CensorConfig::scaled_for(w.topology.countries().len());
+        let scenario = CensorshipScenario::generate(&w.topology, &cfg);
+        let truth = scenario.censoring_asns();
+        assert!(truth.len() >= 4);
+
+        // Identify two true censors and one innocent AS; two of the true
+        // censors are observable.
+        let identified: HashSet<Asn> =
+            [truth[0], truth[1], Asn(999_999_999)].into_iter().collect();
+        let observable: HashSet<Asn> = [truth[0], truth[1]].into_iter().collect();
+        let r = validate(&identified, &scenario, &observable, |a| a);
+        assert_eq!(r.identified, 3);
+        assert_eq!(r.true_positives, 2);
+        assert_eq!(r.false_positives, 1);
+        assert_eq!(r.observable_censors, 2);
+        assert!((r.precision - 2.0 / 3.0).abs() < 1e-9);
+        assert!((r.recall - 2.0 / truth.len() as f64).abs() < 1e-9);
+        assert_eq!(r.observable_recall, 1.0);
+    }
+
+    #[test]
+    fn empty_identification() {
+        let w = generator::generate(&WorldConfig::preset(WorldScale::Smoke, 3));
+        let cfg = CensorConfig::scaled_for(w.topology.countries().len());
+        let scenario = CensorshipScenario::generate(&w.topology, &cfg);
+        let r = validate(&HashSet::new(), &scenario, &HashSet::new(), |a| a);
+        assert_eq!(r.identified, 0);
+        assert_eq!(r.precision, 1.0, "vacuous precision");
+        assert_eq!(r.recall, 0.0);
+        assert_eq!(r.observable_recall, 1.0, "no observable censors to miss");
+    }
+}

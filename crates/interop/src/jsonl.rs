@@ -1,0 +1,130 @@
+//! Streaming JSON-lines export/import.
+//!
+//! One record per line; import skips malformed lines and counts them
+//! instead of failing the whole file — external measurement dumps are
+//! never fully clean, and the tomography pipeline's own discard rules
+//! (§3.1) already assume lossy inputs.
+
+use crate::record::NativeRecord;
+use std::io::{BufRead, Write};
+
+/// Import accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ImportStats {
+    /// Records parsed successfully.
+    pub ok: u64,
+    /// Lines that failed to parse (skipped).
+    pub malformed: u64,
+    /// Blank lines (ignored, not counted as malformed).
+    pub blank: u64,
+    /// Anomaly labels that were not recognized (dropped from otherwise
+    /// valid records).
+    pub unknown_anomalies: u64,
+}
+
+/// Write records as JSON lines.
+pub fn write_jsonl<'a, W: Write>(
+    mut w: W,
+    records: impl IntoIterator<Item = &'a NativeRecord>,
+) -> std::io::Result<u64> {
+    let mut n = 0;
+    for r in records {
+        let line = serde_json::to_string(r).expect("NativeRecord always serializes");
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Read records from JSON lines, feeding each parsed measurement to
+/// `sink` together with its domain. Malformed lines are skipped and
+/// counted. I/O errors abort.
+pub fn read_jsonl<R: BufRead>(
+    r: R,
+    mut sink: impl FnMut(churnlab_platform::Measurement, &str),
+) -> std::io::Result<ImportStats> {
+    let mut stats = ImportStats::default();
+    for line in r.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            stats.blank += 1;
+            continue;
+        }
+        match serde_json::from_str::<NativeRecord>(&line) {
+            Ok(rec) => {
+                let domain = rec.domain.clone();
+                let (m, unknown) = rec.into_measurement();
+                stats.unknown_anomalies += unknown as u64;
+                stats.ok += 1;
+                sink(m, &domain);
+            }
+            Err(_) => stats.malformed += 1,
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::WireTraceroute;
+
+    fn rec(url_id: u32) -> NativeRecord {
+        NativeRecord {
+            vp_id: 1,
+            vp_asn: 64512,
+            url_id,
+            domain: format!("d{url_id}.example"),
+            dest_asn: 64513,
+            day: 5,
+            epoch: 40,
+            anomalies: vec!["dns".into()],
+            traceroutes: vec![WireTraceroute {
+                hops: vec![Some("1.2.3.4".into()), None],
+                error: None,
+            }],
+            failed: false,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_records() {
+        let records = vec![rec(0), rec(1), rec(2)];
+        let mut buf = Vec::new();
+        assert_eq!(write_jsonl(&mut buf, &records).unwrap(), 3);
+        let mut seen = Vec::new();
+        let stats = read_jsonl(&buf[..], |m, d| seen.push((m, d.to_string()))).unwrap();
+        assert_eq!(stats.ok, 3);
+        assert_eq!(stats.malformed, 0);
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen[1].1, "d1.example");
+        assert_eq!(seen[2].0.url_id, 2);
+    }
+
+    #[test]
+    fn malformed_lines_skipped_and_counted() {
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &[rec(0)]).unwrap();
+        buf.extend_from_slice(b"{not json\n\n");
+        write_jsonl(&mut buf, &[rec(1)]).unwrap();
+        buf.extend_from_slice(b"[1,2,3]\n"); // valid JSON, wrong shape
+        let mut n = 0;
+        let stats = read_jsonl(&buf[..], |_, _| n += 1).unwrap();
+        assert_eq!(stats.ok, 2);
+        assert_eq!(stats.malformed, 2);
+        assert_eq!(stats.blank, 1);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn unknown_anomalies_accumulate() {
+        let mut r = rec(0);
+        r.anomalies.push("esni-block".into());
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &[r]).unwrap();
+        let stats = read_jsonl(&buf[..], |_, _| {}).unwrap();
+        assert_eq!(stats.ok, 1);
+        assert_eq!(stats.unknown_anomalies, 1);
+    }
+}

@@ -1,0 +1,236 @@
+//! OONI-style record import.
+//!
+//! The paper: *"Conceptually, our techniques could be applied to other
+//! platforms such as OONI as well."* OONI's `web_connectivity` test
+//! reports, per (probe, URL, time): a probe ASN string (`"AS30722"`), the
+//! tested input URL, and a `blocking` verdict (`"dns"`, `"tcp_ip"`,
+//! `"http-failure"`, `"http-diff"`, or absent/false). OONI does not ship
+//! traceroutes with web_connectivity, so applying boolean tomography to
+//! OONI data requires joining a path measurement; [`OoniRecord`] carries
+//! one in an `annotations` side channel, which is where a deployment
+//! pairing OONI probes with RIPE-Atlas-style traceroutes would put it.
+//!
+//! The mapping onto churnlab anomaly types is intentionally lossy in the
+//! same way the underlying data is: OONI's `blocking` is a single verdict,
+//! not five independent detectors.
+
+use crate::record::WireTraceroute;
+use churnlab_platform::{AnomalySet, AnomalyType, Measurement};
+use churnlab_topology::Asn;
+use serde::{Deserialize, Serialize};
+
+/// The subset of OONI `web_connectivity` fields the import consumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OoniRecord {
+    /// Probe network, e.g. `"AS30722"`.
+    pub probe_asn: String,
+    /// Tested input, e.g. `"http://shop-x.example/"`.
+    pub input: String,
+    /// Day index within the analysis period (a real importer would parse
+    /// `measurement_start_time`; the interchange form keeps the bucketed
+    /// day to stay timezone-agnostic).
+    pub day: u32,
+    /// Test verdicts.
+    pub test_keys: OoniTestKeys,
+    /// Side-channel annotations (the traceroute join).
+    #[serde(default)]
+    pub annotations: OoniAnnotations,
+}
+
+/// OONI `test_keys` subset.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OoniTestKeys {
+    /// Blocking verdict: `"dns"`, `"tcp_ip"`, `"http-failure"`,
+    /// `"http-diff"`, or `None`/absent for no blocking.
+    #[serde(default)]
+    pub blocking: Option<String>,
+}
+
+/// Annotations joined onto the OONI record by the operator.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OoniAnnotations {
+    /// Traceroutes toward the input's server, if a path measurement was
+    /// joined.
+    #[serde(default)]
+    pub traceroutes: Vec<WireTraceroute>,
+    /// The destination AS, if known to the operator.
+    #[serde(default)]
+    pub dest_asn: Option<u32>,
+    /// Stable URL id assigned by the importer's corpus.
+    #[serde(default)]
+    pub url_id: Option<u32>,
+    /// Stable probe id.
+    #[serde(default)]
+    pub probe_id: Option<u32>,
+}
+
+/// Why an OONI record could not be converted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OoniImportError {
+    /// `probe_asn` was not of the form `AS<number>`.
+    BadProbeAsn(String),
+    /// No traceroute annotation — tomography needs a path measurement.
+    NoTraceroute,
+    /// No destination AS annotation.
+    NoDestAsn,
+    /// An unrecognized blocking verdict.
+    UnknownVerdict(String),
+}
+
+impl std::fmt::Display for OoniImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OoniImportError::BadProbeAsn(s) => write!(f, "bad probe_asn {s:?}"),
+            OoniImportError::NoTraceroute => write!(f, "no traceroute annotation"),
+            OoniImportError::NoDestAsn => write!(f, "no dest_asn annotation"),
+            OoniImportError::UnknownVerdict(s) => write!(f, "unknown blocking verdict {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for OoniImportError {}
+
+/// Map an OONI blocking verdict onto churnlab anomaly types.
+///
+/// `dns` → DNS injection; `tcp_ip` → spurious RST; `http-diff` → blockpage
+/// content; `http-failure` → stream tampering (sequence anomalies). The
+/// verdicts `false`/absent map to the empty set.
+pub fn map_blocking(verdict: Option<&str>) -> Result<AnomalySet, OoniImportError> {
+    let mut set = AnomalySet::empty();
+    match verdict {
+        None | Some("false") => {}
+        Some("dns") => set.insert(AnomalyType::Dns),
+        Some("tcp_ip") => set.insert(AnomalyType::Reset),
+        Some("http-diff") => set.insert(AnomalyType::Block),
+        Some("http-failure") => set.insert(AnomalyType::Seqno),
+        Some(other) => return Err(OoniImportError::UnknownVerdict(other.to_string())),
+    }
+    Ok(set)
+}
+
+/// Extract the domain from an OONI input URL (scheme and path stripped).
+pub fn input_domain(input: &str) -> &str {
+    let rest = input.split_once("://").map(|(_, r)| r).unwrap_or(input);
+    rest.split(['/', ':']).next().unwrap_or(rest)
+}
+
+impl OoniRecord {
+    /// Convert into a churnlab measurement (plus the tested domain).
+    pub fn into_measurement(self) -> Result<(Measurement, String), OoniImportError> {
+        let asn_text = self.probe_asn.strip_prefix("AS").unwrap_or(&self.probe_asn);
+        let vp_asn: u32 = asn_text
+            .parse()
+            .map_err(|_| OoniImportError::BadProbeAsn(self.probe_asn.clone()))?;
+        if self.annotations.traceroutes.is_empty() {
+            return Err(OoniImportError::NoTraceroute);
+        }
+        let dest_asn = self.annotations.dest_asn.ok_or(OoniImportError::NoDestAsn)?;
+        let detected = map_blocking(self.test_keys.blocking.as_deref())?;
+        let domain = input_domain(&self.input).to_string();
+        let m = Measurement {
+            vp_id: self.annotations.probe_id.unwrap_or(0),
+            vp_asn: Asn(vp_asn),
+            url_id: self.annotations.url_id.unwrap_or(0),
+            dest_asn: Asn(dest_asn),
+            day: self.day,
+            epoch: self.day, // OONI has no sub-day routing epochs
+            detected,
+            traceroutes: self
+                .annotations
+                .traceroutes
+                .into_iter()
+                .map(WireTraceroute::into_record)
+                .collect(),
+            failed: false,
+        };
+        Ok((m, domain))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(blocking: Option<&str>) -> OoniRecord {
+        OoniRecord {
+            probe_asn: "AS64512".into(),
+            input: "http://forum-q.example/thread/7".into(),
+            day: 40,
+            test_keys: OoniTestKeys { blocking: blocking.map(str::to_string) },
+            annotations: OoniAnnotations {
+                traceroutes: vec![WireTraceroute {
+                    hops: vec![Some("9.0.0.1".into()), Some("9.0.1.1".into())],
+                    error: None,
+                }],
+                dest_asn: Some(64999),
+                url_id: Some(3),
+                probe_id: Some(11),
+            },
+        }
+    }
+
+    #[test]
+    fn blocking_verdict_mapping() {
+        assert!(map_blocking(None).unwrap().is_empty());
+        assert!(map_blocking(Some("false")).unwrap().is_empty());
+        assert!(map_blocking(Some("dns")).unwrap().contains(AnomalyType::Dns));
+        assert!(map_blocking(Some("tcp_ip")).unwrap().contains(AnomalyType::Reset));
+        assert!(map_blocking(Some("http-diff")).unwrap().contains(AnomalyType::Block));
+        assert!(map_blocking(Some("http-failure")).unwrap().contains(AnomalyType::Seqno));
+        assert!(matches!(
+            map_blocking(Some("quantum")),
+            Err(OoniImportError::UnknownVerdict(_))
+        ));
+    }
+
+    #[test]
+    fn conversion_happy_path() {
+        let (m, domain) = record(Some("dns")).into_measurement().unwrap();
+        assert_eq!(domain, "forum-q.example");
+        assert_eq!(m.vp_asn, Asn(64512));
+        assert_eq!(m.dest_asn, Asn(64999));
+        assert_eq!(m.url_id, 3);
+        assert_eq!(m.vp_id, 11);
+        assert!(m.detected.contains(AnomalyType::Dns));
+        assert_eq!(m.traceroutes.len(), 1);
+    }
+
+    #[test]
+    fn missing_annotations_rejected() {
+        let mut r = record(None);
+        r.annotations.traceroutes.clear();
+        assert_eq!(r.into_measurement().unwrap_err(), OoniImportError::NoTraceroute);
+        let mut r = record(None);
+        r.annotations.dest_asn = None;
+        assert_eq!(r.into_measurement().unwrap_err(), OoniImportError::NoDestAsn);
+        let mut r = record(None);
+        r.probe_asn = "OONI".into();
+        assert!(matches!(r.into_measurement(), Err(OoniImportError::BadProbeAsn(_))));
+    }
+
+    #[test]
+    fn input_domain_extraction() {
+        assert_eq!(input_domain("http://a.example/x/y"), "a.example");
+        assert_eq!(input_domain("https://b.example:8443/"), "b.example");
+        assert_eq!(input_domain("c.example"), "c.example");
+    }
+
+    #[test]
+    fn json_shape_matches_ooni_style() {
+        // An OONI-flavoured document parses directly.
+        let doc = r#"{
+            "probe_asn": "AS1299",
+            "input": "http://news-site.example/",
+            "day": 12,
+            "test_keys": {"blocking": "tcp_ip"},
+            "annotations": {
+                "traceroutes": [{"hops": ["1.1.1.1", null, "2.2.2.2"]}],
+                "dest_asn": 65000
+            }
+        }"#;
+        let r: OoniRecord = serde_json::from_str(doc).unwrap();
+        let (m, _) = r.into_measurement().unwrap();
+        assert!(m.detected.contains(AnomalyType::Reset));
+        assert_eq!(m.traceroutes[0].hops, vec![Some(0x01010101), None, Some(0x02020202)]);
+    }
+}

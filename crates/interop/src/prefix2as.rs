@@ -1,0 +1,168 @@
+//! CAIDA Routeviews `prefix2as` text format.
+//!
+//! The paper converts traceroutes with "historical IP-to-AS mapping from
+//! CAIDA" (§3.1). CAIDA distributes that mapping as tab-separated lines:
+//!
+//! ```text
+//! 1.0.0.0\t24\t13335
+//! 1.0.4.0\t22\t38803_56203
+//! ```
+//!
+//! where a multi-origin prefix lists candidate ASNs joined by `_` (and
+//! AS-sets appear as comma lists). This module parses that format into an
+//! [`Ip2AsDb`] and renders a database back out, so churnlab's conversion
+//! can run against real CAIDA files and churnlab worlds can be exported
+//! for other tooling.
+
+use churnlab_topology::{Asn, Ip2AsDb, Ipv4Prefix};
+use std::io::BufRead;
+
+/// Parse accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Prefix2AsStats {
+    /// Lines parsed into entries.
+    pub ok: u64,
+    /// Lines skipped as malformed.
+    pub malformed: u64,
+    /// Multi-origin lines (first origin used — the common convention).
+    pub multi_origin: u64,
+    /// Entries dropped because the same exact prefix mapped to a
+    /// different AS earlier in the file.
+    pub conflicts: u64,
+}
+
+fn parse_origin(field: &str) -> Option<u32> {
+    // "13335", "38803_56203" (MOAS: take first), "4808,9808" (AS-set:
+    // take first).
+    let first = field.split(['_', ',']).next()?;
+    first.trim().parse().ok()
+}
+
+/// Parse a CAIDA `prefix2as` stream into a database.
+///
+/// ```
+/// use churnlab_interop::parse_prefix2as;
+/// use churnlab_topology::Asn;
+///
+/// let text = "1.0.0.0\t24\t13335\n1.0.4.0\t22\t38803_56203\n";
+/// let (db, stats) = parse_prefix2as(text.as_bytes()).unwrap();
+/// assert_eq!(stats.ok, 2);
+/// assert_eq!(stats.multi_origin, 1); // 38803_56203 → first origin
+/// assert_eq!(db.lookup(u32::from_be_bytes([1, 0, 0, 9])), Some(Asn(13335)));
+/// ```
+pub fn parse_prefix2as<R: BufRead>(r: R) -> std::io::Result<(Ip2AsDb, Prefix2AsStats)> {
+    let mut stats = Prefix2AsStats::default();
+    let mut entries: Vec<(Ipv4Prefix, Asn)> = Vec::new();
+    let mut seen: std::collections::HashMap<Ipv4Prefix, Asn> = std::collections::HashMap::new();
+    for line in r.lines() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut fields = t.split_whitespace();
+        let (net, len, origin) = match (fields.next(), fields.next(), fields.next()) {
+            (Some(a), Some(b), Some(c)) => (a, b, c),
+            _ => {
+                stats.malformed += 1;
+                continue;
+            }
+        };
+        let parsed = (|| {
+            let prefix: Ipv4Prefix = format!("{net}/{len}").parse().ok()?;
+            if origin.contains(['_', ',']) {
+                stats.multi_origin += 1;
+            }
+            let asn = parse_origin(origin)?;
+            Some((prefix, Asn(asn)))
+        })();
+        match parsed {
+            Some((p, a)) => match seen.get(&p) {
+                Some(prev) if *prev != a => stats.conflicts += 1,
+                Some(_) => {}
+                None => {
+                    seen.insert(p, a);
+                    entries.push((p, a));
+                    stats.ok += 1;
+                }
+            },
+            None => stats.malformed += 1,
+        }
+    }
+    let db = Ip2AsDb::from_entries(entries)
+        .expect("conflicting exact prefixes filtered above");
+    Ok((db, stats))
+}
+
+/// Render a database in CAIDA `prefix2as` format (network, length, origin;
+/// tab-separated, sorted).
+pub fn render_prefix2as(db: &Ip2AsDb) -> String {
+    let mut out = String::new();
+    for (p, a) in db.entries() {
+        let b = p.network().to_be_bytes();
+        out.push_str(&format!(
+            "{}.{}.{}.{}\t{}\t{}\n",
+            b[0],
+            b[1],
+            b[2],
+            b[3],
+            p.len(),
+            a.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_caida_style_lines() {
+        let text = "\
+# comment
+1.0.0.0\t24\t13335
+1.0.4.0\t22\t38803_56203
+2.0.0.0\t16\t3215
+garbage line
+3.0.0.0\tnotalen\t1
+";
+        let (db, stats) = parse_prefix2as(text.as_bytes()).unwrap();
+        assert_eq!(stats.ok, 3);
+        assert_eq!(stats.malformed, 2);
+        assert_eq!(stats.multi_origin, 1);
+        assert_eq!(db.lookup(u32::from_be_bytes([1, 0, 0, 7])), Some(Asn(13335)));
+        assert_eq!(db.lookup(u32::from_be_bytes([1, 0, 5, 1])), Some(Asn(38803)));
+        assert_eq!(db.lookup(u32::from_be_bytes([2, 0, 9, 9])), Some(Asn(3215)));
+        assert_eq!(db.lookup(u32::from_be_bytes([9, 9, 9, 9])), None);
+    }
+
+    #[test]
+    fn exact_conflicts_first_wins() {
+        let text = "1.0.0.0\t24\t100\n1.0.0.0\t24\t200\n1.0.0.0\t24\t100\n";
+        let (db, stats) = parse_prefix2as(text.as_bytes()).unwrap();
+        assert_eq!(stats.ok, 1);
+        assert_eq!(stats.conflicts, 1);
+        assert_eq!(db.lookup(u32::from_be_bytes([1, 0, 0, 1])), Some(Asn(100)));
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let text = "10.0.0.0\t8\t64512\n10.5.0.0\t16\t64513\n";
+        let (db, _) = parse_prefix2as(text.as_bytes()).unwrap();
+        let rendered = render_prefix2as(&db);
+        let (db2, stats) = parse_prefix2as(rendered.as_bytes()).unwrap();
+        assert_eq!(stats.ok, 2);
+        for ip in [0x0a000001u32, 0x0a050001, 0x0aff0001] {
+            assert_eq!(db.lookup(ip), db2.lookup(ip));
+        }
+    }
+
+    #[test]
+    fn as_set_origins_take_first() {
+        let text = "5.0.0.0\t24\t4808,9808\n";
+        let (db, stats) = parse_prefix2as(text.as_bytes()).unwrap();
+        assert_eq!(stats.multi_origin, 1);
+        assert_eq!(db.lookup(u32::from_be_bytes([5, 0, 0, 9])), Some(Asn(4808)));
+    }
+}

@@ -1,0 +1,380 @@
+//! DNS messages: the RFC 1035 subset used by the measurement platform.
+//!
+//! ICLab's DNS-anomaly test issues A queries through two resolvers and
+//! counts response packets — a censor that *injects* a response produces a
+//! second answer racing the resolver's. This module provides the message
+//! model for both legitimate responses and injected ones, including wire
+//! encoding (label format) and parsing (with compression-pointer support,
+//! since real injectors use pointers to look legitimate).
+
+use crate::WireError;
+use bytes::{BufMut, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// Query type (subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DnsQType {
+    /// IPv4 address record.
+    A,
+    /// Anything else (kept numeric).
+    Other(u16),
+}
+
+impl DnsQType {
+    fn to_u16(self) -> u16 {
+        match self {
+            DnsQType::A => 1,
+            DnsQType::Other(v) => v,
+        }
+    }
+
+    fn from_u16(v: u16) -> Self {
+        match v {
+            1 => DnsQType::A,
+            other => DnsQType::Other(other),
+        }
+    }
+}
+
+/// Response code (subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DnsRcode {
+    /// No error.
+    NoError,
+    /// Name does not exist.
+    NxDomain,
+    /// Server failure.
+    ServFail,
+    /// Other code, kept numeric.
+    Other(u8),
+}
+
+impl DnsRcode {
+    fn to_u8(self) -> u8 {
+        match self {
+            DnsRcode::NoError => 0,
+            DnsRcode::ServFail => 2,
+            DnsRcode::NxDomain => 3,
+            DnsRcode::Other(v) => v & 0x0f,
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        match v & 0x0f {
+            0 => DnsRcode::NoError,
+            2 => DnsRcode::ServFail,
+            3 => DnsRcode::NxDomain,
+            other => DnsRcode::Other(other),
+        }
+    }
+}
+
+/// An A-record answer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DnsAnswer {
+    /// Owner name.
+    pub name: String,
+    /// TTL seconds.
+    pub ttl: u32,
+    /// The IPv4 address.
+    pub addr: u32,
+}
+
+/// A DNS message carrying exactly one question (as ICLab's tests do).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DnsMessage {
+    /// Transaction ID (responses must echo the query's).
+    pub id: u16,
+    /// True for responses.
+    pub is_response: bool,
+    /// Recursion desired (queries) / available (responses) collapsed into
+    /// one flag for simplicity.
+    pub recursion: bool,
+    /// Response code.
+    pub rcode: DnsRcode,
+    /// Queried name (lowercase, no trailing dot).
+    pub qname: String,
+    /// Query type.
+    pub qtype: DnsQType,
+    /// Answers (responses only).
+    pub answers: Vec<DnsAnswer>,
+}
+
+impl DnsMessage {
+    /// An A query for `qname`.
+    pub fn query(id: u16, qname: &str) -> Self {
+        DnsMessage {
+            id,
+            is_response: false,
+            recursion: true,
+            rcode: DnsRcode::NoError,
+            qname: qname.to_ascii_lowercase(),
+            qtype: DnsQType::A,
+            answers: Vec::new(),
+        }
+    }
+
+    /// A response answering `query` with one A record.
+    pub fn answer(query: &DnsMessage, addr: u32, ttl: u32) -> Self {
+        DnsMessage {
+            id: query.id,
+            is_response: true,
+            recursion: true,
+            rcode: DnsRcode::NoError,
+            qname: query.qname.clone(),
+            qtype: query.qtype,
+            answers: vec![DnsAnswer { name: query.qname.clone(), ttl, addr }],
+        }
+    }
+
+    /// Encode to wire bytes (uncompressed names in the question, a
+    /// compression pointer back to the question name in each answer, as
+    /// real servers emit).
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u16(self.id);
+        let mut flags: u16 = 0;
+        if self.is_response {
+            flags |= 0x8000;
+        }
+        if self.recursion {
+            flags |= 0x0100 | if self.is_response { 0x0080 } else { 0 };
+        }
+        flags |= u16::from(self.rcode.to_u8());
+        buf.put_u16(flags);
+        buf.put_u16(1); // QDCOUNT
+        buf.put_u16(self.answers.len() as u16); // ANCOUNT
+        buf.put_u16(0); // NSCOUNT
+        buf.put_u16(0); // ARCOUNT
+        let qname_off = buf.len() as u16;
+        encode_name(&self.qname, &mut buf)?;
+        buf.put_u16(self.qtype.to_u16());
+        buf.put_u16(1); // IN
+        for ans in &self.answers {
+            if ans.name == self.qname {
+                // Compression pointer to the question name.
+                buf.put_u16(0xc000 | qname_off);
+            } else {
+                encode_name(&ans.name, &mut buf)?;
+            }
+            buf.put_u16(1); // TYPE A
+            buf.put_u16(1); // CLASS IN
+            buf.put_u32(ans.ttl);
+            buf.put_u16(4);
+            buf.put_u32(ans.addr);
+        }
+        Ok(buf.to_vec())
+    }
+
+    /// Parse from wire bytes. Non-A answer records are skipped.
+    pub fn decode(data: &[u8]) -> Result<Self, WireError> {
+        if data.len() < 12 {
+            return Err(WireError::Truncated("dns header"));
+        }
+        let id = u16::from_be_bytes([data[0], data[1]]);
+        let flags = u16::from_be_bytes([data[2], data[3]]);
+        let qd = u16::from_be_bytes([data[4], data[5]]);
+        let an = u16::from_be_bytes([data[6], data[7]]);
+        if qd != 1 {
+            return Err(WireError::Unsupported("dns qdcount"));
+        }
+        let mut pos = 12usize;
+        let qname = decode_name(data, &mut pos)?;
+        if pos + 4 > data.len() {
+            return Err(WireError::Truncated("dns question"));
+        }
+        let qtype = DnsQType::from_u16(u16::from_be_bytes([data[pos], data[pos + 1]]));
+        pos += 4; // type + class
+        let mut answers = Vec::new();
+        for _ in 0..an {
+            let name = decode_name(data, &mut pos)?;
+            if pos + 10 > data.len() {
+                return Err(WireError::Truncated("dns answer"));
+            }
+            let rtype = u16::from_be_bytes([data[pos], data[pos + 1]]);
+            let ttl =
+                u32::from_be_bytes([data[pos + 4], data[pos + 5], data[pos + 6], data[pos + 7]]);
+            let rdlen = u16::from_be_bytes([data[pos + 8], data[pos + 9]]) as usize;
+            pos += 10;
+            if pos + rdlen > data.len() {
+                return Err(WireError::Truncated("dns rdata"));
+            }
+            if rtype == 1 && rdlen == 4 {
+                let addr = u32::from_be_bytes([
+                    data[pos],
+                    data[pos + 1],
+                    data[pos + 2],
+                    data[pos + 3],
+                ]);
+                answers.push(DnsAnswer { name, ttl, addr });
+            }
+            pos += rdlen;
+        }
+        Ok(DnsMessage {
+            id,
+            is_response: flags & 0x8000 != 0,
+            recursion: flags & 0x0100 != 0,
+            rcode: DnsRcode::from_u8((flags & 0x0f) as u8),
+            qname,
+            qtype,
+            answers,
+        })
+    }
+}
+
+fn encode_name(name: &str, buf: &mut BytesMut) -> Result<(), WireError> {
+    if name.len() > 253 {
+        return Err(WireError::BadName);
+    }
+    for label in name.split('.') {
+        if label.is_empty() || label.len() > 63 {
+            return Err(WireError::BadName);
+        }
+        buf.put_u8(label.len() as u8);
+        buf.extend_from_slice(label.as_bytes());
+    }
+    buf.put_u8(0);
+    Ok(())
+}
+
+fn decode_name(data: &[u8], pos: &mut usize) -> Result<String, WireError> {
+    let mut out = String::new();
+    let mut cursor = *pos;
+    let mut jumped = false;
+    let mut jumps = 0;
+    loop {
+        if cursor >= data.len() {
+            return Err(WireError::Truncated("dns name"));
+        }
+        let len = data[cursor] as usize;
+        if len & 0xc0 == 0xc0 {
+            // Compression pointer.
+            if cursor + 1 >= data.len() {
+                return Err(WireError::Truncated("dns pointer"));
+            }
+            let target = ((len & 0x3f) << 8) | data[cursor + 1] as usize;
+            if !jumped {
+                *pos = cursor + 2;
+                jumped = true;
+            }
+            jumps += 1;
+            if jumps > 16 || target >= data.len() {
+                return Err(WireError::BadName);
+            }
+            cursor = target;
+            continue;
+        }
+        if len == 0 {
+            if !jumped {
+                *pos = cursor + 1;
+            }
+            return Ok(out);
+        }
+        if len > 63 || cursor + 1 + len > data.len() {
+            return Err(WireError::BadName);
+        }
+        if !out.is_empty() {
+            out.push('.');
+        }
+        let label = &data[cursor + 1..cursor + 1 + len];
+        if !label.iter().all(|b| b.is_ascii() && *b != b'.') {
+            return Err(WireError::BadName);
+        }
+        out.push_str(&String::from_utf8_lossy(label).to_ascii_lowercase());
+        cursor += 1 + len;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn query_roundtrip() {
+        let q = DnsMessage::query(0xbeef, "www.example.com");
+        let back = DnsMessage::decode(&q.encode().unwrap()).unwrap();
+        assert_eq!(q, back);
+    }
+
+    #[test]
+    fn answer_roundtrip_uses_compression() {
+        let q = DnsMessage::query(7, "blocked.example.org");
+        let a = DnsMessage::answer(&q, 0x01020304, 300);
+        let wire = a.encode().unwrap();
+        // The answer name must be a compression pointer (0xc0..).
+        let q_end = 12 + "blocked.example.org".len() + 2 + 4;
+        assert_eq!(wire[q_end] & 0xc0, 0xc0);
+        let back = DnsMessage::decode(&wire).unwrap();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn response_flag_set() {
+        let q = DnsMessage::query(1, "a.b");
+        let a = DnsMessage::answer(&q, 9, 60);
+        assert!(!DnsMessage::decode(&q.encode().unwrap()).unwrap().is_response);
+        assert!(DnsMessage::decode(&a.encode().unwrap()).unwrap().is_response);
+    }
+
+    #[test]
+    fn qname_case_insensitive() {
+        let q = DnsMessage::query(1, "WwW.ExAmPle.COM");
+        assert_eq!(q.qname, "www.example.com");
+    }
+
+    #[test]
+    fn bad_names_rejected() {
+        let mut q = DnsMessage::query(1, "ok.example");
+        q.qname = "a..b".to_string();
+        assert_eq!(q.encode(), Err(WireError::BadName));
+        q.qname = "x".repeat(64) + ".com";
+        assert_eq!(q.encode(), Err(WireError::BadName));
+        q.qname = "y".repeat(300);
+        assert_eq!(q.encode(), Err(WireError::BadName));
+    }
+
+    #[test]
+    fn pointer_loop_rejected() {
+        // Header + a name that is a pointer to itself at offset 12.
+        let mut wire = vec![0u8; 12];
+        wire[5] = 1; // QDCOUNT = 1
+        wire.extend_from_slice(&[0xc0, 12]); // pointer -> 12 (itself)
+        wire.extend_from_slice(&[0, 1, 0, 1]);
+        assert_eq!(DnsMessage::decode(&wire), Err(WireError::BadName));
+    }
+
+    #[test]
+    fn rcode_roundtrip() {
+        for rc in [DnsRcode::NoError, DnsRcode::NxDomain, DnsRcode::ServFail, DnsRcode::Other(5)] {
+            let mut q = DnsMessage::query(3, "x.y");
+            q.rcode = rc;
+            q.is_response = true;
+            let back = DnsMessage::decode(&q.encode().unwrap()).unwrap();
+            assert_eq!(back.rcode, rc);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dns_roundtrip(
+            id in any::<u16>(),
+            labels in proptest::collection::vec("[a-z0-9]{1,12}", 1..5),
+            addr in any::<u32>(), ttl in any::<u32>(), nanswers in 0usize..4,
+        ) {
+            let name = labels.join(".");
+            let q = DnsMessage::query(id, &name);
+            let mut m = if nanswers > 0 { DnsMessage::answer(&q, addr, ttl) } else { q };
+            for _ in 1..nanswers {
+                m.answers.push(DnsAnswer { name: name.clone(), ttl, addr });
+            }
+            let back = DnsMessage::decode(&m.encode().unwrap()).unwrap();
+            prop_assert_eq!(m, back);
+        }
+
+        #[test]
+        fn prop_dns_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..96)) {
+            let _ = DnsMessage::decode(&data);
+        }
+    }
+}

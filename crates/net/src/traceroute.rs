@@ -1,0 +1,172 @@
+//! Traceroute engine over hop paths.
+//!
+//! ICLab records traceroutes alongside each measurement; the paper's
+//! clause formulation (§3.1) then discards tests whose traceroutes are
+//! inconclusive: complete failures, unmappable hops, or non-responsive
+//! hops flanked by different ASes. This engine produces exactly those
+//! kinds of imperfect traceroutes: per-hop non-response, whole-run
+//! failures, and early truncation.
+
+use crate::hops::HopPath;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Traceroute failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TracerouteError {
+    /// The run produced no usable output (tool error, ICMP filtered
+    /// everywhere).
+    Failed,
+    /// The run stopped before reaching the destination.
+    Truncated,
+}
+
+/// Configuration for the traceroute engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TracerouteConfig {
+    /// Probability any individual hop does not answer (shown as `*`).
+    pub nonresponse_prob: f64,
+    /// Probability the entire run fails.
+    pub failure_prob: f64,
+    /// Probability the run truncates at a random hop before the end.
+    pub truncate_prob: f64,
+}
+
+impl Default for TracerouteConfig {
+    fn default() -> Self {
+        TracerouteConfig { nonresponse_prob: 0.05, failure_prob: 0.01, truncate_prob: 0.01 }
+    }
+}
+
+impl TracerouteConfig {
+    /// A perfectly reliable tracerouting world (for noise-free scenarios).
+    pub fn ideal() -> Self {
+        TracerouteConfig { nonresponse_prob: 0.0, failure_prob: 0.0, truncate_prob: 0.0 }
+    }
+}
+
+/// The outcome of one traceroute run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Traceroute {
+    /// Per-hop responding address; `None` for a `*` (non-responsive) hop.
+    pub hops: Vec<Option<u32>>,
+    /// Set when the run failed or truncated.
+    pub error: Option<TracerouteError>,
+}
+
+impl Traceroute {
+    /// Run one traceroute over `path`.
+    pub fn run<R: Rng>(path: &HopPath, cfg: &TracerouteConfig, rng: &mut R) -> Self {
+        if rng.gen_bool(cfg.failure_prob.clamp(0.0, 1.0)) {
+            return Traceroute { hops: Vec::new(), error: Some(TracerouteError::Failed) };
+        }
+        let total = path.len();
+        let cutoff = if total > 1 && rng.gen_bool(cfg.truncate_prob.clamp(0.0, 1.0)) {
+            Some(rng.gen_range(1..total))
+        } else {
+            None
+        };
+        let mut hops = Vec::with_capacity(total);
+        for (i, hop) in path.hops.iter().enumerate() {
+            if let Some(c) = cutoff {
+                if i >= c {
+                    break;
+                }
+            }
+            if rng.gen_bool(cfg.nonresponse_prob.clamp(0.0, 1.0)) {
+                hops.push(None);
+            } else {
+                hops.push(Some(hop.ip));
+            }
+        }
+        Traceroute {
+            hops,
+            error: cutoff.map(|_| TracerouteError::Truncated),
+        }
+    }
+
+    /// True if the destination responded (last hop present and responsive).
+    pub fn reached_destination(&self, path: &HopPath) -> bool {
+        self.error.is_none()
+            && self.hops.len() == path.len()
+            && self.hops.last().map(|h| *h == Some(path.server_ip)).unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use churnlab_topology::{Asn, Ipv4Prefix};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn path() -> HopPath {
+        let asns = [Asn(1), Asn(2), Asn(3), Asn(4)];
+        let prefixes: HashMap<Asn, Vec<Ipv4Prefix>> = asns
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| (a, vec![Ipv4Prefix::new(((i as u32) + 1) << 24, 16).unwrap()]))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let server = prefixes[&Asn(4)][0].nth_host(1);
+        HopPath::expand(&asns, &prefixes, 7, server, (1, 2), &mut rng)
+    }
+
+    #[test]
+    fn ideal_traceroute_is_complete() {
+        let p = path();
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Traceroute::run(&p, &TracerouteConfig::ideal(), &mut rng);
+        assert!(t.error.is_none());
+        assert_eq!(t.hops.len(), p.len());
+        assert!(t.hops.iter().all(|h| h.is_some()));
+        assert!(t.reached_destination(&p));
+        // Every hop matches the underlying path.
+        for (i, h) in t.hops.iter().enumerate() {
+            assert_eq!(*h, Some(p.hops[i].ip));
+        }
+    }
+
+    #[test]
+    fn failure_produces_empty_run() {
+        let p = path();
+        let cfg = TracerouteConfig { failure_prob: 1.0, ..TracerouteConfig::ideal() };
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = Traceroute::run(&p, &cfg, &mut rng);
+        assert_eq!(t.error, Some(TracerouteError::Failed));
+        assert!(t.hops.is_empty());
+        assert!(!t.reached_destination(&p));
+    }
+
+    #[test]
+    fn nonresponse_shows_stars() {
+        let p = path();
+        let cfg = TracerouteConfig { nonresponse_prob: 1.0, ..TracerouteConfig::ideal() };
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Traceroute::run(&p, &cfg, &mut rng);
+        assert!(t.error.is_none());
+        assert!(t.hops.iter().all(|h| h.is_none()));
+        assert!(!t.reached_destination(&p));
+    }
+
+    #[test]
+    fn truncation_shortens_run() {
+        let p = path();
+        let cfg = TracerouteConfig { truncate_prob: 1.0, ..TracerouteConfig::ideal() };
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = Traceroute::run(&p, &cfg, &mut rng);
+        assert_eq!(t.error, Some(TracerouteError::Truncated));
+        assert!(t.hops.len() < p.len());
+        assert!(!t.hops.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_rng() {
+        let p = path();
+        let cfg = TracerouteConfig::default();
+        let a = Traceroute::run(&p, &cfg, &mut StdRng::seed_from_u64(11));
+        let b = Traceroute::run(&p, &cfg, &mut StdRng::seed_from_u64(11));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,177 @@
+//! The five anomaly types ICLab reports (Table 1, §2.1).
+
+use serde::{Deserialize, Serialize};
+
+/// A censorship anomaly type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AnomalyType {
+    /// Injected DNS responses (two answers racing).
+    Dns,
+    /// Sequence-number overlaps/gaps (Weaver-style injector artifacts).
+    Seqno,
+    /// IP TTL disagreement with the connection's SYNACK.
+    Ttl,
+    /// Spurious TCP RSTs.
+    Reset,
+    /// Blockpage content served instead of the real page.
+    Block,
+}
+
+impl AnomalyType {
+    /// All types, in the order the paper's Figure 1b uses
+    /// (block, dns, rst, seq, ttl) is alphabetical there; we keep a stable
+    /// semantic order here and sort for display.
+    pub const ALL: [AnomalyType; 5] = [
+        AnomalyType::Dns,
+        AnomalyType::Seqno,
+        AnomalyType::Ttl,
+        AnomalyType::Reset,
+        AnomalyType::Block,
+    ];
+
+    /// Short label matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            AnomalyType::Dns => "dns",
+            AnomalyType::Seqno => "seq",
+            AnomalyType::Ttl => "ttl",
+            AnomalyType::Reset => "rst",
+            AnomalyType::Block => "block",
+        }
+    }
+
+    /// Bit position inside an [`AnomalySet`].
+    fn bit(self) -> u8 {
+        match self {
+            AnomalyType::Dns => 0,
+            AnomalyType::Seqno => 1,
+            AnomalyType::Ttl => 2,
+            AnomalyType::Reset => 3,
+            AnomalyType::Block => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for AnomalyType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A compact set of anomaly types (bitmask).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AnomalySet(u8);
+
+impl AnomalySet {
+    /// Empty set.
+    pub const fn empty() -> Self {
+        AnomalySet(0)
+    }
+
+    /// Insert a type.
+    pub fn insert(&mut self, t: AnomalyType) {
+        self.0 |= 1 << t.bit();
+    }
+
+    /// Remove a type.
+    pub fn remove(&mut self, t: AnomalyType) {
+        self.0 &= !(1 << t.bit());
+    }
+
+    /// Membership test.
+    pub fn contains(self, t: AnomalyType) -> bool {
+        self.0 & (1 << t.bit()) != 0
+    }
+
+    /// True if no anomaly detected.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of anomaly types present.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterate over the contained types.
+    pub fn iter(self) -> impl Iterator<Item = AnomalyType> {
+        AnomalyType::ALL.into_iter().filter(move |t| self.contains(*t))
+    }
+
+    /// Toggle membership of `t` (used by detector-noise bit flips).
+    pub fn toggle(&mut self, t: AnomalyType) {
+        self.0 ^= 1 << t.bit();
+    }
+}
+
+impl FromIterator<AnomalyType> for AnomalySet {
+    fn from_iter<I: IntoIterator<Item = AnomalyType>>(iter: I) -> Self {
+        let mut s = AnomalySet::empty();
+        for t in iter {
+            s.insert(t);
+        }
+        s
+    }
+}
+
+impl std::fmt::Display for AnomalySet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            return f.write_str("none");
+        }
+        let mut first = true;
+        for t in self.iter() {
+            if !first {
+                f.write_str(",")?;
+            }
+            f.write_str(t.label())?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_operations() {
+        let mut s = AnomalySet::empty();
+        assert!(s.is_empty());
+        s.insert(AnomalyType::Dns);
+        s.insert(AnomalyType::Reset);
+        assert!(s.contains(AnomalyType::Dns));
+        assert!(s.contains(AnomalyType::Reset));
+        assert!(!s.contains(AnomalyType::Ttl));
+        assert_eq!(s.len(), 2);
+        s.remove(AnomalyType::Dns);
+        assert!(!s.contains(AnomalyType::Dns));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn toggle_flips() {
+        let mut s = AnomalySet::empty();
+        s.toggle(AnomalyType::Block);
+        assert!(s.contains(AnomalyType::Block));
+        s.toggle(AnomalyType::Block);
+        assert!(!s.contains(AnomalyType::Block));
+    }
+
+    #[test]
+    fn iteration_and_display() {
+        let s: AnomalySet = [AnomalyType::Ttl, AnomalyType::Dns].into_iter().collect();
+        let v: Vec<AnomalyType> = s.iter().collect();
+        assert_eq!(v, vec![AnomalyType::Dns, AnomalyType::Ttl]);
+        assert_eq!(s.to_string(), "dns,ttl");
+        assert_eq!(AnomalySet::empty().to_string(), "none");
+    }
+
+    #[test]
+    fn labels_match_paper_legend() {
+        let mut labels: Vec<&str> = AnomalyType::ALL.iter().map(|t| t.label()).collect();
+        labels.sort();
+        assert_eq!(labels, vec!["block", "dns", "rst", "seq", "ttl"]);
+    }
+}

@@ -1,0 +1,409 @@
+//! The five anomaly detectors (§2.1 of the paper).
+//!
+//! Detectors consume packet captures and the reassembled HTTP outcome —
+//! never simulator ground truth — so they have honest false-positive and
+//! false-negative modes:
+//!
+//! * **DNS**: two response packets for the same query id within two
+//!   seconds (the paper's exact rule).
+//! * **TTL**: the IP TTL of the connection's SYNACK disagrees with a later
+//!   packet of the same connection (relies on the censor being unable to
+//!   act before the SYNACK, as the paper argues). Misses censors that
+//!   mimic TTLs.
+//! * **SEQNO**: overlapping sequence ranges with *different* payload
+//!   bytes, an unfilled gap at stream end, or an RST whose sequence number
+//!   aligns with no segment boundary. Exact duplicates (organic
+//!   retransmissions) are deliberately not flagged.
+//! * **RESET**: any mid-connection RST — which by construction cannot
+//!   distinguish organic from injected resets; the resulting false
+//!   positives are the paper's explanation for ~30% of RST CNFs being
+//!   unsolvable.
+//! * **Blockpage**: fingerprint-list substring match (OONI-style), with a
+//!   Jones-et-al length-ratio fallback against the censor-free US control
+//!   body — which catches unfingerprinted blockpages but misses nothing
+//!   else in a noise-free world.
+
+use crate::anomaly::{AnomalySet, AnomalyType};
+use churnlab_net::{Capture, FlowOutcome, TcpFlags};
+
+/// DNS anomaly window from the paper: a second response within 2 s.
+const DNS_WINDOW_US: u64 = 2_000_000;
+
+/// Detect DNS injection: ≥2 responses for the same transaction id within
+/// the 2-second window.
+pub fn detect_dns(dns_capture: &Capture) -> bool {
+    let responses = dns_capture.dns_responses();
+    for (i, (t1, m1)) in responses.iter().enumerate() {
+        for (t2, m2) in responses.iter().skip(i + 1) {
+            if m1.id == m2.id && t2.saturating_sub(*t1) <= DNS_WINDOW_US {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Detect TTL anomalies: any incoming TCP packet whose TTL differs from
+/// the SYNACK's. Returns false when no SYNACK was captured.
+pub fn detect_ttl(http_capture: &Capture) -> bool {
+    let synack_ttl = http_capture
+        .incoming_tcp()
+        .find(|(_, s)| s.flags.contains(TcpFlags::SYN | TcpFlags::ACK))
+        .map(|(p, _)| p.pkt.ttl);
+    let baseline = match synack_ttl {
+        Some(t) => t,
+        None => return false,
+    };
+    http_capture.incoming_tcp().any(|(p, s)| {
+        !s.flags.contains(TcpFlags::SYN) && p.pkt.ttl != baseline
+    })
+}
+
+/// Detect sequence-number anomalies.
+pub fn detect_seqno(http_capture: &Capture) -> bool {
+    // Establish the stream origin from the SYNACK.
+    let stream_start = match http_capture
+        .incoming_tcp()
+        .find(|(_, s)| s.flags.contains(TcpFlags::SYN | TcpFlags::ACK))
+        .map(|(_, s)| s.seq.wrapping_add(1))
+    {
+        Some(s) => s,
+        None => return false,
+    };
+    let rel = |seq: u32| seq.wrapping_sub(stream_start);
+
+    // Collect incoming data segments as relative ranges.
+    let mut segments: Vec<(u32, Vec<u8>)> = Vec::new();
+    let mut rsts: Vec<u32> = Vec::new();
+    for (_, seg) in http_capture.incoming_tcp() {
+        if seg.flags.contains(TcpFlags::RST) {
+            rsts.push(rel(seg.seq));
+        } else if seg.has_data() {
+            let off = rel(seg.seq);
+            if off < 1 << 24 {
+                segments.push((off, seg.payload.clone()));
+            }
+        }
+    }
+
+    // Rule 1: overlapping ranges with differing content.
+    for (i, (a_off, a_pay)) in segments.iter().enumerate() {
+        for (b_off, b_pay) in segments.iter().skip(i + 1) {
+            let a_end = a_off + a_pay.len() as u32;
+            let b_end = b_off + b_pay.len() as u32;
+            let lo = (*a_off).max(*b_off);
+            let hi = a_end.min(b_end);
+            if lo >= hi {
+                continue; // disjoint
+            }
+            let a_slice = &a_pay[(lo - a_off) as usize..(hi - a_off) as usize];
+            let b_slice = &b_pay[(lo - b_off) as usize..(hi - b_off) as usize];
+            if a_slice != b_slice {
+                return true;
+            }
+        }
+    }
+
+    // Rule 2: a gap in the stream that never fills.
+    if !segments.is_empty() {
+        let mut ranges: Vec<(u32, u32)> =
+            segments.iter().map(|(o, p)| (*o, *o + p.len() as u32)).collect();
+        ranges.sort();
+        let mut covered_end = 0u32;
+        let mut gap = false;
+        for (s, e) in ranges {
+            if s > covered_end {
+                gap = true;
+                break;
+            }
+            covered_end = covered_end.max(e);
+        }
+        if gap {
+            return true;
+        }
+    }
+
+    // Rule 3: an RST whose sequence number aligns with no segment boundary.
+    if !rsts.is_empty() {
+        let mut boundaries: Vec<u32> = vec![0];
+        for (o, p) in &segments {
+            boundaries.push(*o);
+            boundaries.push(*o + p.len() as u32);
+        }
+        for r in rsts {
+            // Plausible positions: within the stream (small positive
+            // offsets) or just before it (small negative offsets — sloppy
+            // injectors undershoot too).
+            let plausible = r < 1 << 24 || r > u32::MAX - 4096;
+            if plausible && !boundaries.contains(&r) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Detect RESET anomalies: any incoming RST on the measured connection.
+pub fn detect_reset(http_capture: &Capture) -> bool {
+    http_capture
+        .incoming_tcp()
+        .any(|(_, s)| s.flags.contains(TcpFlags::RST))
+}
+
+/// Detect blockpages: fingerprint scan over every received TCP payload
+/// (ICLab analyses raw captures, so a blockpage that lost the reassembly
+/// race — or arrived after an injected RST — is still visible), plus the
+/// Jones-et-al length heuristic against the censor-free US control body
+/// for pages the fingerprint list does not know.
+pub fn detect_block(
+    http_capture: &Capture,
+    outcome: &FlowOutcome,
+    fingerprints: &[&str],
+    control_body: Option<&[u8]>,
+) -> bool {
+    // Raw-capture fingerprint scan.
+    for (_, seg) in http_capture.incoming_tcp() {
+        if !seg.has_data() {
+            continue;
+        }
+        let text = String::from_utf8_lossy(&seg.payload);
+        if fingerprints.iter().any(|f| text.contains(f)) {
+            return true;
+        }
+    }
+    // Length heuristic on what the browser actually assembled.
+    let resp = match outcome {
+        FlowOutcome::HttpOk(r) => r,
+        _ => return false,
+    };
+    let body = resp.body_text();
+    if let Some(control) = control_body {
+        // Jones et al.: blockpages differ starkly in length from the real
+        // page. Flag HTML bodies under 30% / over 333% of the control size.
+        let got = resp.body.len() as f64;
+        let want = control.len().max(1) as f64;
+        let ratio = got / want;
+        if (ratio < 0.30 || ratio > 3.33) && body.to_ascii_lowercase().contains("<html") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Run all five detectors over one measurement's artifacts.
+pub fn detect_all(
+    dns_capture: &Capture,
+    http_capture: &Capture,
+    http_outcome: &FlowOutcome,
+    fingerprints: &[&str],
+    control_body: Option<&[u8]>,
+) -> AnomalySet {
+    let mut set = AnomalySet::empty();
+    if detect_dns(dns_capture) {
+        set.insert(AnomalyType::Dns);
+    }
+    if detect_ttl(http_capture) {
+        set.insert(AnomalyType::Ttl);
+    }
+    if detect_seqno(http_capture) {
+        set.insert(AnomalyType::Seqno);
+    }
+    if detect_reset(http_capture) {
+        set.insert(AnomalyType::Reset);
+    }
+    if detect_block(http_capture, http_outcome, fingerprints, control_body) {
+        set.insert(AnomalyType::Block);
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use churnlab_censor::{
+        ActiveCensor, CensorPolicy, Mechanism, MechanismProfile, TestContext, UrlCategory,
+    };
+    use churnlab_net::{
+        DnsMessage, FlowConfig, FlowSimulator, HopPath, HttpRequest, HttpResponse,
+        OnPathObserver,
+    };
+    use churnlab_topology::{Asn, Ipv4Prefix};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn path() -> HopPath {
+        let asns = [Asn(10), Asn(20), Asn(30), Asn(40)];
+        let prefixes: HashMap<Asn, Vec<Ipv4Prefix>> = asns
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| (a, vec![Ipv4Prefix::new(((i as u32) + 1) << 24, 16).unwrap()]))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let server = prefixes[&Asn(40)][0].nth_host(1);
+        let client = prefixes[&Asn(10)][0].nth_host(1);
+        HopPath::expand(&asns, &prefixes, client, server, (1, 2), &mut rng)
+    }
+
+    fn censor(mechs: Vec<Mechanism>, profile: MechanismProfile) -> churnlab_censor::CompiledCensor {
+        CensorPolicy::steady(Asn(20), mechs, profile, [UrlCategory::News], 365)
+            .compile(&[("bad.example".into(), UrlCategory::News)])
+    }
+
+    fn run_http(
+        compiled: Option<&churnlab_censor::CompiledCensor>,
+        domain: &str,
+        cfg: &FlowConfig,
+    ) -> (churnlab_net::Capture, FlowOutcome, HttpResponse) {
+        let p = path();
+        let real = HttpResponse::ok(&format!(
+            "<html><body>{}</body></html>",
+            "real content ".repeat(200)
+        ));
+        let req = HttpRequest::get(domain, "/");
+        let mimic = cfg
+            .server_init_ttl
+            .saturating_sub(p.len() as u8 - 1)
+            .saturating_add(p.first_hop_of_as(1).unwrap() as u8);
+        let mut armed;
+        let mut observers: Vec<(usize, &mut dyn OnPathObserver)> = vec![];
+        if let Some(c) = compiled {
+            armed = ActiveCensor::new(c, TestContext { day: 5, mimic_init_ttl: mimic });
+            observers.push((1, &mut armed));
+        }
+        let (cap, outcome) = FlowSimulator::http_get(&p, cfg, &req, &real, &mut observers);
+        (cap, outcome, real)
+    }
+
+    #[test]
+    fn clean_flow_detects_nothing() {
+        let cfg = FlowConfig::default();
+        let (cap, outcome, real) = run_http(None, "bad.example", &cfg);
+        let set = detect_all(
+            &Capture::new(),
+            &cap,
+            &outcome,
+            &churnlab_censor::blockpage::fingerprint_list(),
+            Some(&real.serialize()),
+        );
+        assert!(set.is_empty(), "clean flow flagged: {set}");
+    }
+
+    #[test]
+    fn organic_loss_not_flagged_as_seqno() {
+        let cfg = FlowConfig { organic_loss: true, mss: 500, ..FlowConfig::default() };
+        let (cap, _, _) = run_http(None, "bad.example", &cfg);
+        assert!(!detect_seqno(&cap), "retransmission must not look like censorship");
+    }
+
+    #[test]
+    fn organic_rst_flags_reset_only() {
+        let cfg = FlowConfig { organic_rst: true, ..FlowConfig::default() };
+        let (cap, outcome, real) = run_http(None, "bad.example", &cfg);
+        assert!(detect_reset(&cap));
+        assert!(!detect_ttl(&cap), "server's own RST has the right TTL");
+        assert!(!detect_seqno(&cap), "server's own RST has the right seq");
+        assert!(!detect_block(&cap, &outcome, &[], Some(&real.serialize())));
+    }
+
+    #[test]
+    fn rst_injection_flags_reset_and_ttl() {
+        let c = censor(vec![Mechanism::RstInjection], MechanismProfile::default());
+        let (cap, _, _) = run_http(Some(&c), "bad.example", &FlowConfig::default());
+        assert!(detect_reset(&cap), "injected RST missed");
+        assert!(detect_ttl(&cap), "injector TTL fingerprint missed");
+    }
+
+    #[test]
+    fn mimicking_injector_evades_ttl_detector() {
+        let profile = MechanismProfile { mimic_ttl: true, ..Default::default() };
+        let c = censor(vec![Mechanism::RstInjection], profile);
+        let (cap, _, _) = run_http(Some(&c), "bad.example", &FlowConfig::default());
+        assert!(detect_reset(&cap));
+        assert!(!detect_ttl(&cap), "mimicked TTL should evade the detector");
+    }
+
+    #[test]
+    fn sloppy_rst_flags_seqno() {
+        let profile = MechanismProfile { seq_fuzz: 700, ..Default::default() };
+        let c = censor(vec![Mechanism::RstInjection], profile);
+        let (cap, _, _) = run_http(Some(&c), "bad.example", &FlowConfig::default());
+        assert!(detect_seqno(&cap), "fuzzed RST seq must trip the SEQNO detector");
+    }
+
+    #[test]
+    fn blockpage_detected_by_fingerprint() {
+        let profile = MechanismProfile { blockpage_id: 0, ..Default::default() };
+        let c = censor(vec![Mechanism::Blockpage], profile);
+        let (cap, outcome, real) = run_http(Some(&c), "bad.example", &FlowConfig::default());
+        let fps = churnlab_censor::blockpage::fingerprint_list();
+        assert!(detect_block(&cap, &outcome, &fps, Some(&real.serialize())));
+        // The page arrives from the censor's position: TTL anomaly too
+        // (matching the paper's UK "Block, TTL" pattern).
+        assert!(detect_ttl(&cap));
+    }
+
+    #[test]
+    fn unfingerprinted_blockpage_caught_by_length_heuristic() {
+        // Template 4 ("generic-denied") is not in the fingerprint list.
+        let profile = MechanismProfile { blockpage_id: 4, ..Default::default() };
+        let c = censor(vec![Mechanism::Blockpage], profile);
+        let (cap, outcome, real) = run_http(Some(&c), "bad.example", &FlowConfig::default());
+        let fps = churnlab_censor::blockpage::fingerprint_list();
+        assert!(
+            detect_block(&cap, &outcome, &fps, Some(&real.body)),
+            "length heuristic should catch the stealth blockpage"
+        );
+        assert!(
+            !detect_block(&cap, &outcome, &fps, None),
+            "without a control body the stealth page evades"
+        );
+    }
+
+    #[test]
+    fn seq_manipulation_flags_seqno() {
+        let c = censor(vec![Mechanism::SeqManipulation], MechanismProfile::default());
+        let (cap, _, _) = run_http(Some(&c), "bad.example", &FlowConfig::default());
+        assert!(detect_seqno(&cap), "poisoned stream must trip SEQNO");
+    }
+
+    #[test]
+    fn untargeted_domain_is_clean() {
+        let c = censor(Mechanism::ALL.to_vec(), MechanismProfile::default());
+        let (cap, outcome, real) = run_http(Some(&c), "innocent.example", &FlowConfig::default());
+        let set = detect_all(
+            &Capture::new(),
+            &cap,
+            &outcome,
+            &churnlab_censor::blockpage::fingerprint_list(),
+            Some(&real.serialize()),
+        );
+        assert!(set.is_empty(), "uncensored domain flagged: {set}");
+    }
+
+    #[test]
+    fn dns_injection_detected_via_double_response() {
+        let p = path();
+        let c = censor(vec![Mechanism::DnsInjection], MechanismProfile::default());
+        let q = DnsMessage::query(9, "bad.example");
+        let honest = DnsMessage::answer(&q, p.server_ip, 300);
+        let mut armed = ActiveCensor::new(&c, TestContext { day: 5, mimic_init_ttl: 64 });
+        let mut observers: Vec<(usize, &mut dyn OnPathObserver)> = vec![(1, &mut armed)];
+        let (cap, responses) =
+            FlowSimulator::dns_lookup(&p, &FlowConfig::default(), &q, Some(&honest), &mut observers);
+        assert_eq!(responses.len(), 2, "injected + honest");
+        assert!(detect_dns(&cap));
+        // The injected response arrives first (closer).
+        assert_ne!(responses[0].answers[0].addr, p.server_ip);
+    }
+
+    #[test]
+    fn single_dns_response_is_clean() {
+        let p = path();
+        let q = DnsMessage::query(9, "bad.example");
+        let honest = DnsMessage::answer(&q, p.server_ip, 300);
+        let (cap, _) =
+            FlowSimulator::dns_lookup(&p, &FlowConfig::default(), &q, Some(&honest), &mut []);
+        assert!(!detect_dns(&cap));
+    }
+}

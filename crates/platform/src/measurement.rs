@@ -1,0 +1,96 @@
+//! The per-test measurement record.
+//!
+//! §3.1 of the paper: "Each record in the ICLab dataset contains: (1) the
+//! vantage point AS, (2) the URL being tested, (3) the anomaly being
+//! tested (and whether it was detected or not), (4) three traceroutes
+//! between the vantage point and the URL at the time of testing, and (5)
+//! the time at which the test was performed." [`Measurement`] is exactly
+//! that tuple (all five anomaly types are tested in one record).
+
+use crate::anomaly::AnomalySet;
+use churnlab_net::TracerouteError;
+use churnlab_topology::Asn;
+use serde::{Deserialize, Serialize};
+
+/// One recorded traceroute: per-hop responding address (`None` = `*`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TracerouteRecord {
+    /// Responding hops (None = non-responsive).
+    pub hops: Vec<Option<u32>>,
+    /// Error, if the run failed or truncated.
+    pub error: Option<TracerouteError>,
+}
+
+impl TracerouteRecord {
+    /// A failed run with no output.
+    pub fn failed() -> Self {
+        TracerouteRecord { hops: Vec::new(), error: Some(TracerouteError::Failed) }
+    }
+}
+
+/// One measurement (one vantage point testing one URL at one time).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Vantage point identifier. Distinguishes exits of multi-country VPN
+    /// providers that share one registered AS (the paper's ~1,000 vantage
+    /// points live in only 539 ASes); per-pair path-churn accounting keys
+    /// on this, since "source" in Figure 3 is the vantage point.
+    pub vp_id: u32,
+    /// Vantage point AS, as registered: what whois reports for the vantage
+    /// address. PoPs of one hosting organization share this.
+    pub vp_asn: Asn,
+    /// URL id (resolve via the corpus).
+    pub url_id: u32,
+    /// Destination (hosting) AS of the URL — known to the platform
+    /// operators, as it is to ICLab who picked the servers.
+    pub dest_asn: Asn,
+    /// Simulation day of the test.
+    pub day: u32,
+    /// Routing epoch the test ran in.
+    pub epoch: u32,
+    /// Detected anomalies (post detector-noise).
+    pub detected: AnomalySet,
+    /// The three traceroutes run alongside the test.
+    pub traceroutes: Vec<TracerouteRecord>,
+    /// True if the test could not run at all (no route to destination);
+    /// such records carry failed traceroutes and no anomaly verdicts.
+    pub failed: bool,
+}
+
+impl Measurement {
+    /// True if any anomaly was detected.
+    pub fn anomalous(&self) -> bool {
+        !self.detected.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anomaly::AnomalyType;
+
+    #[test]
+    fn anomalous_flag() {
+        let mut m = Measurement {
+            vp_id: 0,
+            vp_asn: Asn(1),
+            url_id: 0,
+            dest_asn: Asn(2),
+            day: 0,
+            epoch: 0,
+            detected: AnomalySet::empty(),
+            traceroutes: vec![],
+            failed: false,
+        };
+        assert!(!m.anomalous());
+        m.detected.insert(AnomalyType::Dns);
+        assert!(m.anomalous());
+    }
+
+    #[test]
+    fn failed_traceroute_record() {
+        let t = TracerouteRecord::failed();
+        assert!(t.hops.is_empty());
+        assert_eq!(t.error, Some(TracerouteError::Failed));
+    }
+}

@@ -1,0 +1,141 @@
+//! Measurement noise: everything that makes real data messy.
+//!
+//! The paper attributes unsolvable CNFs to "(1) noise in the ICLab
+//! measurements — i.e., incorrect anomaly detection or path inference or
+//! (2) changing censorship policies" (§3.2). Policy changes live in
+//! `churnlab-censor`; this module owns (1):
+//!
+//! * detector false positives/negatives (per anomaly type);
+//! * *organic* server RSTs — servers resetting connections for their own
+//!   reasons, indistinguishable from injection (the stated cause of RST's
+//!   ~30% unsolvable CNFs in Figure 1b);
+//! * organic loss + retransmission (exercises — but should not trip — the
+//!   SEQNO detector);
+//! * traceroute failure modes feeding the paper's elimination rules;
+//! * IP-to-AS database staleness (elimination rule 1);
+//! * intra-test path changes, where one of a test's three traceroutes sees
+//!   a different route (elimination rule 4).
+
+use crate::anomaly::AnomalyType;
+use churnlab_net::TracerouteConfig;
+use churnlab_topology::Ip2AsNoise;
+use serde::{Deserialize, Serialize};
+
+/// All noise knobs for a platform run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoiseConfig {
+    /// Per-type detector false-positive probability (applied per test).
+    pub detector_fp: [f64; 5],
+    /// Per-type detector false-negative probability (applied per detected
+    /// anomaly).
+    pub detector_fn: [f64; 5],
+    /// Probability a server organically resets the connection.
+    pub organic_rst_prob: f64,
+    /// Probability one response segment is lost and retransmitted.
+    pub organic_loss_prob: f64,
+    /// Traceroute engine imperfections.
+    pub traceroute: TracerouteConfig,
+    /// IP-to-AS database degradation.
+    pub ip2as: Ip2AsNoise,
+    /// Probability one of a test's three traceroutes runs one epoch later
+    /// (catching a route change mid-test — elimination rule 4's trigger).
+    pub intra_test_shift_prob: f64,
+}
+
+impl NoiseConfig {
+    /// Index into the per-type arrays.
+    fn idx(t: AnomalyType) -> usize {
+        match t {
+            AnomalyType::Dns => 0,
+            AnomalyType::Seqno => 1,
+            AnomalyType::Ttl => 2,
+            AnomalyType::Reset => 3,
+            AnomalyType::Block => 4,
+        }
+    }
+
+    /// False-positive probability for a type.
+    pub fn fp(&self, t: AnomalyType) -> f64 {
+        self.detector_fp[Self::idx(t)]
+    }
+
+    /// False-negative probability for a type.
+    pub fn fn_(&self, t: AnomalyType) -> f64 {
+        self.detector_fn[Self::idx(t)]
+    }
+
+    /// A perfectly clean world: detectors are oracles, traceroutes never
+    /// fail, databases are fresh, servers never reset. Useful for tests
+    /// that check exact localization.
+    pub fn none() -> Self {
+        NoiseConfig {
+            detector_fp: [0.0; 5],
+            detector_fn: [0.0; 5],
+            organic_rst_prob: 0.0,
+            organic_loss_prob: 0.0,
+            traceroute: TracerouteConfig::ideal(),
+            ip2as: Ip2AsNoise::none(),
+            intra_test_shift_prob: 0.0,
+        }
+    }
+
+    /// Realistic defaults, calibrated so the dataset's anomaly mix and the
+    /// CNF solvability distribution land near the paper's (Table 1 /
+    /// Figure 1): RST has by far the noisiest detector (organic resets),
+    /// the others see rare random flips.
+    pub fn realistic() -> Self {
+        NoiseConfig {
+            //           dns    seq    ttl    rst    block
+            detector_fp: [1e-5, 3e-5, 3e-5, 0.0, 5e-6], // rst FPs come from organic resets
+            detector_fn: [0.004, 0.006, 0.004, 0.005, 0.004],
+            organic_rst_prob: 2.5e-4,
+            organic_loss_prob: 0.01,
+            traceroute: TracerouteConfig::default(),
+            ip2as: Ip2AsNoise::realistic(),
+            intra_test_shift_prob: 0.02,
+        }
+    }
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig::realistic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_zero_everywhere() {
+        let n = NoiseConfig::none();
+        for t in AnomalyType::ALL {
+            assert_eq!(n.fp(t), 0.0);
+            assert_eq!(n.fn_(t), 0.0);
+        }
+        assert_eq!(n.organic_rst_prob, 0.0);
+        assert_eq!(n.intra_test_shift_prob, 0.0);
+    }
+
+    #[test]
+    fn realistic_probabilities_sane() {
+        let n = NoiseConfig::realistic();
+        for t in AnomalyType::ALL {
+            assert!((0.0..0.01).contains(&n.fp(t)), "{t} fp out of range");
+            assert!((0.0..0.5).contains(&n.fn_(t)), "{t} fn out of range");
+        }
+        assert!(n.organic_rst_prob > 0.0 && n.organic_rst_prob < 0.01);
+    }
+
+    #[test]
+    fn per_type_lookup_distinct() {
+        let mut n = NoiseConfig::none();
+        n.detector_fp = [0.1, 0.2, 0.3, 0.4, 0.5];
+        assert_eq!(n.fp(AnomalyType::Dns), 0.1);
+        assert_eq!(n.fp(AnomalyType::Seqno), 0.2);
+        assert_eq!(n.fp(AnomalyType::Ttl), 0.3);
+        assert_eq!(n.fp(AnomalyType::Reset), 0.4);
+        assert_eq!(n.fp(AnomalyType::Block), 0.5);
+    }
+}

@@ -1,0 +1,556 @@
+//! The measurement runner: ICLab's scheduler + executor.
+//!
+//! Every (vantage point, URL) pair is tested on a fixed cadence — the
+//! paper's 4.9M measurements over a year work out to roughly one test per
+//! pair per month — with `tests_per_testing_day` runs spread across the
+//! day's routing epochs (which is what lets intra-day path churn become
+//! *observable*, Figure 3's per-day series). Each test:
+//!
+//! 1. resolves the AS path from the routing simulator at the test's epoch,
+//! 2. expands it to router hops and arms every censoring AS on the path,
+//! 3. runs a DNS lookup and an HTTP GET at the packet level,
+//! 4. runs the five detectors over the captures,
+//! 5. applies detector noise, and
+//! 6. records the §3.1 measurement tuple with three traceroutes.
+//!
+//! Measurements stream to a sink (the paper-scale run produces millions of
+//! records; holding them all is the *caller's* choice).
+
+use crate::anomaly::{AnomalySet, AnomalyType};
+use crate::detect;
+use crate::measurement::{Measurement, TracerouteRecord};
+use crate::noise::NoiseConfig;
+use crate::stats::{DatasetStats, StatsAccumulator};
+use crate::urls::UrlCorpus;
+use crate::vantage::{self, VantagePoint};
+use churnlab_bgp::RoutingSim;
+use churnlab_censor::{ActiveCensor, CensorshipScenario, CompiledCensor, TestContext};
+use churnlab_net::{
+    DnsMessage, FlowConfig, FlowSimulator, HopPath, HttpRequest, HttpResponse, OnPathObserver,
+    Traceroute,
+};
+use churnlab_topology::{Asn, GeneratedWorld, Ip2AsDb};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Convenience scale presets for the platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlatformScale {
+    /// Tiny: unit tests (12 URLs, ~12 VPs, 60 days).
+    Smoke,
+    /// Small: integration tests and quick experiments (~40k measurements).
+    Small,
+    /// Paper: 774 URLs, ~539 VP ASes, ~5M measurements over a year.
+    Paper,
+}
+
+/// Platform configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformConfig {
+    /// Seed for corpus, vantage placement, and per-test randomness.
+    pub seed: u64,
+    /// URLs in the test list (paper: 774).
+    pub n_urls: usize,
+    /// VPN vantage points (one per content AS; paper: most of 539).
+    pub n_vpn_vantage: usize,
+    /// Residential vantage points.
+    pub n_residential_vantage: usize,
+    /// Tests per (vantage, URL) pair over the whole period (paper ≈ 12).
+    pub tests_per_pair: u32,
+    /// Tests run per testing day (spread over routing epochs).
+    pub tests_per_testing_day: u32,
+    /// Days in the measurement period.
+    pub total_days: u32,
+    /// Router hops contributed by each transit AS (min, max).
+    pub routers_per_as: (usize, usize),
+    /// Maximum fraction of vantage points placed in censoring countries
+    /// (commercial VPN providers concentrate in uncensored jurisdictions;
+    /// ICLab additionally avoids high-risk regions).
+    pub vp_censor_country_frac: f64,
+    /// Maximum fraction of test URLs hosted inside censoring countries
+    /// (sensitive content is mostly hosted abroad).
+    pub url_censor_country_frac: f64,
+    /// Noise model.
+    pub noise: NoiseConfig,
+}
+
+impl PlatformConfig {
+    /// Preset for a scale.
+    pub fn preset(scale: PlatformScale, seed: u64) -> Self {
+        match scale {
+            PlatformScale::Smoke => PlatformConfig {
+                seed,
+                n_urls: 16,
+                n_vpn_vantage: 20,
+                n_residential_vantage: 4,
+                tests_per_pair: 24,
+                tests_per_testing_day: 2,
+                total_days: 60,
+                routers_per_as: (1, 2),
+                vp_censor_country_frac: 0.0,
+                url_censor_country_frac: 0.03,
+                noise: NoiseConfig::realistic(),
+            },
+            PlatformScale::Small => PlatformConfig {
+                seed,
+                n_urls: 60,
+                n_vpn_vantage: 160,
+                n_residential_vantage: 24,
+                tests_per_pair: 146,
+                tests_per_testing_day: 2,
+                total_days: 365,
+                routers_per_as: (1, 3),
+                vp_censor_country_frac: 0.0,
+                url_censor_country_frac: 0.03,
+                noise: NoiseConfig::realistic(),
+            },
+            PlatformScale::Paper => PlatformConfig {
+                seed,
+                n_urls: 774,
+                n_vpn_vantage: 780,
+                n_residential_vantage: 60,
+                tests_per_pair: 12,
+                tests_per_testing_day: 2,
+                total_days: 365,
+                routers_per_as: (1, 3),
+                vp_censor_country_frac: 0.0,
+                url_censor_country_frac: 0.03,
+                noise: NoiseConfig::realistic(),
+            },
+        }
+    }
+
+    /// Days between testing days for one pair.
+    pub fn testing_interval_days(&self) -> u32 {
+        let testing_days = (self.tests_per_pair / self.tests_per_testing_day).max(1);
+        (self.total_days / testing_days).max(1)
+    }
+}
+
+/// Deterministic mixer for scheduling phases and per-group RNG seeds.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The assembled measurement platform.
+pub struct Platform<'w> {
+    world: &'w GeneratedWorld,
+    cfg: PlatformConfig,
+    corpus: UrlCorpus,
+    vantage: Vec<VantagePoint>,
+    compiled: HashMap<Asn, CompiledCensor>,
+    fingerprints: Vec<&'static str>,
+    measured_ip2as: Ip2AsDb,
+}
+
+impl<'w> Platform<'w> {
+    /// Assemble the platform: generate the URL corpus, place vantage
+    /// points, compile censor policies against the corpus, and degrade the
+    /// IP-to-AS database per the noise config.
+    pub fn new(
+        world: &'w GeneratedWorld,
+        scenario: &CensorshipScenario,
+        cfg: PlatformConfig,
+    ) -> Self {
+        // Only *transit-censored* jurisdictions (heavy/medium tiers) repel
+        // vantage points and hosting: VPN providers do operate in countries
+        // whose hosting ASes quietly filter (that is exactly how the paper
+        // catches them) — what they avoid is state-level transit censorship.
+        let censoring_countries: Vec<churnlab_topology::CountryCode> = scenario
+            .country_tiers
+            .iter()
+            .filter(|(_, t)| {
+                matches!(
+                    t,
+                    churnlab_censor::scenario::CensorTier::Heavy
+                        | churnlab_censor::scenario::CensorTier::Medium
+                )
+            })
+            .map(|(c, _)| *c)
+            .collect();
+        let corpus = UrlCorpus::generate_avoiding(
+            world,
+            cfg.n_urls,
+            mix64(cfg.seed ^ 0x11),
+            &censoring_countries,
+            cfg.url_censor_country_frac,
+        );
+        let vantage = vantage::place_avoiding(
+            world,
+            cfg.n_vpn_vantage,
+            cfg.n_residential_vantage,
+            &censoring_countries,
+            cfg.vp_censor_country_frac,
+            mix64(cfg.seed ^ 0x22),
+        );
+        let pairs = corpus.domain_category_pairs();
+        let compiled = scenario
+            .policies
+            .iter()
+            .map(|p| (p.asn, p.compile(&pairs)))
+            .collect();
+        let all_asns = world.asns();
+        let mut db_rng = StdRng::seed_from_u64(mix64(cfg.seed ^ 0x33));
+        // The analyst's database is built from registry data: hosting-org
+        // PoP prefixes all map to the org's public ASN (then degraded by
+        // the staleness noise model).
+        let measured_ip2as =
+            world.registry_ip2as().degraded(cfg.noise.ip2as, &all_asns, &mut db_rng);
+        Platform { world, cfg, corpus, vantage, compiled, fingerprints: churnlab_censor::blockpage::fingerprint_list(), measured_ip2as }
+    }
+
+    /// The URL corpus.
+    pub fn corpus(&self) -> &UrlCorpus {
+        &self.corpus
+    }
+
+    /// The vantage points.
+    pub fn vantage_points(&self) -> &[VantagePoint] {
+        &self.vantage
+    }
+
+    /// The (degraded) IP-to-AS database measurements should be interpreted
+    /// with — the analyst's view, not ground truth.
+    pub fn measured_ip2as(&self) -> &Ip2AsDb {
+        &self.measured_ip2as
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.cfg
+    }
+
+    /// The world under measurement.
+    pub fn world(&self) -> &GeneratedWorld {
+        self.world
+    }
+
+    /// Run the full measurement campaign, streaming records to `sink`.
+    pub fn run(&self, sim: &RoutingSim, mut sink: impl FnMut(Measurement)) -> DatasetStats {
+        let mut acc = StatsAccumulator::new();
+        let interval = self.cfg.testing_interval_days();
+        let all_vps: Vec<usize> = (0..self.vantage.len()).collect();
+        for url in self.corpus.entries() {
+            // URL-list sweeps: every vantage point tests a URL on the same
+            // testing days (the platform walks its list on a global
+            // cadence, like ICLab's repeated full-list suites). The sweep
+            // phase is per-URL so load spreads across days, while each
+            // (url, testing-day) still sees the entire fleet — the
+            // cross-vantage coverage that lets one vantage's clean path
+            // exonerate ASes on another vantage's censored path.
+            let phase = (mix64(self.cfg.seed ^ u64::from(url.id)) % u64::from(interval)) as u32;
+            for day in 0..self.cfg.total_days {
+                if day % interval != phase {
+                    continue;
+                }
+                let bucket = &all_vps;
+                let mut rng = StdRng::seed_from_u64(mix64(
+                    self.cfg.seed ^ (u64::from(url.id) << 32) ^ u64::from(day),
+                ));
+                for &vi in bucket {
+                    let vp = &self.vantage[vi];
+                    let epochs_per_day = sim.mapper().epochs_per_day;
+                    let k = self.cfg.tests_per_testing_day.max(1);
+                    for t in 0..k {
+                        // Spread the day's tests across day segments
+                        // (measurement suites run hours apart), so intra-day
+                        // route changes are observable.
+                        let seg = (epochs_per_day * t / k, (epochs_per_day * (t + 1) / k).max(epochs_per_day * t / k + 1));
+                        let slot = rng.gen_range(seg.0..seg.1.min(epochs_per_day));
+                        let m = self.run_test(sim, vp, url.id, day, slot, &mut rng);
+                        acc.add(&m);
+                        sink(m);
+                    }
+                }
+            }
+        }
+        acc.finish(&self.world.topology)
+    }
+
+    /// Run the campaign and collect everything (small scales only).
+    pub fn run_collect(&self, sim: &RoutingSim) -> (Vec<Measurement>, DatasetStats) {
+        let mut out = Vec::new();
+        let stats = self.run(sim, |m| out.push(m));
+        (out, stats)
+    }
+
+    /// Execute one test.
+    fn run_test(
+        &self,
+        sim: &RoutingSim,
+        vp: &VantagePoint,
+        url_id: u32,
+        day: u32,
+        slot: u32,
+        rng: &mut StdRng,
+    ) -> Measurement {
+        let url = self.corpus.get(url_id);
+        let epoch = sim.mapper().epoch(day, slot);
+        let topo = &self.world.topology;
+        let vp_idx = topo.idx(vp.asn).expect("vantage AS exists");
+        let dest_idx = topo.idx(url.server_asn).expect("dest AS exists");
+        let asn_path = match sim.asn_path(vp_idx, dest_idx, epoch) {
+            Some(p) => p,
+            None => {
+                return Measurement {
+                    vp_id: vp.id,
+                    vp_asn: vp.public_asn,
+                    url_id,
+                    dest_asn: url.server_asn,
+                    day,
+                    epoch,
+                    detected: AnomalySet::empty(),
+                    traceroutes: vec![
+                        TracerouteRecord::failed(),
+                        TracerouteRecord::failed(),
+                        TracerouteRecord::failed(),
+                    ],
+                    failed: true,
+                }
+            }
+        };
+
+        let hop_path = HopPath::expand(
+            &asn_path,
+            &self.world.prefixes,
+            vp.ip,
+            url.server_ip,
+            self.cfg.routers_per_as,
+            rng,
+        );
+
+        // Arm every censoring AS on the path.
+        let flow_cfg = FlowConfig {
+            client_port: rng.gen_range(32768..61000),
+            isn_client: rng.gen(),
+            isn_server: rng.gen(),
+            organic_rst: rng.gen_bool(self.cfg.noise.organic_rst_prob.clamp(0.0, 1.0)),
+            organic_loss: rng.gen_bool(self.cfg.noise.organic_loss_prob.clamp(0.0, 1.0)),
+            ..FlowConfig::default()
+        };
+        let server_remaining =
+            flow_cfg.server_init_ttl.saturating_sub(hop_path.len() as u8 - 1);
+        let mut armed: Vec<(usize, ActiveCensor)> = Vec::new();
+        for (pos, asn) in asn_path.iter().enumerate() {
+            if let Some(compiled) = self.compiled.get(asn) {
+                let hop = hop_path.first_hop_of_as(pos).expect("AS on path has hops");
+                let mimic = server_remaining.saturating_add(hop as u8);
+                armed.push((
+                    pos,
+                    ActiveCensor::new(compiled, TestContext { day, mimic_init_ttl: mimic }),
+                ));
+            }
+        }
+
+        // --- DNS test -----------------------------------------------------
+        let query = DnsMessage::query(rng.gen(), &url.domain);
+        let honest = DnsMessage::answer(&query, url.server_ip, 300);
+        let mut observers: Vec<(usize, &mut dyn OnPathObserver)> =
+            armed.iter_mut().map(|(p, c)| (*p, c as &mut dyn OnPathObserver)).collect();
+        let (dns_cap, _responses) =
+            FlowSimulator::dns_lookup(&hop_path, &flow_cfg, &query, Some(&honest), &mut observers);
+
+        // --- HTTP test ----------------------------------------------------
+        let request = HttpRequest::get(&url.domain, &url.path);
+        let genuine_body = url.body();
+        let genuine = HttpResponse::ok(&genuine_body);
+        let mut observers: Vec<(usize, &mut dyn OnPathObserver)> =
+            armed.iter_mut().map(|(p, c)| (*p, c as &mut dyn OnPathObserver)).collect();
+        let (http_cap, outcome) =
+            FlowSimulator::http_get(&hop_path, &flow_cfg, &request, &genuine, &mut observers);
+
+        // --- Detection -----------------------------------------------------
+        let mut detected = detect::detect_all(
+            &dns_cap,
+            &http_cap,
+            &outcome,
+            &self.fingerprints,
+            Some(genuine_body.as_bytes()),
+        );
+        // Detector noise. Real detector failures are *systematic* — a
+        // vantage whose capture setup mangles TTLs mangles them every time;
+        // a page variant the blockpage matcher misses is missed every time.
+        // So false verdict flips are sticky per (vantage, URL, anomaly),
+        // not per-test coin flips (which would make dense windows
+        // self-contradictory at rates real data does not show).
+        for (ti, t) in AnomalyType::ALL.into_iter().enumerate() {
+            let tag = mix64(
+                self.cfg.seed
+                    ^ (u64::from(vp.id) << 40)
+                    ^ (u64::from(url_id) << 8)
+                    ^ ti as u64,
+            );
+            let roll = tag as f64 / u64::MAX as f64;
+            if detected.contains(t) {
+                if roll < self.cfg.noise.fn_(t).clamp(0.0, 1.0) {
+                    detected.remove(t);
+                }
+            } else if roll < self.cfg.noise.fp(t).clamp(0.0, 1.0) {
+                detected.insert(t);
+            }
+        }
+
+        // --- Traceroutes ----------------------------------------------------
+        let mut traceroutes = Vec::with_capacity(3);
+        for i in 0..3 {
+            // With small probability the last traceroute catches a route
+            // change (next epoch's path) — the paper's elimination rule 4.
+            let shifted = i == 2
+                && rng.gen_bool(self.cfg.noise.intra_test_shift_prob.clamp(0.0, 1.0));
+            let record = if shifted {
+                match sim.asn_path(vp_idx, dest_idx, epoch + 1) {
+                    Some(alt) if alt != asn_path => {
+                        let alt_path = HopPath::expand(
+                            &alt,
+                            &self.world.prefixes,
+                            vp.ip,
+                            url.server_ip,
+                            self.cfg.routers_per_as,
+                            rng,
+                        );
+                        let t = Traceroute::run(&alt_path, &self.cfg.noise.traceroute, rng);
+                        TracerouteRecord { hops: t.hops, error: t.error }
+                    }
+                    _ => {
+                        let t = Traceroute::run(&hop_path, &self.cfg.noise.traceroute, rng);
+                        TracerouteRecord { hops: t.hops, error: t.error }
+                    }
+                }
+            } else {
+                let t = Traceroute::run(&hop_path, &self.cfg.noise.traceroute, rng);
+                TracerouteRecord { hops: t.hops, error: t.error }
+            };
+            traceroutes.push(record);
+        }
+
+        Measurement {
+            vp_id: vp.id,
+            vp_asn: vp.public_asn,
+            url_id,
+            dest_asn: url.server_asn,
+            day,
+            epoch,
+            detected,
+            traceroutes,
+            failed: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use churnlab_bgp::ChurnConfig;
+    use churnlab_censor::CensorConfig;
+    use churnlab_topology::{generator, WorldConfig, WorldScale};
+
+    struct Setup {
+        world: GeneratedWorld,
+    }
+
+    fn world() -> Setup {
+        Setup { world: generator::generate(&WorldConfig::preset(WorldScale::Smoke, 21)) }
+    }
+
+    fn churn_cfg(total_days: u32) -> ChurnConfig {
+        ChurnConfig { total_days, ..ChurnConfig::default() }
+    }
+
+    #[test]
+    fn smoke_run_produces_measurements() {
+        let s = world();
+        let mut ccfg = CensorConfig::scaled_for(s.world.topology.countries().len());
+        ccfg.total_days = 60;
+        let scenario = CensorshipScenario::generate_for_world(&s.world, &ccfg);
+        let pcfg = PlatformConfig::preset(PlatformScale::Smoke, 5);
+        let platform = Platform::new(&s.world, &scenario, pcfg.clone());
+        let sim = RoutingSim::new(&s.world.topology, &churn_cfg(pcfg.total_days));
+        let (ms, stats) = platform.run_collect(&sim);
+        let expected = platform.vantage_points().len() as u64
+            * platform.corpus().len() as u64
+            * u64::from(pcfg.tests_per_pair);
+        assert_eq!(stats.measurements, expected, "schedule must hit the target cadence");
+        assert_eq!(ms.len() as u64, stats.measurements);
+        // Every measurement carries 3 traceroutes.
+        assert!(ms.iter().all(|m| m.traceroutes.len() == 3));
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let s = world();
+        let mut ccfg = CensorConfig::scaled_for(s.world.topology.countries().len());
+        ccfg.total_days = 60;
+        let scenario = CensorshipScenario::generate_for_world(&s.world, &ccfg);
+        let pcfg = PlatformConfig::preset(PlatformScale::Smoke, 5);
+        let platform = Platform::new(&s.world, &scenario, pcfg.clone());
+        let sim = RoutingSim::new(&s.world.topology, &churn_cfg(pcfg.total_days));
+        let (a, _) = platform.run_collect(&sim);
+        let (b, _) = platform.run_collect(&sim);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noise_free_run_flags_only_censored_flows() {
+        let s = world();
+        let mut ccfg = CensorConfig::scaled_for(s.world.topology.countries().len());
+        ccfg.total_days = 60;
+        ccfg.policy_change_prob = 0.0;
+        let scenario = CensorshipScenario::generate_for_world(&s.world, &ccfg);
+        let mut pcfg = PlatformConfig::preset(PlatformScale::Smoke, 5);
+        pcfg.noise = NoiseConfig::none();
+        let platform = Platform::new(&s.world, &scenario, pcfg.clone());
+        let sim = RoutingSim::new(&s.world.topology, &churn_cfg(pcfg.total_days));
+        let (ms, stats) = platform.run_collect(&sim);
+        assert!(stats.total_anomalies() > 0, "no anomalies at all — censors unobserved");
+        // In a noise-free world every detected anomaly must trace back to a
+        // real censor somewhere on the measured path: verify via ground
+        // truth that the URL was actually targeted by some censor that day.
+        for m in ms.iter().filter(|m| m.anomalous()) {
+            let url = platform.corpus().get(m.url_id);
+            let censored_somewhere = scenario
+                .policies
+                .iter()
+                .any(|p| p.blocks_on(url.category, m.day));
+            assert!(
+                censored_somewhere,
+                "anomaly {:?} on untargeted URL {} (day {})",
+                m.detected, url.domain, m.day
+            );
+        }
+    }
+
+    #[test]
+    fn failed_routes_recorded_as_failed() {
+        // Freeze the world with churn_scale 0 but kill enough links that
+        // some stub is sometimes isolated — simplest check: run with a
+        // normal world and assert the failed count is tracked (possibly 0).
+        let s = world();
+        let ccfg = CensorConfig::scaled_for(s.world.topology.countries().len());
+        let scenario = CensorshipScenario::generate_for_world(&s.world, &ccfg);
+        let pcfg = PlatformConfig::preset(PlatformScale::Smoke, 6);
+        let platform = Platform::new(&s.world, &scenario, pcfg.clone());
+        let sim = RoutingSim::new(&s.world.topology, &churn_cfg(pcfg.total_days));
+        let (ms, stats) = platform.run_collect(&sim);
+        let failed = ms.iter().filter(|m| m.failed).count() as u64;
+        assert_eq!(stats.failed, failed);
+        for m in ms.iter().filter(|m| m.failed) {
+            assert!(m.traceroutes.iter().all(|t| t.error.is_some()));
+            assert!(m.detected.is_empty());
+        }
+    }
+
+    #[test]
+    fn interval_math() {
+        let mut cfg = PlatformConfig::preset(PlatformScale::Small, 1);
+        assert_eq!(cfg.testing_interval_days(), 5); // 365 / 73 testing days
+        cfg.tests_per_pair = 2;
+        cfg.tests_per_testing_day = 2;
+        assert_eq!(cfg.testing_interval_days(), 365);
+    }
+}

@@ -1,0 +1,184 @@
+//! Dataset statistics — the Table 1 rows.
+
+use crate::anomaly::{AnomalySet, AnomalyType};
+use crate::measurement::Measurement;
+use churnlab_topology::{Asn, Topology};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Aggregate statistics over a measurement run (Table 1's shape).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Unique URLs tested.
+    pub unique_urls: usize,
+    /// Distinct vantage-point ASes.
+    pub vp_ases: usize,
+    /// Distinct destination ASes.
+    pub dest_ases: usize,
+    /// Distinct countries (vantage + destination ASes).
+    pub countries: usize,
+    /// Total measurements (including failed ones).
+    pub measurements: u64,
+    /// Measurements that could not run (no route).
+    pub failed: u64,
+    /// Detected anomaly counts per type (dns, seq, ttl, rst, block order).
+    pub anomalies: [u64; 5],
+}
+
+impl DatasetStats {
+    /// Count for one anomaly type.
+    pub fn anomaly_count(&self, t: AnomalyType) -> u64 {
+        self.anomalies[Self::idx(t)]
+    }
+
+    fn idx(t: AnomalyType) -> usize {
+        match t {
+            AnomalyType::Dns => 0,
+            AnomalyType::Seqno => 1,
+            AnomalyType::Ttl => 2,
+            AnomalyType::Reset => 3,
+            AnomalyType::Block => 4,
+        }
+    }
+
+    /// Total anomaly detections across types.
+    pub fn total_anomalies(&self) -> u64 {
+        self.anomalies.iter().sum()
+    }
+
+    /// Render the Table-1-style text block.
+    pub fn render_table1(&self, period: &str) -> String {
+        let pct = |n: u64| {
+            if self.measurements == 0 {
+                0.0
+            } else {
+                100.0 * n as f64 / self.measurements as f64
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&format!("{:<24} {}\n", "Period", period));
+        out.push_str(&format!("{:<24} {}\n", "Unique URLs", self.unique_urls));
+        out.push_str(&format!("{:<24} {}\n", "AS Vantage Points", self.vp_ases));
+        out.push_str(&format!("{:<24} {}\n", "Destination ASes", self.dest_ases));
+        out.push_str(&format!("{:<24} {}\n", "Countries", self.countries));
+        out.push_str(&format!("{:<24} {:.1}M\n", "Measurements", self.measurements as f64 / 1e6));
+        for (label, t) in [
+            ("w/DNS anomalies", AnomalyType::Dns),
+            ("w/SEQNO anomalies", AnomalyType::Seqno),
+            ("w/TTL anomalies", AnomalyType::Ttl),
+            ("w/RESET anomalies", AnomalyType::Reset),
+            ("w/Blockpages", AnomalyType::Block),
+        ] {
+            let n = self.anomaly_count(t);
+            out.push_str(&format!("{:<24} {} ({:.2}%)\n", format!("- {label}"), n, pct(n)));
+        }
+        out
+    }
+}
+
+/// Incremental accumulator used by the streaming runner.
+#[derive(Debug, Default)]
+pub struct StatsAccumulator {
+    urls: HashSet<u32>,
+    vp_ases: HashSet<Asn>,
+    dest_ases: HashSet<Asn>,
+    measurements: u64,
+    failed: u64,
+    anomalies: [u64; 5],
+}
+
+impl StatsAccumulator {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one measurement in.
+    pub fn add(&mut self, m: &Measurement) {
+        self.measurements += 1;
+        self.urls.insert(m.url_id);
+        self.vp_ases.insert(m.vp_asn);
+        self.dest_ases.insert(m.dest_asn);
+        if m.failed {
+            self.failed += 1;
+        }
+        Self::add_set(&mut self.anomalies, m.detected);
+    }
+
+    fn add_set(anomalies: &mut [u64; 5], set: AnomalySet) {
+        for t in set.iter() {
+            anomalies[DatasetStats::idx(t)] += 1;
+        }
+    }
+
+    /// Finalise, resolving countries through the topology.
+    pub fn finish(self, topo: &Topology) -> DatasetStats {
+        let mut countries = HashSet::new();
+        for asn in self.vp_ases.iter().chain(self.dest_ases.iter()) {
+            if let Some(info) = topo.info_by_asn(*asn) {
+                countries.insert(info.country);
+            }
+        }
+        DatasetStats {
+            unique_urls: self.urls.len(),
+            vp_ases: self.vp_ases.len(),
+            dest_ases: self.dest_ases.len(),
+            countries: countries.len(),
+            measurements: self.measurements,
+            failed: self.failed,
+            anomalies: self.anomalies,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measurement::Measurement;
+    use churnlab_topology::{generator, WorldConfig, WorldScale};
+
+    #[test]
+    fn accumulates_and_renders() {
+        let w = generator::generate(&WorldConfig::preset(WorldScale::Smoke, 1));
+        let asns = w.asns();
+        let mut acc = StatsAccumulator::new();
+        let mut detected = AnomalySet::empty();
+        detected.insert(AnomalyType::Dns);
+        detected.insert(AnomalyType::Ttl);
+        acc.add(&Measurement {
+            vp_id: 0,
+            vp_asn: asns[0],
+            url_id: 0,
+            dest_asn: asns[1],
+            day: 0,
+            epoch: 0,
+            detected,
+            traceroutes: vec![],
+            failed: false,
+        });
+        acc.add(&Measurement {
+            vp_id: 1,
+            vp_asn: asns[2],
+            url_id: 1,
+            dest_asn: asns[1],
+            day: 1,
+            epoch: 6,
+            detected: AnomalySet::empty(),
+            traceroutes: vec![],
+            failed: true,
+        });
+        let stats = acc.finish(&w.topology);
+        assert_eq!(stats.measurements, 2);
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.unique_urls, 2);
+        assert_eq!(stats.vp_ases, 2);
+        assert_eq!(stats.dest_ases, 1);
+        assert_eq!(stats.anomaly_count(AnomalyType::Dns), 1);
+        assert_eq!(stats.anomaly_count(AnomalyType::Ttl), 1);
+        assert_eq!(stats.anomaly_count(AnomalyType::Reset), 0);
+        assert_eq!(stats.total_anomalies(), 2);
+        let table = stats.render_table1("2016-05 ~ 2017-05");
+        assert!(table.contains("Unique URLs"));
+        assert!(table.contains("w/DNS anomalies"));
+    }
+}

@@ -1,0 +1,269 @@
+//! The URL test corpus.
+//!
+//! The paper's dataset covers 774 unique URLs hosted in 620 destination
+//! ASes. Our corpus generator places synthetic sensitive domains in the
+//! world's content/enterprise ASes, assigns each a McAfee-style category
+//! (weighted so shopping/classifieds dominate, matching §4's category
+//! findings), and gives every site a stable page body whose size the
+//! blockpage detector can compare against (the Jones-et-al length
+//! heuristic).
+
+use churnlab_censor::UrlCategory;
+use churnlab_topology::{Asn, CountryCode, GeneratedWorld};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One URL under test.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UrlEntry {
+    /// Corpus-stable identifier.
+    pub id: u32,
+    /// Domain name (what censors match on).
+    pub domain: String,
+    /// Request path.
+    pub path: String,
+    /// Content category.
+    pub category: UrlCategory,
+    /// Hosting AS.
+    pub server_asn: Asn,
+    /// Server address (inside the hosting AS's prefix space).
+    pub server_ip: u32,
+    /// Genuine page body size in bytes (body is deterministic filler).
+    pub body_len: usize,
+}
+
+impl UrlEntry {
+    /// The genuine page body (deterministic from the domain).
+    pub fn body(&self) -> String {
+        let mut s = String::with_capacity(self.body_len + 64);
+        s.push_str("<html><head><title>");
+        s.push_str(&self.domain);
+        s.push_str("</title></head><body>");
+        while s.len() < self.body_len {
+            s.push_str("<p>lorem ipsum dolor sit amet consectetur</p>");
+        }
+        s.push_str("</body></html>");
+        s
+    }
+}
+
+/// The URL corpus.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UrlCorpus {
+    entries: Vec<UrlEntry>,
+    by_domain: HashMap<String, u32>,
+}
+
+impl UrlCorpus {
+    /// Generate `n` URLs hosted in the world's content/enterprise ASes.
+    pub fn generate(world: &GeneratedWorld, n: usize, seed: u64) -> Self {
+        Self::generate_avoiding(world, n, seed, &[], 1.0)
+    }
+
+    /// Like [`UrlCorpus::generate`], but at most `avoid_frac` of the URLs
+    /// are hosted in `avoid` countries. Regionally *sensitive* content is
+    /// overwhelmingly hosted outside the censoring jurisdiction — that is
+    /// why it gets censored at the network level rather than taken down.
+    pub fn generate_avoiding(
+        world: &GeneratedWorld,
+        n: usize,
+        seed: u64,
+        avoid: &[CountryCode],
+        avoid_frac: f64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Hosting-org PoPs are VPN-exit networks, not website hosts; the
+        // paper's destination servers are the sensitive sites themselves.
+        let all_hosts: Vec<Asn> = world
+            .topology
+            .ases()
+            .iter()
+            .filter(|a| a.hosts_content() && !world.is_org_pop(a.asn))
+            .map(|a| a.asn)
+            .collect();
+        assert!(!all_hosts.is_empty(), "world has no content-hosting ASes");
+        let preferred: Vec<Asn> = all_hosts
+            .iter()
+            .copied()
+            .filter(|a| {
+                !avoid.contains(&world.topology.info_by_asn(*a).expect("host").country)
+            })
+            .collect();
+        let avoided: Vec<Asn> =
+            all_hosts.iter().copied().filter(|a| !preferred.contains(a)).collect();
+        let max_avoided = ((n as f64) * avoid_frac).round() as usize;
+
+        // Weighted category pool.
+        let mut pool: Vec<UrlCategory> = Vec::new();
+        for c in UrlCategory::ALL {
+            for _ in 0..c.weight() {
+                pool.push(c);
+            }
+        }
+
+        const WORDS: [&str; 16] = [
+            "bazaar", "tribune", "connect", "market", "stream", "portal", "voice", "forum",
+            "gazette", "deal", "exchange", "beacon", "digest", "arcade", "junction", "mosaic",
+        ];
+        const TLDS: [&str; 5] = ["com", "net", "org", "info", "biz"];
+
+        let mut entries = Vec::with_capacity(n);
+        let mut by_domain = HashMap::with_capacity(n);
+        for i in 0..n {
+            let category = *pool.choose(&mut rng).expect("non-empty pool");
+            let word = WORDS[rng.gen_range(0..WORDS.len())];
+            let tld = TLDS[rng.gen_range(0..TLDS.len())];
+            let domain = format!("{}-{}{}.{}", category.label(), word, i, tld);
+            let in_avoided = !avoided.is_empty()
+                && entries
+                    .iter()
+                    .filter(|e: &&UrlEntry| {
+                        avoided.contains(&e.server_asn)
+                    })
+                    .count()
+                    < max_avoided
+                && rng.gen_bool(avoid_frac.clamp(0.0, 1.0));
+            let pool = if in_avoided || preferred.is_empty() { &avoided } else { &preferred };
+            let server_asn = pool[rng.gen_range(0..pool.len())];
+            let server_ip = world
+                .host_in(server_asn, 1000 + i as u32)
+                .expect("content AS has prefixes");
+            let id = i as u32;
+            by_domain.insert(domain.clone(), id);
+            entries.push(UrlEntry {
+                id,
+                domain,
+                path: "/".to_string(),
+                category,
+                server_asn,
+                server_ip,
+                body_len: rng.gen_range(900..8000),
+            });
+        }
+        UrlCorpus { entries, by_domain }
+    }
+
+    /// All entries in id order.
+    pub fn entries(&self) -> &[UrlEntry] {
+        &self.entries
+    }
+
+    /// Entry by id.
+    pub fn get(&self, id: u32) -> &UrlEntry {
+        &self.entries[id as usize]
+    }
+
+    /// Entry by domain.
+    pub fn by_domain(&self, domain: &str) -> Option<&UrlEntry> {
+        self.by_domain.get(domain).map(|&i| self.get(i))
+    }
+
+    /// Number of URLs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// (domain, category) pairs — the shape
+    /// [`churnlab_censor::CensorPolicy::compile`] consumes.
+    pub fn domain_category_pairs(&self) -> Vec<(String, UrlCategory)> {
+        self.entries.iter().map(|e| (e.domain.clone(), e.category)).collect()
+    }
+
+    /// Number of distinct destination ASes (Table 1's "Destination ASes").
+    pub fn distinct_dest_ases(&self) -> usize {
+        let mut v: Vec<Asn> = self.entries.iter().map(|e| e.server_asn).collect();
+        v.sort();
+        v.dedup();
+        v.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use churnlab_topology::{generator, WorldConfig, WorldScale};
+
+    fn world() -> GeneratedWorld {
+        generator::generate(&WorldConfig::preset(WorldScale::Small, 5))
+    }
+
+    #[test]
+    fn corpus_shape() {
+        let w = world();
+        let c = UrlCorpus::generate(&w, 100, 3);
+        assert_eq!(c.len(), 100);
+        assert!(c.distinct_dest_ases() > 10);
+        // Domains unique.
+        let mut d: Vec<&str> = c.entries().iter().map(|e| e.domain.as_str()).collect();
+        d.sort();
+        d.dedup();
+        assert_eq!(d.len(), 100);
+    }
+
+    #[test]
+    fn server_ips_map_to_server_as() {
+        let w = world();
+        let c = UrlCorpus::generate(&w, 50, 3);
+        for e in c.entries() {
+            assert_eq!(w.ip2as.lookup(e.server_ip), Some(e.server_asn), "{}", e.domain);
+            assert!(w.topology.info_by_asn(e.server_asn).unwrap().hosts_content());
+        }
+    }
+
+    #[test]
+    fn lookup_by_domain() {
+        let w = world();
+        let c = UrlCorpus::generate(&w, 20, 3);
+        let e = &c.entries()[7];
+        assert_eq!(c.by_domain(&e.domain).unwrap().id, 7);
+        assert!(c.by_domain("no-such.example").is_none());
+    }
+
+    #[test]
+    fn bodies_deterministic_and_sized() {
+        let w = world();
+        let c = UrlCorpus::generate(&w, 10, 3);
+        for e in c.entries() {
+            let b1 = e.body();
+            let b2 = e.body();
+            assert_eq!(b1, b2);
+            assert!(b1.len() >= e.body_len, "body shorter than declared");
+            assert!(b1.contains(&e.domain));
+        }
+    }
+
+    #[test]
+    fn generation_deterministic() {
+        let w = world();
+        let a = UrlCorpus::generate(&w, 30, 9);
+        let b = UrlCorpus::generate(&w, 30, 9);
+        assert_eq!(a, b);
+        let c = UrlCorpus::generate(&w, 30, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn categories_weighted_toward_shopping() {
+        let w = world();
+        let c = UrlCorpus::generate(&w, 774, 3);
+        let shopping = c
+            .entries()
+            .iter()
+            .filter(|e| e.category == UrlCategory::OnlineShopping)
+            .count();
+        let religion = c
+            .entries()
+            .iter()
+            .filter(|e| e.category == UrlCategory::Religion)
+            .count();
+        assert!(shopping > religion, "weights not applied: {shopping} vs {religion}");
+    }
+}

@@ -1,0 +1,283 @@
+//! Vantage-point placement.
+//!
+//! ICLab's vantage points are overwhelmingly commercial-VPN exits hosted
+//! in content (datacenter) ASes — the paper notes this explicitly in its
+//! ethics discussion — plus a handful of volunteer Raspberry Pi nodes on
+//! residential connections. We mirror that: `n_vpn` vantage points in
+//! distinct content ASes and `n_residential` in access-network stubs.
+
+use churnlab_topology::{Asn, CountryCode, GeneratedWorld};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// The kind of vantage point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VantageKind {
+    /// Commercial VPN exit in a content AS.
+    Vpn,
+    /// Volunteer Raspberry Pi on a residential access network.
+    Residential,
+}
+
+/// One vantage point.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VantagePoint {
+    /// Stable identifier.
+    pub id: u32,
+    /// Hosting AS (the routing node; a hosting-org PoP for multi-country
+    /// VPN providers).
+    pub asn: Asn,
+    /// The *registered* ASN of the hosting AS — what whois reports for the
+    /// VP's address, and therefore what the measurement record carries.
+    /// Equal to `asn` except for hosting-org PoPs, where every PoP of the
+    /// organization shares the org's public ASN.
+    pub public_asn: Asn,
+    /// Client address inside the AS.
+    pub ip: u32,
+    /// VPN or residential.
+    pub kind: VantageKind,
+}
+
+/// Place vantage points. Takes at most one VP per AS node (the paper
+/// counts *vantage point ASes*; multi-country hosting orgs contribute one
+/// VP per PoP under a shared public ASN, mirroring ICLab's ~1,000 VPs in
+/// 539 ASes); if the world has fewer eligible ASes than requested, every
+/// eligible AS gets one.
+pub fn place(world: &GeneratedWorld, n_vpn: usize, n_residential: usize, seed: u64) -> Vec<VantagePoint> {
+    place_avoiding(world, n_vpn, n_residential, &[], 1.0, seed)
+}
+
+/// Like [`place`], but prefers ASes outside `avoid` countries: at most
+/// `avoid_frac` of each vantage class comes from avoided countries.
+/// Commercial VPN exits concentrate in uncensored jurisdictions, and ICLab
+/// deliberately avoids high-risk regions — with one deliberate exception:
+/// hosting-org PoPs are taken wholesale, wherever they are. Subscribing to
+/// a commercial VPN provider buys the *entire* exit footprint, censored
+/// countries included; that is precisely how ICLab observed censored
+/// networks without local volunteers.
+pub fn place_avoiding(
+    world: &GeneratedWorld,
+    n_vpn: usize,
+    n_residential: usize,
+    avoid: &[CountryCode],
+    avoid_frac: f64,
+    seed: u64,
+) -> Vec<VantagePoint> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let order = |hosts: &mut Vec<Asn>, rng: &mut StdRng, cap: usize| {
+        // Preferred (non-avoided) first, then up to `cap` avoided ones.
+        let mut preferred: Vec<Asn> = hosts
+            .iter()
+            .copied()
+            .filter(|a| {
+                let c = world.topology.info_by_asn(*a).expect("host exists").country;
+                !avoid.contains(&c)
+            })
+            .collect();
+        let mut avoided: Vec<Asn> =
+            hosts.iter().copied().filter(|a| !preferred.contains(a)).collect();
+        preferred.shuffle(rng);
+        avoided.shuffle(rng);
+        // Concentrate in hosting hubs: commercial VPN exits cluster in a
+        // handful of datacenter-heavy countries. Hubs = the 8 non-avoided
+        // countries with the most eligible hosts; ~70% of the preferred
+        // order comes from hubs.
+        {
+            use std::collections::HashMap;
+            let mut per_country: HashMap<CountryCode, usize> = HashMap::new();
+            for a in &preferred {
+                let c = world.topology.info_by_asn(*a).expect("host exists").country;
+                *per_country.entry(c).or_insert(0) += 1;
+            }
+            let mut ranked: Vec<(CountryCode, usize)> = per_country.into_iter().collect();
+            ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            let hubs: Vec<CountryCode> = ranked.iter().take(5).map(|(c, _)| *c).collect();
+            let (hub_hosts, other_hosts): (Vec<Asn>, Vec<Asn>) =
+                preferred.iter().partition(|a| {
+                    hubs.contains(&world.topology.info_by_asn(**a).expect("host").country)
+                });
+            let mut merged = Vec::with_capacity(preferred.len());
+            let mut hi = hub_hosts.into_iter();
+            let mut oi = other_hosts.into_iter();
+            loop {
+                let mut advanced = false;
+                for _ in 0..9 {
+                    if let Some(h) = hi.next() {
+                        merged.push(h);
+                        advanced = true;
+                    }
+                }
+                for _ in 0..1 {
+                    if let Some(o) = oi.next() {
+                        merged.push(o);
+                        advanced = true;
+                    }
+                }
+                if !advanced {
+                    break;
+                }
+            }
+            preferred = merged;
+        }
+        avoided.truncate(cap);
+        // Interleave a few avoided hosts early so censored-country vantage
+        // points exist even when the preferred pool is large.
+        let mut out = Vec::with_capacity(preferred.len() + avoided.len());
+        let step = (preferred.len() / (avoided.len() + 1)).max(1);
+        let mut pi = preferred.into_iter();
+        for a in avoided {
+            for _ in 0..step {
+                if let Some(x) = pi.next() {
+                    out.push(x);
+                }
+            }
+            out.push(a);
+        }
+        out.extend(pi);
+        out
+    };
+    let cap_vpn = ((n_vpn as f64) * avoid_frac).ceil() as usize;
+    let cap_res = ((n_residential as f64) * avoid_frac).ceil() as usize;
+    // Hosting-org PoPs come first (one VP per PoP, full footprint,
+    // avoid-list exempt); independent content ASes fill the remainder.
+    let org_hosts: Vec<Asn> =
+        world.orgs.iter().flat_map(|o| o.pops.iter().copied()).collect();
+    let mut vpn_hosts: Vec<Asn> = world
+        .topology
+        .ases()
+        .iter()
+        .filter(|a| a.hosts_vpn_vantage() && !world.is_org_pop(a.asn))
+        .map(|a| a.asn)
+        .collect();
+    let mut res_hosts: Vec<Asn> = world
+        .topology
+        .ases()
+        .iter()
+        .filter(|a| a.hosts_residential_vantage())
+        .map(|a| a.asn)
+        .collect();
+    let independent = order(&mut vpn_hosts, &mut rng, cap_vpn);
+    let vpn_hosts: Vec<Asn> = org_hosts.into_iter().chain(independent).collect();
+    let res_hosts = order(&mut res_hosts, &mut rng, cap_res);
+    let mut out = Vec::new();
+    let mut id = 0u32;
+    for asn in vpn_hosts.into_iter().take(n_vpn) {
+        let ip = world.host_in(asn, 77).expect("content AS has prefixes");
+        out.push(VantagePoint {
+            id,
+            asn,
+            public_asn: world.public_asn(asn),
+            ip,
+            kind: VantageKind::Vpn,
+        });
+        id += 1;
+    }
+    for asn in res_hosts.into_iter().take(n_residential) {
+        let ip = world.host_in(asn, 78).expect("stub AS has prefixes");
+        out.push(VantagePoint {
+            id,
+            asn,
+            public_asn: world.public_asn(asn),
+            ip,
+            kind: VantageKind::Residential,
+        });
+        id += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use churnlab_topology::{generator, WorldConfig, WorldScale};
+
+    fn world() -> GeneratedWorld {
+        generator::generate(&WorldConfig::preset(WorldScale::Small, 4))
+    }
+
+    #[test]
+    fn placement_counts_and_kinds() {
+        let w = world();
+        let vps = place(&w, 20, 5, 1);
+        let vpn = vps.iter().filter(|v| v.kind == VantageKind::Vpn).count();
+        let res = vps.iter().filter(|v| v.kind == VantageKind::Residential).count();
+        assert_eq!(vpn, 20);
+        assert!(res <= 5);
+        // Each VPN VP lives in a content AS; residential in access stubs.
+        for v in &vps {
+            let info = w.topology.info_by_asn(v.asn).unwrap();
+            match v.kind {
+                VantageKind::Vpn => assert!(info.hosts_vpn_vantage()),
+                VantageKind::Residential => assert!(info.hosts_residential_vantage()),
+            }
+        }
+    }
+
+    #[test]
+    fn one_vp_per_as() {
+        let w = world();
+        let vps = place(&w, 500, 500, 1);
+        let mut asns: Vec<Asn> = vps.iter().map(|v| v.asn).collect();
+        let n = asns.len();
+        asns.sort();
+        asns.dedup();
+        assert_eq!(asns.len(), n, "duplicate vantage AS");
+    }
+
+    #[test]
+    fn vp_ips_map_back_to_as() {
+        let w = world();
+        for v in place(&w, 10, 3, 2) {
+            assert_eq!(w.ip2as.lookup(v.ip), Some(v.asn));
+        }
+    }
+
+    #[test]
+    fn org_pops_covered_first_with_shared_public_asn() {
+        let w = world();
+        let total_pops: usize = w.orgs.iter().map(|o| o.pops.len()).sum();
+        let vps = place(&w, total_pops + 10, 0, 1);
+        for org in &w.orgs {
+            for pop in &org.pops {
+                let vp = vps
+                    .iter()
+                    .find(|v| v.asn == *pop)
+                    .unwrap_or_else(|| panic!("PoP {pop} of {} has no VP", org.name));
+                assert_eq!(vp.public_asn, org.public, "PoP VPs share the org ASN");
+            }
+        }
+        // Non-org VPs have identity public ASNs.
+        for vp in &vps {
+            if !w.is_org_pop(vp.asn) {
+                assert_eq!(vp.public_asn, vp.asn);
+            }
+        }
+        // Multiple VPs share a public ASN only through orgs.
+        let shared = vps
+            .iter()
+            .filter(|v| vps.iter().filter(|u| u.public_asn == v.public_asn).count() > 1)
+            .all(|v| w.is_org_pop(v.asn));
+        assert!(shared);
+    }
+
+    #[test]
+    fn org_pops_exempt_from_avoid_list() {
+        let w = world();
+        // Avoid every country: only org PoPs (exempt) can host VPN VPs
+        // beyond the avoid cap.
+        let all: Vec<CountryCode> = w.topology.countries().iter().map(|c| c.code).collect();
+        let vps = place_avoiding(&w, 500, 0, &all, 0.0, 3);
+        let total_pops: usize = w.orgs.iter().map(|o| o.pops.len()).sum();
+        assert!(vps.len() >= total_pops, "org footprint must survive the avoid list");
+        assert!(vps.iter().take(total_pops).all(|v| w.is_org_pop(v.asn)));
+    }
+
+    #[test]
+    fn placement_deterministic() {
+        let w = world();
+        assert_eq!(place(&w, 15, 4, 9), place(&w, 15, 4, 9));
+        assert_ne!(place(&w, 15, 4, 9), place(&w, 15, 4, 10));
+    }
+}

@@ -1,0 +1,418 @@
+//! Solution counting, AllSAT with a cap, and backbone extraction.
+//!
+//! The tomography pipeline needs (§3.2):
+//!
+//! * the number of satisfying assignments, bucketed as 0 / 1 / 2 / … / 5+
+//!   (Figures 1 and 4) — [`count_solutions`] enumerates with a cap,
+//!   counting blocks of free variables in bulk (`2^k` completions at
+//!   once) so the cap is reached quickly even on wide instances;
+//! * the unique model when there is exactly one — carried by
+//!   [`SolutionCensus`];
+//! * the set of variables that are **false in every** solution — the
+//!   "definite non-censors" that shrink the candidate set (Figure 2).
+//!   [`backbone`] computes this *exactly* with one assumption-probe per
+//!   variable instead of relying on possibly-capped enumeration.
+
+use crate::cnf::{Cnf, Lit, Var};
+use crate::solver::{solve, solve_with};
+use crate::Solvability;
+use serde::{Deserialize, Serialize};
+
+/// A (possibly capped) count of satisfying assignments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolutionCount {
+    /// The exact model count.
+    Exact(u64),
+    /// Enumeration stopped at the cap; the true count is `>=` this.
+    AtLeast(u64),
+}
+
+impl SolutionCount {
+    /// Lower bound on the count.
+    pub fn lower_bound(self) -> u64 {
+        match self {
+            SolutionCount::Exact(n) | SolutionCount::AtLeast(n) => n,
+        }
+    }
+
+    /// The figure bucket: 0, 1, 2, 3, 4 map to themselves; ≥5 becomes 5.
+    pub fn bucket(self) -> u8 {
+        self.lower_bound().min(5) as u8
+    }
+
+    /// Solvability classification.
+    pub fn solvability(self) -> Solvability {
+        match self.lower_bound() {
+            0 => Solvability::Unsat,
+            1 => Solvability::Unique,
+            _ => Solvability::Multiple,
+        }
+    }
+}
+
+/// Count satisfying assignments up to `cap` (≥ 2). Counting is exact when
+/// the result is below the cap.
+pub fn count_solutions(cnf: &Cnf, cap: u64) -> SolutionCount {
+    assert!(cap >= 2, "a cap below 2 cannot distinguish unique from multiple");
+    let n = cnf.n_vars();
+    let mut assignment: Vec<Option<bool>> = vec![None; n];
+    let mut count: u64 = 0;
+    let mut capped = false;
+    enumerate_rec(cnf, &mut assignment, &mut count, cap, &mut capped, &mut |_| {});
+    if capped {
+        SolutionCount::AtLeast(count)
+    } else {
+        SolutionCount::Exact(count)
+    }
+}
+
+/// Recursive enumeration core. Calls `on_model` for each *distinct leaf*
+/// (a leaf with `k` free variables stands for `2^k` models; `on_model`
+/// receives the partial assignment). Stops once `count` reaches `cap`.
+fn enumerate_rec(
+    cnf: &Cnf,
+    assignment: &mut Vec<Option<bool>>,
+    count: &mut u64,
+    cap: u64,
+    capped: &mut bool,
+    on_model: &mut dyn FnMut(&[Option<bool>]),
+) {
+    if *count >= cap {
+        *capped = true;
+        return;
+    }
+    // Propagate units manually (cannot reuse solver's internal propagate
+    // since we need clause status too).
+    let snapshot = assignment.clone();
+    loop {
+        let mut changed = false;
+        for clause in cnf.clauses() {
+            let mut satisfied = false;
+            let mut unassigned: Option<Lit> = None;
+            let mut n_un = 0;
+            for l in clause {
+                match l.eval(assignment) {
+                    Some(true) => {
+                        satisfied = true;
+                        break;
+                    }
+                    Some(false) => {}
+                    None => {
+                        n_un += 1;
+                        unassigned = Some(*l);
+                    }
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match n_un {
+                0 => {
+                    *assignment = snapshot;
+                    return; // conflict
+                }
+                1 => {
+                    let l = unassigned.expect("single unassigned literal");
+                    assignment[l.var.usize()] = Some(l.positive);
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Find an unsatisfied clause with unassigned literals to branch on.
+    let branch_var = {
+        let mut v: Option<Var> = None;
+        'outer: for clause in cnf.clauses() {
+            if clause.iter().any(|l| l.eval(assignment) == Some(true)) {
+                continue;
+            }
+            for l in clause {
+                if l.eval(assignment).is_none() {
+                    v = Some(l.var);
+                    break 'outer;
+                }
+            }
+        }
+        v
+    };
+
+    match branch_var {
+        None => {
+            // All clauses satisfied: the free variables form a block of
+            // 2^k completions.
+            let free = assignment.iter().filter(|a| a.is_none()).count() as u32;
+            let block = 1u64.checked_shl(free).unwrap_or(u64::MAX);
+            *count = count.saturating_add(block);
+            if *count > cap {
+                *count = cap;
+                *capped = true;
+            }
+            on_model(assignment);
+        }
+        Some(v) => {
+            for value in [true, false] {
+                assignment[v.usize()] = Some(value);
+                enumerate_rec(cnf, assignment, count, cap, capped, on_model);
+                if *count >= cap && *capped {
+                    break;
+                }
+            }
+        }
+    }
+    *assignment = snapshot;
+}
+
+/// Exact ever-true / ever-false sets, computed with assumption probes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Backbone {
+    /// `ever_true[v]`: some model assigns `v = true` (a *potential censor*).
+    pub ever_true: Vec<bool>,
+    /// `ever_false[v]`: some model assigns `v = false`.
+    pub ever_false: Vec<bool>,
+}
+
+impl Backbone {
+    /// Variables true in *every* model (censors, when the instance is
+    /// satisfiable).
+    pub fn always_true(&self) -> Vec<Var> {
+        self.ever_true
+            .iter()
+            .zip(&self.ever_false)
+            .enumerate()
+            .filter(|(_, (t, f))| **t && !**f)
+            .map(|(i, _)| Var(i as u32))
+            .collect()
+    }
+
+    /// Variables false in *every* model (definite non-censors).
+    pub fn always_false(&self) -> Vec<Var> {
+        self.ever_true
+            .iter()
+            .zip(&self.ever_false)
+            .enumerate()
+            .filter(|(_, (t, f))| !**t && **f)
+            .map(|(i, _)| Var(i as u32))
+            .collect()
+    }
+}
+
+/// Compute the backbone (exact, one probe per variable per polarity).
+/// Returns `None` when the formula is unsatisfiable.
+pub fn backbone(cnf: &Cnf) -> Option<Backbone> {
+    let base = solve(cnf)?;
+    let n = cnf.n_vars();
+    let mut ever_true = vec![false; n];
+    let mut ever_false = vec![false; n];
+    // Seed with the found model (saves half the probes on average).
+    for (i, v) in base.iter().enumerate() {
+        if *v {
+            ever_true[i] = true;
+        } else {
+            ever_false[i] = true;
+        }
+    }
+    for i in 0..n {
+        if !ever_true[i] && solve_with(cnf, &[Lit::pos(Var(i as u32))]).is_some() {
+            ever_true[i] = true;
+        }
+        if !ever_false[i] && solve_with(cnf, &[Lit::neg(Var(i as u32))]).is_some() {
+            ever_false[i] = true;
+        }
+    }
+    Some(Backbone { ever_true, ever_false })
+}
+
+/// The full census the tomography pipeline consumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolutionCensus {
+    /// Model count (possibly capped).
+    pub count: SolutionCount,
+    /// The unique model, when `count == Exact(1)`.
+    pub unique_model: Option<Vec<bool>>,
+    /// Exact backbone (`None` iff unsatisfiable).
+    pub backbone: Option<Backbone>,
+}
+
+impl SolutionCensus {
+    /// Solvability classification.
+    pub fn solvability(&self) -> Solvability {
+        self.count.solvability()
+    }
+}
+
+/// Compute the census: count (capped), unique model, and exact backbone.
+///
+/// The paper's §3.1 example, end to end: the AS path X→Y→Z saw DNS
+/// censorship — clause (X ∨ Y ∨ Z) = T — while a second test over X→Y
+/// came back clean, which contributes unit negations ¬X ∧ ¬Y:
+///
+/// ```
+/// use churnlab_sat::{census, Cnf, Solvability, Var};
+///
+/// let (x, y, z) = (Var(0), Var(1), Var(2));
+/// let mut cnf = Cnf::new(3);
+/// cnf.add_positive_clause([x, y, z]); // censored path
+/// cnf.add_negative_facts([x, y]);     // clean path
+///
+/// let result = census(&cnf, 64);
+/// assert_eq!(result.solvability(), Solvability::Unique);
+/// // The single model names Z — and only Z — as the censor.
+/// assert_eq!(result.unique_model.unwrap(), vec![false, false, true]);
+/// ```
+pub fn census(cnf: &Cnf, cap: u64) -> SolutionCensus {
+    let count = count_solutions(cnf, cap);
+    let backbone = backbone(cnf);
+    let unique_model = if count == SolutionCount::Exact(1) {
+        // The backbone of a single-model formula IS the model.
+        backbone.as_ref().map(|b| b.ever_true.clone())
+    } else {
+        None
+    };
+    SolutionCensus { count, unique_model, backbone }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_formula_counts_all_assignments() {
+        let f = Cnf::new(3);
+        assert_eq!(count_solutions(&f, 100), SolutionCount::Exact(8));
+    }
+
+    #[test]
+    fn unsat_counts_zero() {
+        let mut f = Cnf::new(1);
+        f.add_clause(vec![Lit::pos(Var(0))]);
+        f.add_clause(vec![Lit::neg(Var(0))]);
+        assert_eq!(count_solutions(&f, 10), SolutionCount::Exact(0));
+        assert!(backbone(&f).is_none());
+        let c = census(&f, 10);
+        assert_eq!(c.solvability(), Solvability::Unsat);
+        assert!(c.unique_model.is_none());
+    }
+
+    #[test]
+    fn forced_model_counts_one() {
+        let mut f = Cnf::new(3);
+        f.add_positive_clause([Var(0), Var(1), Var(2)]);
+        f.add_negative_facts([Var(0), Var(1)]);
+        let c = census(&f, 10);
+        assert_eq!(c.count, SolutionCount::Exact(1));
+        assert_eq!(c.unique_model, Some(vec![false, false, true]));
+        assert_eq!(c.solvability(), Solvability::Unique);
+        let b = c.backbone.unwrap();
+        assert_eq!(b.always_true(), vec![Var(2)]);
+        assert_eq!(b.always_false(), vec![Var(0), Var(1)]);
+    }
+
+    #[test]
+    fn single_positive_clause_counts_2n_minus_1() {
+        let mut f = Cnf::new(3);
+        f.add_positive_clause([Var(0), Var(1), Var(2)]);
+        assert_eq!(count_solutions(&f, 100), SolutionCount::Exact(7));
+        let b = backbone(&f).unwrap();
+        assert!(b.ever_true.iter().all(|t| *t), "every var can censor");
+        assert!(b.always_false().is_empty());
+        assert!(b.always_true().is_empty());
+    }
+
+    #[test]
+    fn cap_reported_as_lower_bound() {
+        let f = Cnf::new(20); // 2^20 models
+        let c = count_solutions(&f, 64);
+        assert_eq!(c, SolutionCount::AtLeast(64));
+        assert_eq!(c.bucket(), 5);
+        assert_eq!(c.solvability(), Solvability::Multiple);
+    }
+
+    #[test]
+    fn buckets() {
+        assert_eq!(SolutionCount::Exact(0).bucket(), 0);
+        assert_eq!(SolutionCount::Exact(1).bucket(), 1);
+        assert_eq!(SolutionCount::Exact(4).bucket(), 4);
+        assert_eq!(SolutionCount::Exact(9).bucket(), 5);
+        assert_eq!(SolutionCount::AtLeast(64).bucket(), 5);
+    }
+
+    #[test]
+    fn elimination_semantics_match_paper() {
+        // Two censored paths sharing AS 1, plus a clean path over AS 0:
+        // (0∨1) ∧ (1∨2) ∧ ¬0 ⇒ 1 is forced true, 2 free: models are
+        // {1}, {1,2} → count 2, ever_true = {1, 2}, always_false = {0}.
+        let mut f = Cnf::new(3);
+        f.add_positive_clause([Var(0), Var(1)]);
+        f.add_positive_clause([Var(1), Var(2)]);
+        f.add_negative_facts([Var(0)]);
+        let c = census(&f, 100);
+        assert_eq!(c.count, SolutionCount::Exact(2));
+        let b = c.backbone.unwrap();
+        assert_eq!(b.always_false(), vec![Var(0)]);
+        assert_eq!(b.always_true(), vec![Var(1)]);
+        assert!(b.ever_true[2]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_count_matches_brute_force(
+            n in 1usize..10,
+            clauses in proptest::collection::vec(
+                proptest::collection::vec((0u32..10, any::<bool>()), 1..4),
+                0..12,
+            ),
+        ) {
+            let mut f = Cnf::new(n);
+            for c in clauses {
+                let lits: Vec<Lit> = c
+                    .into_iter()
+                    .map(|(v, p)| Lit { var: Var(v % n as u32), positive: p })
+                    .collect();
+                f.add_clause(lits);
+            }
+            let expected = brute::count(&f);
+            prop_assert_eq!(count_solutions(&f, 1u64 << 12), SolutionCount::Exact(expected));
+            // Backbone agreement.
+            match (backbone(&f), brute::backbone(&f)) {
+                (None, None) => {}
+                (Some(b), Some(bb)) => {
+                    prop_assert_eq!(b.ever_true, bb.ever_true);
+                    prop_assert_eq!(b.ever_false, bb.ever_false);
+                }
+                (a, b) => prop_assert!(false, "backbone disagreement: {:?} vs {:?}", a.is_some(), b.is_some()),
+            }
+        }
+
+        #[test]
+        fn prop_unique_model_is_a_model(
+            n in 1usize..8,
+            clauses in proptest::collection::vec(
+                proptest::collection::vec((0u32..8, any::<bool>()), 1..3),
+                0..10,
+            ),
+        ) {
+            let mut f = Cnf::new(n);
+            for c in clauses {
+                let lits: Vec<Lit> = c
+                    .into_iter()
+                    .map(|(v, p)| Lit { var: Var(v % n as u32), positive: p })
+                    .collect();
+                f.add_clause(lits);
+            }
+            let c = census(&f, 64);
+            if let Some(m) = &c.unique_model {
+                prop_assert!(f.eval(m));
+                prop_assert_eq!(c.count, SolutionCount::Exact(1));
+            }
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! DPLL satisfiability with unit propagation and assumptions.
+//!
+//! Deliberately simple (the paper's instances are tiny: a CNF has one
+//! variable per AS observed on the measured paths), but complete and
+//! allocation-conscious: iterative propagation, explicit branch stack, no
+//! recursion.
+
+use crate::cnf::{Cnf, Lit, Var};
+
+/// Result of unit propagation over a partial assignment.
+enum Propagation {
+    /// Assignment extended without conflict.
+    Ok,
+    /// A clause became empty: the branch is dead.
+    Conflict,
+}
+
+/// Propagate unit clauses until fixpoint. `trail` records newly assigned
+/// variables so the caller can undo.
+fn propagate(cnf: &Cnf, assignment: &mut [Option<bool>], trail: &mut Vec<Var>) -> Propagation {
+    loop {
+        let mut changed = false;
+        for clause in cnf.clauses() {
+            let mut satisfied = false;
+            let mut unassigned: Option<Lit> = None;
+            let mut n_unassigned = 0;
+            for l in clause {
+                match l.eval(assignment) {
+                    Some(true) => {
+                        satisfied = true;
+                        break;
+                    }
+                    Some(false) => {}
+                    None => {
+                        n_unassigned += 1;
+                        unassigned = Some(*l);
+                    }
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match n_unassigned {
+                0 => return Propagation::Conflict,
+                1 => {
+                    let l = unassigned.expect("counted one unassigned literal");
+                    assignment[l.var.usize()] = Some(l.positive);
+                    trail.push(l.var);
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            return Propagation::Ok;
+        }
+    }
+}
+
+/// Pick the unassigned variable occurring in the most unsatisfied clauses
+/// (a cheap MOM-style heuristic); `None` when everything is assigned or
+/// all clauses are satisfied.
+fn pick_branch_var(cnf: &Cnf, assignment: &[Option<bool>]) -> Option<Var> {
+    let mut counts: std::collections::HashMap<Var, usize> = std::collections::HashMap::new();
+    for clause in cnf.clauses() {
+        let satisfied = clause.iter().any(|l| l.eval(assignment) == Some(true));
+        if satisfied {
+            continue;
+        }
+        for l in clause {
+            if l.eval(assignment).is_none() {
+                *counts.entry(l.var).or_insert(0) += 1;
+            }
+        }
+    }
+    counts
+        .into_iter()
+        .max_by_key(|&(v, c)| (c, std::cmp::Reverse(v)))
+        .map(|(v, _)| v)
+}
+
+/// Solve `cnf`; returns a complete satisfying assignment or `None`.
+/// Variables not constrained by any clause are assigned `false`.
+pub fn solve(cnf: &Cnf) -> Option<Vec<bool>> {
+    solve_with(cnf, &[])
+}
+
+/// Solve under assumptions (forced literals). Used for backbone probing:
+/// "is there a solution where X is true?".
+pub fn solve_with(cnf: &Cnf, assumptions: &[Lit]) -> Option<Vec<bool>> {
+    let n = cnf.n_vars();
+    let mut assignment: Vec<Option<bool>> = vec![None; n];
+    for a in assumptions {
+        match assignment[a.var.usize()] {
+            Some(v) if v != a.positive => return None, // contradictory assumptions
+            _ => assignment[a.var.usize()] = Some(a.positive),
+        }
+    }
+
+    // Branch stack: (var, next_value_to_try, trail_len_before, tried_both)
+    struct Frame {
+        var: Var,
+        tried_second: bool,
+        trail_mark: usize,
+    }
+    let mut trail: Vec<Var> = Vec::new();
+    let mut stack: Vec<Frame> = Vec::new();
+
+    // Initial propagation.
+    if matches!(propagate(cnf, &mut assignment, &mut trail), Propagation::Conflict) {
+        return None;
+    }
+
+    loop {
+        match pick_branch_var(cnf, &assignment) {
+            None => {
+                // All clauses satisfied; complete the assignment.
+                let out: Vec<bool> = assignment.iter().map(|v| v.unwrap_or(false)).collect();
+                debug_assert!(cnf.eval(&out));
+                return Some(out);
+            }
+            Some(var) => {
+                // Branch: try `true` first (positive clauses dominate our
+                // instances, so true-first finds models fast).
+                let mark = trail.len();
+                assignment[var.usize()] = Some(true);
+                trail.push(var);
+                stack.push(Frame { var, tried_second: false, trail_mark: mark });
+                loop {
+                    if matches!(propagate(cnf, &mut assignment, &mut trail), Propagation::Ok) {
+                        break; // descend further
+                    }
+                    // Conflict: backtrack.
+                    loop {
+                        match stack.pop() {
+                            None => return None,
+                            Some(f) => {
+                                // Undo everything after this frame's mark.
+                                while trail.len() > f.trail_mark {
+                                    let v = trail.pop().expect("trail bounded by mark");
+                                    assignment[v.usize()] = None;
+                                }
+                                if !f.tried_second {
+                                    assignment[f.var.usize()] = Some(false);
+                                    trail.push(f.var);
+                                    stack.push(Frame {
+                                        var: f.var,
+                                        tried_second: true,
+                                        trail_mark: f.trail_mark,
+                                    });
+                                    break;
+                                }
+                                // Both polarities failed here; pop further.
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::{Cnf, Lit, Var};
+
+    #[test]
+    fn empty_formula_sat() {
+        let f = Cnf::new(3);
+        let m = solve(&f).unwrap();
+        assert_eq!(m, vec![false, false, false]);
+    }
+
+    #[test]
+    fn unit_contradiction_unsat() {
+        let mut f = Cnf::new(1);
+        f.add_clause(vec![Lit::pos(Var(0))]);
+        f.add_clause(vec![Lit::neg(Var(0))]);
+        assert!(solve(&f).is_none());
+    }
+
+    #[test]
+    fn paper_style_instance() {
+        // Path X→Y→Z censored; paths X→Y and Y→Z clean ⇒ Z is the censor…
+        // wait: clean X,Y leaves only Z. (X∨Y∨Z) ∧ ¬X ∧ ¬Y ⇒ Z.
+        let mut f = Cnf::new(3);
+        f.add_positive_clause([Var(0), Var(1), Var(2)]);
+        f.add_negative_facts([Var(0), Var(1)]);
+        let m = solve(&f).unwrap();
+        assert_eq!(m, vec![false, false, true]);
+    }
+
+    #[test]
+    fn assumptions_respected() {
+        let mut f = Cnf::new(2);
+        f.add_positive_clause([Var(0), Var(1)]);
+        let m = solve_with(&f, &[Lit::neg(Var(0))]).unwrap();
+        assert!(!m[0]);
+        assert!(m[1]);
+        // Assume both false: unsat.
+        assert!(solve_with(&f, &[Lit::neg(Var(0)), Lit::neg(Var(1))]).is_none());
+        // Contradictory assumptions.
+        assert!(solve_with(&f, &[Lit::pos(Var(0)), Lit::neg(Var(0))]).is_none());
+    }
+
+    #[test]
+    fn needs_real_backtracking() {
+        // (a∨b) ∧ (¬a∨c) ∧ (¬b∨c) ∧ (¬c∨a) ∧ (¬c∨¬b): forces a=c=true, b=false.
+        let mut f = Cnf::new(3);
+        let (a, b, c) = (Var(0), Var(1), Var(2));
+        f.add_clause(vec![Lit::pos(a), Lit::pos(b)]);
+        f.add_clause(vec![Lit::neg(a), Lit::pos(c)]);
+        f.add_clause(vec![Lit::neg(b), Lit::pos(c)]);
+        f.add_clause(vec![Lit::neg(c), Lit::pos(a)]);
+        f.add_clause(vec![Lit::neg(c), Lit::neg(b)]);
+        let m = solve(&f).unwrap();
+        assert!(f.eval(&m));
+        assert_eq!(m, vec![true, false, true]);
+    }
+
+    #[test]
+    fn pigeonhole_2_into_1_unsat() {
+        // Two pigeons, one hole: p0h0 ∧ p1h0 both needed but mutually
+        // exclusive. vars: x0 = pigeon0 in hole, x1 = pigeon1 in hole.
+        let mut f = Cnf::new(2);
+        f.add_clause(vec![Lit::pos(Var(0))]);
+        f.add_clause(vec![Lit::pos(Var(1))]);
+        f.add_clause(vec![Lit::neg(Var(0)), Lit::neg(Var(1))]);
+        assert!(solve(&f).is_none());
+    }
+
+    #[test]
+    fn larger_random_instances_agree_with_eval() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..100 {
+            let n = rng.gen_range(1..12usize);
+            let mut f = Cnf::new(n);
+            for _ in 0..rng.gen_range(0..20usize) {
+                let len = rng.gen_range(1..=3.min(n));
+                let clause: Vec<Lit> = (0..len)
+                    .map(|_| Lit {
+                        var: Var(rng.gen_range(0..n as u32)),
+                        positive: rng.gen_bool(0.5),
+                    })
+                    .collect();
+                f.add_clause(clause);
+            }
+            if let Some(m) = solve(&f) {
+                assert!(f.eval(&m), "solver returned a non-model");
+            } else {
+                // Cross-check with brute force.
+                let mut found = false;
+                for bits in 0..(1u32 << n) {
+                    let a: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+                    if f.eval(&a) {
+                        found = true;
+                        break;
+                    }
+                }
+                assert!(!found, "solver claimed UNSAT on a satisfiable formula");
+            }
+        }
+    }
+}

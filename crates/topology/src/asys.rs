@@ -1,0 +1,164 @@
+//! Autonomous systems: ASNs, CAIDA-style classes, and topological roles.
+
+use crate::geo::CountryCode;
+use serde::{Deserialize, Serialize};
+
+/// An Autonomous System Number.
+///
+/// Newtype over `u32` (real ASNs are 32-bit since RFC 6793). Displayed as
+/// `AS1299` like the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Asn(pub u32);
+
+impl std::fmt::Display for Asn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// CAIDA-style business class of an AS (CAIDA AS Classification dataset:
+/// Transit/Access, Content, Enterprise). The paper uses this database to
+/// check that churn does not differ by destination class (§4, Figure 3
+/// discussion) and notes most ICLab vantage points sit in *content* ASes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AsClass {
+    /// Provides transit and/or residential access.
+    TransitAccess,
+    /// Hosts content (CDNs, hosting providers, VPN exits).
+    Content,
+    /// Self-operating enterprise network.
+    Enterprise,
+}
+
+impl AsClass {
+    /// All classes in stable order.
+    pub const ALL: [AsClass; 3] = [AsClass::TransitAccess, AsClass::Content, AsClass::Enterprise];
+
+    /// Short label matching CAIDA nomenclature.
+    pub fn label(self) -> &'static str {
+        match self {
+            AsClass::TransitAccess => "transit",
+            AsClass::Content => "content",
+            AsClass::Enterprise => "enterprise",
+        }
+    }
+}
+
+impl std::fmt::Display for AsClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Topological role assigned by the generator. Orthogonal to [`AsClass`]:
+/// the role describes where the AS sits in the provider hierarchy, the
+/// class describes its business. (A national transit is `TransitAccess` by
+/// class and `NationalTransit` by role; a stub may be any class.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AsRole {
+    /// Global tier-1 backbone; member of the peering clique; no providers.
+    Tier1,
+    /// Country-level transit provider; customer of tier-1s.
+    NationalTransit,
+    /// Regional/metro ISP; customer of national transits.
+    RegionalIsp,
+    /// Edge network: content farm, enterprise, or eyeball access network.
+    Stub,
+}
+
+impl AsRole {
+    /// Short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AsRole::Tier1 => "tier1",
+            AsRole::NationalTransit => "national",
+            AsRole::RegionalIsp => "regional",
+            AsRole::Stub => "stub",
+        }
+    }
+}
+
+impl std::fmt::Display for AsRole {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Static metadata for one AS.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsInfo {
+    /// The AS number.
+    pub asn: Asn,
+    /// Organization name (synthetic but stable, e.g. `"CN-National-1"`).
+    pub name: String,
+    /// Country of registration — the censorship jurisdiction.
+    pub country: CountryCode,
+    /// CAIDA-style business class.
+    pub class: AsClass,
+    /// Topological role.
+    pub role: AsRole,
+}
+
+impl AsInfo {
+    /// True if this AS can plausibly host web servers tested by the
+    /// platform (content networks and enterprises hosting their own sites).
+    pub fn hosts_content(&self) -> bool {
+        matches!(self.class, AsClass::Content | AsClass::Enterprise)
+    }
+
+    /// True if this AS can plausibly host a VPN-based vantage point.
+    /// ICLab's VPN vantage points overwhelmingly sit in content ASes
+    /// (datacenter/hosting networks).
+    pub fn hosts_vpn_vantage(&self) -> bool {
+        self.class == AsClass::Content
+    }
+
+    /// True if this AS can host a volunteer (residential RPi) vantage
+    /// point: access networks only.
+    pub fn hosts_residential_vantage(&self) -> bool {
+        self.class == AsClass::TransitAccess && self.role == AsRole::Stub
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asn_display_matches_paper_style() {
+        assert_eq!(Asn(1299).to_string(), "AS1299");
+        assert_eq!(Asn(58461).to_string(), "AS58461");
+    }
+
+    #[test]
+    fn asn_ordering_is_numeric() {
+        assert!(Asn(99) < Asn(100));
+        let mut v = vec![Asn(5), Asn(1), Asn(3)];
+        v.sort();
+        assert_eq!(v, vec![Asn(1), Asn(3), Asn(5)]);
+    }
+
+    #[test]
+    fn vantage_hosting_rules() {
+        let mk = |class, role| AsInfo {
+            asn: Asn(1),
+            name: "x".into(),
+            country: CountryCode::new("US"),
+            class,
+            role,
+        };
+        assert!(mk(AsClass::Content, AsRole::Stub).hosts_vpn_vantage());
+        assert!(!mk(AsClass::Enterprise, AsRole::Stub).hosts_vpn_vantage());
+        assert!(mk(AsClass::TransitAccess, AsRole::Stub).hosts_residential_vantage());
+        assert!(!mk(AsClass::TransitAccess, AsRole::NationalTransit).hosts_residential_vantage());
+        assert!(mk(AsClass::Content, AsRole::Stub).hosts_content());
+        assert!(mk(AsClass::Enterprise, AsRole::Stub).hosts_content());
+        assert!(!mk(AsClass::TransitAccess, AsRole::Stub).hosts_content());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(AsClass::TransitAccess.label(), "transit");
+        assert_eq!(AsRole::Tier1.label(), "tier1");
+    }
+}

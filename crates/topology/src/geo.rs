@@ -1,0 +1,316 @@
+//! Countries and geographic regions.
+//!
+//! Censorship in the paper is a *jurisdictional* phenomenon: policies are
+//! mandated per country, implemented by ASes registered in that country,
+//! and "leakage" (§3.3) is precisely censorship crossing a country border.
+//! The region grouping supports the Figure-5 observation that leakage is
+//! mostly *regional* (European censors leak to Europe, Middle-Eastern
+//! censors to the Middle East) with China as the global exception.
+
+use serde::{Deserialize, Serialize};
+
+/// A coarse geographic region, used for IXP-style peering locality in the
+/// topology generator and for the regionality analysis of Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Region {
+    /// United States, Canada.
+    NorthAmerica,
+    /// Central and South America.
+    LatinAmerica,
+    /// EU-west + UK, Ireland, Nordics.
+    WesternEurope,
+    /// Central/Eastern Europe, Russia, Ukraine, Balkans.
+    EasternEurope,
+    /// Gulf states, Levant, Turkey, Iran, Cyprus.
+    MiddleEast,
+    /// China, Japan, Koreas, Taiwan, Hong Kong.
+    EastAsia,
+    /// India, Pakistan, Bangladesh, Sri Lanka.
+    SouthAsia,
+    /// Singapore, Indonesia, Vietnam, Thailand, Philippines, Malaysia.
+    SoutheastAsia,
+    /// Kazakhstan and neighbours.
+    CentralAsia,
+    /// Australia, New Zealand, Pacific islands.
+    Oceania,
+    /// The African continent.
+    Africa,
+}
+
+impl Region {
+    /// All regions, in a stable order.
+    pub const ALL: [Region; 11] = [
+        Region::NorthAmerica,
+        Region::LatinAmerica,
+        Region::WesternEurope,
+        Region::EasternEurope,
+        Region::MiddleEast,
+        Region::EastAsia,
+        Region::SouthAsia,
+        Region::SoutheastAsia,
+        Region::CentralAsia,
+        Region::Oceania,
+        Region::Africa,
+    ];
+
+    /// Short machine-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Region::NorthAmerica => "na",
+            Region::LatinAmerica => "latam",
+            Region::WesternEurope => "weu",
+            Region::EasternEurope => "eeu",
+            Region::MiddleEast => "me",
+            Region::EastAsia => "eas",
+            Region::SouthAsia => "sas",
+            Region::SoutheastAsia => "sea",
+            Region::CentralAsia => "cas",
+            Region::Oceania => "oce",
+            Region::Africa => "afr",
+        }
+    }
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Two-letter country code (ISO-3166-alpha-2 style; synthetic codes use a
+/// digit in the second position, e.g. `X3`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CountryCode(pub [u8; 2]);
+
+impl CountryCode {
+    /// Construct from a 2-character ASCII string. Panics on wrong length.
+    pub fn new(code: &str) -> Self {
+        let b = code.as_bytes();
+        assert!(b.len() == 2, "country code must be 2 ASCII chars, got {code:?}");
+        CountryCode([b[0], b[1]])
+    }
+
+    /// The code as a `&str`.
+    pub fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.0).expect("country codes are ASCII by construction")
+    }
+}
+
+impl std::fmt::Display for CountryCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::fmt::Debug for CountryCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CountryCode({})", self.as_str())
+    }
+}
+
+/// A country: code, human-readable name, and region.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Country {
+    /// Two-letter code.
+    pub code: CountryCode,
+    /// Human-readable name.
+    pub name: String,
+    /// Geographic region.
+    pub region: Region,
+}
+
+impl Country {
+    /// Construct a country.
+    pub fn new(code: &str, name: &str, region: Region) -> Self {
+        Country { code: CountryCode::new(code), name: name.to_string(), region }
+    }
+}
+
+/// The built-in country catalog.
+///
+/// Covers every country named in the paper (China, UK, Singapore, Poland,
+/// Cyprus, Sweden, Ukraine, UAE, Ireland, Spain, Japan, Russia, US, Iran,
+/// Syria, Pakistan, …) plus enough others for a plausible world. Scenario
+/// configs that request more countries than the catalog holds get synthetic
+/// `X#`-coded countries appended round-robin across regions.
+pub fn catalog() -> Vec<Country> {
+    use Region::*;
+    let spec: &[(&str, &str, Region)] = &[
+        ("US", "United States", NorthAmerica),
+        ("CA", "Canada", NorthAmerica),
+        ("MX", "Mexico", LatinAmerica),
+        ("BR", "Brazil", LatinAmerica),
+        ("AR", "Argentina", LatinAmerica),
+        ("CL", "Chile", LatinAmerica),
+        ("CO", "Colombia", LatinAmerica),
+        ("VE", "Venezuela", LatinAmerica),
+        ("GB", "United Kingdom", WesternEurope),
+        ("IE", "Ireland", WesternEurope),
+        ("FR", "France", WesternEurope),
+        ("DE", "Germany", WesternEurope),
+        ("NL", "Netherlands", WesternEurope),
+        ("BE", "Belgium", WesternEurope),
+        ("ES", "Spain", WesternEurope),
+        ("PT", "Portugal", WesternEurope),
+        ("IT", "Italy", WesternEurope),
+        ("CH", "Switzerland", WesternEurope),
+        ("AT", "Austria", WesternEurope),
+        ("SE", "Sweden", WesternEurope),
+        ("NO", "Norway", WesternEurope),
+        ("DK", "Denmark", WesternEurope),
+        ("FI", "Finland", WesternEurope),
+        ("PL", "Poland", EasternEurope),
+        ("CZ", "Czechia", EasternEurope),
+        ("SK", "Slovakia", EasternEurope),
+        ("HU", "Hungary", EasternEurope),
+        ("RO", "Romania", EasternEurope),
+        ("BG", "Bulgaria", EasternEurope),
+        ("GR", "Greece", EasternEurope),
+        ("RS", "Serbia", EasternEurope),
+        ("UA", "Ukraine", EasternEurope),
+        ("BY", "Belarus", EasternEurope),
+        ("RU", "Russia", EasternEurope),
+        ("EE", "Estonia", EasternEurope),
+        ("LV", "Latvia", EasternEurope),
+        ("LT", "Lithuania", EasternEurope),
+        ("TR", "Turkey", MiddleEast),
+        ("CY", "Cyprus", MiddleEast),
+        ("IL", "Israel", MiddleEast),
+        ("JO", "Jordan", MiddleEast),
+        ("LB", "Lebanon", MiddleEast),
+        ("SA", "Saudi Arabia", MiddleEast),
+        ("AE", "United Arab Emirates", MiddleEast),
+        ("QA", "Qatar", MiddleEast),
+        ("KW", "Kuwait", MiddleEast),
+        ("BH", "Bahrain", MiddleEast),
+        ("OM", "Oman", MiddleEast),
+        ("IR", "Iran", MiddleEast),
+        ("IQ", "Iraq", MiddleEast),
+        ("EG", "Egypt", MiddleEast),
+        ("CN", "China", EastAsia),
+        ("HK", "Hong Kong", EastAsia),
+        ("TW", "Taiwan", EastAsia),
+        ("JP", "Japan", EastAsia),
+        ("KR", "South Korea", EastAsia),
+        ("MN", "Mongolia", EastAsia),
+        ("IN", "India", SouthAsia),
+        ("PK", "Pakistan", SouthAsia),
+        ("BD", "Bangladesh", SouthAsia),
+        ("LK", "Sri Lanka", SouthAsia),
+        ("NP", "Nepal", SouthAsia),
+        ("SG", "Singapore", SoutheastAsia),
+        ("MY", "Malaysia", SoutheastAsia),
+        ("ID", "Indonesia", SoutheastAsia),
+        ("TH", "Thailand", SoutheastAsia),
+        ("VN", "Vietnam", SoutheastAsia),
+        ("PH", "Philippines", SoutheastAsia),
+        ("MM", "Myanmar", SoutheastAsia),
+        ("KH", "Cambodia", SoutheastAsia),
+        ("KZ", "Kazakhstan", CentralAsia),
+        ("UZ", "Uzbekistan", CentralAsia),
+        ("TM", "Turkmenistan", CentralAsia),
+        ("KG", "Kyrgyzstan", CentralAsia),
+        ("AU", "Australia", Oceania),
+        ("NZ", "New Zealand", Oceania),
+        ("FJ", "Fiji", Oceania),
+        ("ZA", "South Africa", Africa),
+        ("NG", "Nigeria", Africa),
+        ("KE", "Kenya", Africa),
+        ("GH", "Ghana", Africa),
+        ("MA", "Morocco", Africa),
+        ("TN", "Tunisia", Africa),
+        ("ET", "Ethiopia", Africa),
+        ("TZ", "Tanzania", Africa),
+        ("SN", "Senegal", Africa),
+        ("DZ", "Algeria", Africa),
+    ];
+    spec.iter().map(|(c, n, r)| Country::new(c, n, *r)).collect()
+}
+
+/// Return `n` countries: the catalog head, extended with synthetic
+/// countries if `n` exceeds the catalog size. Synthetic countries cycle
+/// through all regions so every region stays populated.
+pub fn countries(n: usize) -> Vec<Country> {
+    let mut out = catalog();
+    if n <= out.len() {
+        out.truncate(n);
+        return out;
+    }
+    let mut i = 0usize;
+    while out.len() < n {
+        let region = Region::ALL[i % Region::ALL.len()];
+        // Synthetic codes: A0, A1, .. A9, B0, ... — never collide with real
+        // ISO codes because the second character is a digit.
+        let c0 = b'A' + (i / 10) as u8 % 26;
+        let c1 = b'0' + (i % 10) as u8;
+        let code = String::from_utf8(vec![c0, c1]).expect("ascii");
+        out.push(Country::new(&code, &format!("Synthetica-{i}"), region));
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_all_paper_countries() {
+        let cat = catalog();
+        for code in ["CN", "GB", "SG", "PL", "CY", "SE", "UA", "AE", "IE", "ES", "JP", "RU", "US"] {
+            assert!(
+                cat.iter().any(|c| c.code.as_str() == code),
+                "missing paper country {code}"
+            );
+        }
+    }
+
+    #[test]
+    fn catalog_codes_unique() {
+        let cat = catalog();
+        let mut codes: Vec<_> = cat.iter().map(|c| c.code).collect();
+        codes.sort();
+        codes.dedup();
+        assert_eq!(codes.len(), cat.len());
+    }
+
+    #[test]
+    fn countries_extends_synthetically() {
+        let cs = countries(150);
+        assert_eq!(cs.len(), 150);
+        let mut codes: Vec<_> = cs.iter().map(|c| c.code).collect();
+        codes.sort();
+        codes.dedup();
+        assert_eq!(codes.len(), 150, "synthetic codes must not collide");
+        // Every region is populated.
+        for r in Region::ALL {
+            assert!(cs.iter().any(|c| c.region == r), "region {r} empty");
+        }
+    }
+
+    #[test]
+    fn countries_truncates() {
+        assert_eq!(countries(5).len(), 5);
+    }
+
+    #[test]
+    fn country_code_display_roundtrip() {
+        let c = CountryCode::new("CN");
+        assert_eq!(c.to_string(), "CN");
+        assert_eq!(c.as_str(), "CN");
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_country_code_panics() {
+        CountryCode::new("USA");
+    }
+
+    #[test]
+    fn region_labels_unique() {
+        let mut labels: Vec<_> = Region::ALL.iter().map(|r| r.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), Region::ALL.len());
+    }
+}

@@ -1,0 +1,454 @@
+//! The topology container: AS metadata, links, relationship-aware
+//! adjacency, and structural validation.
+
+use crate::asys::{AsInfo, AsRole, Asn};
+use crate::geo::{Country, CountryCode};
+use crate::links::{Link, LinkId, Relationship};
+use crate::TopologyError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Dense index of an AS inside a [`Topology`] (stable for the lifetime of
+/// the topology; used by the routing simulator for array-indexed state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AsIdx(pub u32);
+
+impl AsIdx {
+    /// As a usize, for indexing.
+    #[inline]
+    pub fn usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Direction of an adjacency entry from the perspective of the AS that owns
+/// the entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// The neighbour is my provider (I send them money).
+    ToProvider,
+    /// The neighbour is my customer.
+    ToCustomer,
+    /// The neighbour is a settlement-free peer.
+    ToPeer,
+}
+
+/// One adjacency entry: neighbour, the link it rides on, and its kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Adjacency {
+    /// Neighbour AS.
+    pub peer: AsIdx,
+    /// Link identifier (for churn state lookups).
+    pub link: LinkId,
+    /// Relationship from this AS's perspective.
+    pub kind: EdgeKind,
+}
+
+/// An AS-level topology: the synthetic Internet.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    ases: Vec<AsInfo>,
+    asn_to_idx: HashMap<Asn, AsIdx>,
+    links: Vec<Link>,
+    adj: Vec<Vec<Adjacency>>,
+    countries: Vec<Country>,
+    country_idx: HashMap<CountryCode, usize>,
+}
+
+impl Topology {
+    /// Empty topology over the given country table.
+    pub fn new(countries: Vec<Country>) -> Self {
+        let country_idx =
+            countries.iter().enumerate().map(|(i, c)| (c.code, i)).collect::<HashMap<_, _>>();
+        Topology {
+            ases: Vec::new(),
+            asn_to_idx: HashMap::new(),
+            links: Vec::new(),
+            adj: Vec::new(),
+            countries,
+            country_idx,
+        }
+    }
+
+    /// Number of ASes.
+    pub fn n_ases(&self) -> usize {
+        self.ases.len()
+    }
+
+    /// Number of links.
+    pub fn n_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// All ASes, in index order.
+    pub fn ases(&self) -> &[AsInfo] {
+        &self.ases
+    }
+
+    /// All links, in [`LinkId`] order.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// All countries.
+    pub fn countries(&self) -> &[Country] {
+        &self.countries
+    }
+
+    /// Look up a country by code.
+    pub fn country(&self, code: CountryCode) -> Option<&Country> {
+        self.country_idx.get(&code).map(|&i| &self.countries[i])
+    }
+
+    /// Add an AS. Errors on duplicate ASN.
+    pub fn add_as(&mut self, info: AsInfo) -> Result<AsIdx, TopologyError> {
+        if self.asn_to_idx.contains_key(&info.asn) {
+            return Err(TopologyError::DuplicateAsn(info.asn));
+        }
+        let idx = AsIdx(self.ases.len() as u32);
+        self.asn_to_idx.insert(info.asn, idx);
+        self.ases.push(info);
+        self.adj.push(Vec::new());
+        Ok(idx)
+    }
+
+    /// Add a link. Errors on unknown endpoints, self-links, and duplicate
+    /// unordered pairs.
+    pub fn add_link(&mut self, link: Link) -> Result<LinkId, TopologyError> {
+        if link.a == link.b {
+            return Err(TopologyError::SelfLink(link.a));
+        }
+        let ia = self.idx(link.a).ok_or(TopologyError::UnknownAsn(link.a))?;
+        let ib = self.idx(link.b).ok_or(TopologyError::UnknownAsn(link.b))?;
+        let dup = self.adj[ia.usize()].iter().any(|adj| adj.peer == ib);
+        if dup {
+            return Err(TopologyError::DuplicateLink(link.a, link.b));
+        }
+        let id = LinkId(self.links.len() as u32);
+        let (kind_a, kind_b) = match link.rel {
+            Relationship::CustomerToProvider => (EdgeKind::ToProvider, EdgeKind::ToCustomer),
+            Relationship::PeerToPeer => (EdgeKind::ToPeer, EdgeKind::ToPeer),
+        };
+        self.adj[ia.usize()].push(Adjacency { peer: ib, link: id, kind: kind_a });
+        self.adj[ib.usize()].push(Adjacency { peer: ia, link: id, kind: kind_b });
+        self.links.push(link);
+        Ok(id)
+    }
+
+    /// Dense index for an ASN.
+    pub fn idx(&self, asn: Asn) -> Option<AsIdx> {
+        self.asn_to_idx.get(&asn).copied()
+    }
+
+    /// ASN for a dense index.
+    pub fn asn(&self, idx: AsIdx) -> Asn {
+        self.ases[idx.usize()].asn
+    }
+
+    /// AS metadata by index.
+    pub fn info(&self, idx: AsIdx) -> &AsInfo {
+        &self.ases[idx.usize()]
+    }
+
+    /// AS metadata by ASN.
+    pub fn info_by_asn(&self, asn: Asn) -> Option<&AsInfo> {
+        self.idx(asn).map(|i| self.info(i))
+    }
+
+    /// Link metadata.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0 as usize]
+    }
+
+    /// Adjacency list of an AS.
+    pub fn neighbors(&self, idx: AsIdx) -> &[Adjacency] {
+        &self.adj[idx.usize()]
+    }
+
+    /// The providers of an AS.
+    pub fn providers(&self, idx: AsIdx) -> impl Iterator<Item = AsIdx> + '_ {
+        self.adj[idx.usize()]
+            .iter()
+            .filter(|a| a.kind == EdgeKind::ToProvider)
+            .map(|a| a.peer)
+    }
+
+    /// The customers of an AS.
+    pub fn customers(&self, idx: AsIdx) -> impl Iterator<Item = AsIdx> + '_ {
+        self.adj[idx.usize()]
+            .iter()
+            .filter(|a| a.kind == EdgeKind::ToCustomer)
+            .map(|a| a.peer)
+    }
+
+    /// The peers of an AS.
+    pub fn peers(&self, idx: AsIdx) -> impl Iterator<Item = AsIdx> + '_ {
+        self.adj[idx.usize()].iter().filter(|a| a.kind == EdgeKind::ToPeer).map(|a| a.peer)
+    }
+
+    /// Indices of all ASes satisfying a predicate.
+    pub fn select(&self, pred: impl Fn(&AsInfo) -> bool) -> Vec<AsIdx> {
+        self.ases
+            .iter()
+            .enumerate()
+            .filter(|(_, info)| pred(info))
+            .map(|(i, _)| AsIdx(i as u32))
+            .collect()
+    }
+
+    /// The country of an AS.
+    pub fn country_of(&self, idx: AsIdx) -> CountryCode {
+        self.info(idx).country
+    }
+
+    /// Structural validation:
+    ///
+    /// * the customer→provider digraph must be acyclic (no AS is
+    ///   transitively its own provider — the standard Gao–Rexford sanity
+    ///   condition);
+    /// * every AS must reach a tier-1 AS by following provider edges
+    ///   (hierarchy completeness), unless it *is* tier-1;
+    /// * the undirected graph must be connected.
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        self.check_provider_dag()?;
+        self.check_hierarchy()?;
+        self.check_connected()?;
+        Ok(())
+    }
+
+    fn check_provider_dag(&self) -> Result<(), TopologyError> {
+        // Iterative DFS three-colour cycle detection over provider edges.
+        const WHITE: u8 = 0;
+        const GRAY: u8 = 1;
+        const BLACK: u8 = 2;
+        let n = self.n_ases();
+        let mut color = vec![WHITE; n];
+        for start in 0..n {
+            if color[start] != WHITE {
+                continue;
+            }
+            // stack of (node, next-neighbor-cursor)
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            color[start] = GRAY;
+            while let Some(top) = stack.len().checked_sub(1) {
+                let (node, cursor) = stack[top];
+                let provs: Vec<usize> =
+                    self.providers(AsIdx(node as u32)).map(|p| p.usize()).collect();
+                if cursor < provs.len() {
+                    stack[top].1 += 1;
+                    let next = provs[cursor];
+                    match color[next] {
+                        WHITE => {
+                            color[next] = GRAY;
+                            stack.push((next, 0));
+                        }
+                        GRAY => {
+                            return Err(TopologyError::ProviderCycle(self.asn(AsIdx(next as u32))))
+                        }
+                        _ => {}
+                    }
+                } else {
+                    color[node] = BLACK;
+                    stack.pop();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_hierarchy(&self) -> Result<(), TopologyError> {
+        // Every non-tier-1 AS must transitively reach a tier-1 via providers.
+        let n = self.n_ases();
+        // reach[i] = true if i reaches tier1 via provider edges.
+        let mut reach = vec![false; n];
+        for (i, info) in self.ases.iter().enumerate() {
+            if info.role == AsRole::Tier1 {
+                reach[i] = true;
+            }
+        }
+        // Fixed-point: propagate down customer edges (provider reach implies
+        // customer reach). Iterate until stable; the provider DAG bounds the
+        // iteration count by the hierarchy depth.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                if reach[i] {
+                    continue;
+                }
+                if self.providers(AsIdx(i as u32)).any(|p| reach[p.usize()]) {
+                    reach[i] = true;
+                    changed = true;
+                }
+            }
+        }
+        for (i, ok) in reach.iter().enumerate() {
+            if !ok {
+                return Err(TopologyError::Disconnected(self.asn(AsIdx(i as u32))));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_connected(&self) -> Result<(), TopologyError> {
+        let n = self.n_ases();
+        if n == 0 {
+            return Ok(());
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(u) = stack.pop() {
+            for adj in &self.adj[u] {
+                let v = adj.peer.usize();
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        for (i, s) in seen.iter().enumerate() {
+            if !s {
+                return Err(TopologyError::Disconnected(self.asn(AsIdx(i as u32))));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asys::AsClass;
+    use crate::geo::{countries, Country, Region};
+    use crate::links::LinkStability;
+
+    fn mk_as(asn: u32, role: AsRole) -> AsInfo {
+        AsInfo {
+            asn: Asn(asn),
+            name: format!("AS{asn}"),
+            country: CountryCode::new("US"),
+            class: AsClass::TransitAccess,
+            role,
+        }
+    }
+
+    fn tiny() -> Topology {
+        // T1(1) <- N(2) <- S(3), plus peer link 2-4 where 4 is another
+        // national under the same tier-1.
+        let mut t = Topology::new(countries(5));
+        t.add_as(mk_as(1, AsRole::Tier1)).unwrap();
+        t.add_as(mk_as(2, AsRole::NationalTransit)).unwrap();
+        t.add_as(mk_as(3, AsRole::Stub)).unwrap();
+        t.add_as(mk_as(4, AsRole::NationalTransit)).unwrap();
+        t.add_link(Link::transit(Asn(2), Asn(1), LinkStability::stable())).unwrap();
+        t.add_link(Link::transit(Asn(3), Asn(2), LinkStability::stable())).unwrap();
+        t.add_link(Link::transit(Asn(4), Asn(1), LinkStability::stable())).unwrap();
+        t.add_link(Link::peering(Asn(2), Asn(4), LinkStability::stable())).unwrap();
+        t
+    }
+
+    #[test]
+    fn build_and_query() {
+        let t = tiny();
+        assert_eq!(t.n_ases(), 4);
+        assert_eq!(t.n_links(), 4);
+        let i2 = t.idx(Asn(2)).unwrap();
+        let provs: Vec<_> = t.providers(i2).map(|p| t.asn(p)).collect();
+        assert_eq!(provs, vec![Asn(1)]);
+        let custs: Vec<_> = t.customers(i2).map(|p| t.asn(p)).collect();
+        assert_eq!(custs, vec![Asn(3)]);
+        let peers: Vec<_> = t.peers(i2).map(|p| t.asn(p)).collect();
+        assert_eq!(peers, vec![Asn(4)]);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn duplicate_asn_rejected() {
+        let mut t = Topology::new(countries(2));
+        t.add_as(mk_as(1, AsRole::Tier1)).unwrap();
+        assert_eq!(t.add_as(mk_as(1, AsRole::Stub)), Err(TopologyError::DuplicateAsn(Asn(1))));
+    }
+
+    #[test]
+    fn self_link_rejected() {
+        let mut t = Topology::new(countries(2));
+        t.add_as(mk_as(1, AsRole::Tier1)).unwrap();
+        assert_eq!(
+            t.add_link(Link::peering(Asn(1), Asn(1), LinkStability::stable())),
+            Err(TopologyError::SelfLink(Asn(1)))
+        );
+    }
+
+    #[test]
+    fn duplicate_link_rejected() {
+        let mut t = tiny();
+        assert_eq!(
+            t.add_link(Link::peering(Asn(4), Asn(2), LinkStability::stable())),
+            Err(TopologyError::DuplicateLink(Asn(4), Asn(2)))
+        );
+    }
+
+    #[test]
+    fn unknown_endpoint_rejected() {
+        let mut t = tiny();
+        assert_eq!(
+            t.add_link(Link::peering(Asn(2), Asn(99), LinkStability::stable())),
+            Err(TopologyError::UnknownAsn(Asn(99)))
+        );
+    }
+
+    #[test]
+    fn provider_cycle_detected() {
+        let mut t = Topology::new(countries(2));
+        t.add_as(mk_as(1, AsRole::Tier1)).unwrap();
+        t.add_as(mk_as(2, AsRole::NationalTransit)).unwrap();
+        t.add_as(mk_as(3, AsRole::RegionalIsp)).unwrap();
+        t.add_link(Link::transit(Asn(2), Asn(3), LinkStability::stable())).unwrap();
+        t.add_link(Link::transit(Asn(3), Asn(2), LinkStability::stable())).unwrap_err();
+        // The duplicate-pair guard catches the two-node cycle; build a
+        // 3-node provider loop instead.
+        let mut t = Topology::new(countries(2));
+        t.add_as(mk_as(1, AsRole::NationalTransit)).unwrap();
+        t.add_as(mk_as(2, AsRole::NationalTransit)).unwrap();
+        t.add_as(mk_as(3, AsRole::NationalTransit)).unwrap();
+        t.add_link(Link::transit(Asn(1), Asn(2), LinkStability::stable())).unwrap();
+        t.add_link(Link::transit(Asn(2), Asn(3), LinkStability::stable())).unwrap();
+        t.add_link(Link::transit(Asn(3), Asn(1), LinkStability::stable())).unwrap();
+        assert!(matches!(t.validate(), Err(TopologyError::ProviderCycle(_))));
+    }
+
+    #[test]
+    fn orphan_detected() {
+        let mut t = tiny();
+        t.add_as(mk_as(99, AsRole::Stub)).unwrap();
+        assert!(matches!(t.validate(), Err(TopologyError::Disconnected(Asn(99)))));
+    }
+
+    #[test]
+    fn stub_without_provider_path_detected() {
+        // Stub 3 peers with national 2 but has no provider at all.
+        let mut t = Topology::new(countries(2));
+        t.add_as(mk_as(1, AsRole::Tier1)).unwrap();
+        t.add_as(mk_as(2, AsRole::NationalTransit)).unwrap();
+        t.add_as(mk_as(3, AsRole::Stub)).unwrap();
+        t.add_link(Link::transit(Asn(2), Asn(1), LinkStability::stable())).unwrap();
+        t.add_link(Link::peering(Asn(3), Asn(2), LinkStability::stable())).unwrap();
+        assert!(matches!(t.validate(), Err(TopologyError::Disconnected(Asn(3)))));
+    }
+
+    #[test]
+    fn country_lookup() {
+        let t = Topology::new(vec![Country::new("CN", "China", Region::EastAsia)]);
+        assert_eq!(t.country(CountryCode::new("CN")).unwrap().name, "China");
+        assert!(t.country(CountryCode::new("ZZ")).is_none());
+    }
+
+    #[test]
+    fn select_filters() {
+        let t = tiny();
+        let stubs = t.select(|a| a.role == AsRole::Stub);
+        assert_eq!(stubs.len(), 1);
+        assert_eq!(t.asn(stubs[0]), Asn(3));
+    }
+}

@@ -1,0 +1,321 @@
+//! IP-to-AS longest-prefix-match database.
+//!
+//! This is the stand-in for CAIDA's routed-prefix IP-to-AS mapping that the
+//! paper uses to turn IP-level traceroutes into AS-level paths (§3.1). The
+//! real mapping is imperfect — prefixes go unmapped or stale — and the
+//! paper's first elimination rule ("IP-to-AS mapping was not possible")
+//! exists precisely because of that, so [`Ip2AsNoise`] lets scenarios
+//! degrade the database deliberately.
+
+use crate::asys::Asn;
+use crate::prefix::Ipv4Prefix;
+use crate::TopologyError;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+const NO_NODE: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TrieNode {
+    child: [u32; 2],
+    asn: Option<Asn>,
+}
+
+impl TrieNode {
+    fn new() -> Self {
+        TrieNode { child: [NO_NODE, NO_NODE], asn: None }
+    }
+}
+
+/// Degradation knobs for the IP-to-AS database.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ip2AsNoise {
+    /// Fraction of prefixes silently removed (lookup returns `None`).
+    pub drop_frac: f64,
+    /// Fraction of prefixes remapped to a different (wrong) AS, simulating
+    /// stale registry data.
+    pub stale_frac: f64,
+}
+
+impl Ip2AsNoise {
+    /// A perfectly clean database.
+    pub fn none() -> Self {
+        Ip2AsNoise { drop_frac: 0.0, stale_frac: 0.0 }
+    }
+
+    /// Mild realistic imperfection.
+    pub fn realistic() -> Self {
+        Ip2AsNoise { drop_frac: 0.01, stale_frac: 0.003 }
+    }
+}
+
+/// Longest-prefix-match IP→AS database (compressed into a plain binary
+/// trie; lookups walk at most 32 nodes).
+///
+/// ```
+/// use churnlab_topology::{Asn, Ip2AsDb};
+///
+/// let db = Ip2AsDb::from_entries([
+///     ("10.0.0.0/8".parse().unwrap(), Asn(100)),
+///     ("10.5.0.0/16".parse().unwrap(), Asn(200)),
+/// ]).unwrap();
+/// // Longest prefix wins, unmapped space returns None.
+/// assert_eq!(db.lookup(u32::from_be_bytes([10, 1, 0, 1])), Some(Asn(100)));
+/// assert_eq!(db.lookup(u32::from_be_bytes([10, 5, 9, 9])), Some(Asn(200)));
+/// assert_eq!(db.lookup(u32::from_be_bytes([11, 0, 0, 1])), None);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ip2AsDb {
+    nodes: Vec<TrieNode>,
+    entries: Vec<(Ipv4Prefix, Asn)>,
+}
+
+impl Ip2AsDb {
+    /// Empty database.
+    pub fn new() -> Self {
+        Ip2AsDb { nodes: vec![TrieNode::new()], entries: Vec::new() }
+    }
+
+    /// Build from an entry list. Errors if the same exact prefix maps to
+    /// two different ASes.
+    pub fn from_entries(
+        entries: impl IntoIterator<Item = (Ipv4Prefix, Asn)>,
+    ) -> Result<Self, TopologyError> {
+        // Canonicalize the order: callers often feed HashMap iterations,
+        // whose per-instance order would otherwise leak into everything
+        // downstream that walks `entries()` while consuming an RNG (e.g.
+        // [`Ip2AsDb::degraded`]) and silently break run-to-run determinism.
+        let mut entries: Vec<(Ipv4Prefix, Asn)> = entries.into_iter().collect();
+        entries.sort();
+        let mut db = Ip2AsDb::new();
+        for (p, a) in entries {
+            db.insert(p, a)?;
+        }
+        Ok(db)
+    }
+
+    /// Insert one mapping. Errors on exact-prefix conflict with a different
+    /// AS; re-inserting the identical mapping is a no-op.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, asn: Asn) -> Result<(), TopologyError> {
+        let mut node = 0u32;
+        let addr = prefix.network();
+        for bit_i in 0..prefix.len() {
+            let bit = ((addr >> (31 - bit_i as u32)) & 1) as usize;
+            let next = self.nodes[node as usize].child[bit];
+            let next = if next == NO_NODE {
+                let id = self.nodes.len() as u32;
+                self.nodes.push(TrieNode::new());
+                self.nodes[node as usize].child[bit] = id;
+                id
+            } else {
+                next
+            };
+            node = next;
+        }
+        match self.nodes[node as usize].asn {
+            Some(existing) if existing != asn => Err(TopologyError::PrefixConflict(prefix)),
+            Some(_) => Ok(()),
+            None => {
+                self.nodes[node as usize].asn = Some(asn);
+                self.entries.push((prefix, asn));
+                Ok(())
+            }
+        }
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, ip: u32) -> Option<Asn> {
+        let mut node = 0u32;
+        let mut best = self.nodes[0].asn;
+        for bit_i in 0..32 {
+            let bit = ((ip >> (31 - bit_i)) & 1) as usize;
+            let next = self.nodes[node as usize].child[bit];
+            if next == NO_NODE {
+                break;
+            }
+            node = next;
+            if let Some(a) = self.nodes[node as usize].asn {
+                best = Some(a);
+            }
+        }
+        best
+    }
+
+    /// Reference implementation: linear scan for the longest matching
+    /// prefix. Used to cross-check the trie in tests.
+    pub fn lookup_linear(&self, ip: u32) -> Option<Asn> {
+        self.entries
+            .iter()
+            .filter(|(p, _)| p.contains(ip))
+            .max_by_key(|(p, _)| p.len())
+            .map(|&(_, a)| a)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over all (prefix, asn) entries.
+    pub fn entries(&self) -> impl Iterator<Item = &(Ipv4Prefix, Asn)> {
+        self.entries.iter()
+    }
+
+    /// Produce a degraded copy of the database, dropping and remapping
+    /// entries according to `noise`. `all_asns` supplies the pool of wrong
+    /// answers for stale entries. Deterministic given the RNG state.
+    pub fn degraded<R: Rng>(&self, noise: Ip2AsNoise, all_asns: &[Asn], rng: &mut R) -> Self {
+        let mut out = Ip2AsDb::new();
+        for &(p, a) in &self.entries {
+            let roll: f64 = rng.gen();
+            if roll < noise.drop_frac {
+                continue; // unmapped prefix
+            }
+            let asn = if roll < noise.drop_frac + noise.stale_frac && all_asns.len() > 1 {
+                // Pick a wrong AS deterministically.
+                loop {
+                    let cand = *all_asns.choose(rng).expect("non-empty pool");
+                    if cand != a {
+                        break cand;
+                    }
+                }
+            } else {
+                a
+            };
+            out.insert(p, asn).expect("degrading preserves prefix uniqueness");
+        }
+        out
+    }
+}
+
+impl Default for Ip2AsDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::net::Ipv4Addr;
+
+    fn ip(s: &str) -> u32 {
+        u32::from(s.parse::<Ipv4Addr>().unwrap())
+    }
+
+    fn px(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let db = Ip2AsDb::from_entries([
+            (px("10.0.0.0/8"), Asn(100)),
+            (px("10.5.0.0/16"), Asn(200)),
+            (px("10.5.7.0/24"), Asn(300)),
+        ])
+        .unwrap();
+        assert_eq!(db.lookup(ip("10.1.1.1")), Some(Asn(100)));
+        assert_eq!(db.lookup(ip("10.5.1.1")), Some(Asn(200)));
+        assert_eq!(db.lookup(ip("10.5.7.9")), Some(Asn(300)));
+        assert_eq!(db.lookup(ip("11.0.0.1")), None);
+    }
+
+    #[test]
+    fn from_entries_order_canonical() {
+        // Regression: callers feed HashMap iterations whose order varies
+        // per instance; the db (and anything walking entries() with an
+        // RNG, like degraded()) must not depend on it.
+        let mut entries: Vec<(Ipv4Prefix, Asn)> =
+            (0u32..64).map(|i| (Ipv4Prefix::new(i << 20, 12).unwrap(), Asn(i))).collect();
+        let a = Ip2AsDb::from_entries(entries.clone()).unwrap();
+        entries.reverse();
+        let b = Ip2AsDb::from_entries(entries).unwrap();
+        let ea: Vec<_> = a.entries().collect();
+        let eb: Vec<_> = b.entries().collect();
+        assert_eq!(ea, eb, "entry order must be canonical");
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        let pool: Vec<Asn> = (0..64).map(Asn).collect();
+        let noise = Ip2AsNoise { drop_frac: 0.2, stale_frac: 0.2 };
+        let da: Vec<_> = a.degraded(noise, &pool, &mut r1).entries().copied().collect();
+        let db_: Vec<_> = b.degraded(noise, &pool, &mut r2).entries().copied().collect();
+        assert_eq!(da, db_, "degradation must be input-order independent");
+    }
+
+    #[test]
+    fn exact_conflict_rejected_identical_ok() {
+        let mut db = Ip2AsDb::new();
+        db.insert(px("10.0.0.0/8"), Asn(1)).unwrap();
+        db.insert(px("10.0.0.0/8"), Asn(1)).unwrap(); // idempotent
+        assert_eq!(db.len(), 1);
+        assert_eq!(
+            db.insert(px("10.0.0.0/8"), Asn(2)),
+            Err(TopologyError::PrefixConflict(px("10.0.0.0/8")))
+        );
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let db = Ip2AsDb::from_entries([(px("0.0.0.0/0"), Asn(7))]).unwrap();
+        assert_eq!(db.lookup(0), Some(Asn(7)));
+        assert_eq!(db.lookup(u32::MAX), Some(Asn(7)));
+    }
+
+    #[test]
+    fn degraded_drops_and_remaps() {
+        let entries: Vec<_> =
+            (0u32..200).map(|i| (Ipv4Prefix::new(i << 16, 16).unwrap(), Asn(1000 + i))).collect();
+        let db = Ip2AsDb::from_entries(entries).unwrap();
+        let pool: Vec<Asn> = (0..200).map(|i| Asn(1000 + i)).collect();
+        let mut rng = StdRng::seed_from_u64(42);
+        let noisy =
+            db.degraded(Ip2AsNoise { drop_frac: 0.2, stale_frac: 0.2 }, &pool, &mut rng);
+        assert!(noisy.len() < db.len(), "some prefixes must be dropped");
+        let remapped = noisy
+            .entries()
+            .filter(|(p, a)| db.lookup(p.network()) != Some(*a))
+            .count();
+        assert!(remapped > 0, "some prefixes must be stale");
+    }
+
+    #[test]
+    fn degraded_deterministic() {
+        let entries: Vec<_> =
+            (0u32..50).map(|i| (Ipv4Prefix::new(i << 20, 12).unwrap(), Asn(i))).collect();
+        let db = Ip2AsDb::from_entries(entries).unwrap();
+        let pool: Vec<Asn> = (0..50).map(Asn).collect();
+        let a = db.degraded(Ip2AsNoise::realistic(), &pool, &mut StdRng::seed_from_u64(9));
+        let b = db.degraded(Ip2AsNoise::realistic(), &pool, &mut StdRng::seed_from_u64(9));
+        let ea: Vec<_> = a.entries().collect();
+        let eb: Vec<_> = b.entries().collect();
+        assert_eq!(ea, eb);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_trie_matches_linear(
+            prefixes in proptest::collection::vec((any::<u32>(), 8u8..=28), 1..64),
+            probes in proptest::collection::vec(any::<u32>(), 32),
+        ) {
+            let mut db = Ip2AsDb::new();
+            for (i, (addr, len)) in prefixes.iter().enumerate() {
+                let p = Ipv4Prefix::new(*addr, *len).unwrap();
+                // Ignore exact conflicts: first insert wins.
+                let _ = db.insert(p, Asn(i as u32));
+            }
+            for probe in probes {
+                prop_assert_eq!(db.lookup(probe), db.lookup_linear(probe));
+            }
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! IPv4 prefixes and address arithmetic.
+//!
+//! Each AS in the generated world announces one or more prefixes; the
+//! traceroute simulator assigns router interface addresses from the
+//! prefixes of the AS each hop belongs to, and the IP-to-AS database
+//! ([`crate::ip2as`]) answers longest-prefix-match queries over the
+//! resulting allocation — mirroring how the paper maps traceroute hops to
+//! ASes via CAIDA's routed-prefix dataset.
+
+use crate::TopologyError;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// An IPv4 prefix in CIDR notation (`addr/len`), host bits zeroed.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Ipv4Prefix {
+    /// Network address as a big-endian integer, host bits all zero.
+    addr: u32,
+    /// Prefix length, `0..=32`.
+    len: u8,
+}
+
+impl Ipv4Prefix {
+    /// Construct a prefix; host bits of `addr` are masked off.
+    /// Errors if `len > 32`.
+    pub fn new(addr: u32, len: u8) -> Result<Self, TopologyError> {
+        if len > 32 {
+            return Err(TopologyError::BadPrefixLen(len));
+        }
+        Ok(Ipv4Prefix { addr: addr & Self::mask(len), len })
+    }
+
+    /// Construct from dotted-quad parts.
+    pub fn from_octets(a: u8, b: u8, c: u8, d: u8, len: u8) -> Result<Self, TopologyError> {
+        Self::new(u32::from_be_bytes([a, b, c, d]), len)
+    }
+
+    /// The network mask for a prefix length.
+    #[inline]
+    pub fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len as u32)
+        }
+    }
+
+    /// Network address (integer form).
+    #[inline]
+    pub fn network(&self) -> u32 {
+        self.addr
+    }
+
+    /// Prefix length.
+    #[inline]
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Number of addresses covered (saturating; /0 reports `u32::MAX`).
+    pub fn size(&self) -> u32 {
+        if self.len == 0 {
+            u32::MAX
+        } else {
+            1u32 << (32 - self.len as u32)
+        }
+    }
+
+    /// True if the prefix covers `ip`.
+    #[inline]
+    pub fn contains(&self, ip: u32) -> bool {
+        ip & Self::mask(self.len) == self.addr
+    }
+
+    /// True if the two prefixes share any address.
+    pub fn overlaps(&self, other: &Ipv4Prefix) -> bool {
+        let l = self.len.min(other.len);
+        (self.addr & Self::mask(l)) == (other.addr & Self::mask(l))
+    }
+
+    /// The `i`-th address inside the prefix (wrapping within the block),
+    /// skipping the all-zeros host so generated router interfaces look
+    /// plausible.
+    pub fn nth_host(&self, i: u32) -> u32 {
+        if self.len >= 31 {
+            return self.addr | (i & !Self::mask(self.len));
+        }
+        let span = self.size() - 1; // exclude network address
+        self.addr + 1 + (i % span)
+    }
+
+    /// Split the prefix into 2^(new_len - len) subprefixes of `new_len`.
+    /// Errors if `new_len` is not longer than `len` or exceeds 32.
+    pub fn subdivide(&self, new_len: u8) -> Result<Vec<Ipv4Prefix>, TopologyError> {
+        if new_len > 32 {
+            return Err(TopologyError::BadPrefixLen(new_len));
+        }
+        if new_len <= self.len {
+            return Err(TopologyError::BadPrefixLen(new_len));
+        }
+        let count = 1u32 << (new_len - self.len).min(31);
+        let step = 1u32 << (32 - new_len as u32);
+        let mut out = Vec::with_capacity(count as usize);
+        for i in 0..count {
+            out.push(Ipv4Prefix { addr: self.addr + i * step, len: new_len });
+        }
+        Ok(out)
+    }
+
+    /// Dotted-quad of the network address.
+    pub fn network_addr(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.addr)
+    }
+}
+
+impl std::fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.network_addr(), self.len)
+    }
+}
+
+impl std::fmt::Debug for Ipv4Prefix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Ipv4Prefix({self})")
+    }
+}
+
+impl FromStr for Ipv4Prefix {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (ip, len) = s.split_once('/').ok_or_else(|| format!("missing '/' in {s:?}"))?;
+        let ip: Ipv4Addr = ip.parse().map_err(|e| format!("bad address in {s:?}: {e}"))?;
+        let len: u8 = len.parse().map_err(|e| format!("bad length in {s:?}: {e}"))?;
+        Ipv4Prefix::new(u32::from(ip), len).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_masks_host_bits() {
+        let p = Ipv4Prefix::from_octets(10, 1, 2, 3, 16).unwrap();
+        assert_eq!(p.to_string(), "10.1.0.0/16");
+    }
+
+    #[test]
+    fn bad_len_rejected() {
+        assert!(Ipv4Prefix::new(0, 33).is_err());
+    }
+
+    #[test]
+    fn contains_boundaries() {
+        let p: Ipv4Prefix = "192.168.4.0/22".parse().unwrap();
+        assert!(p.contains(u32::from(Ipv4Addr::new(192, 168, 4, 0))));
+        assert!(p.contains(u32::from(Ipv4Addr::new(192, 168, 7, 255))));
+        assert!(!p.contains(u32::from(Ipv4Addr::new(192, 168, 8, 0))));
+        assert!(!p.contains(u32::from(Ipv4Addr::new(192, 168, 3, 255))));
+    }
+
+    #[test]
+    fn overlap_rules() {
+        let a: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        let b: Ipv4Prefix = "10.5.0.0/16".parse().unwrap();
+        let c: Ipv4Prefix = "11.0.0.0/8".parse().unwrap();
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(a.overlaps(&a));
+    }
+
+    #[test]
+    fn subdivide_counts() {
+        let p: Ipv4Prefix = "10.0.0.0/14".parse().unwrap();
+        let subs = p.subdivide(16).unwrap();
+        assert_eq!(subs.len(), 4);
+        assert_eq!(subs[0].to_string(), "10.0.0.0/16");
+        assert_eq!(subs[3].to_string(), "10.3.0.0/16");
+        for s in &subs {
+            assert!(p.overlaps(s));
+        }
+        assert!(p.subdivide(14).is_err());
+        assert!(p.subdivide(10).is_err());
+        assert!(p.subdivide(40).is_err());
+    }
+
+    #[test]
+    fn nth_host_stays_inside() {
+        let p: Ipv4Prefix = "172.16.10.0/24".parse().unwrap();
+        for i in [0u32, 1, 100, 253, 254, 255, 256, 100_000] {
+            let h = p.nth_host(i);
+            assert!(p.contains(h), "host {} escaped {p}", Ipv4Addr::from(h));
+            assert_ne!(h, p.network(), "network address must be skipped");
+        }
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in ["0.0.0.0/0", "10.0.0.0/8", "192.168.1.0/24", "1.2.3.4/32"] {
+            let p: Ipv4Prefix = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("10.0.0.0".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0.0/33".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0/8".parse::<Ipv4Prefix>().is_err());
+        assert!("banana/8".parse::<Ipv4Prefix>().is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_display_parse_roundtrip(addr in any::<u32>(), len in 0u8..=32) {
+            let p = Ipv4Prefix::new(addr, len).unwrap();
+            let back: Ipv4Prefix = p.to_string().parse().unwrap();
+            prop_assert_eq!(p, back);
+        }
+
+        #[test]
+        fn prop_contains_consistent_with_overlap(addr in any::<u32>(), len in 8u8..=28, ip in any::<u32>()) {
+            let p = Ipv4Prefix::new(addr, len).unwrap();
+            let host = Ipv4Prefix::new(ip, 32).unwrap();
+            prop_assert_eq!(p.contains(ip), p.overlaps(&host));
+        }
+
+        #[test]
+        fn prop_subdivide_partition(addr in any::<u32>(), len in 4u8..=20) {
+            let p = Ipv4Prefix::new(addr, len).unwrap();
+            let subs = p.subdivide(len + 4).unwrap();
+            prop_assert_eq!(subs.len(), 16);
+            // Disjoint and covering: sizes sum to parent size and none overlap.
+            for (i, a) in subs.iter().enumerate() {
+                prop_assert!(p.overlaps(a));
+                for b in subs.iter().skip(i + 1) {
+                    prop_assert!(!a.overlaps(b), "{} overlaps {}", a, b);
+                }
+            }
+            let total: u64 = subs.iter().map(|s| s.size() as u64).sum();
+            prop_assert_eq!(total, p.size() as u64);
+        }
+
+        #[test]
+        fn prop_nth_host_contained(addr in any::<u32>(), len in 8u8..=30, i in any::<u32>()) {
+            let p = Ipv4Prefix::new(addr, len).unwrap();
+            prop_assert!(p.contains(p.nth_host(i)));
+        }
+    }
+}

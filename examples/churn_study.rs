@@ -1,0 +1,75 @@
+//! Path-churn anatomy for a single (vantage, destination) pair: dump the
+//! AS path over time, count distinct paths per window, and show how each
+//! extra distinct path shrinks a hypothetical censor candidate set.
+//!
+//! Run with: `cargo run --release --example churn_study`
+
+use churnlab::bgp::{ChurnConfig, Granularity, RoutingSim, TimeWindow};
+use churnlab::topology::asys::AsRole;
+use churnlab::topology::{generator, WorldConfig, WorldScale};
+use std::collections::HashSet;
+
+fn main() {
+    let world = generator::generate(&WorldConfig::preset(WorldScale::Smoke, 11));
+    let churn = ChurnConfig { total_days: 365, ..ChurnConfig::default() };
+    let sim = RoutingSim::new(&world.topology, &churn);
+
+    let stubs = world.topology.select(|a| a.role == AsRole::Stub);
+    let (src, dst) = (stubs[0], stubs[stubs.len() - 1]);
+    println!(
+        "pair: {} -> {}",
+        world.topology.asn(src),
+        world.topology.asn(dst)
+    );
+
+    // Sample one path per day (two epochs apart) for a year.
+    let mut distinct: Vec<Vec<_>> = Vec::new();
+    let mut per_window: [HashSet<u64>; 4] = Default::default();
+    let mapper = sim.mapper();
+    for day in 0..365u32 {
+        for slot in [1, 4] {
+            let epoch = mapper.epoch(day, slot);
+            if let Some(path) = sim.asn_path(src, dst, epoch) {
+                let hash = churnlab::core::churnstats::path_hash(&path);
+                for (i, g) in Granularity::ALL.iter().enumerate() {
+                    // Track distinct paths within the *current* windows only
+                    // (day 0's window for simplicity of display).
+                    if TimeWindow::of(day, *g, 365).index
+                        == TimeWindow::of(0, *g, 365).index
+                    {
+                        per_window[i].insert(hash);
+                    }
+                }
+                if !distinct.iter().any(|p| *p == path) {
+                    println!(
+                        "day {:>3}: new path #{}: {}",
+                        day,
+                        distinct.len() + 1,
+                        path.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(" -> ")
+                    );
+                    distinct.push(path);
+                }
+            }
+        }
+    }
+    println!("\ndistinct AS-level paths over the year: {}", distinct.len());
+    for (i, g) in Granularity::ALL.iter().enumerate() {
+        println!("distinct paths within the first {}: {}", g.label(), per_window[i].len());
+    }
+
+    // How the candidate set shrinks: pretend the first path was censored,
+    // every other path clean — each additional clean path eliminates its
+    // member ASes.
+    if distinct.len() > 1 {
+        let censored: HashSet<_> = distinct[0].iter().copied().collect();
+        let mut candidates = censored.clone();
+        println!("\ncensor candidates if path #1 was censored and later paths were clean:");
+        println!("  start: {} candidates", candidates.len());
+        for (i, p) in distinct.iter().enumerate().skip(1) {
+            for asn in p {
+                candidates.remove(asn);
+            }
+            println!("  after clean path #{}: {} candidates", i + 1, candidates.len());
+        }
+    }
+}
