@@ -19,8 +19,8 @@ fn main() {
     let total_days = bench.platform_cfg.total_days;
 
     // (url, window) -> (vp_id, day, path, detected-dns)
-    let mut groups: HashMap<(u32, TimeWindow), Vec<(u32, u32, Vec<churnlab_topology::Asn>, bool)>> =
-        HashMap::new();
+    type ObsRow = (u32, u32, Vec<churnlab_topology::Asn>, bool);
+    let mut groups: HashMap<(u32, TimeWindow), Vec<ObsRow>> = HashMap::new();
     for m in &ms {
         if let Some(path) = convert_measurement(m, db, &mut stats) {
             let w = TimeWindow::of(m.day, Granularity::Day, total_days);

@@ -1,0 +1,141 @@
+//! Scenario-matrix runner: sweep the study pipeline over
+//! scale × mechanism × churn × noise, write one JSON row per cell, and
+//! enforce the grid invariants (churn monotonicity, noise-free
+//! precision). Non-zero exit on any violation.
+//!
+//! ```text
+//! cargo run --release --bin matrix                  # 16-cell Smoke grid
+//! cargo run --release --bin matrix -- --full        # 32 cells (adds Small)
+//! cargo run --release --bin matrix -- --seed 9 --threads 4 --out grid.jsonl
+//! cargo run --release --bin matrix -- --check grid.jsonl   # re-verify saved rows
+//! ```
+
+use churnlab_bench::matrix::{check_invariants, run_matrix, CellRow, MatrixConfig};
+use std::io::Write;
+
+struct Args {
+    full: bool,
+    seed: u64,
+    threads: usize,
+    out: Option<String>,
+    check: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { full: false, seed: 42, threads: 0, out: None, check: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--full" => args.full = true,
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                args.threads = v.parse().map_err(|_| format!("bad thread count `{v}`"))?;
+            }
+            "--out" => args.out = Some(it.next().ok_or("--out needs a path")?),
+            "--check" => args.check = Some(it.next().ok_or("--check needs a path")?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: matrix [--full] [--seed N] [--threads N] [--out FILE] [--check FILE]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+/// Load previously written rows (one JSON object per line).
+fn load_rows(path: &str) -> Vec<CellRow> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read grid file `{path}`: {e}");
+        std::process::exit(2);
+    });
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .enumerate()
+        .map(|(i, l)| {
+            serde_json::from_str(l).unwrap_or_else(|e| {
+                eprintln!("`{path}` line {}: not a matrix row: {e}", i + 1);
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let start = std::time::Instant::now();
+    let rows = match &args.check {
+        Some(path) => {
+            let rows = load_rows(path);
+            eprintln!("matrix: re-checking {} saved cells from {path}", rows.len());
+            rows
+        }
+        None => {
+            let mut cfg = if args.full {
+                MatrixConfig::full_grid(args.seed)
+            } else {
+                MatrixConfig::default_grid(args.seed)
+            };
+            cfg.threads = args.threads;
+            eprintln!("matrix: {} cells, seed {}", cfg.cells().len(), args.seed);
+            run_matrix(&cfg)
+        }
+    };
+    let elapsed = start.elapsed();
+
+    // One JSON row per cell (skipped in --check mode: rows came from disk).
+    if args.check.is_none() {
+        let mut sink: Box<dyn Write> = match &args.out {
+            Some(path) => Box::new(std::fs::File::create(path).expect("create output file")),
+            None => Box::new(std::io::stdout().lock()),
+        };
+        for row in &rows {
+            let line = serde_json::to_string(row).expect("row serializes");
+            writeln!(sink, "{line}").expect("write row");
+        }
+    }
+
+    // Summary table.
+    eprintln!(
+        "{:<42} {:>9} {:>6} {:>6} {:>6} {:>5} {:>5} {:>4} {:>7}",
+        "cell", "meas", "cnfs", "loc", "solv%", "prec", "rec", "fp", "wall_ms"
+    );
+    for row in &rows {
+        eprintln!(
+            "{:<42} {:>9} {:>6} {:>6} {:>5.1}% {:>5.2} {:>5.2} {:>4} {:>7}",
+            row.spec.label(),
+            row.measurements,
+            row.cnfs,
+            row.localized_cnfs,
+            row.solvable_frac * 100.0,
+            row.precision,
+            row.recall,
+            row.false_positives,
+            row.wall_ms
+        );
+    }
+    eprintln!("matrix: {} cells in {elapsed:.2?}", rows.len());
+
+    let violations = check_invariants(&rows);
+    if violations.is_empty() {
+        eprintln!("matrix: all invariants hold");
+    } else {
+        for v in &violations {
+            eprintln!("INVARIANT VIOLATION: {v}");
+        }
+        std::process::exit(1);
+    }
+}

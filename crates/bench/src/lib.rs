@@ -10,6 +10,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod matrix;
+
 use churnlab_bgp::{ChurnConfig, RoutingSim};
 use churnlab_censor::{CensorConfig, CensorshipScenario};
 use churnlab_core::pipeline::{Pipeline, PipelineConfig, PipelineResults};

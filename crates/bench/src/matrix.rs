@@ -1,0 +1,417 @@
+//! Scenario-matrix harness: a seeded, thread-parallel sweep of the full
+//! study pipeline over the cross-product of world scale × censorship
+//! mechanism × churn mode × noise, emitting one JSON row per cell and
+//! checking the paper-shaped invariants every cell must satisfy:
+//!
+//! * **Churn monotonicity** — switching the pipeline from
+//!   [`ChurnMode::FirstPathOnly`] to [`ChurnMode::Normal`] (all other axes
+//!   fixed) never localizes fewer CNFs; noise-free it also never loses an
+//!   identified censor, and under noise it never recalls fewer *true*
+//!   censors: path churn can only add information.
+//! * **Noise-free precision** — with every noise knob at zero and no
+//!   mid-period policy changes, no innocent AS is ever accused
+//!   (`false_positives == 0`).
+//!
+//! Every future performance or scaling PR regresses against this fixed
+//! grid: `cargo run --release --bin matrix`.
+
+use churnlab_bgp::{ChurnConfig, RoutingSim};
+use churnlab_censor::{CensorConfig, CensorshipScenario, Mechanism};
+use churnlab_core::pipeline::{ChurnMode, Pipeline, PipelineConfig};
+use churnlab_core::validate::validate;
+use churnlab_platform::{NoiseConfig, Platform, PlatformConfig, PlatformScale};
+use churnlab_sat::Solvability;
+use churnlab_topology::{generator, Asn, WorldConfig, WorldScale};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One cell of the scenario grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellSpec {
+    /// World size.
+    pub scale: WorldScale,
+    /// The single mechanism every censor in the cell deploys.
+    pub mechanism: Mechanism,
+    /// Pipeline churn mode.
+    pub churn_mode: ChurnMode,
+    /// Realistic noise on, or the fully clean counterfactual.
+    pub noise: bool,
+    /// Base seed (sub-seeds derive from it exactly like `StudyConfig`).
+    pub seed: u64,
+}
+
+impl CellSpec {
+    /// Compact human label, e.g. `smoke/dns-injection/churn/noisy`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}/{}",
+            match self.scale {
+                WorldScale::Smoke => "smoke",
+                WorldScale::Small => "small",
+                WorldScale::Paper => "paper",
+            },
+            self.mechanism.label(),
+            match self.churn_mode {
+                ChurnMode::Normal => "churn",
+                ChurnMode::FirstPathOnly => "no-churn",
+            },
+            if self.noise { "noisy" } else { "clean" },
+        )
+    }
+
+    /// The axes that identify a churn-ablation pair (everything except the
+    /// churn mode).
+    fn pair_key(&self) -> (WorldScale, Mechanism, bool, u64) {
+        (self.scale, self.mechanism, self.noise, self.seed)
+    }
+}
+
+/// Everything measured in one cell (one JSON line in the matrix output).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellRow {
+    /// The cell's coordinates.
+    pub spec: CellSpec,
+    /// Total measurements taken.
+    pub measurements: u64,
+    /// Non-trivial CNFs analysed.
+    pub cnfs: usize,
+    /// CNFs that pinned down at least one definite (backbone) censor.
+    pub localized_cnfs: usize,
+    /// `localized_cnfs / cnfs` (0 when no CNFs).
+    pub solvable_frac: f64,
+    /// Fraction of CNFs with no model.
+    pub unsat_frac: f64,
+    /// Fraction of CNFs with exactly one model.
+    pub unique_frac: f64,
+    /// Fraction of CNFs with two or more models.
+    pub multiple_frac: f64,
+    /// Identified censoring ASNs, sorted.
+    pub identified: Vec<u32>,
+    /// Ground-truth precision.
+    pub precision: f64,
+    /// Ground-truth recall.
+    pub recall: f64,
+    /// Identified ASes that do not censor.
+    pub false_positives: usize,
+    /// Wall-clock milliseconds for the cell.
+    pub wall_ms: u64,
+}
+
+/// Grid configuration: the cross-product of the four axes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixConfig {
+    /// World scales to sweep.
+    pub scales: Vec<WorldScale>,
+    /// Mechanisms to sweep.
+    pub mechanisms: Vec<Mechanism>,
+    /// Churn modes to sweep.
+    pub churn_modes: Vec<ChurnMode>,
+    /// Noise settings to sweep.
+    pub noise: Vec<bool>,
+    /// Base seed shared by every cell.
+    pub seed: u64,
+    /// Worker threads (0 = one per available core).
+    pub threads: usize,
+}
+
+impl MatrixConfig {
+    /// The default 16-cell grid: Smoke × all four mechanisms × both churn
+    /// modes × noise on/off.
+    pub fn default_grid(seed: u64) -> MatrixConfig {
+        MatrixConfig {
+            scales: vec![WorldScale::Smoke],
+            mechanisms: Mechanism::ALL.to_vec(),
+            churn_modes: vec![ChurnMode::Normal, ChurnMode::FirstPathOnly],
+            noise: vec![false, true],
+            seed,
+            threads: 0,
+        }
+    }
+
+    /// The 32-cell grid adding the Small scale.
+    pub fn full_grid(seed: u64) -> MatrixConfig {
+        let mut cfg = MatrixConfig::default_grid(seed);
+        cfg.scales.push(WorldScale::Small);
+        cfg
+    }
+
+    /// Materialize the cross-product.
+    pub fn cells(&self) -> Vec<CellSpec> {
+        let mut out = Vec::new();
+        for &scale in &self.scales {
+            for &mechanism in &self.mechanisms {
+                for &churn_mode in &self.churn_modes {
+                    for &noise in &self.noise {
+                        out.push(CellSpec {
+                            scale,
+                            mechanism,
+                            churn_mode,
+                            noise,
+                            seed: self.seed,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn platform_scale(w: WorldScale) -> PlatformScale {
+    match w {
+        WorldScale::Smoke => PlatformScale::Smoke,
+        WorldScale::Small => PlatformScale::Small,
+        WorldScale::Paper => PlatformScale::Paper,
+    }
+}
+
+/// Run one cell end to end: world → scenario (restricted to the cell's
+/// mechanism) → measurement campaign → pipeline → validation.
+pub fn run_cell(spec: &CellSpec) -> CellRow {
+    let start = std::time::Instant::now();
+
+    let world_cfg = WorldConfig::preset(spec.scale, spec.seed);
+    let world = generator::generate(&world_cfg);
+
+    let mut platform_cfg =
+        PlatformConfig::preset(platform_scale(spec.scale), spec.seed.wrapping_add(1));
+    let mut censor_cfg = CensorConfig::scaled_for(world_cfg.n_countries);
+    censor_cfg.seed = spec.seed.wrapping_add(2);
+    censor_cfg.total_days = platform_cfg.total_days;
+    if !spec.noise {
+        // The clean counterfactual also freezes policies: a mid-window
+        // policy change produces contradictions indistinguishable from
+        // noise at the CNF level.
+        platform_cfg.noise = NoiseConfig::none();
+        censor_cfg.policy_change_prob = 0.0;
+    }
+
+    let mut scenario = CensorshipScenario::generate_for_world(&world, &censor_cfg);
+    for policy in &mut scenario.policies {
+        policy.mechanisms = vec![spec.mechanism];
+    }
+
+    let churn_cfg = ChurnConfig {
+        seed: spec.seed.wrapping_add(3),
+        total_days: platform_cfg.total_days,
+        ..ChurnConfig::default()
+    };
+
+    let platform = Platform::new(&world, &scenario, platform_cfg.clone());
+    let sim = RoutingSim::new(&world.topology, &churn_cfg);
+    let mut pipeline_cfg = PipelineConfig::paper(platform_cfg.total_days);
+    pipeline_cfg.churn_mode = spec.churn_mode;
+    let mut pipeline = Pipeline::new(&platform, pipeline_cfg);
+    let stats = platform.run(&sim, |m| pipeline.ingest(&m));
+    let results = pipeline.finish();
+
+    let identified_set: std::collections::HashSet<Asn> =
+        results.censor_findings.keys().copied().collect();
+    let validation =
+        validate(&identified_set, &scenario, &results.on_censored_path, |a| world.public_asn(a));
+
+    let cnfs = results.outcomes.len();
+    let localized = results.outcomes.iter().filter(|o| !o.censors.is_empty()).count();
+    let class_frac = |s: Solvability| {
+        if cnfs == 0 {
+            0.0
+        } else {
+            results.outcomes.iter().filter(|o| o.solvability == s).count() as f64 / cnfs as f64
+        }
+    };
+    let mut identified: Vec<u32> = identified_set.iter().map(|a| a.0).collect();
+    identified.sort_unstable();
+
+    CellRow {
+        spec: *spec,
+        measurements: stats.measurements,
+        cnfs,
+        localized_cnfs: localized,
+        solvable_frac: if cnfs == 0 { 0.0 } else { localized as f64 / cnfs as f64 },
+        unsat_frac: class_frac(Solvability::Unsat),
+        unique_frac: class_frac(Solvability::Unique),
+        multiple_frac: class_frac(Solvability::Multiple),
+        identified,
+        precision: validation.precision,
+        recall: validation.recall,
+        false_positives: validation.false_positives,
+        wall_ms: start.elapsed().as_millis() as u64,
+    }
+}
+
+/// Run every cell, `threads`-parallel, preserving cell order in the
+/// returned rows.
+pub fn run_matrix(cfg: &MatrixConfig) -> Vec<CellRow> {
+    let cells = cfg.cells();
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        cfg.threads
+    }
+    .min(cells.len().max(1));
+
+    let next = AtomicUsize::new(0);
+    let rows: Mutex<Vec<Option<CellRow>>> = Mutex::new(vec![None; cells.len()]);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let row = run_cell(&cells[i]);
+                rows.lock().expect("matrix worker poisoned")[i] = Some(row);
+            });
+        }
+    });
+    rows.into_inner()
+        .expect("matrix workers done")
+        .into_iter()
+        .map(|r| r.expect("every cell ran"))
+        .collect()
+}
+
+/// Check the paper-shaped invariants over a finished grid; returns a
+/// human-readable description of every violation (empty = all good).
+pub fn check_invariants(rows: &[CellRow]) -> Vec<String> {
+    let mut violations = Vec::new();
+
+    for row in rows {
+        let label = row.spec.label();
+        if !row.spec.noise && row.false_positives > 0 {
+            violations.push(format!(
+                "{label}: {} false accusations in a noise-free cell",
+                row.false_positives
+            ));
+        }
+        if row.measurements == 0 {
+            violations.push(format!("{label}: cell took no measurements"));
+        }
+        if row.cnfs > 0 {
+            let sum = row.unsat_frac + row.unique_frac + row.multiple_frac;
+            if (sum - 1.0).abs() > 1e-9 {
+                violations.push(format!("{label}: solvability fractions sum to {sum}"));
+            }
+        }
+    }
+
+    // Churn ablation pairs: Normal must never do worse than FirstPathOnly.
+    for row in rows.iter().filter(|r| r.spec.churn_mode == ChurnMode::Normal) {
+        let Some(ablated) = rows.iter().find(|r| {
+            r.spec.churn_mode == ChurnMode::FirstPathOnly
+                && r.spec.pair_key() == row.spec.pair_key()
+        }) else {
+            continue;
+        };
+        if row.localized_cnfs < ablated.localized_cnfs {
+            violations.push(format!(
+                "{}: churn localized fewer CNFs than its no-churn ablation ({} < {})",
+                row.spec.label(),
+                row.localized_cnfs,
+                ablated.localized_cnfs
+            ));
+        }
+        if row.spec.noise {
+            // With noise, the ablation's extra "identifications" can be
+            // artifacts (its precision collapses), so set containment is
+            // not guaranteed — but churn must never recover fewer *true*
+            // censors.
+            if row.recall < ablated.recall - 1e-9 {
+                violations.push(format!(
+                    "{}: churn recalled fewer true censors ({:.3} < {:.3})",
+                    row.spec.label(),
+                    row.recall,
+                    ablated.recall
+                ));
+            }
+        } else {
+            // Noise-free, identification is monotone in observations:
+            // everything the ablation pinned down, churn pins down too.
+            let with: BTreeSet<u32> = row.identified.iter().copied().collect();
+            let without: BTreeSet<u32> = ablated.identified.iter().copied().collect();
+            if !without.is_subset(&with) {
+                violations.push(format!(
+                    "{}: no-churn ablation identified censors churn missed: {:?} vs {:?}",
+                    row.spec.label(),
+                    without,
+                    with
+                ));
+            }
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 2×2 mini-grid (churn × noise, one mechanism): completes, every row
+    /// round-trips through serde, and all invariants hold.
+    #[test]
+    fn mini_grid_runs_roundtrips_and_holds_invariants() {
+        let cfg = MatrixConfig {
+            scales: vec![WorldScale::Smoke],
+            mechanisms: vec![Mechanism::DnsInjection],
+            churn_modes: vec![ChurnMode::Normal, ChurnMode::FirstPathOnly],
+            noise: vec![false, true],
+            seed: 7,
+            threads: 2,
+        };
+        let rows = run_matrix(&cfg);
+        assert_eq!(rows.len(), 4);
+
+        for row in &rows {
+            assert!(row.measurements > 0, "{}: empty cell", row.spec.label());
+            let line = serde_json::to_string(row).expect("row serializes");
+            let back: CellRow = serde_json::from_str(&line).expect("row parses");
+            assert_eq!(&back, row, "JSON roundtrip must be lossless");
+        }
+
+        let violations = check_invariants(&rows);
+        assert!(violations.is_empty(), "invariant violations: {violations:#?}");
+    }
+
+    /// The churn-ablation invariant holds cell-by-cell on a second
+    /// mechanism and seed.
+    #[test]
+    fn churn_ablation_invariant_per_cell() {
+        let cfg = MatrixConfig {
+            scales: vec![WorldScale::Smoke],
+            mechanisms: vec![Mechanism::RstInjection],
+            churn_modes: vec![ChurnMode::Normal, ChurnMode::FirstPathOnly],
+            noise: vec![false],
+            seed: 21,
+            threads: 2,
+        };
+        let rows = run_matrix(&cfg);
+        assert_eq!(rows.len(), 2);
+        let normal = rows.iter().find(|r| r.spec.churn_mode == ChurnMode::Normal).unwrap();
+        let ablated =
+            rows.iter().find(|r| r.spec.churn_mode == ChurnMode::FirstPathOnly).unwrap();
+        assert!(
+            normal.localized_cnfs >= ablated.localized_cnfs,
+            "churn must not lose localized CNFs: {} vs {}",
+            normal.localized_cnfs,
+            ablated.localized_cnfs
+        );
+        let with: BTreeSet<u32> = normal.identified.iter().copied().collect();
+        let without: BTreeSet<u32> = ablated.identified.iter().copied().collect();
+        assert!(without.is_subset(&with));
+        assert!(check_invariants(&rows).is_empty());
+    }
+
+    #[test]
+    fn grid_cross_product_shape() {
+        let cfg = MatrixConfig::default_grid(1);
+        assert_eq!(cfg.cells().len(), 16);
+        let full = MatrixConfig::full_grid(1);
+        assert_eq!(full.cells().len(), 32);
+        // Every cell distinct.
+        let labels: BTreeSet<String> = cfg.cells().iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), 16);
+    }
+}

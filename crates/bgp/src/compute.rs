@@ -85,14 +85,14 @@ impl RouteTree {
 
         // --- Stage 2: peer routes (one peering hop). ---------------------
         let mut peer = vec![INF; n];
-        for x in 0..n {
+        for (x, px) in peer.iter_mut().enumerate() {
             for adj in topo.neighbors(AsIdx(x as u32)) {
                 if adj.kind != EdgeKind::ToPeer || !link_up(adj.link) {
                     continue;
                 }
                 let y = adj.peer.usize();
                 if cust[y] != INF {
-                    peer[x] = peer[x].min(cust[y] + 1);
+                    *px = (*px).min(cust[y] + 1);
                 }
             }
         }
@@ -111,10 +111,10 @@ impl RouteTree {
         let mut prov = vec![INF; n];
         let mut adv = vec![INF; n];
         let mut heap: BinaryHeap<Reverse<(u16, usize)>> = BinaryHeap::new();
-        for x in 0..n {
+        for (x, ax) in adv.iter_mut().enumerate() {
             let b = base_len(x, &cust, &peer);
             if b != INF {
-                adv[x] = b;
+                *ax = b;
                 heap.push(Reverse((b, x)));
             }
         }
@@ -455,7 +455,7 @@ mod tests {
             let src = AsIdx(src as u32);
             if let (Some(r), Some(p)) = (tree.route(src), tree.path_from(src)) {
                 assert!(
-                    p.len() >= r.len as usize + 1,
+                    p.len() > r.len as usize,
                     "selected len must lower-bound the real path at {}",
                     t.asn(src)
                 );

@@ -69,7 +69,8 @@ pub fn distinct_path_distributions<K: Eq + std::hash::Hash + Clone>(
     granularities
         .iter()
         .map(|&g| {
-            let mut per_combo: HashMap<(K, TimeWindow), (HashSet<&[u32]>, u64)> = HashMap::new();
+            type ComboStats<'a> = (HashSet<&'a [u32]>, u64);
+            let mut per_combo: HashMap<(K, TimeWindow), ComboStats<'_>> = HashMap::new();
             for s in samples {
                 let w = TimeWindow::of(s.day, g, total_days);
                 let e = per_combo

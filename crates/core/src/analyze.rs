@@ -35,9 +35,11 @@ pub struct InstanceOutcome {
     pub solvability: Solvability,
     /// Solution-count bucket (0,1,2,3,4 exact; 5 = five or more).
     pub bucket: u8,
-    /// Censoring ASes — exactly identified (unique solutions only).
+    /// Censoring ASes — True in *every* model (the whole model for unique
+    /// solutions; the backbone's definite variables otherwise).
     pub censors: Vec<Asn>,
-    /// Potential censors — True in ≥1 model (multiple solutions only).
+    /// Potential censors — True in some models but not all (multiple
+    /// solutions only).
     pub potential_censors: Vec<Asn>,
     /// Definite non-censors — False in every model.
     pub eliminated: Vec<Asn>,
@@ -46,10 +48,12 @@ pub struct InstanceOutcome {
     pub eliminated_frac: f64,
 }
 
-/// Solve one instance and analyse its solutions per the paper's rules:
-/// unique ⇒ True variables are *censors*; multiple ⇒ variables True in at
-/// least one model are *potential censors* and variables False in all
-/// models are eliminated; unsat ⇒ noise or policy change.
+/// Solve one instance and analyse its solutions per the paper's rules,
+/// with one refinement: unique ⇒ True variables are *censors*; multiple ⇒
+/// variables True in *every* model (backbone-definite) are still
+/// *censors*, variables True in some models but not all are *potential
+/// censors*, and variables False in all models are eliminated; unsat ⇒
+/// noise or policy change.
 pub fn analyze(inst: &TomographyInstance, cfg: &SolveConfig) -> InstanceOutcome {
     let result = census(&inst.cnf, cfg.count_cap);
     let solvability = result.solvability();
@@ -66,10 +70,22 @@ pub fn analyze(inst: &TomographyInstance, cfg: &SolveConfig) -> InstanceOutcome 
             }
         }
         (Some(b), Solvability::Multiple) => {
+            // Even with 2+ models, a variable True in *every* model is a
+            // definite censor: the observations alone pin it down, and the
+            // ambiguity is confined to other ASes (typically ones an
+            // alternate churned path introduced without clean-path
+            // coverage). Extracting these keeps identification monotone in
+            // added observations — more churn can never un-identify a
+            // censor — which raw unique-model counting does not guarantee.
+            for v in b.always_true() {
+                censors.push(inst.asn(v));
+            }
             for (i, t) in b.ever_true.iter().enumerate() {
                 let asn = inst.asn(Var(i as u32));
                 if *t {
-                    potential.push(asn);
+                    if b.ever_false[i] {
+                        potential.push(asn);
+                    }
                 } else {
                     eliminated.push(asn);
                 }

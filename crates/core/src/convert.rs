@@ -313,8 +313,7 @@ mod tests {
 
     #[test]
     fn conversion_rate_math() {
-        let mut s = ConversionStats::default();
-        s.converted = 3;
+        let mut s = ConversionStats { converted: 3, ..Default::default() };
         s.discard(DiscardReason::MappingImpossible);
         assert!((s.conversion_rate() - 0.75).abs() < 1e-9);
         assert_eq!(ConversionStats::default().conversion_rate(), 0.0);

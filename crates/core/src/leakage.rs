@@ -3,11 +3,13 @@
 //! "In order to prevent leakage of censorship, censorship policies need to
 //! be implemented in ASes that are either stubs or provide transit
 //! services only for ASes within the region." The analysis: over AS-level
-//! paths from CNFs that returned **exactly one solution**, an AS that (1)
-//! is assigned False, (2) sits *upstream* of an identified censor (closer
-//! to the vantage point), and (3) is registered in a different country
-//! than the censor, is a **victim of censorship leakage** — its traffic
-//! inherited a foreign censor's policy by transiting it.
+//! paths from CNFs with at least one **backbone-definite censor** (a
+//! variable True in every model — every unique-solution CNF qualifies),
+//! an AS that (1) is assigned False in every model, (2) sits *upstream*
+//! of an identified censor (closer to the vantage point), and (3) is
+//! registered in a different country than the censor, is a **victim of
+//! censorship leakage** — its traffic inherited a foreign censor's policy
+//! by transiting it.
 
 use crate::analyze::InstanceOutcome;
 use crate::instance::TomographyInstance;
@@ -42,23 +44,27 @@ impl LeakageReport {
         Self::default()
     }
 
-    /// Fold in one solved instance (unique solutions only — callers must
-    /// filter, mirroring the paper).
+    /// Fold in one solved instance with at least one definite (backbone)
+    /// censor — callers must filter, mirroring the paper.
     ///
     /// For every censored (positive) path, every AS strictly before a
-    /// censor on that path, assigned False, and registered in a different
-    /// country, is recorded as that censor's victim.
+    /// censor on that path, assigned False in every model, and registered
+    /// in a different country, is recorded as that censor's victim.
     pub fn ingest(
         &mut self,
         inst: &TomographyInstance,
         outcome: &InstanceOutcome,
         topo: &Topology,
     ) {
-        debug_assert_eq!(outcome.solvability, churnlab_sat::Solvability::Unique);
+        debug_assert_ne!(outcome.solvability, churnlab_sat::Solvability::Unsat);
         let censors: HashSet<Asn> = outcome.censors.iter().copied().collect();
         if censors.is_empty() {
             return;
         }
+        // "Assigned False": in multi-solution CNFs only the definitely
+        // eliminated ASes qualify (in unique-solution CNFs that is every
+        // non-censor, so this matches the original unique-only behavior).
+        let exonerated: HashSet<Asn> = outcome.eliminated.iter().copied().collect();
         for obs in inst.observations.iter().filter(|o| o.censored) {
             for (ci, censor) in obs.path.iter().enumerate() {
                 if !censors.contains(censor) {
@@ -69,8 +75,8 @@ impl LeakageReport {
                     None => continue,
                 };
                 for upstream in &obs.path[..ci] {
-                    if censors.contains(upstream) {
-                        continue; // a censor is not a victim
+                    if !exonerated.contains(upstream) {
+                        continue; // only False-assigned ASes are victims
                     }
                     let up_country = match topo.info_by_asn(*upstream) {
                         Some(i) => i.country,

@@ -415,7 +415,7 @@ impl FlowSimulator {
                 // next expected byte (clients are permissive in practice).
                 let expected = stream_start.wrapping_add(contiguous);
                 let delta = seg.seq.wrapping_sub(expected);
-                if delta < 4096 || delta > u32::MAX - 4096 {
+                if !(4096..=u32::MAX - 4096).contains(&delta) {
                     reset = true;
                     break;
                 }

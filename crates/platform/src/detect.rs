@@ -134,7 +134,7 @@ pub fn detect_seqno(http_capture: &Capture) -> bool {
             // Plausible positions: within the stream (small positive
             // offsets) or just before it (small negative offsets — sloppy
             // injectors undershoot too).
-            let plausible = r < 1 << 24 || r > u32::MAX - 4096;
+            let plausible = !(1 << 24..=u32::MAX - 4096).contains(&r);
             if plausible && !boundaries.contains(&r) {
                 return true;
             }
@@ -183,7 +183,7 @@ pub fn detect_block(
         let got = resp.body.len() as f64;
         let want = control.len().max(1) as f64;
         let ratio = got / want;
-        if (ratio < 0.30 || ratio > 3.33) && body.to_ascii_lowercase().contains("<html") {
+        if !(0.30..=3.33).contains(&ratio) && body.to_ascii_lowercase().contains("<html") {
             return true;
         }
     }

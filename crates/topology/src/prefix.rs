@@ -53,6 +53,9 @@ impl Ipv4Prefix {
     }
 
     /// Prefix length.
+    // A prefix length is not a container size; `is_empty` would be
+    // meaningless here.
+    #[allow(clippy::len_without_is_empty)]
     #[inline]
     pub fn len(&self) -> u8 {
         self.len

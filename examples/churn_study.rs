@@ -40,7 +40,7 @@ fn main() {
                         per_window[i].insert(hash);
                     }
                 }
-                if !distinct.iter().any(|p| *p == path) {
+                if !distinct.contains(&path) {
                     println!(
                         "day {:>3}: new path #{}: {}",
                         day,

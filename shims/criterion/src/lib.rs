@@ -1,0 +1,175 @@
+//! Offline stand-in for `criterion`'s bench-harness API.
+//!
+//! `cargo bench` targets compile and run against this shim: each
+//! `Bencher::iter` body is timed over a handful of samples and the median
+//! is printed. There is no statistical analysis, plotting, or baseline
+//! comparison — just enough to keep `benches/` alive and useful for
+//! eyeballing regressions offline.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` form.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Time `f`, recording one duration per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.samples.sort_unstable();
+        Some(self.samples[self.samples.len() / 2])
+    }
+}
+
+fn run_one(label: &str, sample_count: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { samples: Vec::new(), sample_count };
+    f(&mut b);
+    match b.median() {
+        Some(d) => println!("bench {label:<50} median {d:>12.3?} ({sample_count} samples)"),
+        None => println!("bench {label:<50} (no samples)"),
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_count: usize,
+}
+
+impl BenchmarkGroup {
+    /// Lower or raise the per-bench sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Criterion requires >= 10; the shim just caps cost.
+        self.sample_count = n.clamp(1, 20);
+        self
+    }
+
+    /// Time one closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.sample_count, f);
+        self
+    }
+
+    /// Time one closure with an input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.sample_count, |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op; matches criterion's API).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level handle handed to bench functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), sample_count: 5 }
+    }
+
+    /// Time one stand-alone closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let label = id.into().label;
+        run_one(&label, 5, f);
+        self
+    }
+
+    /// Accept CLI args (no-op in the shim).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Declare a group of bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let _ = $cfg;
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running the declared groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

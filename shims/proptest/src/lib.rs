@@ -1,0 +1,571 @@
+//! Offline stand-in for the `proptest` API surface churnlab's property
+//! tests use: `proptest!`, `any`, ranges, string patterns, `Just`,
+//! `prop_oneof!`, `prop_map`, `collection::{vec, btree_map}`,
+//! `option::of`, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest: cases are generated from a fixed
+//! per-test seed (fully deterministic, no persistence files) and failing
+//! cases are **not shrunk** — the failing input is printed as-is.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The generator handed to strategies.
+pub type TestRng = StdRng;
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Explicit case count.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strategy: self, f }
+    }
+
+    /// Type-erase for heterogeneous composition (`prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(std::rc::Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.strategy.generate(rng))
+    }
+}
+
+/// Type-erased strategy.
+#[derive(Clone)]
+pub struct BoxedStrategy<V>(std::rc::Rc<dyn Fn(&mut TestRng) -> V>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice between boxed strategies (built by `prop_oneof!`).
+pub struct Union<V>(pub Vec<BoxedStrategy<V>>);
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.gen_range(0..self.0.len());
+        self.0[i].generate(rng)
+    }
+}
+
+/// Always produce a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draw from the full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rand::RngCore::next_u64(rng) as $t
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rand::RngCore::next_u64(rng) & 1 == 1
+    }
+}
+
+/// Whole-domain strategy marker.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// Ranges and string patterns as strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// String literals act as generation patterns: a subset of regex with
+/// literal characters, character classes (`[a-z0-9._-]`, ranges plus
+/// literals), and `{m}` / `{m,n}` repetition on the preceding atom.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+enum PatAtom {
+    Lit(char),
+    Class(Vec<(char, char)>),
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<(char, char)> {
+    let mut items: Vec<char> = Vec::new();
+    for c in chars.by_ref() {
+        if c == ']' {
+            break;
+        }
+        items.push(c);
+    }
+    // `a-z` triples become ranges; every other char (including a leading or
+    // trailing `-`) is a literal.
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < items.len() {
+        if i + 2 < items.len() && items[i + 1] == '-' {
+            ranges.push((items[i], items[i + 2]));
+            i += 3;
+        } else if i + 2 == items.len() && items[i + 1] == '-' {
+            // Trailing `x-`: both literals.
+            ranges.push((items[i], items[i]));
+            ranges.push(('-', '-'));
+            i += 2;
+        } else {
+            ranges.push((items[i], items[i]));
+            i += 1;
+        }
+    }
+    ranges
+}
+
+fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms: Vec<(PatAtom, u32, u32)> = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => PatAtom::Class(parse_class(&mut chars)),
+            '\\' => PatAtom::Lit(chars.next().unwrap_or('\\')),
+            other => PatAtom::Lit(other),
+        };
+        let (mut lo, mut hi) = (1u32, 1u32);
+        if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            let mut parts = spec.splitn(2, ',');
+            lo = parts.next().and_then(|s| s.trim().parse().ok()).unwrap_or(1);
+            hi = match parts.next() {
+                Some(s) => s.trim().parse().unwrap_or(lo),
+                None => lo,
+            };
+        } else if chars.peek() == Some(&'?') {
+            chars.next();
+            lo = 0;
+            hi = 1;
+        }
+        atoms.push((atom, lo, hi));
+    }
+
+    let mut out = String::new();
+    for (atom, lo, hi) in atoms {
+        let n = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+        for _ in 0..n {
+            match &atom {
+                PatAtom::Lit(c) => out.push(*c),
+                PatAtom::Class(ranges) => {
+                    if ranges.is_empty() {
+                        continue;
+                    }
+                    let total: u32 = ranges.iter().map(|(a, b)| *b as u32 - *a as u32 + 1).sum();
+                    let mut pick = rng.gen_range(0..total);
+                    for (a, b) in ranges {
+                        let span = *b as u32 - *a as u32 + 1;
+                        if pick < span {
+                            out.push(char::from_u32(*a as u32 + pick).unwrap_or(*a));
+                            break;
+                        }
+                        pick -= span;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Tuples of strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy!(
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10, L.11)
+);
+
+// ---------------------------------------------------------------------------
+// collection / option modules
+// ---------------------------------------------------------------------------
+
+/// Size specification for collection strategies.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+        SizeRange { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use rand::Rng;
+
+    /// `Vec` of values drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Build a `Vec` strategy.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `BTreeMap` with keys/values from the given strategies. The map may
+    /// hold fewer entries than drawn when keys collide (same as real
+    /// proptest).
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: SizeRange,
+    }
+
+    /// Build a `BTreeMap` strategy.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        keys: K,
+        values: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { keys, values, size: size.into() }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = std::collections::BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..n).map(|_| (self.keys.generate(rng), self.values.generate(rng))).collect()
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// `Some` three times out of four.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Build an `Option` strategy.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Build the deterministic per-test generator (macro plumbing).
+pub fn new_rng(seed: u64) -> TestRng {
+    <TestRng as rand::SeedableRng>::seed_from_u64(seed)
+}
+
+/// Derive a stable per-test seed from the test path.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Uniform choice among strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Assert inside a property (panics; the shim does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_ne!($a, $b);
+    };
+}
+
+/// The test-defining macro: each `fn name(arg in strategy, ...)` body runs
+/// for `cases` deterministic random draws.
+#[macro_export]
+macro_rules! proptest {
+    (@munch $cfg:expr;) => {};
+    (@munch $cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::new_rng(
+                $crate::seed_for(concat!(module_path!(), "::", stringify!($name))),
+            );
+            for __case in 0..__cfg.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut __rng);)*
+                let _ = __case;
+                $body
+            }
+        }
+        $crate::proptest! { @munch $cfg; $($rest)* }
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @munch $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @munch $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Glob-import surface matching `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn patterns_match_shape() {
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = crate::generate_pattern("[a-z0-9]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.len()), "bad len: {s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()), "{s:?}");
+
+            let h = crate::generate_pattern("[a-z0-9.-]{1,40}", &mut rng);
+            assert!(h.chars().all(|c| c.is_ascii_lowercase()
+                || c.is_ascii_digit()
+                || c == '.'
+                || c == '-'));
+
+            let p = crate::generate_pattern("/[a-zA-Z0-9/._-]{0,40}", &mut rng);
+            assert!(p.starts_with('/'));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_draws_compose(
+            n in 1usize..10,
+            pairs in crate::collection::vec((0u32..10, any::<bool>()), 1..4),
+            maybe in crate::option::of(0u32..5),
+            tag in prop_oneof![Just(1u8), Just(2u8)],
+        ) {
+            prop_assert!((1..10).contains(&n));
+            prop_assert!(!pairs.is_empty() && pairs.len() < 4);
+            for (v, _) in &pairs {
+                prop_assert!(*v < 10);
+            }
+            if let Some(m) = maybe {
+                prop_assert!(m < 5);
+            }
+            prop_assert!(tag == 1 || tag == 2);
+        }
+    }
+}

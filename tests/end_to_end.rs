@@ -36,24 +36,41 @@ fn identified_censors_lie_on_censored_paths() {
 
 #[test]
 fn churn_improves_solvability_end_to_end() {
-    let cfg = smoke(103);
+    // Churn's benefit is measured on *localization power*, not the raw
+    // unique-model fraction: an alternate censored path can introduce
+    // ASes no clean path has exonerated yet, which inflates the model
+    // count of a CNF (unique → multiple) even though the censor itself
+    // stays backbone-definite. Counting CNFs that pin down at least one
+    // definite censor — and the censors so identified — is monotone in
+    // the observations each CNF holds, so suppressing churn can only
+    // lose ground. The set-containment claim below needs a noise-free
+    // run: noise can flip a CNF unsatisfiable or pin artifact censors,
+    // which is why the scenario matrix downgrades it to recall
+    // monotonicity on noisy cells.
+    let mut cfg = smoke(103);
+    cfg.platform.noise = churnlab::platform::NoiseConfig::none();
+    cfg.censor.policy_change_prob = 0.0;
     let with_churn = run_study(&cfg);
     let without = run_study(&cfg.clone().without_churn());
-    let unique_with = with_churn.results.solvability_fractions(None, None)[1];
-    let unique_without = without.results.solvability_fractions(None, None)[1];
+
+    let localized = |out: &churnlab::core::pipeline::PipelineResults| {
+        out.outcomes.iter().filter(|o| !o.censors.is_empty()).count()
+    };
+    let loc_with = localized(&with_churn.results);
+    let loc_without = localized(&without.results);
     assert!(
-        unique_with > unique_without,
-        "churn must help: {unique_with:.3} vs {unique_without:.3}"
+        loc_with > loc_without,
+        "churn must localize more CNFs: {loc_with} vs {loc_without}"
     );
-    // And the no-churn run must leave more CNFs under-determined
-    // (2+ solutions). The magnitude depends on how much cross-vantage
-    // coverage the fleet gives — EXPERIMENTS.md discusses the gap to the
-    // paper's 80%-with-5+ figure — but the direction is structural.
-    let multi_with = with_churn.results.solvability_fractions(None, None)[2];
-    let multi_without = without.results.solvability_fractions(None, None)[2];
+
+    // Every censor identified without churn is still identified with it.
+    let ids_with: std::collections::BTreeSet<_> =
+        with_churn.results.identified_censors().into_iter().collect();
+    let ids_without: std::collections::BTreeSet<_> =
+        without.results.identified_censors().into_iter().collect();
     assert!(
-        multi_without > multi_with,
-        "no-churn runs should leave more CNFs under-determined:          {multi_without:.3} vs {multi_with:.3}"
+        ids_without.is_subset(&ids_with),
+        "suppressing churn must not identify censors churn misses: {ids_without:?} vs {ids_with:?}"
     );
 }
 
