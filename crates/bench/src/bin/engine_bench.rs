@@ -1,0 +1,138 @@
+//! Engine throughput bench: measurements/sec through the batch pipeline
+//! vs the sharded engine at several shard counts, written as one JSON
+//! document so CI accumulates a perf trajectory.
+//!
+//! ```text
+//! cargo run --release -p churnlab-bench --bin engine_bench                 # smoke, BENCH_engine.json shape on stdout
+//! cargo run --release -p churnlab-bench --bin engine_bench -- --out BENCH_engine.json
+//! cargo run --release -p churnlab-bench --bin engine_bench -- --scale small --shards 1,2,4,8 --feeders 4 --repeats 5
+//! ```
+
+use churnlab_bench::enginebench::{run_throughput, ThroughputHarness};
+use churnlab_bench::{Bench, Scale};
+
+struct Args {
+    scale: Scale,
+    seed: u64,
+    shards: Vec<usize>,
+    feeders: usize,
+    repeats: usize,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let mut args = Args {
+        scale: Scale::Smoke,
+        seed: 42,
+        shards: vec![1, 2, 4],
+        feeders: cores.min(4),
+        repeats: 3,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                args.scale = Scale::parse(&v).ok_or(format!("bad scale `{v}`"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a comma-separated list")?;
+                args.shards = v
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>().map_err(|_| format!("bad shard count `{s}`")))
+                    .collect::<Result<_, _>>()?;
+                if args.shards.is_empty() || args.shards.contains(&0) {
+                    return Err("--shards needs positive counts".into());
+                }
+            }
+            "--feeders" => {
+                let v = it.next().ok_or("--feeders needs a value")?;
+                args.feeders = v.parse().map_err(|_| format!("bad feeder count `{v}`"))?;
+            }
+            "--repeats" => {
+                let v = it.next().ok_or("--repeats needs a value")?;
+                args.repeats = v.parse().map_err(|_| format!("bad repeat count `{v}`"))?;
+            }
+            "--out" => args.out = Some(it.next().ok_or("--out needs a path")?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: engine_bench [--scale smoke|small|paper] [--seed N] \
+                     [--shards 1,2,4] [--feeders N] [--repeats N] [--out FILE]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn scale_label(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Smoke => "smoke",
+        Scale::Small => "small",
+        Scale::Paper => "paper",
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let bench = Bench::assemble(args.scale, args.seed);
+    let harness = ThroughputHarness::assemble(&bench);
+    eprintln!(
+        "engine_bench: {} measurements at scale {}, shard counts {:?}, {} feeder(s), best of {}",
+        harness.measurements.len(),
+        scale_label(args.scale),
+        args.shards,
+        args.feeders,
+        args.repeats,
+    );
+
+    let report = run_throughput(
+        &harness,
+        scale_label(args.scale),
+        args.seed,
+        &args.shards,
+        args.feeders,
+        args.repeats,
+    );
+
+    eprintln!(
+        "pipeline: {:>10.0} meas/s ({:.3}s)",
+        report.pipeline_meas_per_sec, report.pipeline_secs
+    );
+    for row in &report.engine {
+        eprintln!(
+            "engine/{:<2} {:>10.0} meas/s ({:.3}s) speedup {:>5.2}x  [direct {} resolve {} unsat-skip {}]",
+            row.shards,
+            row.meas_per_sec,
+            row.secs,
+            row.speedup_vs_pipeline,
+            row.stats.incremental.direct_updates,
+            row.stats.incremental.resolves,
+            row.stats.incremental.unsat_skips,
+        );
+    }
+
+    let json = serde_json::to_string(&report).expect("report serializes");
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, format!("{json}\n")).expect("write report");
+            eprintln!("engine_bench: wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}

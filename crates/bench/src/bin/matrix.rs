@@ -6,6 +6,7 @@
 //! ```text
 //! cargo run --release --bin matrix                  # 16-cell Smoke grid
 //! cargo run --release --bin matrix -- --full        # 32 cells (adds Small)
+//! cargo run --release --bin matrix -- --engine      # same grid via churnlab-engine
 //! cargo run --release --bin matrix -- --seed 9 --threads 4 --out grid.jsonl
 //! cargo run --release --bin matrix -- --check grid.jsonl   # re-verify saved rows
 //! ```
@@ -15,6 +16,7 @@ use std::io::Write;
 
 struct Args {
     full: bool,
+    engine: bool,
     seed: u64,
     threads: usize,
     out: Option<String>,
@@ -22,11 +24,13 @@ struct Args {
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { full: false, seed: 42, threads: 0, out: None, check: None };
+    let mut args =
+        Args { full: false, engine: false, seed: 42, threads: 0, out: None, check: None };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--full" => args.full = true,
+            "--engine" => args.engine = true,
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
                 args.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
@@ -39,7 +43,7 @@ fn parse_args() -> Result<Args, String> {
             "--check" => args.check = Some(it.next().ok_or("--check needs a path")?),
             "--help" | "-h" => {
                 return Err(
-                    "usage: matrix [--full] [--seed N] [--threads N] [--out FILE] [--check FILE]"
+                    "usage: matrix [--full] [--engine] [--seed N] [--threads N] [--out FILE] [--check FILE]"
                         .into(),
                 )
             }
@@ -90,7 +94,13 @@ fn main() {
                 MatrixConfig::default_grid(args.seed)
             };
             cfg.threads = args.threads;
-            eprintln!("matrix: {} cells, seed {}", cfg.cells().len(), args.seed);
+            cfg.engine = args.engine;
+            eprintln!(
+                "matrix: {} cells, seed {}{}",
+                cfg.cells().len(),
+                args.seed,
+                if args.engine { ", sharded engine" } else { "" }
+            );
             run_matrix(&cfg)
         }
     };

@@ -1,0 +1,161 @@
+//! Engine throughput measurement: measurements/sec through the batch
+//! [`Pipeline`] vs the sharded [`Engine`] at several shard counts, over
+//! one pre-collected measurement campaign. Shared by the Criterion bench
+//! (`benches/engine_bench.rs`) and the `engine_bench` binary that writes
+//! `BENCH_engine.json` in CI.
+
+use crate::Bench;
+use churnlab_bgp::RoutingSim;
+use churnlab_core::pipeline::{Pipeline, PipelineConfig};
+use churnlab_engine::{Engine, EngineConfig, EngineStats};
+use churnlab_platform::{Measurement, Platform};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// An assembled platform plus its pre-collected measurement campaign —
+/// the fixed workload every contender is timed against.
+pub struct ThroughputHarness<'w> {
+    /// The platform (IP-to-AS context for pipeline/engine construction).
+    pub platform: Platform<'w>,
+    /// The full campaign, in the runner's URL-grouped order.
+    pub measurements: Vec<Measurement>,
+    /// Tomography configuration shared by all contenders.
+    pub cfg: PipelineConfig,
+}
+
+impl<'w> ThroughputHarness<'w> {
+    /// Run the measurement campaign once and capture it.
+    pub fn assemble(bench: &'w Bench) -> ThroughputHarness<'w> {
+        let platform = Platform::new(&bench.world, &bench.scenario, bench.platform_cfg.clone());
+        let sim = RoutingSim::new(&bench.world.topology, &bench.churn_cfg);
+        let (measurements, _) = platform.run_collect(&sim);
+        let cfg = PipelineConfig::paper(bench.platform_cfg.total_days);
+        ThroughputHarness { platform, measurements, cfg }
+    }
+
+    /// Time one batch-pipeline pass (ingest + finish), returning seconds.
+    pub fn time_pipeline(&self) -> f64 {
+        let start = Instant::now();
+        let mut pipeline = Pipeline::new(&self.platform, self.cfg.clone());
+        for m in &self.measurements {
+            pipeline.ingest(m);
+        }
+        let results = pipeline.finish();
+        let secs = start.elapsed().as_secs_f64();
+        assert!(!results.outcomes.is_empty(), "pipeline produced no CNFs");
+        secs
+    }
+
+    /// Time one engine pass with `shards` workers fed from `feeders`
+    /// threads (ingest + finish), returning seconds and the engine's work
+    /// counters.
+    pub fn time_engine(&self, shards: usize, feeders: usize) -> (f64, EngineStats) {
+        let start = Instant::now();
+        let engine = Engine::new(
+            &self.platform,
+            EngineConfig::new(self.cfg.clone()).with_shards(shards),
+        );
+        let feeders = feeders.max(1);
+        std::thread::scope(|scope| {
+            for chunk in self.measurements.chunks(self.measurements.len().div_ceil(feeders)) {
+                let engine = &engine;
+                scope.spawn(move || {
+                    let mut feeder = engine.feeder();
+                    for m in chunk {
+                        feeder.ingest(m);
+                    }
+                });
+            }
+        });
+        let (results, stats) = engine.finish_with_stats();
+        let secs = start.elapsed().as_secs_f64();
+        assert!(!results.outcomes.is_empty(), "engine produced no CNFs");
+        (secs, stats)
+    }
+}
+
+/// One engine timing row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputRow {
+    /// Shard worker count.
+    pub shards: usize,
+    /// Feeder thread count.
+    pub feeders: usize,
+    /// Best-of-repeats wall seconds.
+    pub secs: f64,
+    /// Measurements ingested per second.
+    pub meas_per_sec: f64,
+    /// Ratio vs the batch pipeline's measurements/sec.
+    pub speedup_vs_pipeline: f64,
+    /// Incremental-solve effectiveness counters.
+    pub stats: EngineStats,
+}
+
+/// The full throughput report (`BENCH_engine.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Workload scale label.
+    pub scale: String,
+    /// Study seed.
+    pub seed: u64,
+    /// Measurements in the campaign.
+    pub measurements: u64,
+    /// Cores visible to the process (context for the shard sweep).
+    pub available_cores: usize,
+    /// Batch pipeline best-of-repeats seconds.
+    pub pipeline_secs: f64,
+    /// Batch pipeline measurements/sec.
+    pub pipeline_meas_per_sec: f64,
+    /// One row per shard count.
+    pub engine: Vec<ThroughputRow>,
+}
+
+/// Run the sweep: best-of-`repeats` timing for the pipeline and for the
+/// engine at each shard count.
+pub fn run_throughput(
+    harness: &ThroughputHarness<'_>,
+    scale_label: &str,
+    seed: u64,
+    shard_counts: &[usize],
+    feeders: usize,
+    repeats: usize,
+) -> ThroughputReport {
+    let repeats = repeats.max(1);
+    let n = harness.measurements.len() as u64;
+    let best = |times: &[f64]| times.iter().copied().fold(f64::INFINITY, f64::min);
+
+    let pipeline_times: Vec<f64> = (0..repeats).map(|_| harness.time_pipeline()).collect();
+    let pipeline_secs = best(&pipeline_times);
+    let pipeline_meas_per_sec = n as f64 / pipeline_secs;
+
+    let mut engine = Vec::new();
+    for &shards in shard_counts {
+        let mut times = Vec::with_capacity(repeats);
+        let mut stats = EngineStats::default();
+        for _ in 0..repeats {
+            let (secs, s) = harness.time_engine(shards, feeders);
+            times.push(secs);
+            stats = s;
+        }
+        let secs = best(&times);
+        let meas_per_sec = n as f64 / secs;
+        engine.push(ThroughputRow {
+            shards,
+            feeders,
+            secs,
+            meas_per_sec,
+            speedup_vs_pipeline: meas_per_sec / pipeline_meas_per_sec,
+            stats,
+        });
+    }
+
+    ThroughputReport {
+        scale: scale_label.to_string(),
+        seed,
+        measurements: n,
+        available_cores: std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1),
+        pipeline_secs,
+        pipeline_meas_per_sec,
+        engine,
+    }
+}

@@ -10,6 +10,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod enginebench;
 pub mod matrix;
 
 use churnlab_bgp::{ChurnConfig, RoutingSim};

@@ -19,6 +19,7 @@ use churnlab_bgp::{ChurnConfig, RoutingSim};
 use churnlab_censor::{CensorConfig, CensorshipScenario, Mechanism};
 use churnlab_core::pipeline::{ChurnMode, Pipeline, PipelineConfig};
 use churnlab_core::validate::validate;
+use churnlab_engine::{Engine, EngineConfig};
 use churnlab_platform::{NoiseConfig, Platform, PlatformConfig, PlatformScale};
 use churnlab_sat::Solvability;
 use churnlab_topology::{generator, Asn, WorldConfig, WorldScale};
@@ -40,13 +41,19 @@ pub struct CellSpec {
     pub noise: bool,
     /// Base seed (sub-seeds derive from it exactly like `StudyConfig`).
     pub seed: u64,
+    /// Localize with the sharded `churnlab-engine` instead of the batch
+    /// `Pipeline` (results must be identical; the axis exists so the grid
+    /// invariants re-verify the engine end to end). Defaults off so row
+    /// files saved before the engine existed still `--check` cleanly.
+    #[serde(default)]
+    pub engine: bool,
 }
 
 impl CellSpec {
     /// Compact human label, e.g. `smoke/dns-injection/churn/noisy`.
     pub fn label(&self) -> String {
         format!(
-            "{}/{}/{}/{}",
+            "{}/{}/{}/{}{}",
             match self.scale {
                 WorldScale::Smoke => "smoke",
                 WorldScale::Small => "small",
@@ -58,13 +65,14 @@ impl CellSpec {
                 ChurnMode::FirstPathOnly => "no-churn",
             },
             if self.noise { "noisy" } else { "clean" },
+            if self.engine { "/engine" } else { "" },
         )
     }
 
     /// The axes that identify a churn-ablation pair (everything except the
     /// churn mode).
-    fn pair_key(&self) -> (WorldScale, Mechanism, bool, u64) {
-        (self.scale, self.mechanism, self.noise, self.seed)
+    fn pair_key(&self) -> (WorldScale, Mechanism, bool, u64, bool) {
+        (self.scale, self.mechanism, self.noise, self.seed, self.engine)
     }
 }
 
@@ -114,6 +122,9 @@ pub struct MatrixConfig {
     pub seed: u64,
     /// Worker threads (0 = one per available core).
     pub threads: usize,
+    /// Run every cell through the sharded engine instead of the batch
+    /// pipeline.
+    pub engine: bool,
 }
 
 impl MatrixConfig {
@@ -127,6 +138,7 @@ impl MatrixConfig {
             noise: vec![false, true],
             seed,
             threads: 0,
+            engine: false,
         }
     }
 
@@ -150,6 +162,7 @@ impl MatrixConfig {
                             churn_mode,
                             noise,
                             seed: self.seed,
+                            engine: self.engine,
                         });
                     }
                 }
@@ -203,9 +216,21 @@ pub fn run_cell(spec: &CellSpec) -> CellRow {
     let sim = RoutingSim::new(&world.topology, &churn_cfg);
     let mut pipeline_cfg = PipelineConfig::paper(platform_cfg.total_days);
     pipeline_cfg.churn_mode = spec.churn_mode;
-    let mut pipeline = Pipeline::new(&platform, pipeline_cfg);
-    let stats = platform.run(&sim, |m| pipeline.ingest(&m));
-    let results = pipeline.finish();
+    let (stats, results) = if spec.engine {
+        // One shard per cell: `run_matrix` already spreads cells across
+        // cores, and shard count cannot change the results (asserted by
+        // `engine_cells_match_pipeline_cells`), so more would only
+        // oversubscribe. The chunked feeder keeps channel traffic cheap.
+        let engine = Engine::new(&platform, EngineConfig::new(pipeline_cfg).with_shards(1));
+        let mut feeder = engine.feeder();
+        let stats = platform.run(&sim, |m| feeder.ingest(&m));
+        drop(feeder);
+        (stats, engine.finish())
+    } else {
+        let mut pipeline = Pipeline::new(&platform, pipeline_cfg);
+        let stats = platform.run(&sim, |m| pipeline.ingest(&m));
+        (stats, pipeline.finish())
+    };
 
     let identified_set: std::collections::HashSet<Asn> =
         results.censor_findings.keys().copied().collect();
@@ -360,6 +385,7 @@ mod tests {
             noise: vec![false, true],
             seed: 7,
             threads: 2,
+            engine: false,
         };
         let rows = run_matrix(&cfg);
         assert_eq!(rows.len(), 4);
@@ -386,6 +412,7 @@ mod tests {
             noise: vec![false],
             seed: 21,
             threads: 2,
+            engine: false,
         };
         let rows = run_matrix(&cfg);
         assert_eq!(rows.len(), 2);
@@ -402,6 +429,45 @@ mod tests {
         let without: BTreeSet<u32> = ablated.identified.iter().copied().collect();
         assert!(without.is_subset(&with));
         assert!(check_invariants(&rows).is_empty());
+    }
+
+    /// The engine axis reproduces the pipeline's rows exactly: same
+    /// CNFs, identifications, and scores on every cell (only the label
+    /// and wall clock may differ).
+    #[test]
+    fn engine_cells_match_pipeline_cells() {
+        let mut cfg = MatrixConfig {
+            scales: vec![WorldScale::Smoke],
+            mechanisms: vec![Mechanism::DnsInjection],
+            churn_modes: vec![ChurnMode::Normal, ChurnMode::FirstPathOnly],
+            noise: vec![true],
+            seed: 13,
+            threads: 2,
+            engine: false,
+        };
+        let pipeline_rows = run_matrix(&cfg);
+        cfg.engine = true;
+        let engine_rows = run_matrix(&cfg);
+        assert!(check_invariants(&engine_rows).is_empty());
+        for (p, e) in pipeline_rows.iter().zip(&engine_rows) {
+            assert_eq!(e.spec.label(), format!("{}/engine", p.spec.label()));
+            assert_eq!((p.measurements, p.cnfs, p.localized_cnfs), (e.measurements, e.cnfs, e.localized_cnfs), "{}", p.spec.label());
+            assert_eq!(p.identified, e.identified, "{}", p.spec.label());
+            assert_eq!((p.precision, p.recall, p.false_positives), (e.precision, e.recall, e.false_positives));
+            assert_eq!((p.unsat_frac, p.unique_frac, p.multiple_frac), (e.unsat_frac, e.unique_frac, e.multiple_frac));
+        }
+    }
+
+    /// Row files saved before the engine axis existed (no `engine`
+    /// field) still parse — `matrix --check` keeps working on old
+    /// artifacts.
+    #[test]
+    fn pre_engine_rows_still_deserialize() {
+        let spec: CellSpec = serde_json::from_str(
+            r#"{"scale":"Smoke","mechanism":"DnsInjection","churn_mode":"Normal","noise":false,"seed":42}"#,
+        )
+        .expect("old-format spec parses");
+        assert!(!spec.engine, "missing field defaults to the batch pipeline");
     }
 
     #[test]

@@ -28,7 +28,7 @@ struct Sample {
 /// several distinct AS-level paths per window; that exit diversity is part
 /// of the path diversity the paper's Figure 3 measures and Figure 4
 /// removes.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ChurnAccumulator {
     per_pair: HashMap<(Asn, Asn), Vec<Sample>>,
 }
@@ -63,6 +63,17 @@ impl ChurnAccumulator {
     /// Number of (vantage, destination) pairs observed.
     pub fn n_pairs(&self) -> usize {
         self.per_pair.len()
+    }
+
+    /// Merge another accumulator into this one (shard fan-in). URL-keyed
+    /// sharding splits a (vantage, destination) pair's samples across
+    /// shards; the per-window distinct-path sets and observation counts
+    /// are unions/sums, so concatenating sample lists reproduces exactly
+    /// what single-stream accumulation would have recorded.
+    pub fn merge(&mut self, other: ChurnAccumulator) {
+        for (pair, samples) in other.per_pair {
+            self.per_pair.entry(pair).or_default().extend(samples);
+        }
     }
 
     /// Distinct-path distributions at the given granularities. A (pair,

@@ -19,8 +19,10 @@ use churnlab_topology::Asn;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
-/// Identity of one CNF.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// Identity of one CNF. The derived ordering (URL, then anomaly, then
+/// window) is the canonical report order shared by the batch pipeline and
+/// the sharded engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct InstanceKey {
     /// The URL under test.
     pub url_id: u32,
@@ -75,6 +77,11 @@ impl InstanceBuilder {
     /// Start an instance.
     pub fn new(key: InstanceKey) -> Self {
         InstanceBuilder { key, seen: HashSet::new(), observations: Vec::new() }
+    }
+
+    /// The instance identity being built.
+    pub fn key(&self) -> InstanceKey {
+        self.key
     }
 
     /// Add one observation (deduplicated on (path, truth)).

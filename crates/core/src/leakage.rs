@@ -56,6 +56,20 @@ impl LeakageReport {
         outcome: &InstanceOutcome,
         topo: &Topology,
     ) {
+        let censored: Vec<&[Asn]> =
+            inst.observations.iter().filter(|o| o.censored).map(|o| o.path.as_slice()).collect();
+        self.ingest_paths(censored, outcome, topo);
+    }
+
+    /// [`LeakageReport::ingest`] over bare censored paths — the form the
+    /// sharded engine uses, where the full [`TomographyInstance`] never
+    /// crosses the shard boundary.
+    pub fn ingest_paths<'a>(
+        &mut self,
+        censored_paths: impl IntoIterator<Item = &'a [Asn]>,
+        outcome: &InstanceOutcome,
+        topo: &Topology,
+    ) {
         debug_assert_ne!(outcome.solvability, churnlab_sat::Solvability::Unsat);
         let censors: HashSet<Asn> = outcome.censors.iter().copied().collect();
         if censors.is_empty() {
@@ -65,8 +79,8 @@ impl LeakageReport {
         // eliminated ASes qualify (in unique-solution CNFs that is every
         // non-censor, so this matches the original unique-only behavior).
         let exonerated: HashSet<Asn> = outcome.eliminated.iter().copied().collect();
-        for obs in inst.observations.iter().filter(|o| o.censored) {
-            for (ci, censor) in obs.path.iter().enumerate() {
+        for path in censored_paths {
+            for (ci, censor) in path.iter().enumerate() {
                 if !censors.contains(censor) {
                     continue;
                 }
@@ -74,7 +88,7 @@ impl LeakageReport {
                     Some(i) => i.country,
                     None => continue,
                 };
-                for upstream in &obs.path[..ci] {
+                for upstream in &path[..ci] {
                     if !exonerated.contains(upstream) {
                         continue; // only False-assigned ASes are victims
                     }
@@ -93,6 +107,18 @@ impl LeakageReport {
                     }
                 }
             }
+        }
+    }
+
+    /// Merge another report into this one (shard fan-in: victim sets
+    /// union, which is exactly what ingesting the shards' instances into
+    /// one report would have produced).
+    pub fn merge(&mut self, other: LeakageReport) {
+        for (censor, victims) in other.victims_by_censor {
+            self.victims_by_censor.entry(censor).or_default().extend(victims);
+        }
+        for (censor, countries) in other.victim_countries_by_censor {
+            self.victim_countries_by_censor.entry(censor).or_default().extend(countries);
         }
     }
 

@@ -29,20 +29,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod accumulate;
 pub mod analyze;
+pub mod batch;
 pub mod churnstats;
 pub mod convert;
 pub mod instance;
 pub mod leakage;
+pub mod obs;
 pub mod pipeline;
 pub mod report;
 pub mod validate;
 
+pub use accumulate::FindingsAccumulator;
 pub use analyze::{InstanceOutcome, SolveConfig};
 pub use churnstats::ChurnAccumulator;
 pub use convert::{convert_measurement, ConversionStats, DiscardReason};
 pub use instance::{InstanceBuilder, InstanceKey, TomographyInstance};
 pub use leakage::{CountryFlow, LeakageReport};
-pub use pipeline::{ChurnMode, Pipeline, PipelineConfig, PipelineResults};
-pub use report::CensorshipReport;
+pub use obs::ConvertedObs;
+pub use pipeline::{CensorFinding, ChurnMode, Pipeline, PipelineConfig, PipelineResults};
+pub use report::{CanonicalReport, CensorshipReport};
 pub use validate::ValidationReport;

@@ -12,13 +12,15 @@
 //! (vantage, URL) pair enter the CNFs, demonstrating how solvability
 //! collapses without path churn.
 
+use crate::accumulate::FindingsAccumulator;
 use crate::analyze::{analyze, InstanceOutcome, SolveConfig};
+use crate::batch::split_url_buffer;
 use crate::churnstats::ChurnAccumulator;
-use crate::convert::{convert_measurement, ConversionStats};
-use crate::instance::{InstanceBuilder, InstanceKey};
+use crate::convert::ConversionStats;
 use crate::leakage::LeakageReport;
-use churnlab_bgp::{Granularity, TimeWindow};
-use churnlab_platform::{AnomalySet, AnomalyType, Measurement, Platform};
+use crate::obs::ConvertedObs;
+use churnlab_bgp::Granularity;
+use churnlab_platform::{AnomalyType, Measurement, Platform};
 use churnlab_sat::Solvability;
 use churnlab_topology::Asn;
 use serde::{Deserialize, Serialize};
@@ -76,15 +78,6 @@ pub struct CensorFinding {
     pub url_ids: BTreeSet<u32>,
     /// Number of instances naming it as a definite (backbone) censor.
     pub n_instances: u64,
-}
-
-/// One converted observation inside the current URL buffer.
-#[derive(Debug, Clone)]
-struct Obs {
-    vp_asn: Asn,
-    day: u32,
-    path: Vec<Asn>,
-    detected: AnomalySet,
 }
 
 /// The full pipeline output.
@@ -210,12 +203,11 @@ pub struct Pipeline<'p> {
     conversion: ConversionStats,
     churn: ChurnAccumulator,
     current_url: Option<u32>,
-    buffer: Vec<Obs>,
+    flushed: HashSet<u32>,
+    buffer: Vec<ConvertedObs>,
     outcomes: Vec<InstanceOutcome>,
-    censor_findings: HashMap<Asn, CensorFinding>,
-    leakage: LeakageReport,
+    acc: FindingsAccumulator,
     trivial: u64,
-    on_censored_path: HashSet<Asn>,
 }
 
 impl<'p> Pipeline<'p> {
@@ -248,39 +240,57 @@ impl<'p> Pipeline<'p> {
             conversion: ConversionStats::default(),
             churn: ChurnAccumulator::new(),
             current_url: None,
+            flushed: HashSet::new(),
             buffer: Vec::new(),
             outcomes: Vec::new(),
-            censor_findings: HashMap::new(),
-            leakage: LeakageReport::new(),
+            acc: FindingsAccumulator::new(),
             trivial: 0,
-            on_censored_path: HashSet::new(),
         }
     }
 
     /// Ingest one measurement. Measurements must arrive grouped by URL
     /// (the platform runner's order).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the grouping contract is violated — a URL whose buffer
+    /// was already flushed appears again. Silently continuing would build
+    /// duplicate [`crate::instance::InstanceKey`]s from a partial buffer
+    /// and corrupt every downstream statistic; order-independent feeds
+    /// belong on `churnlab_engine::Engine`, which has no such contract.
     pub fn ingest(&mut self, m: &Measurement) {
         if self.current_url != Some(m.url_id) {
+            assert!(
+                !self.flushed.contains(&m.url_id),
+                "Pipeline::ingest: URL {} re-encountered after its buffer was flushed — \
+                 the measurement stream is not grouped by URL. The batch Pipeline requires \
+                 the platform runner's URL-grouped order; feed unordered or concurrent \
+                 streams to churnlab_engine::Engine instead.",
+                m.url_id,
+            );
             self.flush_url();
-            self.current_url = Some(m.url_id);
+            if let Some(done) = self.current_url.replace(m.url_id) {
+                self.flushed.insert(done);
+            }
         }
-        if let Some(path) = convert_measurement(m, self.db, &mut self.conversion) {
-            self.churn.add(m.vp_asn, m.dest_asn, m.day, &path);
-            self.buffer.push(Obs { vp_asn: m.vp_asn, day: m.day, path, detected: m.detected });
+        if let Some(obs) = ConvertedObs::from_measurement(m, self.db, &mut self.conversion) {
+            self.churn.add(obs.vp_asn, obs.dest_asn, obs.day, &obs.path);
+            self.buffer.push(obs);
         }
     }
 
     /// Finish: flush the last URL and assemble results.
     pub fn finish(mut self) -> PipelineResults {
         self.flush_url();
+        let FindingsAccumulator { censor_findings, leakage, on_censored_path } = self.acc;
         PipelineResults {
             outcomes: self.outcomes,
             conversion: self.conversion,
-            censor_findings: self.censor_findings,
-            leakage: self.leakage,
+            censor_findings,
+            leakage,
             churn: self.churn,
             trivial_instances: self.trivial,
-            on_censored_path: self.on_censored_path,
+            on_censored_path,
             config: self.cfg,
         }
     }
@@ -293,78 +303,21 @@ impl<'p> Pipeline<'p> {
                 return;
             }
         };
-        let mut buffer = std::mem::take(&mut self.buffer);
-
-        if self.cfg.churn_mode == ChurnMode::FirstPathOnly {
-            // Keep only observations over each *vantage AS*'s first
-            // distinct path to this URL (buffer arrives in day order).
-            // Keying by the record's source field (the vantage AS, like
-            // the paper's records) means a multi-exit provider's whole
-            // footprint collapses onto whichever exit's path was seen
-            // first — removing exactly the AS-level path diversity the
-            // paper's Figure 4 removes.
-            let mut first: HashMap<Asn, Vec<Asn>> = HashMap::new();
-            buffer.retain(|o| {
-                let entry = first.entry(o.vp_asn).or_insert_with(|| o.path.clone());
-                *entry == o.path
-            });
-        }
-
-        for g in self.cfg.granularities.clone() {
-            // Group observation indices by window.
-            let mut windows: HashMap<TimeWindow, Vec<usize>> = HashMap::new();
-            for (i, o) in buffer.iter().enumerate() {
-                windows
-                    .entry(TimeWindow::of(o.day, g, self.cfg.total_days))
-                    .or_default()
-                    .push(i);
+        let buffer = std::mem::take(&mut self.buffer);
+        // Disjoint field borrows: the instance loop below reads the config
+        // while mutating the accumulators, so borrow fields individually
+        // instead of cloning the granularity list per flush.
+        let Pipeline { cfg, topo, outcomes, acc, trivial, .. } = self;
+        split_url_buffer(url_id, buffer, cfg.churn_mode, &cfg.granularities, cfg.total_days, |builder| {
+            if cfg.require_positive && !builder.has_positive() {
+                *trivial += 1;
+                return;
             }
-            let mut window_keys: Vec<TimeWindow> = windows.keys().copied().collect();
-            window_keys.sort();
-            for w in window_keys {
-                let members = &windows[&w];
-                for anomaly in AnomalyType::ALL {
-                    let key = InstanceKey { url_id, anomaly, window: w };
-                    let mut builder = InstanceBuilder::new(key);
-                    for &i in members {
-                        let o = &buffer[i];
-                        builder.observe(&o.path, o.detected.contains(anomaly));
-                    }
-                    if builder.is_empty() {
-                        continue;
-                    }
-                    if self.cfg.require_positive && !builder.has_positive() {
-                        self.trivial += 1;
-                        continue;
-                    }
-                    let inst = builder.build().expect("non-empty builder");
-                    for obs in inst.observations.iter().filter(|o| o.censored) {
-                        self.on_censored_path.extend(obs.path.iter().copied());
-                    }
-                    let outcome = analyze(&inst, &self.cfg.solve);
-                    // Definite censors (backbone-true) count whether the
-                    // CNF has one model or several — see `analyze`.
-                    if !outcome.censors.is_empty() {
-                        for asn in &outcome.censors {
-                            let f = self
-                                .censor_findings
-                                .entry(*asn)
-                                .or_insert_with(|| CensorFinding {
-                                    asn: *asn,
-                                    anomalies: BTreeSet::new(),
-                                    url_ids: BTreeSet::new(),
-                                    n_instances: 0,
-                                });
-                            f.anomalies.insert(anomaly);
-                            f.url_ids.insert(url_id);
-                            f.n_instances += 1;
-                        }
-                        self.leakage.ingest(&inst, &outcome, self.topo);
-                    }
-                    self.outcomes.push(outcome);
-                }
-            }
-        }
+            let inst = builder.build().expect("non-empty builder");
+            let outcome = analyze(&inst, &cfg.solve);
+            acc.record_instance(&inst, &outcome, topo);
+            outcomes.push(outcome);
+        });
     }
 }
 
@@ -457,6 +410,32 @@ mod tests {
             localized(&with_churn),
             localized(&without)
         );
+    }
+
+    /// The latent ordering bug fails loudly now: re-encountering a
+    /// flushed URL must abort instead of silently building duplicate
+    /// instance keys from a partial buffer.
+    #[test]
+    #[should_panic(expected = "not grouped by URL")]
+    fn ungrouped_stream_panics() {
+        let world = generator::generate(&WorldConfig::preset(WorldScale::Smoke, 31));
+        let ccfg = CensorConfig::scaled_for(world.topology.countries().len());
+        let scenario = churnlab_censor::CensorshipScenario::generate_for_world(&world, &ccfg);
+        let pcfg = PlatformConfig::preset(PlatformScale::Smoke, 8);
+        let platform = Platform::new(&world, &scenario, pcfg.clone());
+        let sim = RoutingSim::new(
+            &world.topology,
+            &ChurnConfig { total_days: pcfg.total_days, ..ChurnConfig::default() },
+        );
+        let (ms, _) = platform.run_collect(&sim);
+        let mut pipeline = Pipeline::new(&platform, PipelineConfig::paper(pcfg.total_days));
+        // Interleave two URLs: A, B, A — the third ingest revisits a
+        // flushed URL and must panic.
+        let a = ms.iter().find(|m| m.url_id == 0).expect("url 0 measured");
+        let b = ms.iter().find(|m| m.url_id == 1).expect("url 1 measured");
+        pipeline.ingest(a);
+        pipeline.ingest(b);
+        pipeline.ingest(a);
     }
 
     #[test]

@@ -1,8 +1,13 @@
 //! Report rendering: the paper's Tables 2 and 3 and the Figure-5 flow
-//! summary, from pipeline results.
+//! summary, from pipeline results — plus the [`CanonicalReport`], the
+//! order-independent serialized form used to prove that the sharded
+//! engine and the batch pipeline compute the same thing.
 
+use crate::analyze::InstanceOutcome;
+use crate::convert::ConversionStats;
 use crate::leakage::CountryFlow;
-use crate::pipeline::PipelineResults;
+use crate::pipeline::{CensorFinding, PipelineConfig, PipelineResults};
+use churnlab_bgp::stats::DistinctPathDist;
 use churnlab_platform::AnomalyType;
 use churnlab_topology::{Asn, Topology};
 use serde::{Deserialize, Serialize};
@@ -132,13 +137,85 @@ impl CensorshipReport {
     }
 }
 
+/// A fully deterministic, order-independent projection of
+/// [`PipelineResults`]: every collection is sorted, hash maps become
+/// sorted vectors, and the churn accumulator is replaced by its derived
+/// distributions. Two results computed from the same measurement *set* —
+/// in any ingestion order, batch or sharded — serialize to byte-identical
+/// JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CanonicalReport {
+    /// The pipeline configuration used.
+    pub config: PipelineConfig,
+    /// Conversion counters.
+    pub conversion: ConversionStats,
+    /// CNFs skipped for lacking a censored observation.
+    pub trivial_instances: u64,
+    /// Per-instance outcomes, sorted by [`crate::instance::InstanceKey`].
+    pub outcomes: Vec<InstanceOutcome>,
+    /// Censor findings, sorted by ASN.
+    pub censor_findings: Vec<CensorFinding>,
+    /// Observability horizon, sorted.
+    pub on_censored_path: Vec<Asn>,
+    /// Leakage: per censor (sorted), the sorted victim AS list.
+    pub leak_victims: Vec<(Asn, Vec<Asn>)>,
+    /// Leakage: per censor (sorted), the sorted victim country list.
+    pub leak_victim_countries: Vec<(Asn, Vec<String>)>,
+    /// Distinct-path distributions at the configured granularities.
+    pub churn: Vec<DistinctPathDist>,
+}
+
+impl PipelineResults {
+    /// Project into the canonical order-independent form.
+    pub fn canonical_report(&self) -> CanonicalReport {
+        let mut outcomes = self.outcomes.clone();
+        outcomes.sort_by_key(|o| o.key);
+        let mut censor_findings: Vec<CensorFinding> =
+            self.censor_findings.values().cloned().collect();
+        censor_findings.sort_by_key(|f| f.asn);
+        let mut on_censored_path: Vec<Asn> = self.on_censored_path.iter().copied().collect();
+        on_censored_path.sort();
+        let mut leak_victims: Vec<(Asn, Vec<Asn>)> = self
+            .leakage
+            .victims_by_censor
+            .iter()
+            .map(|(censor, victims)| {
+                let mut v: Vec<Asn> = victims.iter().copied().collect();
+                v.sort();
+                (*censor, v)
+            })
+            .collect();
+        leak_victims.sort_by_key(|(c, _)| *c);
+        let mut leak_victim_countries: Vec<(Asn, Vec<String>)> = self
+            .leakage
+            .victim_countries_by_censor
+            .iter()
+            .map(|(censor, countries)| {
+                let mut v: Vec<String> = countries.iter().cloned().collect();
+                v.sort();
+                (*censor, v)
+            })
+            .collect();
+        leak_victim_countries.sort_by_key(|(c, _)| *c);
+        CanonicalReport {
+            config: self.config.clone(),
+            conversion: self.conversion,
+            trivial_instances: self.trivial_instances,
+            outcomes,
+            censor_findings,
+            on_censored_path,
+            leak_victims,
+            leak_victim_countries,
+            churn: self.churn.distributions(&self.config.granularities, self.config.total_days),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::churnstats::ChurnAccumulator;
-    use crate::convert::ConversionStats;
     use crate::leakage::LeakageReport;
-    use crate::pipeline::{CensorFinding, PipelineConfig, PipelineResults};
     use churnlab_topology::{generator, WorldConfig, WorldScale};
     use std::collections::{BTreeSet, HashMap, HashSet};
 

@@ -1,0 +1,327 @@
+//! The sharded engine: ingestion routing, shard workers, report merging.
+
+use crate::incremental::IncrementalStats;
+use crate::shard::{run_worker, Msg, ShardReport, SolvedCell};
+use churnlab_core::accumulate::FindingsAccumulator;
+use churnlab_core::convert::ConversionStats;
+use churnlab_core::obs::ConvertedObs;
+use churnlab_core::pipeline::{PipelineConfig, PipelineResults};
+use churnlab_core::ChurnAccumulator;
+use churnlab_platform::{Measurement, Platform};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::thread::JoinHandle;
+
+/// Engine configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// The tomography configuration (identical semantics to the batch
+    /// [`churnlab_core::pipeline::Pipeline`]).
+    pub pipeline: PipelineConfig,
+    /// Shard worker count; `0` means one per available core.
+    pub shards: usize,
+    /// Bounded per-shard queue depth (backpressure: `ingest` blocks when
+    /// a shard falls this far behind).
+    pub queue_capacity: usize,
+}
+
+impl EngineConfig {
+    /// Default shard/queue sizing over a pipeline configuration.
+    pub fn new(pipeline: PipelineConfig) -> Self {
+        EngineConfig { pipeline, shards: 0, queue_capacity: 1024 }
+    }
+
+    /// Override the shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    fn resolved_shards(&self) -> usize {
+        if self.shards != 0 {
+            return self.shards;
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+/// Aggregate engine-side work counters (incremental-solve effectiveness).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Shard workers used.
+    pub shards: usize,
+    /// Converted observations routed to shards.
+    pub observations: u64,
+    /// Per-instance incremental-solve counters, summed over shards.
+    pub incremental: IncrementalStats,
+}
+
+/// The sharded, order-independent, incremental tomography engine.
+///
+/// Unlike the batch [`churnlab_core::pipeline::Pipeline`], the engine
+/// accepts measurements in **any order** — there is no URL-grouping
+/// contract — and keeps every (URL × window × anomaly) instance
+/// incrementally solved as observations stream in. `ingest` converts on
+/// the calling thread, then routes the observation to a shard worker by
+/// `hash(url_id)` over a bounded channel; `&self` ingestion means any
+/// number of feeder threads can share one engine.
+///
+/// [`Engine::snapshot`] merges per-shard reports into a
+/// [`PipelineResults`] without stopping ingestion; [`Engine::finish`]
+/// does the same and shuts the workers down. Reports are
+/// `PipelineResults`-compatible, so everything downstream — reports,
+/// validation, the matrix harness — works unchanged, and
+/// [`churnlab_core::report::CanonicalReport`] serializations are
+/// byte-identical to the batch pipeline's over the same measurement set.
+pub struct Engine<'c> {
+    db: &'c churnlab_topology::Ip2AsDb,
+    topo: &'c churnlab_topology::Topology,
+    cfg: PipelineConfig,
+    senders: Vec<SyncSender<Msg>>,
+    workers: Vec<JoinHandle<()>>,
+    /// `[converted, discarded-rule1..rule4]`, accumulated lock-free from
+    /// feeder threads.
+    conversion: [AtomicU64; 5],
+}
+
+/// Deterministic URL → shard routing (splitmix-style avalanche so
+/// consecutive URL ids spread across shards).
+fn shard_of(url_id: u32, n_shards: usize) -> usize {
+    let mut x = u64::from(url_id).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    ((x ^ (x >> 31)) % n_shards as u64) as usize
+}
+
+impl<'c> Engine<'c> {
+    /// New engine over a platform (interpret the platform's measurements
+    /// with the platform's own degraded IP-to-AS view).
+    pub fn new(platform: &'c Platform<'c>, cfg: EngineConfig) -> Self {
+        Self::with_context(platform.measured_ip2as(), &platform.world().topology, cfg)
+    }
+
+    /// New engine over externally supplied context — the entry point for
+    /// imported measurement records, mirroring
+    /// [`churnlab_core::pipeline::Pipeline::with_context`].
+    pub fn with_context(
+        db: &'c churnlab_topology::Ip2AsDb,
+        topo: &'c churnlab_topology::Topology,
+        cfg: EngineConfig,
+    ) -> Self {
+        let n = cfg.resolved_shards().max(1);
+        let mut senders = Vec::with_capacity(n);
+        let mut workers = Vec::with_capacity(n);
+        for i in 0..n {
+            let (tx, rx) = sync_channel(cfg.queue_capacity.max(1));
+            let worker_cfg = cfg.pipeline.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("churnlab-shard-{i}"))
+                .spawn(move || run_worker(rx, worker_cfg))
+                .expect("spawn shard worker");
+            senders.push(tx);
+            workers.push(handle);
+        }
+        Engine {
+            db,
+            topo,
+            cfg: cfg.pipeline,
+            senders,
+            workers,
+            conversion: Default::default(),
+        }
+    }
+
+    /// Number of shard workers.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Ingest one measurement, in any order relative to any other.
+    /// Conversion (the §3.1 elimination rules) runs on the calling
+    /// thread; the surviving observation is routed to its URL's shard.
+    /// Blocks only when that shard's bounded queue is full.
+    pub fn ingest(&self, m: &Measurement) {
+        let mut local = ConversionStats::default();
+        let obs = ConvertedObs::from_measurement(m, self.db, &mut local);
+        if local.converted > 0 {
+            self.conversion[0].fetch_add(local.converted, Ordering::Relaxed);
+        }
+        for (i, d) in local.discarded.into_iter().enumerate() {
+            if d > 0 {
+                self.conversion[i + 1].fetch_add(d, Ordering::Relaxed);
+            }
+        }
+        if let Some(o) = obs {
+            let shard = shard_of(o.url_id, self.senders.len());
+            self.senders[shard].send(Msg::Obs(vec![o])).expect("shard worker alive");
+        }
+    }
+
+    /// A buffering ingest handle for one feeder thread: conversions
+    /// accumulate locally and ship to shards in chunks, amortizing the
+    /// channel synchronization that per-measurement `ingest` pays. Spawn
+    /// one per feeder thread; buffered observations reach the shards when
+    /// a chunk fills, at [`Feeder::flush`], or on drop — flush (or drop)
+    /// every feeder before `snapshot` if the snapshot must include its
+    /// tail.
+    pub fn feeder(&self) -> Feeder<'_, 'c> {
+        Feeder {
+            engine: self,
+            buffers: vec![Vec::new(); self.senders.len()],
+            chunk: 128,
+            conversion: ConversionStats::default(),
+        }
+    }
+
+    /// Collect one report per shard. Each shard replies after draining
+    /// everything enqueued before the request — a consistent cut per
+    /// shard even while feeders keep ingesting.
+    fn collect_reports(&self) -> Vec<ShardReport> {
+        let mut pending = Vec::with_capacity(self.senders.len());
+        for tx in &self.senders {
+            let (reply_tx, reply_rx) = sync_channel(1);
+            tx.send(Msg::Report(reply_tx)).expect("shard worker alive");
+            pending.push(reply_rx);
+        }
+        pending.into_iter().map(|rx| rx.recv().expect("shard report")).collect()
+    }
+
+    fn merge(&self, reports: Vec<ShardReport>) -> (PipelineResults, EngineStats) {
+        let mut stats = EngineStats { shards: self.senders.len(), ..Default::default() };
+        let mut acc = FindingsAccumulator::new();
+        let mut churn = ChurnAccumulator::new();
+        let mut trivial = 0u64;
+        let mut cells: Vec<SolvedCell> = Vec::new();
+        for r in reports {
+            stats.observations += r.observations;
+            stats.incremental.merge(r.stats);
+            trivial += r.trivial;
+            churn.merge(r.churn);
+            acc.on_censored_path.extend(r.on_censored_path);
+            cells.extend(r.cells);
+        }
+        // One deterministic global order, whatever the shard layout.
+        cells.sort_by_key(|c| c.outcome.key);
+        let mut outcomes = Vec::with_capacity(cells.len());
+        for cell in cells {
+            acc.record(
+                &cell.outcome,
+                cell.censored_paths.iter().map(Vec::as_slice),
+                self.topo,
+            );
+            outcomes.push(cell.outcome);
+        }
+        let conversion = ConversionStats {
+            converted: self.conversion[0].load(Ordering::Relaxed),
+            discarded: [
+                self.conversion[1].load(Ordering::Relaxed),
+                self.conversion[2].load(Ordering::Relaxed),
+                self.conversion[3].load(Ordering::Relaxed),
+                self.conversion[4].load(Ordering::Relaxed),
+            ],
+        };
+        let FindingsAccumulator { censor_findings, leakage, on_censored_path } = acc;
+        let results = PipelineResults {
+            outcomes,
+            conversion,
+            censor_findings,
+            leakage,
+            churn,
+            trivial_instances: trivial,
+            on_censored_path,
+            config: self.cfg.clone(),
+        };
+        (results, stats)
+    }
+
+    /// Merge a point-in-time report without stopping ingestion. The cut
+    /// is per-shard consistent: everything enqueued before the call is
+    /// included.
+    ///
+    /// Consistency boundary: the tomography state (outcomes, findings,
+    /// leakage, churn) reflects exactly the per-shard cut, but the
+    /// conversion counters are global atomics read at merge time — under
+    /// concurrent feeding they can lead the cut by in-flight
+    /// measurements (or lag it by a [`Feeder`]'s unflushed tail). Once
+    /// feeders are flushed and ingestion quiesces — and always at
+    /// [`Engine::finish`] — the counters agree exactly with the report.
+    pub fn snapshot(&self) -> PipelineResults {
+        self.merge(self.collect_reports()).0
+    }
+
+    /// Final report plus the engine-side work counters; shuts the shard
+    /// workers down.
+    pub fn finish_with_stats(mut self) -> (PipelineResults, EngineStats) {
+        let merged = self.merge(self.collect_reports());
+        self.shutdown();
+        merged
+    }
+
+    /// Final report; shuts the shard workers down.
+    pub fn finish(self) -> PipelineResults {
+        self.finish_with_stats().0
+    }
+
+    fn shutdown(&mut self) {
+        self.senders.clear(); // workers exit when the last sender drops
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Engine<'_> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A per-thread buffering ingest handle (see [`Engine::feeder`]).
+pub struct Feeder<'e, 'c> {
+    engine: &'e Engine<'c>,
+    buffers: Vec<Vec<ConvertedObs>>,
+    chunk: usize,
+    conversion: ConversionStats,
+}
+
+impl Feeder<'_, '_> {
+    /// Ingest one measurement through this feeder's local buffers.
+    pub fn ingest(&mut self, m: &Measurement) {
+        let obs = ConvertedObs::from_measurement(m, self.engine.db, &mut self.conversion);
+        if let Some(o) = obs {
+            let shard = shard_of(o.url_id, self.buffers.len());
+            self.buffers[shard].push(o);
+            if self.buffers[shard].len() >= self.chunk {
+                let batch = std::mem::take(&mut self.buffers[shard]);
+                self.engine.senders[shard].send(Msg::Obs(batch)).expect("shard worker alive");
+            }
+        }
+    }
+
+    /// Ship every buffered observation and fold the conversion counters
+    /// into the engine.
+    pub fn flush(&mut self) {
+        for (shard, buf) in self.buffers.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                let batch = std::mem::take(buf);
+                self.engine.senders[shard].send(Msg::Obs(batch)).expect("shard worker alive");
+            }
+        }
+        let stats = std::mem::take(&mut self.conversion);
+        if stats.converted > 0 {
+            self.engine.conversion[0].fetch_add(stats.converted, Ordering::Relaxed);
+        }
+        for (i, d) in stats.discarded.into_iter().enumerate() {
+            if d > 0 {
+                self.engine.conversion[i + 1].fetch_add(d, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl Drop for Feeder<'_, '_> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}

@@ -1,0 +1,619 @@
+//! Incremental per-instance tomography state.
+//!
+//! The batch pipeline buffers a URL's observations and runs a full
+//! census (AllSAT count + backbone probes) per instance at flush time.
+//! [`IncrementalInstance`] instead keeps the instance *solved at all
+//! times*: each new observation is folded into a memoized
+//! unit-propagation/backbone state, and in the common cases the update is
+//! a constant number of hash probes per path AS — no solver call at all:
+//!
+//! * **early-unsat** — clauses only ever shrink the model set, so an
+//!   unsatisfiable instance stays unsatisfiable forever; further
+//!   observations are recorded and skipped;
+//! * **already-decided** — when the memoized backbone already fixes every
+//!   AS a new observation mentions, the model set provably cannot change
+//!   (clean path over always-False ASes) or changes in a closed form
+//!   (positive clause satisfied by an always-True AS, or needing exactly
+//!   the observation's fresh ASes);
+//! * otherwise an **incremental re-solve** runs: the memoized backbone
+//!   literals — valid under clause addition, since models only shrink —
+//!   seed unit propagation, and the census runs over the *reduced*
+//!   formula (free ASes only) instead of the raw clause set.
+//!
+//! The produced [`InstanceOutcome`] is exactly what
+//! [`churnlab_core::analyze::analyze`] computes for the same observation
+//! set, in any arrival order — the engine's order-independence proof
+//! leans on this equivalence (see the crate's property tests).
+
+use churnlab_core::analyze::InstanceOutcome;
+use churnlab_core::instance::{InstanceKey, Observation};
+use churnlab_sat::{census, Cnf, SolutionCount, Solvability, Var};
+use churnlab_topology::Asn;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// What is known about one AS across all models of the current clause
+/// set. `Always*` knowledge is stable under new observations (models only
+/// shrink), which is what makes the memo reusable; only `Both` entries
+/// can tighten.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fate {
+    /// True in every model — a definite censor.
+    AlwaysTrue,
+    /// False in every model — a definite non-censor.
+    AlwaysFalse,
+    /// True in some models, false in others — a potential censor.
+    Both,
+}
+
+/// The memoized solve state.
+#[derive(Debug, Clone)]
+enum Memo {
+    /// No censored observation yet: the all-False assignment is the
+    /// unique model (the `require_positive` "trivial" case).
+    Trivial,
+    /// Proven unsatisfiable — absorbing.
+    Unsat,
+    /// Satisfiable, with the (possibly capped) model count and the exact
+    /// per-AS backbone knowledge.
+    Solved { count: SolutionCount, fate: HashMap<Asn, Fate> },
+}
+
+/// Counters describing how much work the incremental path saved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IncrementalStats {
+    /// Observations that changed an instance (post-dedup).
+    pub updates: u64,
+    /// Duplicate observations dropped by dedup.
+    pub duplicates: u64,
+    /// Updates resolved by a closed-form state transition (no solver).
+    pub direct_updates: u64,
+    /// Updates skipped because the instance was already unsatisfiable.
+    pub unsat_skips: u64,
+    /// Updates that ran a reduced-formula re-solve.
+    pub resolves: u64,
+}
+
+impl IncrementalStats {
+    /// Fold another counter set into this one.
+    pub fn merge(&mut self, other: IncrementalStats) {
+        self.updates += other.updates;
+        self.duplicates += other.duplicates;
+        self.direct_updates += other.direct_updates;
+        self.unsat_skips += other.unsat_skips;
+        self.resolves += other.resolves;
+    }
+}
+
+/// `seen` mask bit: a clean observation of the path was recorded.
+const SEEN_CLEAN: u8 = 1;
+/// `seen` mask bit: a censored observation of the path was recorded.
+const SEEN_CENSORED: u8 = 2;
+
+/// One (URL × window × anomaly) instance kept incrementally solved.
+#[derive(Debug, Clone)]
+pub struct IncrementalInstance {
+    key: InstanceKey,
+    /// Dedup index: path → which polarities were already observed.
+    /// Keyed by owned path but probed by slice, so the (frequent)
+    /// duplicate observation costs no allocation.
+    seen: HashMap<Vec<Asn>, u8>,
+    observations: Vec<Observation>,
+    n_positive: usize,
+    /// Distinct ASes, first-appearance order.
+    vars: Vec<Asn>,
+    var_set: HashSet<Asn>,
+    /// Deduplicated censored paths (the positive clauses).
+    pos_clauses: Vec<Vec<Asn>>,
+    /// ASes appearing on some clean path — axiom unit negations.
+    neg_forced: HashSet<Asn>,
+    memo: Memo,
+}
+
+/// Saturate a model count at the enumeration cap, mirroring how the batch
+/// census reports counts at or above the cap as a lower bound.
+fn cap_count(value: u128, cap: u64) -> SolutionCount {
+    if value >= u128::from(cap) {
+        SolutionCount::AtLeast(cap)
+    } else {
+        SolutionCount::Exact(value as u64)
+    }
+}
+
+/// Multiply a (possibly capped) count by an exact factor (>= 1).
+fn scale_count(count: SolutionCount, factor: u128, cap: u64) -> SolutionCount {
+    debug_assert!(factor >= 1);
+    match count {
+        SolutionCount::Exact(n) => cap_count(u128::from(n) * factor, cap),
+        SolutionCount::AtLeast(_) => SolutionCount::AtLeast(cap),
+    }
+}
+
+/// `2^n` clamped into `u128` range (n is a path-length-bounded AS count).
+fn pow2(n: usize) -> u128 {
+    if n >= 127 {
+        u128::MAX
+    } else {
+        1u128 << n
+    }
+}
+
+impl IncrementalInstance {
+    /// Fresh instance.
+    pub fn new(key: InstanceKey) -> Self {
+        IncrementalInstance {
+            key,
+            seen: HashMap::new(),
+            observations: Vec::new(),
+            n_positive: 0,
+            vars: Vec::new(),
+            var_set: HashSet::new(),
+            pos_clauses: Vec::new(),
+            neg_forced: HashSet::new(),
+            memo: Memo::Trivial,
+        }
+    }
+
+    /// The instance identity.
+    pub fn key(&self) -> InstanceKey {
+        self.key
+    }
+
+    /// True once at least one censored observation arrived.
+    pub fn has_positive(&self) -> bool {
+        self.n_positive > 0
+    }
+
+    /// Distinct observations so far.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// True if nothing observed.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// The deduplicated censored paths (leakage analysis input).
+    pub fn censored_paths(&self) -> impl Iterator<Item = &[Asn]> {
+        self.observations.iter().filter(|o| o.censored).map(|o| o.path.as_slice())
+    }
+
+    /// Fold in one observation, keeping the memoized solve state current.
+    /// `cap` is the enumeration cap ([`churnlab_core::analyze::SolveConfig`]).
+    pub fn observe(&mut self, path: &[Asn], censored: bool, cap: u64, stats: &mut IncrementalStats) {
+        let bit = if censored { SEEN_CENSORED } else { SEEN_CLEAN };
+        match self.seen.get_mut(path) {
+            Some(mask) if *mask & bit != 0 => {
+                stats.duplicates += 1;
+                return;
+            }
+            Some(mask) => *mask |= bit,
+            None => {
+                self.seen.insert(path.to_vec(), bit);
+            }
+        }
+        self.observations.push(Observation { path: path.to_vec(), censored });
+        stats.updates += 1;
+        for a in path {
+            if self.var_set.insert(*a) {
+                self.vars.push(*a);
+            }
+        }
+        if censored {
+            self.n_positive += 1;
+            self.pos_clauses.push(path.to_vec());
+        } else {
+            self.neg_forced.extend(path.iter().copied());
+        }
+
+        if matches!(self.memo, Memo::Unsat) {
+            stats.unsat_skips += 1;
+            return;
+        }
+        if censored {
+            self.apply_positive(path, cap, stats);
+        } else {
+            self.apply_negative(path, cap, stats);
+        }
+    }
+
+    /// New positive clause (censored path) against the current memo.
+    fn apply_positive(&mut self, path: &[Asn], cap: u64, stats: &mut IncrementalStats) {
+        match &mut self.memo {
+            Memo::Unsat => unreachable!("handled by caller"),
+            Memo::Trivial => {
+                // First censored observation: every previously seen AS is
+                // a clean-path axiom (False), so the models are exactly
+                // the non-empty subsets of the path's unexonerated ASes.
+                let candidates: BTreeSet<Asn> =
+                    path.iter().filter(|a| !self.neg_forced.contains(a)).copied().collect();
+                stats.direct_updates += 1;
+                if candidates.is_empty() {
+                    self.memo = Memo::Unsat;
+                    return;
+                }
+                let mut fate: HashMap<Asn, Fate> = self
+                    .vars
+                    .iter()
+                    .map(|a| (*a, Fate::AlwaysFalse))
+                    .collect();
+                if candidates.len() == 1 {
+                    fate.insert(*candidates.iter().next().expect("non-empty"), Fate::AlwaysTrue);
+                    self.memo = Memo::Solved { count: SolutionCount::Exact(1), fate };
+                } else {
+                    for a in &candidates {
+                        fate.insert(*a, Fate::Both);
+                    }
+                    let count = cap_count(pow2(candidates.len()) - 1, cap);
+                    self.memo = Memo::Solved { count, fate };
+                }
+            }
+            Memo::Solved { count, fate } => {
+                let fresh: BTreeSet<Asn> =
+                    path.iter().filter(|a| !fate.contains_key(a)).copied().collect();
+                let satisfied = path.iter().any(|a| fate.get(a) == Some(&Fate::AlwaysTrue));
+                if satisfied {
+                    // The clause already holds in every model; the fresh
+                    // ASes it introduces are entirely free.
+                    stats.direct_updates += 1;
+                    if !fresh.is_empty() {
+                        *count = scale_count(*count, pow2(fresh.len()), cap);
+                        for a in &fresh {
+                            fate.insert(*a, Fate::Both);
+                        }
+                    }
+                    return;
+                }
+                let undecided = path
+                    .iter()
+                    .any(|a| fate.get(a) == Some(&Fate::Both));
+                if undecided {
+                    // The clause interacts with genuinely ambiguous ASes:
+                    // re-solve over the reduced formula.
+                    stats.resolves += 1;
+                    self.resolve(cap);
+                    return;
+                }
+                // Every known AS on the path is always-False: the clause
+                // can only be satisfied by its fresh ASes.
+                stats.direct_updates += 1;
+                match fresh.len() {
+                    0 => self.memo = Memo::Unsat,
+                    1 => {
+                        // Exactly one candidate: a censor identified
+                        // incrementally; the model count is unchanged.
+                        fate.insert(*fresh.iter().next().expect("one"), Fate::AlwaysTrue);
+                    }
+                    n => {
+                        *count = scale_count(*count, pow2(n) - 1, cap);
+                        for a in &fresh {
+                            fate.insert(*a, Fate::Both);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// New unit negations (clean path) against the current memo.
+    fn apply_negative(&mut self, path: &[Asn], cap: u64, stats: &mut IncrementalStats) {
+        match &mut self.memo {
+            Memo::Unsat => unreachable!("handled by caller"),
+            Memo::Trivial => {
+                // Still no positive clause; all-False remains the model.
+                stats.direct_updates += 1;
+            }
+            Memo::Solved { fate, .. } => {
+                if path.iter().any(|a| fate.get(a) == Some(&Fate::AlwaysTrue)) {
+                    // A definite censor observed clean in the same window:
+                    // contradiction (noise or a policy change).
+                    stats.direct_updates += 1;
+                    self.memo = Memo::Unsat;
+                    return;
+                }
+                if path.iter().all(|a| !matches!(fate.get(a), Some(Fate::Both))) {
+                    // Every known AS here is already always-False; the new
+                    // units are implied and fresh ASes are plain axioms.
+                    stats.direct_updates += 1;
+                    for a in path {
+                        fate.entry(*a).or_insert(Fate::AlwaysFalse);
+                    }
+                    return;
+                }
+                // A potential censor just got exonerated: re-solve.
+                stats.resolves += 1;
+                self.resolve(cap);
+            }
+        }
+    }
+
+    /// Incremental re-solve: seed unit propagation with the axiom units
+    /// and the memoized backbone (both survive clause addition), then run
+    /// the census over the reduced formula only.
+    fn resolve(&mut self, cap: u64) {
+        let mut fixed: HashMap<Asn, bool> = HashMap::with_capacity(self.vars.len());
+        for a in &self.neg_forced {
+            fixed.insert(*a, false);
+        }
+        if let Memo::Solved { fate, .. } = &self.memo {
+            for (a, f) in fate {
+                let v = match f {
+                    Fate::AlwaysTrue => true,
+                    Fate::AlwaysFalse => false,
+                    Fate::Both => continue,
+                };
+                if fixed.insert(*a, v) == Some(!v) {
+                    self.memo = Memo::Unsat;
+                    return;
+                }
+            }
+        }
+        // Unit propagation over the positive clauses to fixpoint.
+        loop {
+            let mut changed = false;
+            for clause in &self.pos_clauses {
+                if clause.iter().any(|a| fixed.get(a) == Some(&true)) {
+                    continue;
+                }
+                let free: BTreeSet<Asn> =
+                    clause.iter().filter(|a| !fixed.contains_key(a)).copied().collect();
+                match free.len() {
+                    0 => {
+                        self.memo = Memo::Unsat;
+                        return;
+                    }
+                    1 => {
+                        fixed.insert(*free.iter().next().expect("one"), true);
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Census over the reduced formula. Unconstrained free ASes count
+        // as 2^k model blocks, exactly as the batch census sees them.
+        let free_vars: Vec<Asn> =
+            self.vars.iter().filter(|a| !fixed.contains_key(a)).copied().collect();
+        let var_of: HashMap<Asn, Var> =
+            free_vars.iter().enumerate().map(|(i, a)| (*a, Var(i as u32))).collect();
+        let mut cnf = Cnf::new(free_vars.len());
+        for clause in &self.pos_clauses {
+            if clause.iter().any(|a| fixed.get(a) == Some(&true)) {
+                continue;
+            }
+            cnf.add_positive_clause(clause.iter().filter_map(|a| var_of.get(a).copied()));
+        }
+        let result = census(&cnf, cap);
+        let Some(backbone) = result.backbone else {
+            self.memo = Memo::Unsat;
+            return;
+        };
+        let mut fate: HashMap<Asn, Fate> = HashMap::with_capacity(self.vars.len());
+        for (a, v) in &fixed {
+            fate.insert(*a, if *v { Fate::AlwaysTrue } else { Fate::AlwaysFalse });
+        }
+        for (i, a) in free_vars.iter().enumerate() {
+            let f = match (backbone.ever_true[i], backbone.ever_false[i]) {
+                (true, false) => Fate::AlwaysTrue,
+                (false, true) => Fate::AlwaysFalse,
+                // (false, false) cannot happen for a satisfiable formula.
+                _ => Fate::Both,
+            };
+            fate.insert(*a, f);
+        }
+        self.memo = Memo::Solved { count: result.count, fate };
+    }
+
+    /// The analysed outcome — identical to running
+    /// [`churnlab_core::analyze::analyze`] on the batch-built instance
+    /// over the same observation set.
+    pub fn outcome(&self) -> InstanceOutcome {
+        let n_vars = self.vars.len();
+        let (solvability, bucket, censors, potential, eliminated) = match &self.memo {
+            Memo::Trivial => {
+                // Clean observations only: the all-False assignment is
+                // the unique model and every AS is exonerated.
+                let mut elim = self.vars.clone();
+                elim.sort();
+                (Solvability::Unique, 1u8, Vec::new(), Vec::new(), elim)
+            }
+            Memo::Unsat => (Solvability::Unsat, 0, Vec::new(), Vec::new(), Vec::new()),
+            Memo::Solved { count, fate } => {
+                let solvability = count.solvability();
+                debug_assert_ne!(solvability, Solvability::Unsat, "Solved memo is satisfiable");
+                let mut censors = Vec::new();
+                let mut potential = Vec::new();
+                let mut eliminated = Vec::new();
+                for (a, f) in fate {
+                    match f {
+                        Fate::AlwaysTrue => censors.push(*a),
+                        Fate::AlwaysFalse => eliminated.push(*a),
+                        Fate::Both => potential.push(*a),
+                    }
+                }
+                debug_assert!(
+                    solvability != Solvability::Unique || potential.is_empty(),
+                    "a unique model fixes every variable"
+                );
+                censors.sort();
+                potential.sort();
+                eliminated.sort();
+                (solvability, count.bucket(), censors, potential, eliminated)
+            }
+        };
+        let eliminated_frac =
+            if n_vars == 0 { 0.0 } else { eliminated.len() as f64 / n_vars as f64 };
+        InstanceOutcome {
+            key: self.key,
+            n_vars,
+            n_observations: self.observations.len(),
+            n_positive: self.n_positive,
+            solvability,
+            bucket,
+            censors,
+            potential_censors: potential,
+            eliminated,
+            eliminated_frac,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use churnlab_bgp::{Granularity, TimeWindow};
+    use churnlab_core::analyze::{analyze, SolveConfig};
+    use churnlab_core::instance::InstanceBuilder;
+    use churnlab_platform::AnomalyType;
+    use proptest::prelude::*;
+
+    fn key() -> InstanceKey {
+        InstanceKey {
+            url_id: 3,
+            anomaly: AnomalyType::Dns,
+            window: TimeWindow::of(0, Granularity::Day, 365),
+        }
+    }
+
+    fn asns(v: &[u32]) -> Vec<Asn> {
+        v.iter().map(|x| Asn(*x)).collect()
+    }
+
+    /// Batch-analyse the same observation sequence with the pipeline's
+    /// builder.
+    fn batch_outcome(observations: &[(Vec<Asn>, bool)]) -> Option<InstanceOutcome> {
+        let mut b = InstanceBuilder::new(key());
+        for (path, censored) in observations {
+            b.observe(path, *censored);
+        }
+        b.build().map(|inst| analyze(&inst, &SolveConfig::default()))
+    }
+
+    fn incremental_outcome(observations: &[(Vec<Asn>, bool)]) -> Option<InstanceOutcome> {
+        let mut inst = IncrementalInstance::new(key());
+        let mut stats = IncrementalStats::default();
+        for (path, censored) in observations {
+            inst.observe(path, *censored, SolveConfig::default().count_cap, &mut stats);
+        }
+        if inst.is_empty() {
+            None
+        } else {
+            Some(inst.outcome())
+        }
+    }
+
+    #[test]
+    fn unique_censor_identified_incrementally() {
+        let mut inst = IncrementalInstance::new(key());
+        let mut stats = IncrementalStats::default();
+        inst.observe(&asns(&[1, 2, 3]), true, 64, &mut stats);
+        inst.observe(&asns(&[1, 2, 4]), false, 64, &mut stats);
+        let out = inst.outcome();
+        assert_eq!(out.solvability, Solvability::Unique);
+        assert_eq!(out.censors, asns(&[3]));
+        assert_eq!(out.eliminated, asns(&[1, 2, 4]));
+        // The first positive is closed-form; the clean path exonerates
+        // potential censors, which is the one genuine re-solve case.
+        assert_eq!(stats.direct_updates, 1);
+        assert_eq!(stats.resolves, 1);
+        // A duplicate of either observation is then a no-op, and a clean
+        // path over already-eliminated ASes is closed-form again.
+        inst.observe(&asns(&[1, 2, 4]), false, 64, &mut stats);
+        assert_eq!(stats.duplicates, 1);
+        inst.observe(&asns(&[1, 4]), false, 64, &mut stats);
+        assert_eq!(stats.direct_updates, 2);
+        assert_eq!(stats.resolves, 1, "implied units must not re-solve");
+    }
+
+    #[test]
+    fn clean_paths_arriving_first_are_equivalent() {
+        let seq_a = vec![(asns(&[1, 2, 3]), true), (asns(&[1, 2, 4]), false)];
+        let seq_b = vec![(asns(&[1, 2, 4]), false), (asns(&[1, 2, 3]), true)];
+        assert_eq!(incremental_outcome(&seq_a), incremental_outcome(&seq_b));
+        assert_eq!(incremental_outcome(&seq_a), batch_outcome(&seq_a));
+    }
+
+    #[test]
+    fn contradiction_is_absorbing_unsat() {
+        let mut inst = IncrementalInstance::new(key());
+        let mut stats = IncrementalStats::default();
+        inst.observe(&asns(&[5, 6]), true, 64, &mut stats);
+        inst.observe(&asns(&[5, 6]), false, 64, &mut stats);
+        assert_eq!(inst.outcome().solvability, Solvability::Unsat);
+        // Everything after is a constant-time skip.
+        inst.observe(&asns(&[7, 8]), true, 64, &mut stats);
+        inst.observe(&asns(&[7]), false, 64, &mut stats);
+        assert_eq!(stats.unsat_skips, 2);
+        let out = inst.outcome();
+        assert_eq!(out.solvability, Solvability::Unsat);
+        assert_eq!(out.n_vars, 4);
+        assert_eq!(out.n_observations, 4);
+    }
+
+    #[test]
+    fn duplicates_are_noops() {
+        let mut inst = IncrementalInstance::new(key());
+        let mut stats = IncrementalStats::default();
+        inst.observe(&asns(&[1, 2]), true, 64, &mut stats);
+        inst.observe(&asns(&[1, 2]), true, 64, &mut stats);
+        assert_eq!(stats.duplicates, 1);
+        assert_eq!(inst.len(), 1);
+    }
+
+    #[test]
+    fn trivial_instance_matches_batch_when_analysed() {
+        let seq = vec![(asns(&[1, 2]), false), (asns(&[2, 3]), false)];
+        assert_eq!(incremental_outcome(&seq), batch_outcome(&seq));
+        let out = incremental_outcome(&seq).unwrap();
+        assert_eq!(out.solvability, Solvability::Unique);
+        assert!(out.censors.is_empty());
+        assert_eq!(out.eliminated_frac, 1.0);
+    }
+
+    #[test]
+    fn churn_pins_down_shared_censor_any_order() {
+        let obs = vec![
+            (asns(&[1, 9, 3]), true),
+            (asns(&[2, 9, 4]), true),
+            (asns(&[1, 2, 3, 4]), false),
+        ];
+        // All 6 arrival orders agree with the batch result.
+        let orders: [[usize; 3]; 6] =
+            [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let expect = batch_outcome(&obs).unwrap();
+        assert_eq!(expect.censors, asns(&[9]));
+        for order in orders {
+            let seq: Vec<_> = order.iter().map(|&i| obs[i].clone()).collect();
+            assert_eq!(incremental_outcome(&seq).unwrap(), expect, "order {order:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Over a small AS universe (model counts stay below the cap, so
+        /// outcomes are exact), the incremental state machine agrees with
+        /// the batch analyze() for the same observations — in the given
+        /// order AND reversed (order independence).
+        #[test]
+        fn prop_incremental_matches_batch(
+            observations in proptest::collection::vec(
+                (proptest::collection::vec(1u32..6, 1..5), any::<bool>()),
+                1..10,
+            ),
+        ) {
+            let obs: Vec<(Vec<Asn>, bool)> = observations
+                .into_iter()
+                .map(|(path, censored)| (asns(&path), censored))
+                .collect();
+            let batch = batch_outcome(&obs);
+            prop_assert_eq!(incremental_outcome(&obs), batch.clone());
+            let reversed: Vec<_> = obs.iter().rev().cloned().collect();
+            prop_assert_eq!(incremental_outcome(&reversed), batch);
+        }
+    }
+}

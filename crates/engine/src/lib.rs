@@ -1,0 +1,66 @@
+//! # churnlab-engine
+//!
+//! A sharded, order-independent, **incremental** tomography engine over
+//! measurement streams — the production-shaped counterpart of the batch
+//! [`churnlab_core::pipeline::Pipeline`].
+//!
+//! The batch pipeline depends on measurements arriving grouped by URL
+//! (the platform runner's iteration order) and solves every
+//! (URL × window × anomaly) CNF from scratch when a URL's buffer
+//! flushes. That contract rules out exactly the regime a deployed
+//! localization service lives in: many vantage feeds arriving
+//! concurrently, interleaved across URLs, with reports wanted *before*
+//! the stream ends. The engine removes both restrictions:
+//!
+//! * **Any order** — [`Engine::ingest`] accepts measurements in whatever
+//!   order they arrive; instance state is keyed, not positional.
+//! * **Sharded** — each converted observation is routed by
+//!   `hash(url_id)` to a shard worker over a bounded channel; shards own
+//!   their instances outright (no locks on the hot path) and solve in
+//!   parallel.
+//! * **Incremental** — every instance keeps a memoized
+//!   unit-propagation/backbone state ([`IncrementalInstance`]), so a new
+//!   observation is usually a constant-time state transition
+//!   (early-unsat and already-decided instances short-circuit), and
+//!   otherwise a census over the *reduced* formula — never a from-scratch
+//!   AllSAT pass over a whole URL buffer.
+//!
+//! [`Engine::snapshot`] / [`Engine::finish`] produce a
+//! [`churnlab_core::pipeline::PipelineResults`], so reports, validation,
+//! and the scenario-matrix harness work unchanged — and the
+//! [`churnlab_core::report::CanonicalReport`] serialization is
+//! **byte-identical** to the batch pipeline's over the same measurement
+//! set, which the property tests assert over shuffled streams.
+//!
+//! ```
+//! use churnlab_engine::{Engine, EngineConfig};
+//! # use churnlab_bgp::{ChurnConfig, RoutingSim};
+//! # use churnlab_censor::{CensorConfig, CensorshipScenario};
+//! # use churnlab_core::pipeline::PipelineConfig;
+//! # use churnlab_platform::{Platform, PlatformConfig, PlatformScale};
+//! # use churnlab_topology::{generator, WorldConfig, WorldScale};
+//! # let world = generator::generate(&WorldConfig::preset(WorldScale::Smoke, 1));
+//! # let ccfg = CensorConfig::scaled_for(world.topology.countries().len());
+//! # let scenario = CensorshipScenario::generate_for_world(&world, &ccfg);
+//! # let pcfg = PlatformConfig::preset(PlatformScale::Smoke, 1);
+//! # let platform = Platform::new(&world, &scenario, pcfg.clone());
+//! # let sim = RoutingSim::new(
+//! #     &world.topology,
+//! #     &ChurnConfig { total_days: pcfg.total_days, ..ChurnConfig::default() },
+//! # );
+//! let cfg = EngineConfig::new(PipelineConfig::paper(pcfg.total_days)).with_shards(2);
+//! let engine = Engine::new(&platform, cfg);
+//! platform.run(&sim, |m| engine.ingest(&m)); // any order would do
+//! let results = engine.finish();
+//! println!("identified {} censors", results.identified_censors().len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+pub mod incremental;
+mod shard;
+
+pub use engine::{Engine, EngineConfig, EngineStats, Feeder};
+pub use incremental::{IncrementalInstance, IncrementalStats};

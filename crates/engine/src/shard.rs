@@ -1,0 +1,186 @@
+//! Shard-local state and the worker loop.
+//!
+//! Each shard owns the instances of its URL subset outright — no locks,
+//! no sharing; cross-shard aggregation happens only when a report is
+//! requested. A shard receives [`Msg::Obs`] for every converted
+//! observation routed to it (any order) and answers [`Msg::Report`] with
+//! a self-contained [`ShardReport`] the engine merges on the caller's
+//! thread (which is where the topology lives — workers are `'static`).
+
+use crate::incremental::{IncrementalInstance, IncrementalStats};
+use churnlab_core::analyze::{analyze, InstanceOutcome};
+use churnlab_core::batch::split_url_buffer;
+use churnlab_core::instance::InstanceKey;
+use churnlab_core::obs::ConvertedObs;
+use churnlab_core::pipeline::{ChurnMode, PipelineConfig};
+use churnlab_core::ChurnAccumulator;
+use churnlab_bgp::TimeWindow;
+use churnlab_platform::AnomalyType;
+use churnlab_topology::Asn;
+use std::collections::{HashMap, HashSet};
+use std::sync::mpsc::{Receiver, SyncSender};
+
+/// A message to a shard worker.
+pub(crate) enum Msg {
+    /// A batch of converted observations for this shard's URL subset
+    /// (size 1 for direct [`crate::Engine::ingest`]; feeders chunk).
+    Obs(Vec<ConvertedObs>),
+    /// Produce a report of everything processed so far (a snapshot when
+    /// the engine keeps running, the final answer at `finish`).
+    Report(SyncSender<ShardReport>),
+}
+
+/// One analysed instance crossing the shard boundary: the outcome plus
+/// the censored paths the merger's leakage analysis needs (attached only
+/// when the instance pinned down a censor).
+pub(crate) struct SolvedCell {
+    pub outcome: InstanceOutcome,
+    pub censored_paths: Vec<Vec<Asn>>,
+}
+
+/// Everything a shard contributes to a merged report.
+pub(crate) struct ShardReport {
+    pub cells: Vec<SolvedCell>,
+    pub trivial: u64,
+    pub churn: ChurnAccumulator,
+    pub on_censored_path: HashSet<Asn>,
+    pub stats: IncrementalStats,
+    pub observations: u64,
+}
+
+/// Shard-local state.
+pub(crate) struct ShardState {
+    cfg: PipelineConfig,
+    /// Incrementally solved instances (Normal churn mode).
+    instances: HashMap<InstanceKey, IncrementalInstance>,
+    /// Per-URL buffers for the Figure-4 ablation, where "first path" is
+    /// only defined once the whole stream is known — processed (without
+    /// consuming) at report time over the restored test order.
+    deferred: HashMap<u32, Vec<ConvertedObs>>,
+    churn: ChurnAccumulator,
+    on_censored_path: HashSet<Asn>,
+    stats: IncrementalStats,
+    observations: u64,
+}
+
+impl ShardState {
+    pub(crate) fn new(cfg: PipelineConfig) -> Self {
+        ShardState {
+            cfg,
+            instances: HashMap::new(),
+            deferred: HashMap::new(),
+            churn: ChurnAccumulator::new(),
+            on_censored_path: HashSet::new(),
+            stats: IncrementalStats::default(),
+            observations: 0,
+        }
+    }
+
+    /// Fold one observation into the shard.
+    pub(crate) fn ingest(&mut self, o: ConvertedObs) {
+        self.observations += 1;
+        self.churn.add(o.vp_asn, o.dest_asn, o.day, &o.path);
+        if self.cfg.churn_mode == ChurnMode::FirstPathOnly {
+            self.deferred.entry(o.url_id).or_default().push(o);
+            return;
+        }
+        // Any censored observation lands in at least one analysed
+        // instance (its own anomaly's), so the observability horizon can
+        // accumulate here without waiting for the report.
+        if !o.detected.is_empty() {
+            self.on_censored_path.extend(o.path.iter().copied());
+        }
+        let cap = self.cfg.solve.count_cap;
+        for &g in &self.cfg.granularities {
+            let window = TimeWindow::of(o.day, g, self.cfg.total_days);
+            for anomaly in AnomalyType::ALL {
+                let key = InstanceKey { url_id: o.url_id, anomaly, window };
+                self.instances
+                    .entry(key)
+                    .or_insert_with(|| IncrementalInstance::new(key))
+                    .observe(&o.path, o.detected.contains(anomaly), cap, &mut self.stats);
+            }
+        }
+    }
+
+    /// Produce a report of everything processed so far. Non-destructive:
+    /// the shard keeps ingesting afterwards.
+    pub(crate) fn report(&self) -> ShardReport {
+        let mut cells = Vec::new();
+        let mut trivial = 0u64;
+        let mut on_censored_path = self.on_censored_path.clone();
+        match self.cfg.churn_mode {
+            ChurnMode::Normal => {
+                for inst in self.instances.values() {
+                    if self.cfg.require_positive && !inst.has_positive() {
+                        trivial += 1;
+                        continue;
+                    }
+                    let outcome = inst.outcome();
+                    let censored_paths = if outcome.censors.is_empty() {
+                        Vec::new()
+                    } else {
+                        inst.censored_paths().map(<[Asn]>::to_vec).collect()
+                    };
+                    cells.push(SolvedCell { outcome, censored_paths });
+                }
+            }
+            ChurnMode::FirstPathOnly => {
+                for (&url_id, obs) in &self.deferred {
+                    let mut buf = obs.clone();
+                    // Restore the runner's test order so "first distinct
+                    // path" means what the batch pipeline means by it.
+                    buf.sort_by_key(ConvertedObs::test_order);
+                    split_url_buffer(
+                        url_id,
+                        buf,
+                        ChurnMode::FirstPathOnly,
+                        &self.cfg.granularities,
+                        self.cfg.total_days,
+                        |builder| {
+                            if self.cfg.require_positive && !builder.has_positive() {
+                                trivial += 1;
+                                return;
+                            }
+                            let inst = builder.build().expect("non-empty builder");
+                            let outcome = analyze(&inst, &self.cfg.solve);
+                            let mut censored_paths = Vec::new();
+                            for ob in inst.observations.iter().filter(|o| o.censored) {
+                                on_censored_path.extend(ob.path.iter().copied());
+                                if !outcome.censors.is_empty() {
+                                    censored_paths.push(ob.path.clone());
+                                }
+                            }
+                            cells.push(SolvedCell { outcome, censored_paths });
+                        },
+                    );
+                }
+            }
+        }
+        ShardReport {
+            cells,
+            trivial,
+            churn: self.churn.clone(),
+            on_censored_path,
+            stats: self.stats,
+            observations: self.observations,
+        }
+    }
+}
+
+/// The worker loop: drain messages until every sender is gone.
+pub(crate) fn run_worker(rx: Receiver<Msg>, cfg: PipelineConfig) {
+    let mut state = ShardState::new(cfg);
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Obs(batch) => {
+                for o in batch {
+                    state.ingest(o);
+                }
+            }
+            // A dropped reply channel means the requester gave up; the
+            // shard itself is still healthy.
+            Msg::Report(reply) => drop(reply.send(state.report())),
+        }
+    }
+}

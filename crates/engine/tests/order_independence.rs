@@ -1,0 +1,184 @@
+//! The engine's headline guarantee, asserted end to end: feeding the
+//! engine a **shuffled** measurement stream produces a serialized
+//! [`churnlab_core::report::CanonicalReport`] that is **byte-identical**
+//! to the batch [`Pipeline`] fed the platform runner's URL-grouped order
+//! — across seeds, shard counts, churn modes, and concurrent feeders.
+
+use churnlab_bgp::{ChurnConfig, RoutingSim};
+use churnlab_censor::{CensorConfig, CensorshipScenario};
+use churnlab_core::pipeline::{ChurnMode, Pipeline, PipelineConfig, PipelineResults};
+use churnlab_engine::{Engine, EngineConfig};
+use churnlab_platform::{Measurement, Platform, PlatformConfig, PlatformScale};
+use churnlab_topology::{generator, GeneratedWorld, WorldConfig, WorldScale};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+struct Study {
+    world: GeneratedWorld,
+    scenario: CensorshipScenario,
+    platform_cfg: PlatformConfig,
+    churn_cfg: ChurnConfig,
+}
+
+fn study(seed: u64) -> Study {
+    let world = generator::generate(&WorldConfig::preset(WorldScale::Smoke, seed));
+    let mut censor_cfg = CensorConfig::scaled_for(world.topology.countries().len());
+    censor_cfg.seed = seed.wrapping_add(2);
+    let platform_cfg = PlatformConfig::preset(PlatformScale::Smoke, seed.wrapping_add(1));
+    censor_cfg.total_days = platform_cfg.total_days;
+    let scenario = CensorshipScenario::generate_for_world(&world, &censor_cfg);
+    let churn_cfg = ChurnConfig {
+        seed: seed.wrapping_add(3),
+        total_days: platform_cfg.total_days,
+        ..ChurnConfig::default()
+    };
+    Study { world, scenario, platform_cfg, churn_cfg }
+}
+
+fn measurements(s: &Study) -> (Platform<'_>, Vec<Measurement>) {
+    let platform = Platform::new(&s.world, &s.scenario, s.platform_cfg.clone());
+    let sim = RoutingSim::new(&s.world.topology, &s.churn_cfg);
+    let (ms, _) = platform.run_collect(&sim);
+    (platform, ms)
+}
+
+fn pipeline_results(
+    platform: &Platform<'_>,
+    ms: &[Measurement],
+    mode: ChurnMode,
+) -> PipelineResults {
+    let mut cfg = PipelineConfig::paper(platform.config().total_days);
+    cfg.churn_mode = mode;
+    let mut pipeline = Pipeline::new(platform, cfg);
+    for m in ms {
+        pipeline.ingest(m);
+    }
+    pipeline.finish()
+}
+
+fn engine_results(
+    platform: &Platform<'_>,
+    ms: &[Measurement],
+    mode: ChurnMode,
+    shards: usize,
+) -> PipelineResults {
+    let mut cfg = PipelineConfig::paper(platform.config().total_days);
+    cfg.churn_mode = mode;
+    let engine = Engine::new(platform, EngineConfig::new(cfg).with_shards(shards));
+    for m in ms {
+        engine.ingest(m);
+    }
+    engine.finish()
+}
+
+fn canonical_json(r: &PipelineResults) -> String {
+    serde_json::to_string(&r.canonical_report()).expect("canonical report serializes")
+}
+
+/// The satellite acceptance test: shuffled engine ingest is byte-identical
+/// to the ordered batch pipeline, for several seeds and shard counts.
+#[test]
+fn shuffled_engine_matches_ordered_pipeline_byte_identically() {
+    for seed in [11u64, 23, 47] {
+        let s = study(seed);
+        let (platform, ms) = measurements(&s);
+        let expected = canonical_json(&pipeline_results(&platform, &ms, ChurnMode::Normal));
+        for (shards, shuffle_seed) in [(1usize, seed ^ 0xA), (3, seed ^ 0xB)] {
+            let mut shuffled = ms.clone();
+            shuffled.shuffle(&mut StdRng::seed_from_u64(shuffle_seed));
+            let got = canonical_json(&engine_results(
+                &platform,
+                &shuffled,
+                ChurnMode::Normal,
+                shards,
+            ));
+            assert_eq!(
+                got, expected,
+                "seed {seed}, {shards} shard(s): shuffled engine diverged from pipeline"
+            );
+        }
+    }
+}
+
+/// The Figure-4 ablation also survives shuffling: the engine restores the
+/// test order internally before applying the first-path filter.
+#[test]
+fn first_path_ablation_is_order_independent_too() {
+    let s = study(31);
+    let (platform, ms) = measurements(&s);
+    let expected = canonical_json(&pipeline_results(&platform, &ms, ChurnMode::FirstPathOnly));
+    let mut shuffled = ms.clone();
+    shuffled.shuffle(&mut StdRng::seed_from_u64(99));
+    let got = canonical_json(&engine_results(&platform, &shuffled, ChurnMode::FirstPathOnly, 2));
+    assert_eq!(got, expected, "ablation mode diverged under shuffle");
+}
+
+/// Concurrent feeder threads — the multi-vantage regime — agree with the
+/// single-threaded batch pipeline too.
+#[test]
+fn concurrent_feeders_match_pipeline() {
+    let s = study(53);
+    let (platform, ms) = measurements(&s);
+    let expected = canonical_json(&pipeline_results(&platform, &ms, ChurnMode::Normal));
+
+    let cfg = PipelineConfig::paper(platform.config().total_days);
+    let engine = Engine::new(&platform, EngineConfig::new(cfg).with_shards(2));
+    let n_feeders = 4;
+    std::thread::scope(|scope| {
+        for chunk in ms.chunks(ms.len().div_ceil(n_feeders)) {
+            let engine = &engine;
+            scope.spawn(move || {
+                // Buffering feeder handle: chunked sends, flushed on drop.
+                let mut feeder = engine.feeder();
+                for m in chunk {
+                    feeder.ingest(m);
+                }
+            });
+        }
+    });
+    let got = canonical_json(&engine.finish());
+    assert_eq!(got, expected, "concurrent feeders diverged from pipeline");
+}
+
+/// `snapshot()` mid-stream is a consistent prefix report, and ingestion
+/// continues unharmed afterwards.
+#[test]
+fn snapshot_then_continue() {
+    let s = study(7);
+    let (platform, ms) = measurements(&s);
+    let cfg = PipelineConfig::paper(platform.config().total_days);
+    let engine = Engine::new(&platform, EngineConfig::new(cfg.clone()).with_shards(2));
+    let half = ms.len() / 2;
+    for m in &ms[..half] {
+        engine.ingest(m);
+    }
+    let mid = engine.snapshot();
+    // The snapshot equals a batch run over the same prefix (the prefix of
+    // the runner's order is still URL-grouped, so Pipeline accepts it).
+    let mid_expected = pipeline_results(&platform, &ms[..half], ChurnMode::Normal);
+    assert_eq!(canonical_json(&mid), canonical_json(&mid_expected));
+    for m in &ms[half..] {
+        engine.ingest(m);
+    }
+    let full = engine.finish();
+    let full_expected = pipeline_results(&platform, &ms, ChurnMode::Normal);
+    assert_eq!(canonical_json(&full), canonical_json(&full_expected));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Randomized shuffle/shard-count draws on a fixed smoke study.
+    #[test]
+    fn prop_shuffled_stream_is_canonical(shuffle_seed in any::<u64>(), shards in 1usize..5) {
+        let s = study(61);
+        let (platform, ms) = measurements(&s);
+        let expected = canonical_json(&pipeline_results(&platform, &ms, ChurnMode::Normal));
+        let mut shuffled = ms.clone();
+        shuffled.shuffle(&mut StdRng::seed_from_u64(shuffle_seed));
+        let got = canonical_json(&engine_results(&platform, &shuffled, ChurnMode::Normal, shards));
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -28,12 +28,15 @@
 //! * [`platform`] — the measurement platform (ICLab analogue).
 //! * [`sat`] — DPLL, AllSAT, backbones, DIMACS.
 //! * [`core`] — the tomography pipeline (the paper's contribution).
+//! * [`engine`] — the sharded, order-independent, incremental streaming
+//!   engine (production-shaped counterpart of `core`'s batch pipeline).
 //! * [`interop`] — record import/export (OONI-style JSONL, CAIDA
 //!   prefix2as) feeding external datasets into the same pipeline.
 
 pub use churnlab_bgp as bgp;
 pub use churnlab_censor as censor;
 pub use churnlab_core as core;
+pub use churnlab_engine as engine;
 pub use churnlab_interop as interop;
 pub use churnlab_net as net;
 pub use churnlab_platform as platform;
