@@ -1,31 +1,50 @@
 //! SAT toolkit performance on tomography-shaped instances:
 //! positive clauses over overlapping AS paths plus unit negations, at the
 //! sizes the pipeline actually produces (tens of variables).
+//!
+//! Three census variants are timed side by side so one run yields the
+//! speedup ratio:
+//!
+//! * `census_warm`   — [`SolverCtx`] reused across calls (how the
+//!   pipeline's flush loop and the engine's shard workers run it);
+//! * `census_cold`   — a fresh context per call (the one-shot API);
+//! * `census_rescan` — the retained pre-watched-literal reference core.
 
+use churnlab_bench::satbench::tomography_cnf as tomography_cnf_rng;
+use churnlab_sat::{
+    backbone, census, count_solutions, reference, solve, Cnf, CompiledCnf, SolverCtx, Var,
+};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use churnlab_sat::{backbone, census, count_solutions, solve, Cnf, Var};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
-/// Build a tomography-shaped CNF: `n_vars` ASes, `n_pos` censored paths of
-/// length ~5 sharing a censor, `n_neg` clean paths.
+/// Seeded wrapper over the shared workload generator
+/// ([`churnlab_bench::satbench::tomography_cnf`]), so the Criterion bench
+/// and the CI-gated `BENCH_sat.json` measure the same instance shape.
 fn tomography_cnf(n_vars: usize, n_pos: usize, n_neg: usize, seed: u64) -> Cnf {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut f = Cnf::new(n_vars);
-    let censor = Var(0);
-    for _ in 0..n_pos {
-        let mut path = vec![censor];
-        for _ in 0..4 {
-            path.push(Var(rng.gen_range(1..n_vars as u32)));
-        }
-        f.add_positive_clause(path);
+    tomography_cnf_rng(n_vars, n_pos, n_neg, &mut rng)
+}
+
+fn bench_census(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sat_census");
+    g.sample_size(20);
+    // Paper-scale instances: 8–40 ASes, mixed clean/censored clauses.
+    for (n, n_pos, n_neg) in [(8usize, 3, 4), (16, 5, 8), (40, 6, 10), (120, 6, 10)] {
+        let f = tomography_cnf(n, n_pos, n_neg, 7);
+        let compiled = CompiledCnf::from_cnf(&f);
+        let mut ctx = SolverCtx::new();
+        g.bench_with_input(BenchmarkId::new("census_warm", n), &f, |b, _| {
+            b.iter(|| black_box(ctx.census(&compiled, 64)))
+        });
+        g.bench_with_input(BenchmarkId::new("census_cold", n), &f, |b, f| {
+            b.iter(|| black_box(census(f, 64)))
+        });
+        g.bench_with_input(BenchmarkId::new("census_rescan", n), &f, |b, f| {
+            b.iter(|| black_box(reference::census(f, 64)))
+        });
     }
-    for _ in 0..n_neg {
-        let vars: Vec<Var> =
-            (0..4).map(|_| Var(rng.gen_range(1..n_vars as u32))).collect();
-        f.add_negative_facts(vars);
-    }
-    f
+    g.finish();
 }
 
 fn bench_solve(c: &mut Criterion) {
@@ -35,9 +54,6 @@ fn bench_solve(c: &mut Criterion) {
         let f = tomography_cnf(n, 6, 10, 7);
         g.bench_with_input(BenchmarkId::new("solve", n), &f, |b, f| {
             b.iter(|| black_box(solve(f)))
-        });
-        g.bench_with_input(BenchmarkId::new("census_cap64", n), &f, |b, f| {
-            b.iter(|| black_box(census(f, 64)))
         });
         g.bench_with_input(BenchmarkId::new("backbone", n), &f, |b, f| {
             b.iter(|| black_box(backbone(f)))
@@ -58,5 +74,5 @@ fn bench_count(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_solve, bench_count);
+criterion_group!(benches, bench_census, bench_solve, bench_count);
 criterion_main!(benches);

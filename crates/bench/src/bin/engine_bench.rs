@@ -6,10 +6,22 @@
 //! cargo run --release -p churnlab-bench --bin engine_bench                 # smoke, BENCH_engine.json shape on stdout
 //! cargo run --release -p churnlab-bench --bin engine_bench -- --out BENCH_engine.json
 //! cargo run --release -p churnlab-bench --bin engine_bench -- --scale small --shards 1,2,4,8 --feeders 4 --repeats 5
+//! cargo run --release -p churnlab-bench --bin engine_bench -- --baseline BENCH_engine.json --out BENCH_engine.json
 //! ```
+//!
+//! `--baseline FILE` turns the run into a regression gate against a
+//! committed report: the run fails (exit 1) if the engine's
+//! speedup-vs-pipeline ratio drops more than 20% below the baseline's for
+//! any shard count both reports cover. The *ratio* is compared — not raw
+//! measurements/sec — because CI machines differ; the pipeline timed in
+//! the same process is the machine-speed control. The baseline is read
+//! before `--out` is written, so both may name the same file.
 
-use churnlab_bench::enginebench::{run_throughput, ThroughputHarness};
+use churnlab_bench::enginebench::{run_throughput, ThroughputHarness, ThroughputReport};
 use churnlab_bench::{Bench, Scale};
+
+/// Fraction of the baseline speedup the new run must retain.
+const REGRESSION_FLOOR: f64 = 0.8;
 
 struct Args {
     scale: Scale,
@@ -18,6 +30,7 @@ struct Args {
     feeders: usize,
     repeats: usize,
     out: Option<String>,
+    baseline: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -29,6 +42,7 @@ fn parse_args() -> Result<Args, String> {
         feeders: cores.min(4),
         repeats: 3,
         out: None,
+        baseline: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -60,10 +74,12 @@ fn parse_args() -> Result<Args, String> {
                 args.repeats = v.parse().map_err(|_| format!("bad repeat count `{v}`"))?;
             }
             "--out" => args.out = Some(it.next().ok_or("--out needs a path")?),
+            "--baseline" => args.baseline = Some(it.next().ok_or("--baseline needs a path")?),
             "--help" | "-h" => {
                 return Err(
                     "usage: engine_bench [--scale smoke|small|paper] [--seed N] \
-                     [--shards 1,2,4] [--feeders N] [--repeats N] [--out FILE]"
+                     [--shards 1,2,4] [--feeders N] [--repeats N] [--out FILE] \
+                     [--baseline FILE]"
                         .into(),
                 )
             }
@@ -81,6 +97,26 @@ fn scale_label(scale: Scale) -> &'static str {
     }
 }
 
+/// Compare the run against a committed baseline report: every shard count
+/// covered by both must retain at least [`REGRESSION_FLOOR`] of the
+/// baseline's speedup-vs-pipeline ratio. Returns the failure messages.
+fn check_regression(report: &ThroughputReport, baseline: &ThroughputReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    for base_row in &baseline.engine {
+        let Some(row) = report.engine.iter().find(|r| r.shards == base_row.shards) else {
+            continue;
+        };
+        let floor = base_row.speedup_vs_pipeline * REGRESSION_FLOOR;
+        if row.speedup_vs_pipeline < floor {
+            failures.push(format!(
+                "engine/{} speedup {:.2}x fell more than 20% below baseline {:.2}x (floor {:.2}x)",
+                row.shards, row.speedup_vs_pipeline, base_row.speedup_vs_pipeline, floor,
+            ));
+        }
+    }
+    failures
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -89,6 +125,14 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    // Read the baseline up front so `--baseline` and `--out` may point at
+    // the same committed file.
+    let baseline: Option<ThroughputReport> = args.baseline.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse baseline {path}: {e}"))
+    });
 
     let bench = Bench::assemble(args.scale, args.seed);
     let harness = ThroughputHarness::assemble(&bench);
@@ -134,5 +178,40 @@ fn main() {
             eprintln!("engine_bench: wrote {path}");
         }
         None => println!("{json}"),
+    }
+
+    if let Some(baseline) = &baseline {
+        if baseline.scale != report.scale {
+            // Ratios aren't comparable across workload scales; skip the
+            // gate rather than fail a legitimate local run. CI pins both
+            // sides to the same scale, so the gate is real there.
+            eprintln!(
+                "engine_bench: baseline scale `{}` != run scale `{}`; skipping regression gate",
+                baseline.scale, report.scale
+            );
+            return;
+        }
+        if baseline.available_cores != report.available_cores {
+            // The shard-count speedup ratio depends on how many cores the
+            // workers can spread over, not just machine speed — a 1-core
+            // baseline vs an 8-core runner (or vice versa) would make the
+            // gate vacuous or spuriously red.
+            eprintln!(
+                "engine_bench: baseline has {} core(s), this run {}; skipping regression gate",
+                baseline.available_cores, report.available_cores
+            );
+            return;
+        }
+        let failures = check_regression(&report, baseline);
+        for msg in &failures {
+            eprintln!("engine_bench: FAIL — {msg}");
+        }
+        if !failures.is_empty() {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "engine_bench: within 20% of baseline speedups ({} shard count(s) compared)",
+            baseline.engine.iter().filter(|b| report.engine.iter().any(|r| r.shards == b.shards)).count(),
+        );
     }
 }

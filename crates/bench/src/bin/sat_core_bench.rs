@@ -1,0 +1,128 @@
+//! SAT-core throughput bench: censuses/sec through the watched-literal
+//! core (cold vs warm context) and the full-rescan reference core, at the
+//! Small and Medium instance mixes, written as one JSON document so CI
+//! accumulates a perf trajectory next to `BENCH_engine.json`.
+//!
+//! ```text
+//! cargo run --release -p churnlab-bench --bin sat_core_bench                 # BENCH_sat.json shape on stdout
+//! cargo run --release -p churnlab-bench --bin sat_core_bench -- --out BENCH_sat.json
+//! cargo run --release -p churnlab-bench --bin sat_core_bench -- --instances 5000 --repeats 5 --min-speedup 3
+//! ```
+//!
+//! `--min-speedup X` turns the run into a gate: exit non-zero unless the
+//! warm context beats the reference core by at least `X`× on every mix.
+
+use churnlab_bench::satbench::run_sat_bench;
+
+struct Args {
+    instances: usize,
+    seed: u64,
+    cap: u64,
+    repeats: usize,
+    min_speedup: Option<f64>,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        instances: 2000,
+        seed: 42,
+        cap: 64,
+        repeats: 3,
+        min_speedup: None,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--instances" => {
+                let v = it.next().ok_or("--instances needs a value")?;
+                args.instances = v.parse().map_err(|_| format!("bad instance count `{v}`"))?;
+                if args.instances == 0 {
+                    return Err("--instances must be positive".into());
+                }
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--cap" => {
+                let v = it.next().ok_or("--cap needs a value")?;
+                args.cap = v.parse().map_err(|_| format!("bad cap `{v}`"))?;
+                if args.cap < 2 {
+                    return Err("--cap must be at least 2".into());
+                }
+            }
+            "--repeats" => {
+                let v = it.next().ok_or("--repeats needs a value")?;
+                args.repeats = v.parse().map_err(|_| format!("bad repeat count `{v}`"))?;
+            }
+            "--min-speedup" => {
+                let v = it.next().ok_or("--min-speedup needs a value")?;
+                args.min_speedup =
+                    Some(v.parse().map_err(|_| format!("bad speedup floor `{v}`"))?);
+            }
+            "--out" => args.out = Some(it.next().ok_or("--out needs a path")?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: sat_core_bench [--instances N] [--seed N] [--cap N] [--repeats N] \
+                     [--min-speedup X] [--out FILE]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!(
+        "sat_core_bench: {} instances per mix, cap {}, best of {}",
+        args.instances, args.cap, args.repeats
+    );
+    let report = run_sat_bench(args.instances, args.seed, args.cap, args.repeats);
+
+    let mut gate_failed = false;
+    for row in &report.rows {
+        eprintln!(
+            "{:<7} warm {:>10.0} census/s  cold {:>10.0}  reference {:>10.0}  \
+             speedup warm {:>5.2}x cold {:>5.2}x",
+            row.mix,
+            row.warm_census_per_sec,
+            row.cold_census_per_sec,
+            row.reference_census_per_sec,
+            row.speedup_warm_vs_reference,
+            row.speedup_cold_vs_reference,
+        );
+        if let Some(floor) = args.min_speedup {
+            if row.speedup_warm_vs_reference < floor {
+                eprintln!(
+                    "sat_core_bench: FAIL — mix `{}` warm speedup {:.2}x is below the {floor}x floor",
+                    row.mix, row.speedup_warm_vs_reference
+                );
+                gate_failed = true;
+            }
+        }
+    }
+
+    let json = serde_json::to_string(&report).expect("report serializes");
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, format!("{json}\n")).expect("write report");
+            eprintln!("sat_core_bench: wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    if gate_failed {
+        std::process::exit(1);
+    }
+}

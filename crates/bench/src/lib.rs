@@ -12,6 +12,7 @@
 
 pub mod enginebench;
 pub mod matrix;
+pub mod satbench;
 
 use churnlab_bgp::{ChurnConfig, RoutingSim};
 use churnlab_censor::{CensorConfig, CensorshipScenario};

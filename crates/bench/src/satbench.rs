@@ -1,0 +1,189 @@
+//! SAT-core throughput measurement: censuses/sec through the
+//! watched-literal [`SolverCtx`] (cold and warm) and through the retained
+//! full-rescan reference core, over fixed mixes of tomography-shaped
+//! instances. Shared by the `sat_core_bench` binary that writes
+//! `BENCH_sat.json` in CI; the Criterion `sat_bench` covers the same
+//! ground per-instance.
+
+use churnlab_sat::{reference, Cnf, CompiledCnf, SolverCtx, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One instance-mix preset: how many variables and clauses each generated
+/// instance gets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstanceMix {
+    /// Mix label (`small` / `medium`).
+    pub label: &'static str,
+    /// Variable-count range (inclusive): distinct ASes per instance.
+    pub vars: (usize, usize),
+    /// Censored-path clause count range (inclusive).
+    pub pos: (usize, usize),
+    /// Clean-path count range (inclusive); each contributes 2–5 unit
+    /// negations.
+    pub neg: (usize, usize),
+}
+
+/// The paper-scale mixes `BENCH_sat.json` tracks.
+pub const MIXES: [InstanceMix; 2] = [
+    InstanceMix { label: "small", vars: (8, 16), pos: (2, 5), neg: (2, 8) },
+    InstanceMix { label: "medium", vars: (24, 40), pos: (4, 8), neg: (6, 12) },
+];
+
+/// Generate one tomography-shaped CNF: `n_pos` censored paths of mixed
+/// length 3–6 sharing a censor (positive clauses), plus `n_neg` clean
+/// paths of mixed length 2–5 (unit negations). Shared by this harness
+/// and the Criterion `sat_bench` so both measure the same workload shape.
+pub fn tomography_cnf(n_vars: usize, n_pos: usize, n_neg: usize, rng: &mut StdRng) -> Cnf {
+    let mut f = Cnf::new(n_vars);
+    let censor = Var(0);
+    for _ in 0..n_pos {
+        let mut path = vec![censor];
+        for _ in 0..rng.gen_range(2..=5usize) {
+            path.push(Var(rng.gen_range(1..n_vars as u32)));
+        }
+        f.add_positive_clause(path);
+    }
+    for _ in 0..n_neg {
+        let len = rng.gen_range(2..=5usize);
+        let vars: Vec<Var> = (0..len).map(|_| Var(rng.gen_range(1..n_vars as u32))).collect();
+        f.add_negative_facts(vars);
+    }
+    f
+}
+
+/// One instance drawn from a mix's ranges.
+fn mix_cnf(mix: InstanceMix, rng: &mut StdRng) -> Cnf {
+    let n_vars = rng.gen_range(mix.vars.0..=mix.vars.1);
+    let n_pos = rng.gen_range(mix.pos.0..=mix.pos.1);
+    let n_neg = rng.gen_range(mix.neg.0..=mix.neg.1);
+    tomography_cnf(n_vars, n_pos, n_neg, rng)
+}
+
+/// A fixed workload: `n_instances` pre-generated instances of one mix,
+/// pre-compiled so timing measures solving, not formula building.
+pub struct SatWorkload {
+    /// The mix that generated it.
+    pub mix: InstanceMix,
+    /// The instances (uncompiled, for the reference core).
+    pub cnfs: Vec<Cnf>,
+    /// The same instances compiled to CSR.
+    pub compiled: Vec<CompiledCnf>,
+}
+
+impl SatWorkload {
+    /// Generate a deterministic workload.
+    pub fn generate(mix: InstanceMix, n_instances: usize, seed: u64) -> SatWorkload {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cnfs: Vec<Cnf> = (0..n_instances).map(|_| mix_cnf(mix, &mut rng)).collect();
+        let compiled = cnfs.iter().map(CompiledCnf::from_cnf).collect();
+        SatWorkload { mix, cnfs, compiled }
+    }
+
+    /// Time one full pass with a warm (reused) context; seconds.
+    pub fn time_warm(&self, ctx: &mut SolverCtx, cap: u64) -> f64 {
+        let start = Instant::now();
+        for c in &self.compiled {
+            std::hint::black_box(ctx.census(c, cap));
+        }
+        start.elapsed().as_secs_f64()
+    }
+
+    /// Time one full pass with a cold context per census; seconds.
+    pub fn time_cold(&self, cap: u64) -> f64 {
+        let start = Instant::now();
+        for c in &self.compiled {
+            std::hint::black_box(SolverCtx::new().census(c, cap));
+        }
+        start.elapsed().as_secs_f64()
+    }
+
+    /// Time one full pass through the full-rescan reference core; seconds.
+    pub fn time_reference(&self, cap: u64) -> f64 {
+        let start = Instant::now();
+        for f in &self.cnfs {
+            std::hint::black_box(reference::census(f, cap));
+        }
+        start.elapsed().as_secs_f64()
+    }
+}
+
+/// One mix's timing row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SatBenchRow {
+    /// Mix label.
+    pub mix: String,
+    /// Instances per pass.
+    pub instances: u64,
+    /// Censuses/sec, warm reused context.
+    pub warm_census_per_sec: f64,
+    /// Censuses/sec, cold context per call.
+    pub cold_census_per_sec: f64,
+    /// Censuses/sec through the full-rescan reference core.
+    pub reference_census_per_sec: f64,
+    /// Warm speedup over the reference core (the tentpole ratio).
+    pub speedup_warm_vs_reference: f64,
+    /// Cold speedup over the reference core.
+    pub speedup_cold_vs_reference: f64,
+}
+
+/// The full SAT-core throughput report (`BENCH_sat.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SatBenchReport {
+    /// Workload seed.
+    pub seed: u64,
+    /// Enumeration cap used for every census.
+    pub cap: u64,
+    /// One row per instance mix.
+    pub rows: Vec<SatBenchRow>,
+}
+
+/// Run the sweep: best-of-`repeats` passes per mix and contender.
+pub fn run_sat_bench(n_instances: usize, seed: u64, cap: u64, repeats: usize) -> SatBenchReport {
+    let repeats = repeats.max(1);
+    let best = |times: &[f64]| times.iter().copied().fold(f64::INFINITY, f64::min);
+    let mut rows = Vec::new();
+    for mix in MIXES {
+        let workload = SatWorkload::generate(mix, n_instances, seed);
+        let mut ctx = SolverCtx::new();
+        let warm: Vec<f64> = (0..repeats).map(|_| workload.time_warm(&mut ctx, cap)).collect();
+        let cold: Vec<f64> = (0..repeats).map(|_| workload.time_cold(cap)).collect();
+        let reference: Vec<f64> = (0..repeats).map(|_| workload.time_reference(cap)).collect();
+        let n = n_instances as f64;
+        let warm_census_per_sec = n / best(&warm);
+        let cold_census_per_sec = n / best(&cold);
+        let reference_census_per_sec = n / best(&reference);
+        rows.push(SatBenchRow {
+            mix: mix.label.to_string(),
+            instances: n_instances as u64,
+            warm_census_per_sec,
+            cold_census_per_sec,
+            reference_census_per_sec,
+            speedup_warm_vs_reference: warm_census_per_sec / reference_census_per_sec,
+            speedup_cold_vs_reference: cold_census_per_sec / reference_census_per_sec,
+        });
+    }
+    SatBenchReport { seed, cap, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The three contenders agree on every workload instance (the bench
+    /// must not be comparing different answers).
+    #[test]
+    fn contenders_agree_on_the_workload() {
+        for mix in MIXES {
+            let w = SatWorkload::generate(mix, 20, 11);
+            let mut ctx = SolverCtx::new();
+            for (f, c) in w.cnfs.iter().zip(&w.compiled) {
+                let warm = ctx.census(c, 64);
+                assert_eq!(warm, churnlab_sat::census(f, 64), "{}: warm vs cold", mix.label);
+                assert_eq!(warm, reference::census(f, 64), "{}: warm vs reference", mix.label);
+            }
+        }
+    }
+}

@@ -27,7 +27,7 @@
 
 use churnlab_core::analyze::InstanceOutcome;
 use churnlab_core::instance::{InstanceKey, Observation};
-use churnlab_sat::{census, Cnf, SolutionCount, Solvability, Var};
+use churnlab_sat::{CompiledCnf, Lit, SolutionCount, Solvability, SolverCtx, Var};
 use churnlab_topology::Asn;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -85,6 +85,27 @@ impl IncrementalStats {
     }
 }
 
+/// Reusable solving scratch shared by every instance a worker owns: the
+/// watched-literal [`SolverCtx`], a [`CompiledCnf`] the reduced formulas
+/// are built into, and the AS↔variable mapping buffers. All of it is
+/// rewound per re-solve, never freed, so a steady-state shard performs
+/// zero solver allocations per observation.
+#[derive(Debug, Default)]
+pub struct SolveScratch {
+    ctx: SolverCtx,
+    cnf: CompiledCnf,
+    var_of: HashMap<Asn, Var>,
+    fixed: HashMap<Asn, bool>,
+    free_vars: Vec<Asn>,
+}
+
+impl SolveScratch {
+    /// Fresh scratch (buffers grow to steady-state sizes on first use).
+    pub fn new() -> Self {
+        SolveScratch::default()
+    }
+}
+
 /// `seen` mask bit: a clean observation of the path was recorded.
 const SEEN_CLEAN: u8 = 1;
 /// `seen` mask bit: a censored observation of the path was recorded.
@@ -110,10 +131,10 @@ pub struct IncrementalInstance {
     memo: Memo,
 }
 
-/// Saturate a model count at the enumeration cap, mirroring how the batch
-/// census reports counts at or above the cap as a lower bound.
+/// Saturate a model count at the enumeration cap, mirroring the batch
+/// census: exact at or below the cap, a lower bound strictly above it.
 fn cap_count(value: u128, cap: u64) -> SolutionCount {
-    if value >= u128::from(cap) {
+    if value > u128::from(cap) {
         SolutionCount::AtLeast(cap)
     } else {
         SolutionCount::Exact(value as u64)
@@ -180,8 +201,17 @@ impl IncrementalInstance {
     }
 
     /// Fold in one observation, keeping the memoized solve state current.
-    /// `cap` is the enumeration cap ([`churnlab_core::analyze::SolveConfig`]).
-    pub fn observe(&mut self, path: &[Asn], censored: bool, cap: u64, stats: &mut IncrementalStats) {
+    /// `cap` is the enumeration cap ([`churnlab_core::analyze::SolveConfig`]);
+    /// `scratch` is the worker-owned reusable solver state — re-solves run
+    /// on its warm context instead of allocating a solver per update.
+    pub fn observe(
+        &mut self,
+        path: &[Asn],
+        censored: bool,
+        cap: u64,
+        stats: &mut IncrementalStats,
+        scratch: &mut SolveScratch,
+    ) {
         let bit = if censored { SEEN_CENSORED } else { SEEN_CLEAN };
         match self.seen.get_mut(path) {
             Some(mask) if *mask & bit != 0 => {
@@ -212,14 +242,20 @@ impl IncrementalInstance {
             return;
         }
         if censored {
-            self.apply_positive(path, cap, stats);
+            self.apply_positive(path, cap, stats, scratch);
         } else {
-            self.apply_negative(path, cap, stats);
+            self.apply_negative(path, cap, stats, scratch);
         }
     }
 
     /// New positive clause (censored path) against the current memo.
-    fn apply_positive(&mut self, path: &[Asn], cap: u64, stats: &mut IncrementalStats) {
+    fn apply_positive(
+        &mut self,
+        path: &[Asn],
+        cap: u64,
+        stats: &mut IncrementalStats,
+        scratch: &mut SolveScratch,
+    ) {
         match &mut self.memo {
             Memo::Unsat => unreachable!("handled by caller"),
             Memo::Trivial => {
@@ -272,7 +308,7 @@ impl IncrementalInstance {
                     // The clause interacts with genuinely ambiguous ASes:
                     // re-solve over the reduced formula.
                     stats.resolves += 1;
-                    self.resolve(cap);
+                    self.resolve(cap, scratch);
                     return;
                 }
                 // Every known AS on the path is always-False: the clause
@@ -297,7 +333,13 @@ impl IncrementalInstance {
     }
 
     /// New unit negations (clean path) against the current memo.
-    fn apply_negative(&mut self, path: &[Asn], cap: u64, stats: &mut IncrementalStats) {
+    fn apply_negative(
+        &mut self,
+        path: &[Asn],
+        cap: u64,
+        stats: &mut IncrementalStats,
+        scratch: &mut SolveScratch,
+    ) {
         match &mut self.memo {
             Memo::Unsat => unreachable!("handled by caller"),
             Memo::Trivial => {
@@ -323,51 +365,74 @@ impl IncrementalInstance {
                 }
                 // A potential censor just got exonerated: re-solve.
                 stats.resolves += 1;
-                self.resolve(cap);
+                self.resolve(cap, scratch);
             }
         }
     }
 
     /// Incremental re-solve: seed unit propagation with the axiom units
     /// and the memoized backbone (both survive clause addition), then run
-    /// the census over the reduced formula only.
-    fn resolve(&mut self, cap: u64) {
-        let mut fixed: HashMap<Asn, bool> = HashMap::with_capacity(self.vars.len());
+    /// the census over the reduced formula only — on the worker's warm
+    /// [`SolverCtx`], building the reduced CNF into its reusable CSR
+    /// arena. The only per-call heap traffic is the recycled fate map's
+    /// occasional growth.
+    fn resolve(&mut self, cap: u64, scratch: &mut SolveScratch) {
+        let fixed = &mut scratch.fixed;
+        fixed.clear();
         for a in &self.neg_forced {
             fixed.insert(*a, false);
         }
-        if let Memo::Solved { fate, .. } = &self.memo {
-            for (a, f) in fate {
-                let v = match f {
-                    Fate::AlwaysTrue => true,
-                    Fate::AlwaysFalse => false,
-                    Fate::Both => continue,
-                };
-                if fixed.insert(*a, v) == Some(!v) {
-                    self.memo = Memo::Unsat;
-                    return;
+        // Take the memo (leaving the absorbing Unsat in place, which every
+        // early return below wants): its fate seeds the fixed set, and its
+        // map is recycled as the next memo's allocation.
+        let mut fate = match std::mem::replace(&mut self.memo, Memo::Unsat) {
+            Memo::Solved { fate, .. } => {
+                for (a, f) in &fate {
+                    let v = match f {
+                        Fate::AlwaysTrue => true,
+                        Fate::AlwaysFalse => false,
+                        Fate::Both => continue,
+                    };
+                    if fixed.insert(*a, v) == Some(!v) {
+                        return;
+                    }
                 }
+                let mut fate = fate;
+                fate.clear();
+                fate
             }
-        }
-        // Unit propagation over the positive clauses to fixpoint.
+            _ => HashMap::with_capacity(self.vars.len()),
+        };
+        // Unit propagation over the positive clauses to fixpoint. A clause
+        // is unit when exactly one *distinct* AS on it is unfixed.
         loop {
             let mut changed = false;
             for clause in &self.pos_clauses {
                 if clause.iter().any(|a| fixed.get(a) == Some(&true)) {
                     continue;
                 }
-                let free: BTreeSet<Asn> =
-                    clause.iter().filter(|a| !fixed.contains_key(a)).copied().collect();
-                match free.len() {
-                    0 => {
-                        self.memo = Memo::Unsat;
-                        return;
+                let mut first_free: Option<Asn> = None;
+                let mut multi = false;
+                for a in clause {
+                    if fixed.contains_key(a) {
+                        continue;
                     }
-                    1 => {
-                        fixed.insert(*free.iter().next().expect("one"), true);
+                    match first_free {
+                        None => first_free = Some(*a),
+                        Some(f) if f != *a => {
+                            multi = true;
+                            break;
+                        }
+                        Some(_) => {}
+                    }
+                }
+                match first_free {
+                    None => return, // conflict: memo stays Unsat
+                    Some(a) if !multi => {
+                        fixed.insert(a, true);
                         changed = true;
                     }
-                    _ => {}
+                    Some(_) => {}
                 }
             }
             if !changed {
@@ -376,24 +441,30 @@ impl IncrementalInstance {
         }
         // Census over the reduced formula. Unconstrained free ASes count
         // as 2^k model blocks, exactly as the batch census sees them.
-        let free_vars: Vec<Asn> =
-            self.vars.iter().filter(|a| !fixed.contains_key(a)).copied().collect();
-        let var_of: HashMap<Asn, Var> =
-            free_vars.iter().enumerate().map(|(i, a)| (*a, Var(i as u32))).collect();
-        let mut cnf = Cnf::new(free_vars.len());
+        let var_of = &mut scratch.var_of;
+        let free_vars = &mut scratch.free_vars;
+        var_of.clear();
+        free_vars.clear();
+        for a in &self.vars {
+            if !fixed.contains_key(a) {
+                var_of.insert(*a, Var(free_vars.len() as u32));
+                free_vars.push(*a);
+            }
+        }
+        scratch.cnf.reset(free_vars.len());
         for clause in &self.pos_clauses {
             if clause.iter().any(|a| fixed.get(a) == Some(&true)) {
                 continue;
             }
-            cnf.add_positive_clause(clause.iter().filter_map(|a| var_of.get(a).copied()));
+            scratch
+                .cnf
+                .push_clause(clause.iter().filter_map(|a| var_of.get(a)).map(|v| Lit::pos(*v)));
         }
-        let result = census(&cnf, cap);
+        let result = scratch.ctx.census(&scratch.cnf, cap);
         let Some(backbone) = result.backbone else {
-            self.memo = Memo::Unsat;
-            return;
+            return; // memo stays Unsat
         };
-        let mut fate: HashMap<Asn, Fate> = HashMap::with_capacity(self.vars.len());
-        for (a, v) in &fixed {
+        for (a, v) in fixed.iter() {
             fate.insert(*a, if *v { Fate::AlwaysTrue } else { Fate::AlwaysFalse });
         }
         for (i, a) in free_vars.iter().enumerate() {
@@ -496,8 +567,9 @@ mod tests {
     fn incremental_outcome(observations: &[(Vec<Asn>, bool)]) -> Option<InstanceOutcome> {
         let mut inst = IncrementalInstance::new(key());
         let mut stats = IncrementalStats::default();
+        let mut scratch = SolveScratch::new();
         for (path, censored) in observations {
-            inst.observe(path, *censored, SolveConfig::default().count_cap, &mut stats);
+            inst.observe(path, *censored, SolveConfig::default().count_cap, &mut stats, &mut scratch);
         }
         if inst.is_empty() {
             None
@@ -510,8 +582,9 @@ mod tests {
     fn unique_censor_identified_incrementally() {
         let mut inst = IncrementalInstance::new(key());
         let mut stats = IncrementalStats::default();
-        inst.observe(&asns(&[1, 2, 3]), true, 64, &mut stats);
-        inst.observe(&asns(&[1, 2, 4]), false, 64, &mut stats);
+        let mut scratch = SolveScratch::new();
+        inst.observe(&asns(&[1, 2, 3]), true, 64, &mut stats, &mut scratch);
+        inst.observe(&asns(&[1, 2, 4]), false, 64, &mut stats, &mut scratch);
         let out = inst.outcome();
         assert_eq!(out.solvability, Solvability::Unique);
         assert_eq!(out.censors, asns(&[3]));
@@ -522,9 +595,9 @@ mod tests {
         assert_eq!(stats.resolves, 1);
         // A duplicate of either observation is then a no-op, and a clean
         // path over already-eliminated ASes is closed-form again.
-        inst.observe(&asns(&[1, 2, 4]), false, 64, &mut stats);
+        inst.observe(&asns(&[1, 2, 4]), false, 64, &mut stats, &mut scratch);
         assert_eq!(stats.duplicates, 1);
-        inst.observe(&asns(&[1, 4]), false, 64, &mut stats);
+        inst.observe(&asns(&[1, 4]), false, 64, &mut stats, &mut scratch);
         assert_eq!(stats.direct_updates, 2);
         assert_eq!(stats.resolves, 1, "implied units must not re-solve");
     }
@@ -541,12 +614,13 @@ mod tests {
     fn contradiction_is_absorbing_unsat() {
         let mut inst = IncrementalInstance::new(key());
         let mut stats = IncrementalStats::default();
-        inst.observe(&asns(&[5, 6]), true, 64, &mut stats);
-        inst.observe(&asns(&[5, 6]), false, 64, &mut stats);
+        let mut scratch = SolveScratch::new();
+        inst.observe(&asns(&[5, 6]), true, 64, &mut stats, &mut scratch);
+        inst.observe(&asns(&[5, 6]), false, 64, &mut stats, &mut scratch);
         assert_eq!(inst.outcome().solvability, Solvability::Unsat);
         // Everything after is a constant-time skip.
-        inst.observe(&asns(&[7, 8]), true, 64, &mut stats);
-        inst.observe(&asns(&[7]), false, 64, &mut stats);
+        inst.observe(&asns(&[7, 8]), true, 64, &mut stats, &mut scratch);
+        inst.observe(&asns(&[7]), false, 64, &mut stats, &mut scratch);
         assert_eq!(stats.unsat_skips, 2);
         let out = inst.outcome();
         assert_eq!(out.solvability, Solvability::Unsat);
@@ -558,8 +632,9 @@ mod tests {
     fn duplicates_are_noops() {
         let mut inst = IncrementalInstance::new(key());
         let mut stats = IncrementalStats::default();
-        inst.observe(&asns(&[1, 2]), true, 64, &mut stats);
-        inst.observe(&asns(&[1, 2]), true, 64, &mut stats);
+        let mut scratch = SolveScratch::new();
+        inst.observe(&asns(&[1, 2]), true, 64, &mut stats, &mut scratch);
+        inst.observe(&asns(&[1, 2]), true, 64, &mut stats, &mut scratch);
         assert_eq!(stats.duplicates, 1);
         assert_eq!(inst.len(), 1);
     }

@@ -7,8 +7,9 @@
 //! a self-contained [`ShardReport`] the engine merges on the caller's
 //! thread (which is where the topology lives — workers are `'static`).
 
-use crate::incremental::{IncrementalInstance, IncrementalStats};
-use churnlab_core::analyze::{analyze, InstanceOutcome};
+use crate::incremental::{IncrementalInstance, IncrementalStats, SolveScratch};
+use churnlab_core::analyze::{analyze_with, InstanceOutcome};
+use churnlab_sat::SolverCtx;
 use churnlab_core::batch::split_url_buffer;
 use churnlab_core::instance::InstanceKey;
 use churnlab_core::obs::ConvertedObs;
@@ -61,6 +62,9 @@ pub(crate) struct ShardState {
     on_censored_path: HashSet<Asn>,
     stats: IncrementalStats,
     observations: u64,
+    /// Worker-owned reusable solver state: every re-solve of every
+    /// instance on this shard runs on one warm watched-literal context.
+    scratch: SolveScratch,
 }
 
 impl ShardState {
@@ -73,6 +77,7 @@ impl ShardState {
             on_censored_path: HashSet::new(),
             stats: IncrementalStats::default(),
             observations: 0,
+            scratch: SolveScratch::new(),
         }
     }
 
@@ -98,7 +103,13 @@ impl ShardState {
                 self.instances
                     .entry(key)
                     .or_insert_with(|| IncrementalInstance::new(key))
-                    .observe(&o.path, o.detected.contains(anomaly), cap, &mut self.stats);
+                    .observe(
+                        &o.path,
+                        o.detected.contains(anomaly),
+                        cap,
+                        &mut self.stats,
+                        &mut self.scratch,
+                    );
             }
         }
     }
@@ -126,6 +137,10 @@ impl ShardState {
                 }
             }
             ChurnMode::FirstPathOnly => {
+                // `report` is `&self`, so the shard's own scratch is out of
+                // reach; one context for the whole report still keeps the
+                // solver allocation count per-report, not per-instance.
+                let mut ctx = SolverCtx::new();
                 for (&url_id, obs) in &self.deferred {
                     let mut buf = obs.clone();
                     // Restore the runner's test order so "first distinct
@@ -143,7 +158,7 @@ impl ShardState {
                                 return;
                             }
                             let inst = builder.build().expect("non-empty builder");
-                            let outcome = analyze(&inst, &self.cfg.solve);
+                            let outcome = analyze_with(&inst, &self.cfg.solve, &mut ctx);
                             let mut censored_paths = Vec::new();
                             for ob in inst.observations.iter().filter(|o| o.censored) {
                                 on_censored_path.extend(ob.path.iter().copied());

@@ -84,12 +84,17 @@ impl Cnf {
         for l in &clause {
             assert!(l.var.usize() < self.n_vars, "literal {:?} out of range", l);
         }
-        clause.sort();
-        clause.dedup();
-        let tautology = clause.windows(2).any(|w| w[0].var == w[1].var);
-        if !tautology {
-            self.clauses.push(clause);
+        // Clauses of length ≤ 1 are canonical already: skip the
+        // sort/dedup/tautology sweep (unit negations dominate tomography
+        // instances, so this is the common case).
+        if clause.len() > 1 {
+            clause.sort();
+            clause.dedup();
+            if clause.windows(2).any(|w| w[0].var == w[1].var) {
+                return; // tautology
+            }
         }
+        self.clauses.push(clause);
     }
 
     /// Add the positive clause `(v1 ∨ v2 ∨ …)` — a measurement that
@@ -99,10 +104,16 @@ impl Cnf {
     }
 
     /// Add unit negative clauses `¬v1, ¬v2, …` — a clean measurement
-    /// asserts every AS on the path is not the censor.
+    /// asserts every AS on the path is not the censor. Unit clauses need
+    /// no canonicalization, so this pushes them directly (reserving from
+    /// the iterator's size hint) instead of paying [`Cnf::add_clause`]'s
+    /// sort/dedup path per AS.
     pub fn add_negative_facts(&mut self, vars: impl IntoIterator<Item = Var>) {
+        let vars = vars.into_iter();
+        self.clauses.reserve(vars.size_hint().0);
         for v in vars {
-            self.add_clause(vec![Lit::neg(v)]);
+            assert!(v.usize() < self.n_vars, "variable {:?} out of range", v);
+            self.clauses.push(vec![Lit::neg(v)]);
         }
     }
 

@@ -1,0 +1,188 @@
+//! Compiled CNF: flat CSR clause storage for the solving hot path.
+//!
+//! [`crate::cnf::Cnf`] stores one heap `Vec<Lit>` per clause — fine for
+//! building and DIMACS interop, hostile to a solver that walks clauses
+//! millions of times. [`CompiledCnf`] lays every literal out in a single
+//! arena with clause-offset indices (compressed sparse row), so solving
+//! touches two contiguous allocations total and clause access is a slice
+//! into the arena.
+//!
+//! A `CompiledCnf` is also a *reusable builder*: [`CompiledCnf::reset`]
+//! rewinds it without freeing, so a long-lived caller (the engine's shard
+//! workers re-solving reduced formulas per observation) pushes clauses
+//! into the same arenas forever and performs zero steady-state
+//! allocations.
+
+use crate::cnf::{Cnf, Lit};
+
+/// A CNF compiled into flat CSR storage: one literal arena plus clause
+/// offsets. Clauses are canonical (sorted, deduplicated, tautologies
+/// dropped), matching [`Cnf::add_clause`] semantics exactly.
+#[derive(Debug, Clone)]
+pub struct CompiledCnf {
+    n_vars: usize,
+    /// All literals, clause after clause.
+    lits: Vec<Lit>,
+    /// Clause `i` occupies `lits[starts[i] as usize..starts[i + 1] as usize]`.
+    starts: Vec<u32>,
+    /// Canonicalization buffer reused across [`CompiledCnf::push_clause`].
+    scratch: Vec<Lit>,
+}
+
+impl CompiledCnf {
+    /// Empty compiled formula over zero variables (use [`reset`] or
+    /// [`load_cnf`] to give it a shape).
+    ///
+    /// [`reset`]: CompiledCnf::reset
+    /// [`load_cnf`]: CompiledCnf::load_cnf
+    pub fn new() -> Self {
+        CompiledCnf { n_vars: 0, lits: Vec::new(), starts: vec![0], scratch: Vec::new() }
+    }
+
+    /// Rewind to an empty formula over `n_vars` variables, keeping every
+    /// allocation for reuse.
+    pub fn reset(&mut self, n_vars: usize) {
+        self.n_vars = n_vars;
+        self.lits.clear();
+        self.starts.clear();
+        self.starts.push(0);
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Number of clauses.
+    pub fn n_clauses(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// The literal arena (clause after clause).
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Clause offsets into [`lits`](CompiledCnf::lits); length
+    /// `n_clauses + 1`.
+    pub fn starts(&self) -> &[u32] {
+        &self.starts
+    }
+
+    /// Clause `i` as a slice of the arena.
+    pub fn clause(&self, i: usize) -> &[Lit] {
+        &self.lits[self.starts[i] as usize..self.starts[i + 1] as usize]
+    }
+
+    /// Add a clause, canonicalizing exactly like [`Cnf::add_clause`]:
+    /// literals are sorted and deduplicated, tautologies (`x ∨ ¬x ∨ …`)
+    /// are dropped. Panics if a literal references a variable outside the
+    /// formula.
+    pub fn push_clause(&mut self, clause: impl IntoIterator<Item = Lit>) {
+        self.scratch.clear();
+        self.scratch.extend(clause);
+        for l in &self.scratch {
+            assert!(l.var.usize() < self.n_vars, "literal {l:?} out of range");
+        }
+        self.scratch.sort();
+        self.scratch.dedup();
+        let tautology = self.scratch.windows(2).any(|w| w[0].var == w[1].var);
+        if tautology {
+            return;
+        }
+        self.lits.extend_from_slice(&self.scratch);
+        self.starts.push(self.lits.len() as u32);
+    }
+
+    /// Add an already-canonical clause without re-sorting (used by
+    /// [`load_cnf`](CompiledCnf::load_cnf); `Cnf` clauses are canonical by
+    /// construction).
+    fn push_canonical(&mut self, clause: &[Lit]) {
+        debug_assert!(clause.windows(2).all(|w| w[0] < w[1]), "clause must be canonical");
+        self.lits.extend_from_slice(clause);
+        self.starts.push(self.lits.len() as u32);
+    }
+
+    /// Replace the contents with a compiled copy of `cnf`, reusing the
+    /// arenas.
+    pub fn load_cnf(&mut self, cnf: &Cnf) {
+        self.reset(cnf.n_vars());
+        self.lits.reserve(cnf.clauses().iter().map(Vec::len).sum());
+        self.starts.reserve(cnf.n_clauses());
+        for clause in cnf.clauses() {
+            self.push_canonical(clause);
+        }
+    }
+
+    /// Compile a [`Cnf`] into fresh CSR storage.
+    pub fn from_cnf(cnf: &Cnf) -> Self {
+        let mut c = CompiledCnf::new();
+        c.load_cnf(cnf);
+        c
+    }
+}
+
+impl Default for CompiledCnf {
+    fn default() -> Self {
+        CompiledCnf::new()
+    }
+}
+
+impl From<&Cnf> for CompiledCnf {
+    fn from(cnf: &Cnf) -> Self {
+        CompiledCnf::from_cnf(cnf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Var;
+
+    #[test]
+    fn csr_layout_roundtrips() {
+        let mut f = Cnf::new(4);
+        f.add_positive_clause([Var(0), Var(2)]);
+        f.add_negative_facts([Var(1), Var(3)]);
+        let c = CompiledCnf::from_cnf(&f);
+        assert_eq!(c.n_vars(), 4);
+        assert_eq!(c.n_clauses(), 3);
+        assert_eq!(c.clause(0), &f.clauses()[0][..]);
+        assert_eq!(c.clause(1), &[Lit::neg(Var(1))]);
+        assert_eq!(c.clause(2), &[Lit::neg(Var(3))]);
+        assert_eq!(c.lits().len(), 4);
+        assert_eq!(c.starts(), &[0, 2, 3, 4]);
+    }
+
+    #[test]
+    fn push_clause_canonicalizes_like_cnf() {
+        let mut c = CompiledCnf::new();
+        c.reset(3);
+        // Duplicate literal merges.
+        c.push_clause([Lit::pos(Var(1)), Lit::pos(Var(1)), Lit::pos(Var(0))]);
+        assert_eq!(c.clause(0), &[Lit::pos(Var(0)), Lit::pos(Var(1))]);
+        // Tautology drops.
+        c.push_clause([Lit::pos(Var(2)), Lit::neg(Var(2))]);
+        assert_eq!(c.n_clauses(), 1);
+    }
+
+    #[test]
+    fn reset_reuses_without_leftovers() {
+        let mut c = CompiledCnf::new();
+        c.reset(2);
+        c.push_clause([Lit::pos(Var(0)), Lit::pos(Var(1))]);
+        c.reset(1);
+        assert_eq!(c.n_clauses(), 0);
+        assert_eq!(c.n_vars(), 1);
+        c.push_clause([Lit::neg(Var(0))]);
+        assert_eq!(c.clause(0), &[Lit::neg(Var(0))]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_literal_panics() {
+        let mut c = CompiledCnf::new();
+        c.reset(1);
+        c.push_clause([Lit::pos(Var(5))]);
+    }
+}

@@ -1,0 +1,750 @@
+//! The reusable watched-literal solver context.
+//!
+//! [`SolverCtx`] owns every piece of mutable solver state — assignment,
+//! trail, watch lists, occurrence lists, clause-satisfaction counters,
+//! branch-heuristic scratch, and model-harvest buffers — as flat vectors
+//! that are *rewound, never freed*. One context serves an unbounded
+//! stream of instances: [`SolverCtx::attach`] re-shapes the buffers for
+//! the next [`CompiledCnf`] in O(formula size) with zero steady-state
+//! allocations, and every query on the attached formula (solve, probe,
+//! enumerate, census) shares the warm structures.
+//!
+//! Core mechanics:
+//!
+//! * **Two-watched-literal unit propagation** — each clause of length ≥ 2
+//!   watches two literals; only the watch lists of a literal that just
+//!   became false are visited, replacing the old propagate-by-rescanning-
+//!   every-clause fixpoint. Watches are backtrack-stable, so they persist
+//!   across the thousands of assume/undo cycles a census performs.
+//! * **Trail-based undo** — assignments are recorded on a trail with
+//!   decision-level marks; backtracking pops the trail instead of
+//!   snapshotting the assignment (the old enumerator cloned the full
+//!   assignment vector at every node).
+//! * **Assumption push/pop** — backbone probes push one assumption level
+//!   on the warm context and pop it afterwards, so all ≤ 2n probes of a
+//!   census reuse one propagated root state.
+//! * **Clause-satisfaction counters** — per-clause counts of currently
+//!   true literals (maintained from per-literal occurrence lists) give an
+//!   O(1) "all clauses satisfied" test, which lets both the model search
+//!   and the block-counting enumerator stop early and count `2^free`
+//!   completions in bulk.
+//! * **Epoch-stamped branch scoring** — the MOM-style branch heuristic
+//!   scores variables in flat arrays invalidated by bumping an epoch,
+//!   replacing the per-decision `HashMap` the old solver built.
+//!
+//! The enumeration cap is *exact at the boundary*: a formula with exactly
+//! `cap` models reports `Exact(cap)`; `AtLeast(cap)` is returned only
+//! when a `cap + 1`-th model provably exists.
+
+use crate::cnf::{Cnf, Lit, Var};
+use crate::compiled::CompiledCnf;
+use crate::enumerate::{Backbone, SolutionCensus, SolutionCount};
+
+/// Dense index of a literal: `var * 2 + positive`.
+#[inline]
+fn code(l: Lit) -> usize {
+    l.var.usize() * 2 + l.positive as usize
+}
+
+/// One branch decision in the DFS stacks (search and enumeration).
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    var: Var,
+    tried_second: bool,
+}
+
+/// A reusable solver context (see the module docs). Construct once, reuse
+/// for any number of formulas; all per-instance state is rewound by
+/// [`SolverCtx::attach`].
+#[derive(Debug, Default)]
+pub struct SolverCtx {
+    n_vars: usize,
+    n_clauses: usize,
+    /// Context-owned copy of the clause arena. Watched literals are kept
+    /// at positions 0 and 1 of each clause slice by swapping in place,
+    /// which is why the context copies the arena instead of borrowing it.
+    lits: Vec<Lit>,
+    starts: Vec<u32>,
+    /// Partial assignment (`None` = unassigned).
+    assign: Vec<Option<bool>>,
+    /// Assigned variables in assignment order.
+    trail: Vec<Var>,
+    /// Decision-level marks: `trail_lim[d]` is the trail length before
+    /// level `d + 1`'s first assignment. Level 0 (root units) has no mark.
+    trail_lim: Vec<u32>,
+    /// Next trail position to propagate.
+    prop_head: usize,
+    /// `watches[code(l)]`: clauses currently watching literal `l`.
+    watches: Vec<Vec<u32>>,
+    /// Occurrence CSR: clauses containing literal `l` (exact polarity)
+    /// are `occ[occ_starts[code(l)]..occ_starts[code(l) + 1]]`.
+    occ: Vec<u32>,
+    occ_starts: Vec<u32>,
+    /// Per-clause count of currently-true literals.
+    nsat: Vec<u32>,
+    /// Clauses with `nsat == 0`; zero means every clause is satisfied.
+    n_unsat: usize,
+    /// Branch-heuristic scratch: `score[v]` is valid iff `stamp[v] == epoch`.
+    score: Vec<u32>,
+    stamp: Vec<u64>,
+    epoch: u64,
+    /// Shared DFS stack for search and enumeration.
+    frames: Vec<Frame>,
+    /// Model-harvest accumulators for backbone extraction.
+    ever_true: Vec<bool>,
+    ever_false: Vec<bool>,
+    /// Compile target for the `*_cnf` convenience entry points, borrowed
+    /// out via `mem::take` while the solve runs.
+    compiled_scratch: CompiledCnf,
+}
+
+impl SolverCtx {
+    /// Fresh, empty context.
+    pub fn new() -> Self {
+        SolverCtx::default()
+    }
+
+    /// Rewind the context onto `cnf`: copy the clause arena, rebuild
+    /// occurrence and watch lists, enqueue root units, and propagate to
+    /// the root fixpoint. Returns `false` when the formula is already
+    /// unsatisfiable at the root (empty clause or conflicting units).
+    pub fn attach(&mut self, cnf: &CompiledCnf) -> bool {
+        self.n_vars = cnf.n_vars();
+        self.n_clauses = cnf.n_clauses();
+        self.lits.clear();
+        self.lits.extend_from_slice(cnf.lits());
+        self.starts.clear();
+        self.starts.extend_from_slice(cnf.starts());
+        self.assign.clear();
+        self.assign.resize(self.n_vars, None);
+        let n_codes = self.n_vars * 2;
+        for w in self.watches.iter_mut().take(n_codes) {
+            w.clear();
+        }
+        if self.watches.len() < n_codes {
+            self.watches.resize_with(n_codes, Vec::new);
+        }
+        self.nsat.clear();
+        self.nsat.resize(self.n_clauses, 0);
+        self.n_unsat = self.n_clauses;
+        self.trail.clear();
+        self.trail_lim.clear();
+        self.prop_head = 0;
+        self.score.clear();
+        self.score.resize(self.n_vars, 0);
+        self.stamp.clear();
+        self.stamp.resize(self.n_vars, 0);
+        self.epoch = 0;
+        self.frames.clear();
+        self.ever_true.clear();
+        self.ever_true.resize(self.n_vars, false);
+        self.ever_false.clear();
+        self.ever_false.resize(self.n_vars, false);
+
+        // Occurrence CSR by counting sort: count codes, prefix-sum, fill
+        // using `occ_starts` itself as the moving cursor, then shift back.
+        self.occ_starts.clear();
+        self.occ_starts.resize(n_codes + 1, 0);
+        for l in &self.lits {
+            self.occ_starts[code(*l) + 1] += 1;
+        }
+        for c in 0..n_codes {
+            self.occ_starts[c + 1] += self.occ_starts[c];
+        }
+        self.occ.clear();
+        self.occ.resize(self.lits.len(), 0);
+        for ci in 0..self.n_clauses {
+            let (s, e) = (self.starts[ci] as usize, self.starts[ci + 1] as usize);
+            for k in s..e {
+                let c = code(self.lits[k]);
+                self.occ[self.occ_starts[c] as usize] = ci as u32;
+                self.occ_starts[c] += 1;
+            }
+        }
+        for c in (1..=n_codes).rev() {
+            self.occ_starts[c] = self.occ_starts[c - 1];
+        }
+        if n_codes > 0 {
+            self.occ_starts[0] = 0;
+        }
+
+        // Watches for clauses of length ≥ 2; length-0 clauses are a root
+        // conflict, length-1 clauses enqueue as root units below.
+        let mut has_empty = false;
+        for ci in 0..self.n_clauses {
+            let (s, e) = (self.starts[ci] as usize, self.starts[ci + 1] as usize);
+            match e - s {
+                0 => has_empty = true,
+                1 => {}
+                _ => {
+                    self.watches[code(self.lits[s])].push(ci as u32);
+                    self.watches[code(self.lits[s + 1])].push(ci as u32);
+                }
+            }
+        }
+        if has_empty {
+            return false;
+        }
+        for ci in 0..self.n_clauses {
+            let (s, e) = (self.starts[ci] as usize, self.starts[ci + 1] as usize);
+            if e - s == 1 {
+                let unit = self.lits[s];
+                if !self.enqueue(unit) {
+                    return false;
+                }
+            }
+        }
+        self.propagate()
+    }
+
+    /// Literal value under the current partial assignment.
+    #[inline]
+    fn value(&self, l: Lit) -> Option<bool> {
+        self.assign[l.var.usize()].map(|v| v == l.positive)
+    }
+
+    /// Assign `l`, recording it on the trail and updating the clause
+    /// satisfaction counters. Returns `false` on contradiction with the
+    /// existing assignment (no state change in that case).
+    fn enqueue(&mut self, l: Lit) -> bool {
+        let vi = l.var.usize();
+        match self.assign[vi] {
+            Some(v) => v == l.positive,
+            None => {
+                self.assign[vi] = Some(l.positive);
+                self.trail.push(l.var);
+                let c = code(l);
+                let (s, e) = (self.occ_starts[c] as usize, self.occ_starts[c + 1] as usize);
+                for k in s..e {
+                    let ci = self.occ[k] as usize;
+                    self.nsat[ci] += 1;
+                    if self.nsat[ci] == 1 {
+                        self.n_unsat -= 1;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Open a new decision level.
+    #[inline]
+    fn push_level(&mut self) {
+        self.trail_lim.push(self.trail.len() as u32);
+    }
+
+    /// Undo the topmost decision level: pop the trail to its mark,
+    /// unassigning and reversing the satisfaction counters.
+    fn backtrack_level(&mut self) {
+        let mark = self.trail_lim.pop().expect("a decision level to backtrack") as usize;
+        while self.trail.len() > mark {
+            let v = self.trail.pop().expect("trail bounded by mark");
+            let vi = v.usize();
+            let val = self.assign[vi].take().expect("trail entries are assigned");
+            let c = code(Lit { var: v, positive: val });
+            let (s, e) = (self.occ_starts[c] as usize, self.occ_starts[c + 1] as usize);
+            for k in s..e {
+                let ci = self.occ[k] as usize;
+                self.nsat[ci] -= 1;
+                if self.nsat[ci] == 0 {
+                    self.n_unsat += 1;
+                }
+            }
+        }
+        self.prop_head = self.trail.len();
+    }
+
+    /// Pop every decision level (back to the propagated root state).
+    fn backtrack_to_root(&mut self) {
+        while !self.trail_lim.is_empty() {
+            self.backtrack_level();
+        }
+        self.frames.clear();
+    }
+
+    /// Two-watched-literal unit propagation from the trail head to
+    /// fixpoint. Returns `false` on conflict (the trail keeps every
+    /// assignment made so far, so a level pop undoes them).
+    fn propagate(&mut self) -> bool {
+        while self.prop_head < self.trail.len() {
+            let v = self.trail[self.prop_head];
+            self.prop_head += 1;
+            let val = self.assign[v.usize()].expect("trail entries are assigned");
+            // The literal that just became false; visit only its watchers.
+            let fcode = code(Lit { var: v, positive: !val });
+            let mut ws = std::mem::take(&mut self.watches[fcode]);
+            let mut keep = 0usize;
+            let mut conflict = false;
+            let mut i = 0usize;
+            while i < ws.len() {
+                let ci = ws[i] as usize;
+                i += 1;
+                let s = self.starts[ci] as usize;
+                // Normalize: position s+1 holds the falsified watch.
+                if code(self.lits[s]) == fcode {
+                    self.lits.swap(s, s + 1);
+                }
+                let first = self.lits[s];
+                if self.value(first) == Some(true) {
+                    // Clause satisfied by its other watch; keep watching.
+                    ws[keep] = ci as u32;
+                    keep += 1;
+                    continue;
+                }
+                let e = self.starts[ci + 1] as usize;
+                let mut moved = false;
+                for k in s + 2..e {
+                    if self.value(self.lits[k]) != Some(false) {
+                        // Relocate the watch to a non-false literal.
+                        self.lits.swap(s + 1, k);
+                        self.watches[code(self.lits[s + 1])].push(ci as u32);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Every non-watched literal is false: `first` is unit (or
+                // the clause conflicts). Keep the watch either way.
+                ws[keep] = ci as u32;
+                keep += 1;
+                if !self.enqueue(first) {
+                    conflict = true;
+                    break;
+                }
+            }
+            if conflict {
+                // Preserve the unvisited tail of the watch list.
+                while i < ws.len() {
+                    ws[keep] = ws[i];
+                    keep += 1;
+                    i += 1;
+                }
+                ws.truncate(keep);
+                self.watches[fcode] = ws;
+                return false;
+            }
+            ws.truncate(keep);
+            self.watches[fcode] = ws;
+        }
+        true
+    }
+
+    /// Flip the deepest unflipped decision to its second phase (undoing
+    /// deeper levels), or pop everything and return `false` when the DFS
+    /// is exhausted.
+    fn flip_or_pop(&mut self) -> bool {
+        loop {
+            match self.frames.pop() {
+                None => return false,
+                Some(f) => {
+                    self.backtrack_level();
+                    if !f.tried_second {
+                        self.frames.push(Frame { var: f.var, tried_second: true });
+                        self.push_level();
+                        let ok = self.enqueue(Lit::neg(f.var));
+                        debug_assert!(ok, "flipped decision var cannot be assigned");
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// MOM-style branch pick: the unassigned variable occurring in the
+    /// most unsatisfied clauses, smallest variable on ties — identical to
+    /// the old solver's heuristic, minus its per-decision `HashMap`.
+    fn pick_branch(&mut self) -> Var {
+        self.epoch += 1;
+        let mut best: Option<(u32, Var)> = None;
+        for ci in 0..self.n_clauses {
+            if self.nsat[ci] != 0 {
+                continue;
+            }
+            let (s, e) = (self.starts[ci] as usize, self.starts[ci + 1] as usize);
+            for k in s..e {
+                let l = self.lits[k];
+                let vi = l.var.usize();
+                if self.assign[vi].is_some() {
+                    continue;
+                }
+                if self.stamp[vi] != self.epoch {
+                    self.stamp[vi] = self.epoch;
+                    self.score[vi] = 0;
+                }
+                self.score[vi] += 1;
+                let c = self.score[vi];
+                best = match best {
+                    Some((bc, bv)) if bc > c || (bc == c && bv < l.var) => Some((bc, bv)),
+                    _ => Some((c, l.var)),
+                };
+            }
+        }
+        best.expect("an unsatisfied clause always holds an unassigned literal").1
+    }
+
+    /// DPLL model search from the current (propagated, conflict-free)
+    /// state. Returns `true` with the satisfying state left in place, or
+    /// `false` with every decision level above the entry level popped.
+    fn search(&mut self) -> bool {
+        self.frames.clear();
+        loop {
+            while !self.propagate() {
+                if !self.flip_or_pop() {
+                    return false;
+                }
+            }
+            if self.n_unsat == 0 {
+                return true;
+            }
+            let v = self.pick_branch();
+            self.frames.push(Frame { var: v, tried_second: false });
+            self.push_level();
+            let ok = self.enqueue(Lit::pos(v));
+            debug_assert!(ok, "branch var was unassigned");
+        }
+    }
+
+    /// Record the current satisfied state into the harvest accumulators.
+    /// Unassigned variables stand for both polarities: with every clause
+    /// satisfied, any completion of the free variables is a model.
+    fn harvest(&mut self) {
+        for vi in 0..self.n_vars {
+            match self.assign[vi] {
+                Some(true) => self.ever_true[vi] = true,
+                Some(false) => self.ever_false[vi] = true,
+                None => {
+                    self.ever_true[vi] = true;
+                    self.ever_false[vi] = true;
+                }
+            }
+        }
+    }
+
+    /// One assumption probe on the warm context: push a level, assume
+    /// `l`, search; harvest the model if satisfiable. Pops back to the
+    /// root either way.
+    fn probe(&mut self, l: Lit) -> bool {
+        self.push_level();
+        let sat = self.enqueue(l) && self.search();
+        if sat {
+            self.harvest();
+        }
+        self.backtrack_to_root();
+        sat
+    }
+
+    /// Complete the harvest flags into an exact backbone with assumption
+    /// probes, skipping every (variable, polarity) already witnessed by a
+    /// harvested model. Each satisfiable probe harvests its whole model,
+    /// often settling several later probes for free.
+    fn probe_backbone(&mut self) {
+        for vi in 0..self.n_vars {
+            if !self.ever_true[vi] {
+                self.probe(Lit::pos(Var(vi as u32)));
+            }
+            if !self.ever_false[vi] {
+                self.probe(Lit::neg(Var(vi as u32)));
+            }
+        }
+    }
+
+    /// Block-counting AllSAT with a cap over the attached formula (root
+    /// state must be propagated and conflict-free). Each leaf with every
+    /// clause satisfied contributes `2^free` models at once and is
+    /// harvested for the backbone. Returns `(count, capped)` and leaves
+    /// the context at the root; `capped` is set only when a `cap + 1`-th
+    /// model was proven to exist, so a count of exactly `cap` stays
+    /// exact.
+    fn enumerate(&mut self, cap: u64) -> (u64, bool) {
+        self.frames.clear();
+        let mut count = 0u64;
+        loop {
+            while !self.propagate() {
+                if !self.flip_or_pop() {
+                    return (count, false);
+                }
+            }
+            if self.n_unsat == 0 {
+                let free = (self.n_vars - self.trail.len()) as u32;
+                let block = 1u64.checked_shl(free).unwrap_or(u64::MAX);
+                self.harvest();
+                count = count.saturating_add(block);
+                if count > cap {
+                    self.backtrack_to_root();
+                    return (cap, true);
+                }
+                if !self.flip_or_pop() {
+                    return (count, false);
+                }
+                continue;
+            }
+            // Branch on the first unassigned literal of the first
+            // unsatisfied clause (clause order), true phase first —
+            // mirroring the reference enumerator's DFS shape.
+            let v = self.pick_enum_var();
+            self.frames.push(Frame { var: v, tried_second: false });
+            self.push_level();
+            let ok = self.enqueue(Lit::pos(v));
+            debug_assert!(ok, "enumeration branch var was unassigned");
+        }
+    }
+
+    /// First unassigned literal of the first unsatisfied clause.
+    fn pick_enum_var(&self) -> Var {
+        for ci in 0..self.n_clauses {
+            if self.nsat[ci] != 0 {
+                continue;
+            }
+            let (s, e) = (self.starts[ci] as usize, self.starts[ci + 1] as usize);
+            for k in s..e {
+                let l = self.lits[k];
+                if self.assign[l.var.usize()].is_none() {
+                    return l.var;
+                }
+            }
+        }
+        unreachable!("n_unsat > 0 requires an unsatisfied clause with an unassigned literal")
+    }
+
+    /// Complete assignment from the current satisfied state; unassigned
+    /// (unconstrained) variables default to `false`.
+    fn extract_model(&self) -> Vec<bool> {
+        self.assign.iter().map(|v| v.unwrap_or(false)).collect()
+    }
+
+    /// Solve `cnf` under `assumptions` (forced literals); a complete
+    /// satisfying assignment or `None`. Equivalent to
+    /// [`crate::solver::solve_with`] on the uncompiled formula.
+    pub fn solve(&mut self, cnf: &CompiledCnf, assumptions: &[Lit]) -> Option<Vec<bool>> {
+        if !self.attach(cnf) {
+            return None;
+        }
+        if !assumptions.is_empty() {
+            self.push_level();
+            for &a in assumptions {
+                if !self.enqueue(a) {
+                    return None;
+                }
+            }
+        }
+        if self.search() {
+            let m = self.extract_model();
+            debug_assert!(m.len() == self.n_vars);
+            Some(m)
+        } else {
+            None
+        }
+    }
+
+    /// Count satisfying assignments of `cnf` up to `cap` (≥ 2). The
+    /// count is exact whenever it is at or below the cap.
+    pub fn count_solutions(&mut self, cnf: &CompiledCnf, cap: u64) -> SolutionCount {
+        assert!(cap >= 2, "a cap below 2 cannot distinguish unique from multiple");
+        if !self.attach(cnf) {
+            return SolutionCount::Exact(0);
+        }
+        let (count, capped) = self.enumerate(cap);
+        if capped {
+            SolutionCount::AtLeast(count)
+        } else {
+            SolutionCount::Exact(count)
+        }
+    }
+
+    /// Exact backbone of `cnf` (`None` when unsatisfiable): one model
+    /// search seeds the harvest, assumption probes on the warm context
+    /// settle the rest.
+    pub fn backbone(&mut self, cnf: &CompiledCnf) -> Option<Backbone> {
+        if !self.attach(cnf) {
+            return None;
+        }
+        if !self.search() {
+            return None;
+        }
+        self.harvest();
+        self.backtrack_to_root();
+        self.probe_backbone();
+        Some(Backbone { ever_true: self.ever_true.clone(), ever_false: self.ever_false.clone() })
+    }
+
+    /// The full census — (possibly capped) model count, unique model,
+    /// exact backbone — in one attach: the count's enumeration harvests
+    /// *every* model it visits into the backbone, and only polarities no
+    /// enumerated model witnessed fall back to assumption probes (none at
+    /// all when enumeration completed uncapped, since it then visited the
+    /// whole model set). Result-identical to [`crate::enumerate::census`].
+    pub fn census(&mut self, cnf: &CompiledCnf, cap: u64) -> SolutionCensus {
+        assert!(cap >= 2, "a cap below 2 cannot distinguish unique from multiple");
+        let unsat = SolutionCensus {
+            count: SolutionCount::Exact(0),
+            unique_model: None,
+            backbone: None,
+        };
+        if !self.attach(cnf) {
+            return unsat;
+        }
+        let (count, capped) = self.enumerate(cap);
+        if count == 0 {
+            return unsat;
+        }
+        if capped {
+            // Enumeration stopped early: its harvest is a sound partial
+            // backbone; probe only the unwitnessed polarities.
+            self.probe_backbone();
+        }
+        let backbone =
+            Backbone { ever_true: self.ever_true.clone(), ever_false: self.ever_false.clone() };
+        let count =
+            if capped { SolutionCount::AtLeast(count) } else { SolutionCount::Exact(count) };
+        let unique_model = if count == SolutionCount::Exact(1) {
+            // The backbone of a single-model formula IS the model.
+            Some(backbone.ever_true.clone())
+        } else {
+            None
+        };
+        SolutionCensus { count, unique_model, backbone: Some(backbone) }
+    }
+
+    /// [`SolverCtx::census`] over an uncompiled [`Cnf`], compiling into a
+    /// context-owned scratch [`CompiledCnf`] (no allocation in steady
+    /// state).
+    pub fn census_cnf(&mut self, cnf: &Cnf, cap: u64) -> SolutionCensus {
+        let mut compiled = std::mem::take(&mut self.compiled_scratch);
+        compiled.load_cnf(cnf);
+        let out = self.census(&compiled, cap);
+        self.compiled_scratch = compiled;
+        out
+    }
+
+    /// [`SolverCtx::solve`] over an uncompiled [`Cnf`] via the scratch
+    /// compile target.
+    pub fn solve_cnf(&mut self, cnf: &Cnf, assumptions: &[Lit]) -> Option<Vec<bool>> {
+        let mut compiled = std::mem::take(&mut self.compiled_scratch);
+        compiled.load_cnf(cnf);
+        let out = self.solve(&compiled, assumptions);
+        self.compiled_scratch = compiled;
+        out
+    }
+
+    /// [`SolverCtx::count_solutions`] over an uncompiled [`Cnf`] via the
+    /// scratch compile target.
+    pub fn count_solutions_cnf(&mut self, cnf: &Cnf, cap: u64) -> SolutionCount {
+        let mut compiled = std::mem::take(&mut self.compiled_scratch);
+        compiled.load_cnf(cnf);
+        let out = self.count_solutions(&compiled, cap);
+        self.compiled_scratch = compiled;
+        out
+    }
+
+    /// [`SolverCtx::backbone`] over an uncompiled [`Cnf`] via the scratch
+    /// compile target.
+    pub fn backbone_cnf(&mut self, cnf: &Cnf) -> Option<Backbone> {
+        let mut compiled = std::mem::take(&mut self.compiled_scratch);
+        compiled.load_cnf(cnf);
+        let out = self.backbone(&compiled);
+        self.compiled_scratch = compiled;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::{Cnf, Lit, Var};
+    use crate::Solvability;
+
+    fn compiled(f: &Cnf) -> CompiledCnf {
+        CompiledCnf::from_cnf(f)
+    }
+
+    #[test]
+    fn empty_formula_sat_all_false() {
+        let f = Cnf::new(3);
+        let mut ctx = SolverCtx::new();
+        assert_eq!(ctx.solve(&compiled(&f), &[]), Some(vec![false, false, false]));
+    }
+
+    #[test]
+    fn unit_contradiction_unsat() {
+        let mut f = Cnf::new(1);
+        f.add_clause(vec![Lit::pos(Var(0))]);
+        f.add_clause(vec![Lit::neg(Var(0))]);
+        let mut ctx = SolverCtx::new();
+        assert!(ctx.solve(&compiled(&f), &[]).is_none());
+        assert_eq!(ctx.count_solutions(&compiled(&f), 4), SolutionCount::Exact(0));
+        assert!(ctx.backbone(&compiled(&f)).is_none());
+    }
+
+    #[test]
+    fn assumption_push_pop_reuses_root() {
+        let mut f = Cnf::new(2);
+        f.add_positive_clause([Var(0), Var(1)]);
+        let c = compiled(&f);
+        let mut ctx = SolverCtx::new();
+        let m = ctx.solve(&c, &[Lit::neg(Var(0))]).unwrap();
+        assert!(!m[0] && m[1]);
+        assert!(ctx.solve(&c, &[Lit::neg(Var(0)), Lit::neg(Var(1))]).is_none());
+        assert!(ctx.solve(&c, &[Lit::pos(Var(0)), Lit::neg(Var(0))]).is_none());
+        // The same context stays reusable after contradictory assumptions.
+        assert!(ctx.solve(&c, &[]).is_some());
+    }
+
+    #[test]
+    fn census_matches_paper_example() {
+        let mut f = Cnf::new(3);
+        f.add_positive_clause([Var(0), Var(1), Var(2)]);
+        f.add_negative_facts([Var(0), Var(1)]);
+        let mut ctx = SolverCtx::new();
+        let c = ctx.census(&compiled(&f), 10);
+        assert_eq!(c.count, SolutionCount::Exact(1));
+        assert_eq!(c.unique_model, Some(vec![false, false, true]));
+        assert_eq!(c.solvability(), Solvability::Unique);
+        let b = c.backbone.unwrap();
+        assert_eq!(b.always_true(), vec![Var(2)]);
+        assert_eq!(b.always_false(), vec![Var(0), Var(1)]);
+    }
+
+    #[test]
+    fn cap_boundary_is_exact() {
+        // Free 2-var formula: exactly 4 models.
+        let f = Cnf::new(2);
+        let mut ctx = SolverCtx::new();
+        assert_eq!(ctx.count_solutions(&compiled(&f), 4), SolutionCount::Exact(4));
+        assert_eq!(ctx.count_solutions(&compiled(&f), 3), SolutionCount::AtLeast(3));
+        // 2^3 - 1 = 7 models at cap 7: exact; at cap 6: capped.
+        let mut g = Cnf::new(3);
+        g.add_positive_clause([Var(0), Var(1), Var(2)]);
+        assert_eq!(ctx.count_solutions(&compiled(&g), 7), SolutionCount::Exact(7));
+        assert_eq!(ctx.count_solutions(&compiled(&g), 6), SolutionCount::AtLeast(6));
+    }
+
+    #[test]
+    fn context_reuse_across_many_instances() {
+        let mut ctx = SolverCtx::new();
+        for n in 1..8usize {
+            let mut f = Cnf::new(n);
+            f.add_positive_clause((0..n).map(|i| Var(i as u32)));
+            let c = ctx.census(&compiled(&f), 1 << 10);
+            assert_eq!(c.count, SolutionCount::Exact((1u64 << n) - 1), "n = {n}");
+            let b = c.backbone.unwrap();
+            assert!(b.ever_true.iter().all(|t| *t));
+        }
+    }
+
+    #[test]
+    fn needs_real_backtracking() {
+        let mut f = Cnf::new(3);
+        let (a, b, c) = (Var(0), Var(1), Var(2));
+        f.add_clause(vec![Lit::pos(a), Lit::pos(b)]);
+        f.add_clause(vec![Lit::neg(a), Lit::pos(c)]);
+        f.add_clause(vec![Lit::neg(b), Lit::pos(c)]);
+        f.add_clause(vec![Lit::neg(c), Lit::pos(a)]);
+        f.add_clause(vec![Lit::neg(c), Lit::neg(b)]);
+        let mut ctx = SolverCtx::new();
+        let m = ctx.solve(&compiled(&f), &[]).unwrap();
+        assert!(f.eval(&m));
+        assert_eq!(m, vec![true, false, true]);
+    }
+}

@@ -10,11 +10,16 @@
 //!   [`SolutionCensus`];
 //! * the set of variables that are **false in every** solution — the
 //!   "definite non-censors" that shrink the candidate set (Figure 2).
-//!   [`backbone`] computes this *exactly* with one assumption-probe per
-//!   variable instead of relying on possibly-capped enumeration.
+//!   [`backbone`] computes this *exactly* with assumption probes rather
+//!   than relying on possibly-capped enumeration.
+//!
+//! These free functions are one-shot conveniences over a cold
+//! [`SolverCtx`]; hot paths should hold a context of their own and call
+//! [`SolverCtx::census`] directly so watch lists, trails, and scratch
+//! buffers are reused across instances (see the crate docs).
 
-use crate::cnf::{Cnf, Lit, Var};
-use crate::solver::{solve, solve_with};
+use crate::cnf::{Cnf, Var};
+use crate::ctx::SolverCtx;
 use crate::Solvability;
 use serde::{Deserialize, Serialize};
 
@@ -23,7 +28,7 @@ use serde::{Deserialize, Serialize};
 pub enum SolutionCount {
     /// The exact model count.
     Exact(u64),
-    /// Enumeration stopped at the cap; the true count is `>=` this.
+    /// Enumeration stopped at the cap; the true count is `>` this.
     AtLeast(u64),
 }
 
@@ -50,121 +55,12 @@ impl SolutionCount {
     }
 }
 
-/// Count satisfying assignments up to `cap` (≥ 2). Counting is exact when
-/// the result is below the cap.
+/// Count satisfying assignments up to `cap` (≥ 2). Counting is exact
+/// whenever the result is **at or below** the cap: a formula with exactly
+/// `cap` models reports `Exact(cap)`, and `AtLeast(cap)` is returned only
+/// when a `cap + 1`-th model provably exists.
 pub fn count_solutions(cnf: &Cnf, cap: u64) -> SolutionCount {
-    assert!(cap >= 2, "a cap below 2 cannot distinguish unique from multiple");
-    let n = cnf.n_vars();
-    let mut assignment: Vec<Option<bool>> = vec![None; n];
-    let mut count: u64 = 0;
-    let mut capped = false;
-    enumerate_rec(cnf, &mut assignment, &mut count, cap, &mut capped, &mut |_| {});
-    if capped {
-        SolutionCount::AtLeast(count)
-    } else {
-        SolutionCount::Exact(count)
-    }
-}
-
-/// Recursive enumeration core. Calls `on_model` for each *distinct leaf*
-/// (a leaf with `k` free variables stands for `2^k` models; `on_model`
-/// receives the partial assignment). Stops once `count` reaches `cap`.
-fn enumerate_rec(
-    cnf: &Cnf,
-    assignment: &mut Vec<Option<bool>>,
-    count: &mut u64,
-    cap: u64,
-    capped: &mut bool,
-    on_model: &mut dyn FnMut(&[Option<bool>]),
-) {
-    if *count >= cap {
-        *capped = true;
-        return;
-    }
-    // Propagate units manually (cannot reuse solver's internal propagate
-    // since we need clause status too).
-    let snapshot = assignment.clone();
-    loop {
-        let mut changed = false;
-        for clause in cnf.clauses() {
-            let mut satisfied = false;
-            let mut unassigned: Option<Lit> = None;
-            let mut n_un = 0;
-            for l in clause {
-                match l.eval(assignment) {
-                    Some(true) => {
-                        satisfied = true;
-                        break;
-                    }
-                    Some(false) => {}
-                    None => {
-                        n_un += 1;
-                        unassigned = Some(*l);
-                    }
-                }
-            }
-            if satisfied {
-                continue;
-            }
-            match n_un {
-                0 => {
-                    *assignment = snapshot;
-                    return; // conflict
-                }
-                1 => {
-                    let l = unassigned.expect("single unassigned literal");
-                    assignment[l.var.usize()] = Some(l.positive);
-                    changed = true;
-                }
-                _ => {}
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
-
-    // Find an unsatisfied clause with unassigned literals to branch on.
-    let branch_var = {
-        let mut v: Option<Var> = None;
-        'outer: for clause in cnf.clauses() {
-            if clause.iter().any(|l| l.eval(assignment) == Some(true)) {
-                continue;
-            }
-            for l in clause {
-                if l.eval(assignment).is_none() {
-                    v = Some(l.var);
-                    break 'outer;
-                }
-            }
-        }
-        v
-    };
-
-    match branch_var {
-        None => {
-            // All clauses satisfied: the free variables form a block of
-            // 2^k completions.
-            let free = assignment.iter().filter(|a| a.is_none()).count() as u32;
-            let block = 1u64.checked_shl(free).unwrap_or(u64::MAX);
-            *count = count.saturating_add(block);
-            if *count > cap {
-                *count = cap;
-                *capped = true;
-            }
-            on_model(assignment);
-        }
-        Some(v) => {
-            for value in [true, false] {
-                assignment[v.usize()] = Some(value);
-                enumerate_rec(cnf, assignment, count, cap, capped, on_model);
-                if *count >= cap && *capped {
-                    break;
-                }
-            }
-        }
-    }
-    *assignment = snapshot;
+    SolverCtx::new().count_solutions_cnf(cnf, cap)
 }
 
 /// Exact ever-true / ever-false sets, computed with assumption probes.
@@ -201,30 +97,11 @@ impl Backbone {
     }
 }
 
-/// Compute the backbone (exact, one probe per variable per polarity).
-/// Returns `None` when the formula is unsatisfiable.
+/// Compute the backbone (exact, at most one probe per variable per
+/// polarity — probes already witnessed by a discovered model are
+/// skipped). Returns `None` when the formula is unsatisfiable.
 pub fn backbone(cnf: &Cnf) -> Option<Backbone> {
-    let base = solve(cnf)?;
-    let n = cnf.n_vars();
-    let mut ever_true = vec![false; n];
-    let mut ever_false = vec![false; n];
-    // Seed with the found model (saves half the probes on average).
-    for (i, v) in base.iter().enumerate() {
-        if *v {
-            ever_true[i] = true;
-        } else {
-            ever_false[i] = true;
-        }
-    }
-    for i in 0..n {
-        if !ever_true[i] && solve_with(cnf, &[Lit::pos(Var(i as u32))]).is_some() {
-            ever_true[i] = true;
-        }
-        if !ever_false[i] && solve_with(cnf, &[Lit::neg(Var(i as u32))]).is_some() {
-            ever_false[i] = true;
-        }
-    }
-    Some(Backbone { ever_true, ever_false })
+    SolverCtx::new().backbone_cnf(cnf)
 }
 
 /// The full census the tomography pipeline consumes.
@@ -265,21 +142,14 @@ impl SolutionCensus {
 /// assert_eq!(result.unique_model.unwrap(), vec![false, false, true]);
 /// ```
 pub fn census(cnf: &Cnf, cap: u64) -> SolutionCensus {
-    let count = count_solutions(cnf, cap);
-    let backbone = backbone(cnf);
-    let unique_model = if count == SolutionCount::Exact(1) {
-        // The backbone of a single-model formula IS the model.
-        backbone.as_ref().map(|b| b.ever_true.clone())
-    } else {
-        None
-    };
-    SolutionCensus { count, unique_model, backbone }
+    SolverCtx::new().census_cnf(cnf, cap)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::brute;
+    use crate::cnf::Lit;
     use proptest::prelude::*;
 
     #[test]
@@ -331,6 +201,29 @@ mod tests {
         let c = count_solutions(&f, 64);
         assert_eq!(c, SolutionCount::AtLeast(64));
         assert_eq!(c.bucket(), 5);
+        assert_eq!(c.solvability(), Solvability::Multiple);
+    }
+
+    /// Regression for the cap-boundary bug: a model count of exactly
+    /// `cap` used to be misreported as `AtLeast(cap)` because re-entering
+    /// the enumerator with `count == cap` set the capped flag even though
+    /// no model was ever dropped. The count is exact at the boundary and
+    /// capped one past it.
+    #[test]
+    fn count_equal_to_cap_is_exact() {
+        // Free formula over 3 vars: exactly 8 models.
+        let f = Cnf::new(3);
+        assert_eq!(count_solutions(&f, 8), SolutionCount::Exact(8));
+        assert_eq!(count_solutions(&f, 7), SolutionCount::AtLeast(7));
+        assert_eq!(count_solutions(&f, 9), SolutionCount::Exact(8));
+        // Constrained instance: (v0∨v1∨v2) has exactly 7 models.
+        let mut g = Cnf::new(3);
+        g.add_positive_clause([Var(0), Var(1), Var(2)]);
+        assert_eq!(count_solutions(&g, 7), SolutionCount::Exact(7));
+        assert_eq!(count_solutions(&g, 6), SolutionCount::AtLeast(6));
+        // The census agrees, and its solvability stays Multiple.
+        let c = census(&g, 7);
+        assert_eq!(c.count, SolutionCount::Exact(7));
         assert_eq!(c.solvability(), Solvability::Multiple);
     }
 

@@ -18,27 +18,41 @@
 //! * [`cnf`] — literals, clauses, formulas, and DIMACS import/export
 //!   (interoperates with real off-the-shelf solvers; see the
 //!   `dimacs_export` example).
-//! * [`solver`] — DPLL with unit propagation and assumption solving.
-//! * [`enumerate`] — AllSAT with a cap and bulk counting of free-variable
-//!   blocks; [`enumerate::backbone`] computes ever-true/ever-false sets
-//!   exactly via assumption probes rather than full enumeration.
+//! * [`compiled`] — [`CompiledCnf`]: flat CSR clause storage (one literal
+//!   arena plus clause offsets), built once per instance and reusable as
+//!   a builder without reallocating.
+//! * [`ctx`] — [`SolverCtx`]: the reusable watched-literal solver
+//!   context. Two-watched-literal unit propagation, trail-based undo,
+//!   assumption push/pop, epoch-stamped branch scoring, and a census that
+//!   harvests every enumerated model into the backbone. One context
+//!   serves any number of instances with zero steady-state allocations.
+//! * [`solver`] / [`enumerate`] — the historical one-shot API ([`solve`],
+//!   [`census`], …), now thin cold-context wrappers over [`ctx`].
+//! * [`reference`] — the original full-rescan solver core, retained as a
+//!   differential-testing oracle and in-run performance baseline.
 //! * [`brute`] — an exhaustive reference implementation used by the
 //!   property tests to cross-check everything above.
 //!
 //! Instances here are small (tens of variables, hundreds of clauses) but
-//! the code is careful anyway: no recursion deeper than the variable
-//! count, saturating counters, and explicit handling of empty formulas and
-//! tautological inputs.
+//! solved millions of times — every localization result funnels through
+//! [`census`] — so the hot path is engineered: no recursion, no
+//! per-decision allocation, saturating counters, and explicit handling of
+//! empty formulas and tautological inputs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod brute;
 pub mod cnf;
+pub mod compiled;
+pub mod ctx;
 pub mod enumerate;
+pub mod reference;
 pub mod solver;
 
 pub use cnf::{Clause, Cnf, DimacsError, Lit, Var};
+pub use compiled::CompiledCnf;
+pub use ctx::SolverCtx;
 pub use enumerate::{backbone, census, count_solutions, Backbone, SolutionCensus, SolutionCount};
 pub use solver::{solve, solve_with};
 

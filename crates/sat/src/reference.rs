@@ -1,0 +1,332 @@
+//! The pre-watched-literal solver core, retained as a reference.
+//!
+//! These are the original full-rescan implementations that shipped before
+//! [`crate::ctx::SolverCtx`]: unit propagation re-evaluates every clause
+//! per fixpoint pass, the enumerator clones the assignment at every DFS
+//! node, and the branch heuristic builds a `HashMap` per decision. They
+//! are kept — unoptimized on purpose — for two jobs:
+//!
+//! 1. **Differential testing**: the property tests drive the
+//!    watched-literal core against these on instances too large for
+//!    [`crate::brute`]'s exhaustive evaluation.
+//! 2. **Performance baseline**: `sat_core_bench` and the Criterion
+//!    `sat_bench` report the new core's speedup as a ratio against these,
+//!    so the number is measured in one run instead of across commits.
+//!
+//! One deliberate divergence from the historical code: the enumeration
+//! cap is exact at the boundary (a formula with exactly `cap` models
+//! reports `Exact(cap)`), matching the fixed semantics of the new core.
+//! The historical version misreported that case as `AtLeast(cap)`.
+
+use crate::cnf::{Cnf, Lit, Var};
+use crate::enumerate::{Backbone, SolutionCensus, SolutionCount};
+
+/// Result of unit propagation over a partial assignment.
+enum Propagation {
+    /// Assignment extended without conflict.
+    Ok,
+    /// A clause became empty: the branch is dead.
+    Conflict,
+}
+
+/// Propagate unit clauses until fixpoint by rescanning every clause.
+fn propagate(cnf: &Cnf, assignment: &mut [Option<bool>], trail: &mut Vec<Var>) -> Propagation {
+    loop {
+        let mut changed = false;
+        for clause in cnf.clauses() {
+            let mut satisfied = false;
+            let mut unassigned: Option<Lit> = None;
+            let mut n_unassigned = 0;
+            for l in clause {
+                match l.eval(assignment) {
+                    Some(true) => {
+                        satisfied = true;
+                        break;
+                    }
+                    Some(false) => {}
+                    None => {
+                        n_unassigned += 1;
+                        unassigned = Some(*l);
+                    }
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match n_unassigned {
+                0 => return Propagation::Conflict,
+                1 => {
+                    let l = unassigned.expect("counted one unassigned literal");
+                    assignment[l.var.usize()] = Some(l.positive);
+                    trail.push(l.var);
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            return Propagation::Ok;
+        }
+    }
+}
+
+/// The unassigned variable occurring in the most unsatisfied clauses,
+/// built with a per-call `HashMap`.
+fn pick_branch_var(cnf: &Cnf, assignment: &[Option<bool>]) -> Option<Var> {
+    let mut counts: std::collections::HashMap<Var, usize> = std::collections::HashMap::new();
+    for clause in cnf.clauses() {
+        let satisfied = clause.iter().any(|l| l.eval(assignment) == Some(true));
+        if satisfied {
+            continue;
+        }
+        for l in clause {
+            if l.eval(assignment).is_none() {
+                *counts.entry(l.var).or_insert(0) += 1;
+            }
+        }
+    }
+    counts
+        .into_iter()
+        .max_by_key(|&(v, c)| (c, std::cmp::Reverse(v)))
+        .map(|(v, _)| v)
+}
+
+/// Reference DPLL solve under assumptions; see [`crate::solver::solve_with`].
+pub fn solve_with(cnf: &Cnf, assumptions: &[Lit]) -> Option<Vec<bool>> {
+    let n = cnf.n_vars();
+    let mut assignment: Vec<Option<bool>> = vec![None; n];
+    for a in assumptions {
+        match assignment[a.var.usize()] {
+            Some(v) if v != a.positive => return None, // contradictory assumptions
+            _ => assignment[a.var.usize()] = Some(a.positive),
+        }
+    }
+
+    struct Frame {
+        var: Var,
+        tried_second: bool,
+        trail_mark: usize,
+    }
+    let mut trail: Vec<Var> = Vec::new();
+    let mut stack: Vec<Frame> = Vec::new();
+
+    if matches!(propagate(cnf, &mut assignment, &mut trail), Propagation::Conflict) {
+        return None;
+    }
+
+    loop {
+        match pick_branch_var(cnf, &assignment) {
+            None => {
+                let out: Vec<bool> = assignment.iter().map(|v| v.unwrap_or(false)).collect();
+                debug_assert!(cnf.eval(&out));
+                return Some(out);
+            }
+            Some(var) => {
+                let mark = trail.len();
+                assignment[var.usize()] = Some(true);
+                trail.push(var);
+                stack.push(Frame { var, tried_second: false, trail_mark: mark });
+                loop {
+                    if matches!(propagate(cnf, &mut assignment, &mut trail), Propagation::Ok) {
+                        break;
+                    }
+                    loop {
+                        match stack.pop() {
+                            None => return None,
+                            Some(f) => {
+                                while trail.len() > f.trail_mark {
+                                    let v = trail.pop().expect("trail bounded by mark");
+                                    assignment[v.usize()] = None;
+                                }
+                                if !f.tried_second {
+                                    assignment[f.var.usize()] = Some(false);
+                                    trail.push(f.var);
+                                    stack.push(Frame {
+                                        var: f.var,
+                                        tried_second: true,
+                                        trail_mark: f.trail_mark,
+                                    });
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reference solve without assumptions.
+pub fn solve(cnf: &Cnf) -> Option<Vec<bool>> {
+    solve_with(cnf, &[])
+}
+
+/// Recursive snapshot-cloning enumeration core (cap exact at the
+/// boundary: exploration continues past `count == cap` until one more
+/// model proves truncation).
+fn enumerate_rec(
+    cnf: &Cnf,
+    assignment: &mut Vec<Option<bool>>,
+    count: &mut u64,
+    cap: u64,
+    capped: &mut bool,
+) {
+    if *capped {
+        return;
+    }
+    let snapshot = assignment.clone();
+    loop {
+        let mut changed = false;
+        for clause in cnf.clauses() {
+            let mut satisfied = false;
+            let mut unassigned: Option<Lit> = None;
+            let mut n_un = 0;
+            for l in clause {
+                match l.eval(assignment) {
+                    Some(true) => {
+                        satisfied = true;
+                        break;
+                    }
+                    Some(false) => {}
+                    None => {
+                        n_un += 1;
+                        unassigned = Some(*l);
+                    }
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match n_un {
+                0 => {
+                    *assignment = snapshot;
+                    return; // conflict
+                }
+                1 => {
+                    let l = unassigned.expect("single unassigned literal");
+                    assignment[l.var.usize()] = Some(l.positive);
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let branch_var = {
+        let mut v: Option<Var> = None;
+        'outer: for clause in cnf.clauses() {
+            if clause.iter().any(|l| l.eval(assignment) == Some(true)) {
+                continue;
+            }
+            for l in clause {
+                if l.eval(assignment).is_none() {
+                    v = Some(l.var);
+                    break 'outer;
+                }
+            }
+        }
+        v
+    };
+
+    match branch_var {
+        None => {
+            let free = assignment.iter().filter(|a| a.is_none()).count() as u32;
+            let block = 1u64.checked_shl(free).unwrap_or(u64::MAX);
+            *count = count.saturating_add(block);
+            if *count > cap {
+                *count = cap;
+                *capped = true;
+            }
+        }
+        Some(v) => {
+            for value in [true, false] {
+                assignment[v.usize()] = Some(value);
+                enumerate_rec(cnf, assignment, count, cap, capped);
+                if *capped {
+                    break;
+                }
+            }
+        }
+    }
+    *assignment = snapshot;
+}
+
+/// Reference capped model count; see [`crate::enumerate::count_solutions`].
+pub fn count_solutions(cnf: &Cnf, cap: u64) -> SolutionCount {
+    assert!(cap >= 2, "a cap below 2 cannot distinguish unique from multiple");
+    let n = cnf.n_vars();
+    let mut assignment: Vec<Option<bool>> = vec![None; n];
+    let mut count: u64 = 0;
+    let mut capped = false;
+    enumerate_rec(cnf, &mut assignment, &mut count, cap, &mut capped);
+    if capped {
+        SolutionCount::AtLeast(count)
+    } else {
+        SolutionCount::Exact(count)
+    }
+}
+
+/// Reference exact backbone via per-variable assumption probes on cold
+/// solver runs; see [`crate::enumerate::backbone`].
+pub fn backbone(cnf: &Cnf) -> Option<Backbone> {
+    let base = solve(cnf)?;
+    let n = cnf.n_vars();
+    let mut ever_true = vec![false; n];
+    let mut ever_false = vec![false; n];
+    for (i, v) in base.iter().enumerate() {
+        if *v {
+            ever_true[i] = true;
+        } else {
+            ever_false[i] = true;
+        }
+    }
+    for i in 0..n {
+        if !ever_true[i] && solve_with(cnf, &[Lit::pos(Var(i as u32))]).is_some() {
+            ever_true[i] = true;
+        }
+        if !ever_false[i] && solve_with(cnf, &[Lit::neg(Var(i as u32))]).is_some() {
+            ever_false[i] = true;
+        }
+    }
+    Some(Backbone { ever_true, ever_false })
+}
+
+/// Reference census: capped count plus exact probe-based backbone; see
+/// [`crate::enumerate::census`].
+pub fn census(cnf: &Cnf, cap: u64) -> SolutionCensus {
+    let count = count_solutions(cnf, cap);
+    let backbone = backbone(cnf);
+    let unique_model = if count == SolutionCount::Exact(1) {
+        backbone.as_ref().map(|b| b.ever_true.clone())
+    } else {
+        None
+    };
+    SolutionCensus { count, unique_model, backbone }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Solvability;
+
+    #[test]
+    fn reference_cap_boundary_is_exact() {
+        let f = Cnf::new(2); // exactly 4 models
+        assert_eq!(count_solutions(&f, 4), SolutionCount::Exact(4));
+        assert_eq!(count_solutions(&f, 3), SolutionCount::AtLeast(3));
+    }
+
+    #[test]
+    fn reference_census_smoke() {
+        let mut f = Cnf::new(3);
+        f.add_positive_clause([Var(0), Var(1), Var(2)]);
+        f.add_negative_facts([Var(0), Var(1)]);
+        let c = census(&f, 10);
+        assert_eq!(c.solvability(), Solvability::Unique);
+        assert_eq!(c.unique_model, Some(vec![false, false, true]));
+    }
+}

@@ -1,83 +1,15 @@
-//! DPLL satisfiability with unit propagation and assumptions.
+//! Satisfiability entry points over the watched-literal core.
 //!
-//! Deliberately simple (the paper's instances are tiny: a CNF has one
-//! variable per AS observed on the measured paths), but complete and
-//! allocation-conscious: iterative propagation, explicit branch stack, no
-//! recursion.
+//! [`solve`] and [`solve_with`] are the crate's historical one-shot API:
+//! each call builds a cold [`SolverCtx`], compiles the formula, and
+//! solves. Hot paths that solve many instances (or probe one instance
+//! many times) should hold a [`SolverCtx`] and call it directly — the
+//! context rewinds instead of reallocating, which is where the census
+//! speedup comes from. The original full-rescan DPLL this API used to
+//! run lives on in [`crate::reference`].
 
-use crate::cnf::{Cnf, Lit, Var};
-
-/// Result of unit propagation over a partial assignment.
-enum Propagation {
-    /// Assignment extended without conflict.
-    Ok,
-    /// A clause became empty: the branch is dead.
-    Conflict,
-}
-
-/// Propagate unit clauses until fixpoint. `trail` records newly assigned
-/// variables so the caller can undo.
-fn propagate(cnf: &Cnf, assignment: &mut [Option<bool>], trail: &mut Vec<Var>) -> Propagation {
-    loop {
-        let mut changed = false;
-        for clause in cnf.clauses() {
-            let mut satisfied = false;
-            let mut unassigned: Option<Lit> = None;
-            let mut n_unassigned = 0;
-            for l in clause {
-                match l.eval(assignment) {
-                    Some(true) => {
-                        satisfied = true;
-                        break;
-                    }
-                    Some(false) => {}
-                    None => {
-                        n_unassigned += 1;
-                        unassigned = Some(*l);
-                    }
-                }
-            }
-            if satisfied {
-                continue;
-            }
-            match n_unassigned {
-                0 => return Propagation::Conflict,
-                1 => {
-                    let l = unassigned.expect("counted one unassigned literal");
-                    assignment[l.var.usize()] = Some(l.positive);
-                    trail.push(l.var);
-                    changed = true;
-                }
-                _ => {}
-            }
-        }
-        if !changed {
-            return Propagation::Ok;
-        }
-    }
-}
-
-/// Pick the unassigned variable occurring in the most unsatisfied clauses
-/// (a cheap MOM-style heuristic); `None` when everything is assigned or
-/// all clauses are satisfied.
-fn pick_branch_var(cnf: &Cnf, assignment: &[Option<bool>]) -> Option<Var> {
-    let mut counts: std::collections::HashMap<Var, usize> = std::collections::HashMap::new();
-    for clause in cnf.clauses() {
-        let satisfied = clause.iter().any(|l| l.eval(assignment) == Some(true));
-        if satisfied {
-            continue;
-        }
-        for l in clause {
-            if l.eval(assignment).is_none() {
-                *counts.entry(l.var).or_insert(0) += 1;
-            }
-        }
-    }
-    counts
-        .into_iter()
-        .max_by_key(|&(v, c)| (c, std::cmp::Reverse(v)))
-        .map(|(v, _)| v)
-}
+use crate::cnf::{Cnf, Lit};
+use crate::ctx::SolverCtx;
 
 /// Solve `cnf`; returns a complete satisfying assignment or `None`.
 /// Variables not constrained by any clause are assigned `false`.
@@ -88,76 +20,7 @@ pub fn solve(cnf: &Cnf) -> Option<Vec<bool>> {
 /// Solve under assumptions (forced literals). Used for backbone probing:
 /// "is there a solution where X is true?".
 pub fn solve_with(cnf: &Cnf, assumptions: &[Lit]) -> Option<Vec<bool>> {
-    let n = cnf.n_vars();
-    let mut assignment: Vec<Option<bool>> = vec![None; n];
-    for a in assumptions {
-        match assignment[a.var.usize()] {
-            Some(v) if v != a.positive => return None, // contradictory assumptions
-            _ => assignment[a.var.usize()] = Some(a.positive),
-        }
-    }
-
-    // Branch stack: (var, next_value_to_try, trail_len_before, tried_both)
-    struct Frame {
-        var: Var,
-        tried_second: bool,
-        trail_mark: usize,
-    }
-    let mut trail: Vec<Var> = Vec::new();
-    let mut stack: Vec<Frame> = Vec::new();
-
-    // Initial propagation.
-    if matches!(propagate(cnf, &mut assignment, &mut trail), Propagation::Conflict) {
-        return None;
-    }
-
-    loop {
-        match pick_branch_var(cnf, &assignment) {
-            None => {
-                // All clauses satisfied; complete the assignment.
-                let out: Vec<bool> = assignment.iter().map(|v| v.unwrap_or(false)).collect();
-                debug_assert!(cnf.eval(&out));
-                return Some(out);
-            }
-            Some(var) => {
-                // Branch: try `true` first (positive clauses dominate our
-                // instances, so true-first finds models fast).
-                let mark = trail.len();
-                assignment[var.usize()] = Some(true);
-                trail.push(var);
-                stack.push(Frame { var, tried_second: false, trail_mark: mark });
-                loop {
-                    if matches!(propagate(cnf, &mut assignment, &mut trail), Propagation::Ok) {
-                        break; // descend further
-                    }
-                    // Conflict: backtrack.
-                    loop {
-                        match stack.pop() {
-                            None => return None,
-                            Some(f) => {
-                                // Undo everything after this frame's mark.
-                                while trail.len() > f.trail_mark {
-                                    let v = trail.pop().expect("trail bounded by mark");
-                                    assignment[v.usize()] = None;
-                                }
-                                if !f.tried_second {
-                                    assignment[f.var.usize()] = Some(false);
-                                    trail.push(f.var);
-                                    stack.push(Frame {
-                                        var: f.var,
-                                        tried_second: true,
-                                        trail_mark: f.trail_mark,
-                                    });
-                                    break;
-                                }
-                                // Both polarities failed here; pop further.
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    }
+    SolverCtx::new().solve_cnf(cnf, assumptions)
 }
 
 #[cfg(test)]
