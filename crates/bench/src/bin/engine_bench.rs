@@ -31,6 +31,7 @@ struct Args {
     repeats: usize,
     out: Option<String>,
     baseline: Option<String>,
+    require_gate: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -43,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
         repeats: 3,
         out: None,
         baseline: None,
+        require_gate: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -75,11 +77,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = Some(it.next().ok_or("--out needs a path")?),
             "--baseline" => args.baseline = Some(it.next().ok_or("--baseline needs a path")?),
+            "--require-gate" => args.require_gate = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: engine_bench [--scale smoke|small|paper] [--seed N] \
                      [--shards 1,2,4] [--feeders N] [--repeats N] [--out FILE] \
-                     [--baseline FILE]"
+                     [--baseline FILE] [--require-gate]"
                         .into(),
                 )
             }
@@ -180,38 +183,58 @@ fn main() {
         None => println!("{json}"),
     }
 
+    // The gate "arms" only when the baseline is comparable (same scale
+    // and core count). `--require-gate` turns every skip into a hard
+    // failure: a CI step that believes it is regression-gated must find
+    // out when the gate is actually vacuous.
+    let mut gate_armed = false;
     if let Some(baseline) = &baseline {
         if baseline.scale != report.scale {
             // Ratios aren't comparable across workload scales; skip the
-            // gate rather than fail a legitimate local run. CI pins both
-            // sides to the same scale, so the gate is real there.
+            // gate rather than fail a legitimate local run.
             eprintln!(
-                "engine_bench: baseline scale `{}` != run scale `{}`; skipping regression gate",
+                "engine_bench: baseline scale `{}` != run scale `{}`; gate not armed",
                 baseline.scale, report.scale
             );
-            return;
-        }
-        if baseline.available_cores != report.available_cores {
+        } else if baseline.available_cores != report.available_cores {
             // The shard-count speedup ratio depends on how many cores the
             // workers can spread over, not just machine speed — a 1-core
             // baseline vs an 8-core runner (or vice versa) would make the
-            // gate vacuous or spuriously red.
+            // gate vacuous or spuriously red. CI pins the bench process
+            // to one core (taskset) to match the committed baseline.
             eprintln!(
-                "engine_bench: baseline has {} core(s), this run {}; skipping regression gate",
+                "engine_bench: baseline has {} core(s), this run {}; gate not armed \
+                 (pin the run to match, e.g. `taskset -c 0`, or refresh the baseline)",
                 baseline.available_cores, report.available_cores
             );
-            return;
+        } else {
+            let compared = baseline
+                .engine
+                .iter()
+                .filter(|b| report.engine.iter().any(|r| r.shards == b.shards))
+                .count();
+            gate_armed = compared > 0;
+            let failures = check_regression(&report, baseline);
+            for msg in &failures {
+                eprintln!("engine_bench: FAIL — {msg}");
+            }
+            if !failures.is_empty() {
+                std::process::exit(1);
+            }
+            if gate_armed {
+                eprintln!(
+                    "engine_bench: gate armed — within 20% of baseline speedups ({compared} shard count(s) compared)",
+                );
+            } else {
+                eprintln!("engine_bench: baseline shares no shard counts with this run; gate not armed");
+            }
         }
-        let failures = check_regression(&report, baseline);
-        for msg in &failures {
-            eprintln!("engine_bench: FAIL — {msg}");
-        }
-        if !failures.is_empty() {
-            std::process::exit(1);
-        }
+    }
+    if args.require_gate && !gate_armed {
         eprintln!(
-            "engine_bench: within 20% of baseline speedups ({} shard count(s) compared)",
-            baseline.engine.iter().filter(|b| report.engine.iter().any(|r| r.shards == b.shards)).count(),
+            "engine_bench: FAIL — --require-gate set but no regression gate armed{}",
+            if baseline.is_none() { " (no --baseline given)" } else { "" },
         );
+        std::process::exit(1);
     }
 }

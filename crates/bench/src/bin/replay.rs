@@ -1,0 +1,246 @@
+//! Replay front-end: export a simulated study to JSONL, then drive the
+//! dump from disk through the sharded engine — the repo's first
+//! disk-to-report path, and the template every real-data backend (OONI
+//! dumps, CAIDA feeds) reuses.
+//!
+//! ```text
+//! cargo run --release --bin replay -- --export dump.jsonl --scale small --seed 42
+//! cargo run --release --bin replay -- --in dump.jsonl --shards 4 --feeders 4
+//! cargo run --release --bin replay -- --in dump.jsonl --shards 4 --verify
+//! ```
+//!
+//! `--export` streams a deterministic (scale, seed) study to JSONL in
+//! constant memory and writes a `<FILE>.manifest.json` sidecar.
+//! `--in` rebuilds the interpretation context from the manifest, replays
+//! the dump through `feeders` parallel threads into an engine with
+//! `shards` workers, prints the canonical-report digest plus throughput
+//! (records/s and meas/s), and writes `BENCH_replay.json`.
+//! `--verify` additionally re-runs the study in memory through the batch
+//! pipeline and fails (exit 1) unless the replayed `CanonicalReport` is
+//! byte-identical — the round-trip guarantee CI smokes on every push.
+
+use churnlab_bench::replaybench::{replay_into_engine, ReplayBenchReport};
+use churnlab_bench::{Bench, Scale};
+use churnlab_bgp::RoutingSim;
+use churnlab_core::pipeline::{Pipeline, PipelineConfig};
+use churnlab_interop::{export_study, ReplayFormat, StudyManifest};
+use churnlab_platform::Platform;
+use std::io::BufReader;
+
+struct Args {
+    export: Option<String>,
+    input: Option<String>,
+    scale: Option<Scale>,
+    seed: Option<u64>,
+    shards: usize,
+    feeders: usize,
+    format: ReplayFormat,
+    out: String,
+    verify: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let mut args = Args {
+        export: None,
+        input: None,
+        scale: None,
+        seed: None,
+        shards: 0,
+        feeders: cores.min(4),
+        format: ReplayFormat::Native,
+        out: "BENCH_replay.json".to_string(),
+        verify: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--export" => args.export = Some(it.next().ok_or("--export needs a path")?),
+            "--in" => args.input = Some(it.next().ok_or("--in needs a path")?),
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                args.scale = Some(Scale::parse(&v).ok_or(format!("bad scale `{v}`"))?);
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = Some(v.parse().map_err(|_| format!("bad seed `{v}`"))?);
+            }
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a value")?;
+                args.shards = v.parse().map_err(|_| format!("bad shard count `{v}`"))?;
+            }
+            "--feeders" => {
+                let v = it.next().ok_or("--feeders needs a value")?;
+                args.feeders = v.parse().map_err(|_| format!("bad feeder count `{v}`"))?;
+                if args.feeders == 0 {
+                    return Err("--feeders needs a positive count".into());
+                }
+            }
+            "--format" => {
+                let v = it.next().ok_or("--format needs native|ooni")?;
+                args.format = ReplayFormat::parse(&v).ok_or(format!("bad format `{v}`"))?;
+            }
+            "--out" => args.out = it.next().ok_or("--out needs a path")?,
+            "--verify" => args.verify = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: replay --export FILE [--scale smoke|small|paper] [--seed N]\n\
+                     \x20      replay --in FILE [--shards N] [--feeders N] [--format native|ooni] \
+                     [--out BENCH_replay.json] [--verify]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    if args.export.is_some() == args.input.is_some() {
+        return Err("exactly one of --export / --in is required (try --help)".into());
+    }
+    Ok(args)
+}
+
+/// Deterministically rebuild the study a manifest names. The platform's
+/// degraded IP-to-AS view and the world topology are the interpretation
+/// context a replay needs; the routing sim and scenario only matter for
+/// `--export` / `--verify` re-runs.
+fn reassemble(scale: Scale, seed: u64) -> Bench {
+    Bench::assemble(scale, seed)
+}
+
+fn export(path: &str, scale: Scale, seed: u64) {
+    let bench = reassemble(scale, seed);
+    let platform = Platform::new(&bench.world, &bench.scenario, bench.platform_cfg.clone());
+    let sim = RoutingSim::new(&bench.world.topology, &bench.churn_cfg);
+    let file = std::fs::File::create(path).expect("create dump file");
+    let start = std::time::Instant::now();
+    let (records, stats) =
+        export_study(&platform, &sim, std::io::BufWriter::new(file)).expect("export study");
+    let secs = start.elapsed().as_secs_f64();
+    let manifest = StudyManifest {
+        scale: scale.label().to_string(),
+        seed,
+        total_days: bench.platform_cfg.total_days,
+        records,
+    };
+    let manifest_path = StudyManifest::path_for(path);
+    std::fs::write(
+        &manifest_path,
+        format!("{}\n", serde_json::to_string(&manifest).expect("manifest serializes")),
+    )
+    .expect("write manifest");
+    eprintln!(
+        "replay: exported {records} records ({} measurements) to {path} in {secs:.2}s ({:.0} rec/s); manifest {manifest_path}",
+        stats.measurements,
+        records as f64 / secs.max(f64::EPSILON),
+    );
+}
+
+fn ingest(args: &Args, path: &str) {
+    let manifest_path = StudyManifest::path_for(path);
+    let manifest: Option<StudyManifest> = std::fs::read_to_string(&manifest_path)
+        .ok()
+        .map(|text| serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse {manifest_path}: {e}")));
+    // Explicit flags win over the manifest, independently: `--seed 99`
+    // next to a manifest keeps the manifest's scale but replays under
+    // seed 99 (never silently ignored).
+    let scale = args.scale.or_else(|| {
+        manifest.as_ref().map(|m| {
+            Scale::parse(&m.scale)
+                .unwrap_or_else(|| panic!("manifest names unknown scale `{}`", m.scale))
+        })
+    });
+    let seed = args.seed.or(manifest.as_ref().map(|m| m.seed));
+    let (Some(scale), Some(seed)) = (scale, seed) else {
+        eprintln!(
+            "replay: no manifest at {manifest_path} — pass --scale and --seed to name the \
+             study context explicitly"
+        );
+        std::process::exit(2);
+    };
+
+    let bench = reassemble(scale, seed);
+    let platform = Platform::new(&bench.world, &bench.scenario, bench.platform_cfg.clone());
+    let cfg = PipelineConfig::paper(bench.platform_cfg.total_days);
+
+    let file = std::fs::File::open(path).unwrap_or_else(|e| panic!("open {path}: {e}"));
+    let outcome = replay_into_engine(
+        BufReader::new(file),
+        platform.measured_ip2as(),
+        &bench.world.topology,
+        cfg.clone(),
+        args.shards,
+        args.feeders,
+        args.format,
+    )
+    .expect("replay dump");
+
+    let report = ReplayBenchReport::assemble(scale.label(), seed, outcome.engine_stats.shards, &outcome);
+    eprintln!(
+        "replay: {} lines → {} records → {} observations in {:.2}s ({:.0} rec/s, {:.0} meas/s) \
+         [{} shard(s), {} feeder(s)]",
+        report.lines,
+        report.records_ok,
+        outcome.engine_stats.observations,
+        report.secs,
+        report.records_per_sec,
+        report.meas_per_sec,
+        report.shards,
+        report.feeders,
+    );
+    eprintln!(
+        "replay: import stats: malformed {} blank {} unknown-anomalies {} unknown-verdicts {} rejected {}",
+        report.import.malformed,
+        report.import.blank,
+        report.import.unknown_anomalies,
+        report.import.unknown_verdicts,
+        report.import.rejected,
+    );
+    eprintln!(
+        "replay: canonical report {} — {} CNFs, {} identified censor(s)",
+        report.report_digest,
+        outcome.results.outcomes.len(),
+        report.identified_censors,
+    );
+
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&args.out, format!("{json}\n")).expect("write bench report");
+    eprintln!("replay: wrote {}", args.out);
+
+    if args.verify {
+        // The round-trip guarantee, checked for real: re-simulate the
+        // study in memory, run the batch pipeline over it, and demand the
+        // replayed canonical report match byte for byte.
+        let sim = RoutingSim::new(&bench.world.topology, &bench.churn_cfg);
+        let mut direct = Pipeline::new(&platform, cfg);
+        platform.run(&sim, |m| direct.ingest(&m));
+        let expected = direct.finish().canonical_report().to_json();
+        let got = outcome.results.canonical_report().to_json();
+        if got != expected {
+            eprintln!(
+                "replay: FAIL — replayed canonical report diverged from the direct run \
+                 ({} vs {} bytes)",
+                got.len(),
+                expected.len(),
+            );
+            std::process::exit(1);
+        }
+        eprintln!("replay: verified — replayed report is byte-identical to the direct run");
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(path) = &args.export {
+        let scale = args.scale.unwrap_or(Scale::Smoke);
+        let seed = args.seed.unwrap_or(42);
+        export(path, scale, seed);
+    } else if let Some(path) = &args.input {
+        ingest(&args, path);
+    }
+}

@@ -12,6 +12,7 @@
 
 pub mod enginebench;
 pub mod matrix;
+pub mod replaybench;
 pub mod satbench;
 
 use churnlab_bgp::{ChurnConfig, RoutingSim};
@@ -50,6 +51,15 @@ impl Scale {
             Scale::Paper => WorldScale::Paper,
         };
         WorldConfig::preset(w, seed)
+    }
+
+    /// The CLI/manifest label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Small => "small",
+            Scale::Paper => "paper",
+        }
     }
 
     /// Platform preset.

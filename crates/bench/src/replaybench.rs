@@ -1,0 +1,104 @@
+//! Replay measurement: drive a JSONL dump through the sharded engine and
+//! time the whole disk-to-report path (read + parse + ingest + solve +
+//! merge). Shared by the `replay` binary (which writes
+//! `BENCH_replay.json`) and the round-trip verification it runs in CI.
+
+use churnlab_core::pipeline::{PipelineConfig, PipelineResults};
+use churnlab_engine::{Engine, EngineConfig, EngineStats};
+use churnlab_interop::{replay_jsonl, ImportStats, ReplayFormat, ReplayReport};
+use churnlab_topology::{Ip2AsDb, Topology};
+use serde::{Deserialize, Serialize};
+use std::io::BufRead;
+use std::time::Instant;
+
+/// Everything one replay pass produced.
+pub struct ReplayOutcome {
+    /// The merged tomography results (identical to a direct in-memory
+    /// run over the same records).
+    pub results: PipelineResults,
+    /// Line/import accounting from the replay bridge.
+    pub report: ReplayReport,
+    /// Engine-side work counters.
+    pub engine_stats: EngineStats,
+    /// Wall seconds for the full pass (read through finish).
+    pub secs: f64,
+}
+
+/// Replay a dump into a fresh engine over the given interpretation
+/// context and time it end to end.
+pub fn replay_into_engine<R: BufRead>(
+    r: R,
+    db: &Ip2AsDb,
+    topo: &Topology,
+    cfg: PipelineConfig,
+    shards: usize,
+    feeders: usize,
+    format: ReplayFormat,
+) -> std::io::Result<ReplayOutcome> {
+    let start = Instant::now();
+    let engine = Engine::with_context(db, topo, EngineConfig::new(cfg).with_shards(shards));
+    let report = replay_jsonl(r, &engine, feeders, format)?;
+    let (results, engine_stats) = engine.finish_with_stats();
+    let secs = start.elapsed().as_secs_f64();
+    Ok(ReplayOutcome { results, report, engine_stats, secs })
+}
+
+/// The `BENCH_replay.json` document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayBenchReport {
+    /// Workload scale label (from the dump's manifest).
+    pub scale: String,
+    /// Study seed (from the dump's manifest).
+    pub seed: u64,
+    /// Record dialect replayed.
+    pub format: String,
+    /// Shard worker count.
+    pub shards: usize,
+    /// Feeder thread count.
+    pub feeders: usize,
+    /// Cores visible to the process.
+    pub available_cores: usize,
+    /// Lines read from the dump.
+    pub lines: u64,
+    /// Records that parsed and reached the engine.
+    pub records_ok: u64,
+    /// Wall seconds, read through finish.
+    pub secs: f64,
+    /// Lines per second through the full path.
+    pub records_per_sec: f64,
+    /// Parsed measurements per second through the full path.
+    pub meas_per_sec: f64,
+    /// Merged import accounting.
+    pub import: ImportStats,
+    /// Engine work counters.
+    pub engine: EngineStats,
+    /// Hex FNV-1a digest of the canonical report (equal digests ⇔
+    /// byte-identical reports).
+    pub report_digest: String,
+    /// Identified censoring ASes.
+    pub identified_censors: usize,
+}
+
+impl ReplayBenchReport {
+    /// Assemble from a finished replay pass.
+    pub fn assemble(scale: &str, seed: u64, shards: usize, outcome: &ReplayOutcome) -> Self {
+        let canonical = outcome.results.canonical_report();
+        ReplayBenchReport {
+            scale: scale.to_string(),
+            seed,
+            format: outcome.report.format.label().to_string(),
+            shards,
+            feeders: outcome.report.feeders,
+            available_cores: std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1),
+            lines: outcome.report.lines,
+            records_ok: outcome.report.stats.ok,
+            secs: outcome.secs,
+            records_per_sec: outcome.report.lines as f64 / outcome.secs.max(f64::EPSILON),
+            meas_per_sec: outcome.report.stats.ok as f64 / outcome.secs.max(f64::EPSILON),
+            import: outcome.report.stats,
+            engine: outcome.engine_stats,
+            report_digest: format!("{:016x}", canonical.digest()),
+            identified_censors: canonical.censor_findings.len(),
+        }
+    }
+}

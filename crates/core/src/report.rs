@@ -165,6 +165,27 @@ pub struct CanonicalReport {
     pub churn: Vec<DistinctPathDist>,
 }
 
+impl CanonicalReport {
+    /// The canonical JSON serialization: deterministic field order, every
+    /// collection pre-sorted — two reports over the same measurement set
+    /// are byte-identical here whatever the ingestion order or sharding.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("canonical report serializes")
+    }
+
+    /// FNV-1a 64 digest of [`CanonicalReport::to_json`] — a compact
+    /// equality token for logs and bench reports (byte-identical JSON ⇔
+    /// equal digests, modulo the usual 64-bit collision caveat).
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.to_json().as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
 impl PipelineResults {
     /// Project into the canonical order-independent form.
     pub fn canonical_report(&self) -> CanonicalReport {

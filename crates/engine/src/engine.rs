@@ -286,6 +286,16 @@ pub struct Feeder<'e, 'c> {
 }
 
 impl Feeder<'_, '_> {
+    /// Override the per-shard chunk size (observations buffered before a
+    /// channel send). Larger chunks amortize synchronization further at
+    /// the cost of a longer unflushed tail before `snapshot`; replay
+    /// front-ends reading from fast local files benefit from bigger
+    /// chunks than live vantage feeds do.
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        self.chunk = chunk.max(1);
+        self
+    }
+
     /// Ingest one measurement through this feeder's local buffers.
     pub fn ingest(&mut self, m: &Measurement) {
         let obs = ConvertedObs::from_measurement(m, self.engine.db, &mut self.conversion);

@@ -1,0 +1,163 @@
+//! The replay bridge: stream a JSONL measurement dump straight into the
+//! sharded [`churnlab_engine::Engine`].
+//!
+//! This is the repo's disk-to-report path — the shape every real-data
+//! backend (ICLab dumps, OONI exports joined with path measurements)
+//! reuses: a reader thread pulls lines off any [`BufRead`] and deals
+//! them, in batches, to `feeders` worker threads; each worker parses its
+//! lines (so deserialization scales with the feeder count), keeps its own
+//! [`ImportStats`], and ingests surviving measurements through its own
+//! buffering [`churnlab_engine::Feeder`] handle. Line order across
+//! feeders is irrelevant by construction: the engine is order-independent
+//! (its `CanonicalReport` is proven byte-identical under shuffling), so a
+//! replay at any feeder/shard count reproduces the direct in-memory run
+//! exactly.
+//!
+//! All feeder handles are flushed (dropped) before [`replay_jsonl`]
+//! returns, so a following [`churnlab_engine::Engine::snapshot`] or
+//! `finish` sees every replayed record.
+
+use crate::jsonl::{import_native_line, import_ooni_line, ImportStats};
+use churnlab_engine::Engine;
+use serde::{Deserialize, Serialize};
+use std::io::BufRead;
+use std::sync::mpsc::sync_channel;
+
+/// Which record dialect the replayed lines are in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplayFormat {
+    /// [`crate::record::NativeRecord`] lines (churnlab's own dumps).
+    Native,
+    /// [`crate::ooni::OoniRecord`] lines (OONI `web_connectivity` with a
+    /// traceroute annotation).
+    Ooni,
+}
+
+impl ReplayFormat {
+    /// Parse from CLI text (`native` / `ooni`).
+    pub fn parse(s: &str) -> Option<ReplayFormat> {
+        match s {
+            "native" => Some(ReplayFormat::Native),
+            "ooni" => Some(ReplayFormat::Ooni),
+            _ => None,
+        }
+    }
+
+    /// The CLI label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReplayFormat::Native => "native",
+            ReplayFormat::Ooni => "ooni",
+        }
+    }
+
+    fn import_line(&self, line: &str, stats: &mut ImportStats) -> Option<(churnlab_platform::Measurement, String)> {
+        match self {
+            ReplayFormat::Native => import_native_line(line, stats),
+            ReplayFormat::Ooni => import_ooni_line(line, stats),
+        }
+    }
+}
+
+/// What a replay did: line counts plus the merged and per-feeder import
+/// accounting.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplayReport {
+    /// Record dialect replayed.
+    pub format: ReplayFormat,
+    /// Feeder threads used.
+    pub feeders: usize,
+    /// Total lines read (including blank and malformed ones).
+    pub lines: u64,
+    /// Merged import accounting (`stats.ok` measurements reached the
+    /// engine).
+    pub stats: ImportStats,
+    /// Per-feeder accounting, in feeder index order (their sum is
+    /// `stats`; the split shows how evenly the deal spread the work).
+    pub per_feeder: Vec<ImportStats>,
+}
+
+/// Lines dealt to a feeder per channel send; big enough to amortize the
+/// channel synchronization, small enough to keep all feeders busy at the
+/// tail of a file.
+const DEAL_BATCH: usize = 256;
+
+/// Replay a JSONL dump into an engine through `feeders` parallel feeder
+/// threads. Blank/malformed/unconvertible lines are counted per the
+/// lossy-import policy, never fed. I/O errors abort (after the feeders
+/// drain what was already dealt). The engine is left running — call
+/// [`churnlab_engine::Engine::finish`] (or `snapshot`) afterwards for the
+/// report.
+pub fn replay_jsonl<R: BufRead>(
+    r: R,
+    engine: &Engine<'_>,
+    feeders: usize,
+    format: ReplayFormat,
+) -> std::io::Result<ReplayReport> {
+    let n = feeders.max(1);
+    let mut lines = 0u64;
+    let mut io_err: Option<std::io::Error> = None;
+    let mut per_feeder: Vec<ImportStats> = Vec::with_capacity(n);
+
+    std::thread::scope(|scope| {
+        let mut senders = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = sync_channel::<Vec<String>>(4);
+            senders.push(tx);
+            handles.push(scope.spawn(move || {
+                let mut stats = ImportStats::default();
+                // Replay reads a fast local file, not a trickling vantage
+                // feed: larger feeder chunks amortize channel traffic and
+                // nothing needs a snapshot mid-replay.
+                let mut feeder = engine.feeder().with_chunk(512);
+                while let Ok(batch) = rx.recv() {
+                    for line in &batch {
+                        if let Some((m, _domain)) = format.import_line(line, &mut stats) {
+                            feeder.ingest(&m);
+                        }
+                    }
+                }
+                stats
+                // `feeder` drops here: its buffered tail is flushed before
+                // the scope (and thus `replay_jsonl`) returns.
+            }));
+        }
+
+        let mut next = 0usize;
+        let mut batch = Vec::with_capacity(DEAL_BATCH);
+        for line in r.lines() {
+            match line {
+                Ok(l) => {
+                    lines += 1;
+                    batch.push(l);
+                    if batch.len() == DEAL_BATCH {
+                        let full = std::mem::replace(&mut batch, Vec::with_capacity(DEAL_BATCH));
+                        senders[next].send(full).expect("feeder thread alive");
+                        next = (next + 1) % n;
+                    }
+                }
+                Err(e) => {
+                    io_err = Some(e);
+                    break;
+                }
+            }
+        }
+        if !batch.is_empty() {
+            senders[next].send(batch).expect("feeder thread alive");
+        }
+        drop(senders); // feeders exit their recv loops
+        for h in handles {
+            per_feeder.push(h.join().expect("feeder thread panicked"));
+        }
+    });
+
+    if let Some(e) = io_err {
+        return Err(e);
+    }
+    let mut stats = ImportStats::default();
+    for s in &per_feeder {
+        stats.merge(*s);
+    }
+    Ok(ReplayReport { format, feeders: n, lines, stats, per_feeder })
+}

@@ -73,8 +73,6 @@ pub enum OoniImportError {
     NoTraceroute,
     /// No destination AS annotation.
     NoDestAsn,
-    /// An unrecognized blocking verdict.
-    UnknownVerdict(String),
 }
 
 impl std::fmt::Display for OoniImportError {
@@ -83,7 +81,6 @@ impl std::fmt::Display for OoniImportError {
             OoniImportError::BadProbeAsn(s) => write!(f, "bad probe_asn {s:?}"),
             OoniImportError::NoTraceroute => write!(f, "no traceroute annotation"),
             OoniImportError::NoDestAsn => write!(f, "no dest_asn annotation"),
-            OoniImportError::UnknownVerdict(s) => write!(f, "unknown blocking verdict {s:?}"),
         }
     }
 }
@@ -95,7 +92,17 @@ impl std::error::Error for OoniImportError {}
 /// `dns` → DNS injection; `tcp_ip` → spurious RST; `http-diff` → blockpage
 /// content; `http-failure` → stream tampering (sequence anomalies). The
 /// verdicts `false`/absent map to the empty set.
-pub fn map_blocking(verdict: Option<&str>) -> Result<AnomalySet, OoniImportError> {
+///
+/// An *unrecognized* verdict also maps to the empty set, with the second
+/// component `true` so the import layer can count it — the same
+/// skip-and-count policy [`crate::jsonl`] applies to unknown anomaly
+/// labels. The caller must treat such a record as *inert*, not clean: an
+/// unknown verdict probably means blocking OONI detected in a way this
+/// mapping postdates, so importing it as "nothing detected" would
+/// falsely exonerate every AS on the path
+/// ([`OoniRecord::into_measurement`] marks the measurement `failed`,
+/// which the conversion rules discard).
+pub fn map_blocking(verdict: Option<&str>) -> (AnomalySet, bool) {
     let mut set = AnomalySet::empty();
     match verdict {
         None | Some("false") => {}
@@ -103,20 +110,49 @@ pub fn map_blocking(verdict: Option<&str>) -> Result<AnomalySet, OoniImportError
         Some("tcp_ip") => set.insert(AnomalyType::Reset),
         Some("http-diff") => set.insert(AnomalyType::Block),
         Some("http-failure") => set.insert(AnomalyType::Seqno),
-        Some(other) => return Err(OoniImportError::UnknownVerdict(other.to_string())),
+        Some(_) => return (set, true),
     }
-    Ok(set)
+    (set, false)
 }
 
-/// Extract the domain from an OONI input URL (scheme and path stripped).
+/// Extract the domain from an OONI input URL: scheme, userinfo, port,
+/// path, query, and fragment stripped; bracketed IPv6 literals yield the
+/// bare address.
 pub fn input_domain(input: &str) -> &str {
     let rest = input.split_once("://").map(|(_, r)| r).unwrap_or(input);
-    rest.split(['/', ':']).next().unwrap_or(rest)
+    // The authority ends at the first path/query/fragment delimiter.
+    let authority = rest.split(['/', '?', '#']).next().unwrap_or(rest);
+    // RFC 3986: userinfo is everything before the last `@` in the
+    // authority (userinfo itself may contain `@` when percent-unescaped).
+    let host_port = authority.rsplit_once('@').map(|(_, h)| h).unwrap_or(authority);
+    if let Some(literal) = host_port.strip_prefix('[') {
+        // Bracketed IPv6 literal: the host is everything up to `]`; the
+        // colons inside are part of the address, not a port delimiter.
+        return literal.split(']').next().unwrap_or(literal);
+    }
+    host_port.split(':').next().unwrap_or(host_port)
+}
+
+/// A converted OONI record: the measurement, the tested domain, and
+/// whether the blocking verdict was unrecognized (mapped to "no anomaly"
+/// and counted by the import layer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvertedOoni {
+    /// The churnlab measurement.
+    pub measurement: Measurement,
+    /// Domain extracted from the tested input URL.
+    pub domain: String,
+    /// True when `test_keys.blocking` held a verdict this importer does
+    /// not recognize. The measurement is then marked `failed` so the
+    /// conversion rules discard it: the verdict's meaning is unknown, so
+    /// the record can neither accuse nor exonerate the ASes on its path.
+    pub unknown_verdict: bool,
 }
 
 impl OoniRecord {
-    /// Convert into a churnlab measurement (plus the tested domain).
-    pub fn into_measurement(self) -> Result<(Measurement, String), OoniImportError> {
+    /// Convert into a churnlab measurement (plus the tested domain and
+    /// the unknown-verdict marker).
+    pub fn into_measurement(self) -> Result<ConvertedOoni, OoniImportError> {
         let asn_text = self.probe_asn.strip_prefix("AS").unwrap_or(&self.probe_asn);
         let vp_asn: u32 = asn_text
             .parse()
@@ -125,9 +161,9 @@ impl OoniRecord {
             return Err(OoniImportError::NoTraceroute);
         }
         let dest_asn = self.annotations.dest_asn.ok_or(OoniImportError::NoDestAsn)?;
-        let detected = map_blocking(self.test_keys.blocking.as_deref())?;
+        let (detected, unknown_verdict) = map_blocking(self.test_keys.blocking.as_deref());
         let domain = input_domain(&self.input).to_string();
-        let m = Measurement {
+        let measurement = Measurement {
             vp_id: self.annotations.probe_id.unwrap_or(0),
             vp_asn: Asn(vp_asn),
             url_id: self.annotations.url_id.unwrap_or(0),
@@ -141,9 +177,11 @@ impl OoniRecord {
                 .into_iter()
                 .map(WireTraceroute::into_record)
                 .collect(),
-            failed: false,
+            // An unknown verdict makes the record inert (rule-2 discard),
+            // not clean — see `ConvertedOoni::unknown_verdict`.
+            failed: unknown_verdict,
         };
-        Ok((m, domain))
+        Ok(ConvertedOoni { measurement, domain, unknown_verdict })
     }
 }
 
@@ -171,21 +209,44 @@ mod tests {
 
     #[test]
     fn blocking_verdict_mapping() {
-        assert!(map_blocking(None).unwrap().is_empty());
-        assert!(map_blocking(Some("false")).unwrap().is_empty());
-        assert!(map_blocking(Some("dns")).unwrap().contains(AnomalyType::Dns));
-        assert!(map_blocking(Some("tcp_ip")).unwrap().contains(AnomalyType::Reset));
-        assert!(map_blocking(Some("http-diff")).unwrap().contains(AnomalyType::Block));
-        assert!(map_blocking(Some("http-failure")).unwrap().contains(AnomalyType::Seqno));
-        assert!(matches!(
-            map_blocking(Some("quantum")),
-            Err(OoniImportError::UnknownVerdict(_))
-        ));
+        assert!(map_blocking(None).0.is_empty());
+        assert!(map_blocking(Some("false")).0.is_empty());
+        assert!(map_blocking(Some("dns")).0.contains(AnomalyType::Dns));
+        assert!(map_blocking(Some("tcp_ip")).0.contains(AnomalyType::Reset));
+        assert!(map_blocking(Some("http-diff")).0.contains(AnomalyType::Block));
+        assert!(map_blocking(Some("http-failure")).0.contains(AnomalyType::Seqno));
+        for known in [None, Some("false"), Some("dns"), Some("tcp_ip"), Some("http-diff"), Some("http-failure")] {
+            assert!(!map_blocking(known).1, "{known:?} flagged unknown");
+        }
+    }
+
+    #[test]
+    fn unknown_verdict_is_counted_not_fatal() {
+        // The documented lossy-import policy: an unrecognized verdict must
+        // not reject the record — it is kept and flagged for accounting.
+        let (set, unknown) = map_blocking(Some("quantum"));
+        assert!(set.is_empty());
+        assert!(unknown);
+        let converted = record(Some("quantum")).into_measurement().unwrap();
+        assert!(converted.unknown_verdict);
+        assert!(converted.measurement.detected.is_empty());
+        // But the measurement must be *inert*, not clean: an unknown
+        // verdict likely means blocking was detected in a form this
+        // mapping postdates, so a `failed: false` import would falsely
+        // exonerate every AS on the path. `failed: true` makes the
+        // conversion rules discard it.
+        assert!(converted.measurement.failed);
+        // Known verdicts convert as live measurements.
+        let known = record(Some("dns")).into_measurement().unwrap();
+        assert!(!known.unknown_verdict);
+        assert!(!known.measurement.failed);
     }
 
     #[test]
     fn conversion_happy_path() {
-        let (m, domain) = record(Some("dns")).into_measurement().unwrap();
+        let ConvertedOoni { measurement: m, domain, unknown_verdict } =
+            record(Some("dns")).into_measurement().unwrap();
+        assert!(!unknown_verdict);
         assert_eq!(domain, "forum-q.example");
         assert_eq!(m.vp_asn, Asn(64512));
         assert_eq!(m.dest_asn, Asn(64999));
@@ -213,6 +274,27 @@ mod tests {
         assert_eq!(input_domain("http://a.example/x/y"), "a.example");
         assert_eq!(input_domain("https://b.example:8443/"), "b.example");
         assert_eq!(input_domain("c.example"), "c.example");
+        assert_eq!(input_domain("http://d.example?q=1"), "d.example");
+        assert_eq!(input_domain("http://e.example#frag"), "e.example");
+    }
+
+    #[test]
+    fn input_domain_ipv6_literals() {
+        // Bracketed IPv6 literals: colons inside the brackets are part of
+        // the address, not a port separator.
+        assert_eq!(input_domain("http://[2001:db8::1]/path"), "2001:db8::1");
+        assert_eq!(input_domain("https://[2001:db8::1]:8443/x"), "2001:db8::1");
+        assert_eq!(input_domain("http://[::1]"), "::1");
+    }
+
+    #[test]
+    fn input_domain_strips_userinfo() {
+        assert_eq!(input_domain("http://user@host.example/"), "host.example");
+        assert_eq!(input_domain("http://user:pw@host.example:8080/x"), "host.example");
+        // `@` in the path must not be mistaken for userinfo.
+        assert_eq!(input_domain("http://h.example/~user@lists"), "h.example");
+        // Userinfo plus an IPv6 literal compose.
+        assert_eq!(input_domain("ftp://op@[2001:db8::2]:21/"), "2001:db8::2");
     }
 
     #[test]
@@ -229,7 +311,7 @@ mod tests {
             }
         }"#;
         let r: OoniRecord = serde_json::from_str(doc).unwrap();
-        let (m, _) = r.into_measurement().unwrap();
+        let m = r.into_measurement().unwrap().measurement;
         assert!(m.detected.contains(AnomalyType::Reset));
         assert_eq!(m.traceroutes[0].hops, vec![Some(0x01010101), None, Some(0x02020202)]);
     }

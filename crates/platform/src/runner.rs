@@ -273,6 +273,22 @@ impl<'w> Platform<'w> {
         acc.finish(&self.world.topology)
     }
 
+    /// Run the full measurement campaign, handing each measurement to
+    /// `sink` together with its tested domain — the export hook: a record
+    /// written from this sink is self-contained (interpretable without
+    /// the generating corpus), which is what interchange dumps need.
+    pub fn run_with_domains(
+        &self,
+        sim: &RoutingSim,
+        mut sink: impl FnMut(Measurement, &str),
+    ) -> DatasetStats {
+        let corpus = &self.corpus;
+        self.run(sim, move |m| {
+            let domain = &corpus.get(m.url_id).domain;
+            sink(m, domain)
+        })
+    }
+
     /// Run the campaign and collect everything (small scales only).
     pub fn run_collect(&self, sim: &RoutingSim) -> (Vec<Measurement>, DatasetStats) {
         let mut out = Vec::new();
