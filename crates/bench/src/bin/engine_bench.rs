@@ -16,12 +16,30 @@
 //! measurements/sec — because CI machines differ; the pipeline timed in
 //! the same process is the machine-speed control. The baseline is read
 //! before `--out` is written, so both may name the same file.
+//!
+//! `--update-baseline` refreshes the committed baseline in one command:
+//! it writes the run to `BENCH_engine.json` (or wherever `--baseline` /
+//! `--out` point) **without** arming the regression gate — the run *is*
+//! the new baseline, so comparing it to the old one would be
+//! meaningless.
+//!
+//! `--assert-scaling` fails the run (exit 1) unless the highest shard
+//! count in `--shards` is at least as fast as the lowest — the
+//! multi-core CI smoke that keeps shard scaling from regressing silently
+//! behind the 1-core pinned gate.
 
 use churnlab_bench::enginebench::{run_throughput, ThroughputHarness, ThroughputReport};
 use churnlab_bench::{Bench, Scale};
 
 /// Fraction of the baseline speedup the new run must retain.
 const REGRESSION_FLOOR: f64 = 0.8;
+
+/// `--assert-scaling` noise allowance: the max shard count must reach at
+/// least this fraction of the min shard count's throughput. A real
+/// scaling regression (sharding overhead with no parallel win) shows up
+/// as tens of percent; 5% absorbs shared-runner jitter at smoke scale
+/// without letting a regression through.
+const SCALING_TOLERANCE: f64 = 0.95;
 
 struct Args {
     scale: Scale,
@@ -32,6 +50,8 @@ struct Args {
     out: Option<String>,
     baseline: Option<String>,
     require_gate: bool,
+    update_baseline: bool,
+    assert_scaling: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -45,6 +65,8 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         baseline: None,
         require_gate: false,
+        update_baseline: false,
+        assert_scaling: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -78,16 +100,40 @@ fn parse_args() -> Result<Args, String> {
             "--out" => args.out = Some(it.next().ok_or("--out needs a path")?),
             "--baseline" => args.baseline = Some(it.next().ok_or("--baseline needs a path")?),
             "--require-gate" => args.require_gate = true,
+            "--update-baseline" => args.update_baseline = true,
+            "--assert-scaling" => args.assert_scaling = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: engine_bench [--scale smoke|small|paper] [--seed N] \
                      [--shards 1,2,4] [--feeders N] [--repeats N] [--out FILE] \
-                     [--baseline FILE] [--require-gate]"
+                     [--baseline FILE] [--require-gate] [--update-baseline] \
+                     [--assert-scaling]"
                         .into(),
                 )
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
+    }
+    if args.update_baseline {
+        if args.require_gate {
+            return Err("--update-baseline writes a fresh baseline; it cannot also \
+                 --require-gate against the file it replaces"
+                .into());
+        }
+        if args.baseline.is_some() && args.out.is_some() && args.baseline != args.out {
+            return Err("--update-baseline with both --baseline and --out pointing at \
+                 different files is ambiguous; name the target once"
+                .into());
+        }
+        // One command refreshes the committed file: default both paths to
+        // the repo baseline, honouring an explicit override.
+        let target = args
+            .baseline
+            .clone()
+            .or_else(|| args.out.clone())
+            .unwrap_or_else(|| "BENCH_engine.json".to_string());
+        args.out = Some(target);
+        args.baseline = None; // the run IS the baseline — nothing to gate on
     }
     Ok(args)
 }
@@ -163,7 +209,8 @@ fn main() {
     );
     for row in &report.engine {
         eprintln!(
-            "engine/{:<2} {:>10.0} meas/s ({:.3}s) speedup {:>5.2}x  [direct {} resolve {} unsat-skip {}]",
+            "engine/{:<2} {:>10.0} meas/s ({:.3}s) speedup {:>5.2}x  \
+             [direct {} resolve {} unsat-skip {} | dup {:.1}% distinct-paths {} intern-hit {:.1}%]",
             row.shards,
             row.meas_per_sec,
             row.secs,
@@ -171,6 +218,49 @@ fn main() {
             row.stats.incremental.direct_updates,
             row.stats.incremental.resolves,
             row.stats.incremental.unsat_skips,
+            row.duplicate_ratio * 100.0,
+            row.distinct_paths,
+            row.interner_hit_rate * 100.0,
+        );
+    }
+
+    if args.assert_scaling {
+        let min = report.engine.iter().min_by_key(|r| r.shards).expect("at least one shard count");
+        let max = report.engine.iter().max_by_key(|r| r.shards).expect("at least one shard count");
+        if max.shards == min.shards {
+            eprintln!("engine_bench: FAIL — --assert-scaling needs at least two shard counts");
+            std::process::exit(1);
+        }
+        if report.available_cores < 2 {
+            // Shards cannot scale without cores to spread over; a 1-core
+            // process asserting scaling is a misconfigured step (e.g. the
+            // taskset pin meant for the baseline gate leaked onto this
+            // run), not a measurement.
+            eprintln!(
+                "engine_bench: FAIL — --assert-scaling needs a multi-core process; \
+                 this run sees {} core(s) (drop the CPU pin or run on a bigger machine)",
+                report.available_cores,
+            );
+            std::process::exit(1);
+        }
+        if max.meas_per_sec < min.meas_per_sec * SCALING_TOLERANCE {
+            eprintln!(
+                "engine_bench: FAIL — shard scaling regressed: engine/{} at {:.0} meas/s is \
+                 more than {:.0}% below engine/{} at {:.0} meas/s",
+                max.shards,
+                max.meas_per_sec,
+                (1.0 - SCALING_TOLERANCE) * 100.0,
+                min.shards,
+                min.meas_per_sec,
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "engine_bench: scaling ok — engine/{} {:.2}x engine/{} ({} core(s))",
+            max.shards,
+            max.meas_per_sec / min.meas_per_sec,
+            min.shards,
+            report.available_cores,
         );
     }
 
@@ -178,7 +268,11 @@ fn main() {
     match &args.out {
         Some(path) => {
             std::fs::write(path, format!("{json}\n")).expect("write report");
-            eprintln!("engine_bench: wrote {path}");
+            if args.update_baseline {
+                eprintln!("engine_bench: refreshed baseline {path} (gate not armed — this run is the new reference)");
+            } else {
+                eprintln!("engine_bench: wrote {path}");
+            }
         }
         None => println!("{json}"),
     }

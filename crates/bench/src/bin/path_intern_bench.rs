@@ -1,0 +1,114 @@
+//! Path-interning microbench: duplicate-heavy `observe` through the
+//! interned data plane vs the retained un-interned reference, written as
+//! one JSON document so CI accumulates a perf trajectory next to
+//! `BENCH_sat.json`.
+//!
+//! ```text
+//! cargo run --release -p churnlab-bench --bin path_intern_bench                 # BENCH_intern.json shape on stdout
+//! cargo run --release -p churnlab-bench --bin path_intern_bench -- --out BENCH_intern.json
+//! cargo run --release -p churnlab-bench --bin path_intern_bench -- --repeats 5 --min-speedup 3
+//! ```
+//!
+//! `--min-speedup X` turns the run into a gate: exit non-zero unless the
+//! interned plane beats the un-interned reference by at least `X`× on
+//! every mix. Both contenders run in the same process and the *ratio* is
+//! gated, so the gate is machine-relative and always armed (the
+//! `sat_core_bench --min-speedup` mould).
+
+use churnlab_bench::internbench::run_intern_bench;
+
+struct Args {
+    seed: u64,
+    cap: u64,
+    repeats: usize,
+    min_speedup: Option<f64>,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { seed: 42, cap: 64, repeats: 3, min_speedup: None, out: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--cap" => {
+                let v = it.next().ok_or("--cap needs a value")?;
+                args.cap = v.parse().map_err(|_| format!("bad cap `{v}`"))?;
+                if args.cap < 2 {
+                    return Err("--cap must be at least 2".into());
+                }
+            }
+            "--repeats" => {
+                let v = it.next().ok_or("--repeats needs a value")?;
+                args.repeats = v.parse().map_err(|_| format!("bad repeat count `{v}`"))?;
+            }
+            "--min-speedup" => {
+                let v = it.next().ok_or("--min-speedup needs a value")?;
+                args.min_speedup =
+                    Some(v.parse().map_err(|_| format!("bad speedup floor `{v}`"))?);
+            }
+            "--out" => args.out = Some(it.next().ok_or("--out needs a path")?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: path_intern_bench [--seed N] [--cap N] [--repeats N] \
+                     [--min-speedup X] [--out FILE]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!("path_intern_bench: cap {}, best of {}", args.cap, args.repeats);
+    let report = run_intern_bench(args.seed, args.cap, args.repeats);
+
+    let mut gate_failed = false;
+    for row in &report.rows {
+        eprintln!(
+            "{:<13} {:>5} paths × {:>6} obs (dup {:>5.1}%)  un-interned {:>10.0} obs/s  \
+             interned {:>10.0} obs/s  speedup {:>5.2}x",
+            row.mix,
+            row.distinct_paths,
+            row.observations,
+            row.duplicate_ratio * 100.0,
+            row.reference_obs_per_sec,
+            row.interned_obs_per_sec,
+            row.speedup,
+        );
+        if let Some(floor) = args.min_speedup {
+            if row.speedup < floor {
+                eprintln!(
+                    "path_intern_bench: FAIL — mix `{}` speedup {:.2}x is below the {floor}x floor",
+                    row.mix, row.speedup
+                );
+                gate_failed = true;
+            }
+        }
+    }
+
+    let json = serde_json::to_string(&report).expect("report serializes");
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, format!("{json}\n")).expect("write report");
+            eprintln!("path_intern_bench: wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    if gate_failed {
+        std::process::exit(1);
+    }
+}

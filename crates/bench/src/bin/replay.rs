@@ -196,6 +196,12 @@ fn ingest(args: &Args, path: &str) {
         report.import.rejected,
     );
     eprintln!(
+        "replay: interner: {} distinct path(s), {:.1}% hit rate, {:.1}% per-cell duplicates",
+        outcome.engine_stats.interner.distinct_paths,
+        outcome.engine_stats.interner.hit_rate() * 100.0,
+        outcome.engine_stats.incremental.duplicate_ratio() * 100.0,
+    );
+    eprintln!(
         "replay: canonical report {} — {} CNFs, {} identified censor(s)",
         report.report_digest,
         outcome.results.outcomes.len(),

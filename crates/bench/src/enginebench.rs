@@ -87,6 +87,19 @@ pub struct ThroughputRow {
     pub meas_per_sec: f64,
     /// Ratio vs the batch pipeline's measurements/sec.
     pub speedup_vs_pipeline: f64,
+    /// Fraction of per-cell observe decisions that were duplicates — the
+    /// distinct-path sparsity the interner exploits. Defaults to 0 so
+    /// pre-interning baseline files still parse (the gate compares
+    /// speedup ratios, which those files have).
+    #[serde(default)]
+    pub duplicate_ratio: f64,
+    /// Distinct paths interned, summed over shards.
+    #[serde(default)]
+    pub distinct_paths: u64,
+    /// Fraction of measurement-level interner probes answered from the
+    /// table (duplicates at measurement granularity).
+    #[serde(default)]
+    pub interner_hit_rate: f64,
     /// Incremental-solve effectiveness counters.
     pub stats: EngineStats,
 }
@@ -145,6 +158,9 @@ pub fn run_throughput(
             secs,
             meas_per_sec,
             speedup_vs_pipeline: meas_per_sec / pipeline_meas_per_sec,
+            duplicate_ratio: stats.incremental.duplicate_ratio(),
+            distinct_paths: stats.interner.distinct_paths,
+            interner_hit_rate: stats.interner.hit_rate(),
             stats,
         });
     }

@@ -11,6 +11,7 @@
 #![forbid(unsafe_code)]
 
 pub mod enginebench;
+pub mod internbench;
 pub mod matrix;
 pub mod replaybench;
 pub mod satbench;

@@ -27,14 +27,28 @@ pub fn first_path_filter(buffer: &mut Vec<ConvertedObs>) {
     });
 }
 
+/// Non-destructive [`first_path_filter`]: return references to the kept
+/// observations instead of mutating the buffer. `buffer` must be in test
+/// order, exactly as for the in-place variant. Used by snapshot paths
+/// (the engine's deferred Figure-4 buffers) that must keep the buffer
+/// intact for later, larger snapshots.
+pub fn first_path_refs(buffer: &[ConvertedObs]) -> Vec<&ConvertedObs> {
+    let mut first: HashMap<Asn, &[Asn]> = HashMap::new();
+    buffer
+        .iter()
+        .filter(|o| *first.entry(o.vp_asn).or_insert_with(|| o.path.as_slice()) == o.path)
+        .collect()
+}
+
 /// Split one URL's (already churn-filtered) observation buffer into
 /// instances — one per (granularity window × anomaly type) — and hand each
 /// non-empty builder to `emit`, in the pipeline's deterministic order:
 /// granularities in `granularities` order, windows sorted, anomalies in
-/// [`AnomalyType::ALL`] order.
-pub fn for_each_instance(
+/// [`AnomalyType::ALL`] order. Generic over owned (`&[ConvertedObs]`) and
+/// borrowed (`&[&ConvertedObs]`) buffers so snapshot paths need not clone.
+pub fn for_each_instance<T: std::borrow::Borrow<ConvertedObs>>(
     url_id: u32,
-    buffer: &[ConvertedObs],
+    buffer: &[T],
     granularities: &[Granularity],
     total_days: u32,
     mut emit: impl FnMut(InstanceBuilder),
@@ -43,7 +57,7 @@ pub fn for_each_instance(
         // Group observation indices by window.
         let mut windows: HashMap<TimeWindow, Vec<usize>> = HashMap::new();
         for (i, o) in buffer.iter().enumerate() {
-            windows.entry(TimeWindow::of(o.day, g, total_days)).or_default().push(i);
+            windows.entry(TimeWindow::of(o.borrow().day, g, total_days)).or_default().push(i);
         }
         let mut window_keys: Vec<TimeWindow> = windows.keys().copied().collect();
         window_keys.sort();
@@ -53,7 +67,7 @@ pub fn for_each_instance(
                 let key = InstanceKey { url_id, anomaly, window: w };
                 let mut builder = InstanceBuilder::new(key);
                 for &i in members {
-                    let o = &buffer[i];
+                    let o = buffer[i].borrow();
                     builder.observe(&o.path, o.detected.contains(anomaly));
                 }
                 if builder.is_empty() {
@@ -111,6 +125,20 @@ mod tests {
         first_path_filter(&mut buf);
         assert_eq!(buf.len(), 3);
         assert!(buf.iter().all(|o| o.vp_asn != Asn(1) || o.path[1] == Asn(5)));
+    }
+
+    #[test]
+    fn first_path_refs_agrees_with_in_place_filter() {
+        let buf = vec![
+            obs(1, 0, &[1, 5, 9]),
+            obs(1, 1, &[1, 6, 9]),
+            obs(1, 2, &[1, 5, 9]),
+            obs(2, 0, &[2, 6, 9]),
+        ];
+        let kept: Vec<ConvertedObs> = first_path_refs(&buf).into_iter().cloned().collect();
+        let mut in_place = buf.clone();
+        first_path_filter(&mut in_place);
+        assert_eq!(kept, in_place, "ref filter must keep exactly what the in-place one keeps");
     }
 
     #[test]

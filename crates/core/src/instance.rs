@@ -17,7 +17,7 @@ use churnlab_platform::AnomalyType;
 use churnlab_sat::{Cnf, Var};
 use churnlab_topology::Asn;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// Identity of one CNF. The derived ordering (URL, then anomaly, then
 /// window) is the canonical report order shared by the batch pipeline and
@@ -69,14 +69,17 @@ pub struct Observation {
 #[derive(Debug, Clone)]
 pub struct InstanceBuilder {
     key: InstanceKey,
-    seen: HashSet<Observation>,
+    /// Dedup index: path → polarity bitmask (bit 0 = clean seen, bit 1 =
+    /// censored seen). Keyed by owned path but probed by slice, so the
+    /// frequent duplicate observation hashes once and allocates nothing.
+    seen: HashMap<Vec<Asn>, u8>,
     observations: Vec<Observation>,
 }
 
 impl InstanceBuilder {
     /// Start an instance.
     pub fn new(key: InstanceKey) -> Self {
-        InstanceBuilder { key, seen: HashSet::new(), observations: Vec::new() }
+        InstanceBuilder { key, seen: HashMap::new(), observations: Vec::new() }
     }
 
     /// The instance identity being built.
@@ -86,10 +89,15 @@ impl InstanceBuilder {
 
     /// Add one observation (deduplicated on (path, truth)).
     pub fn observe(&mut self, path: &[Asn], censored: bool) {
-        let obs = Observation { path: path.to_vec(), censored };
-        if self.seen.insert(obs.clone()) {
-            self.observations.push(obs);
+        let bit = if censored { 2u8 } else { 1 };
+        match self.seen.get_mut(path) {
+            Some(mask) if *mask & bit != 0 => return,
+            Some(mask) => *mask |= bit,
+            None => {
+                self.seen.insert(path.to_vec(), bit);
+            }
         }
+        self.observations.push(Observation { path: path.to_vec(), censored });
     }
 
     /// Number of distinct observations so far.

@@ -47,7 +47,7 @@ pub use churnstats::ChurnAccumulator;
 pub use convert::{convert_measurement, ConversionStats, DiscardReason};
 pub use instance::{InstanceBuilder, InstanceKey, TomographyInstance};
 pub use leakage::{CountryFlow, LeakageReport};
-pub use obs::ConvertedObs;
+pub use obs::{ConvertedObs, PathId};
 pub use pipeline::{CensorFinding, ChurnMode, Pipeline, PipelineConfig, PipelineResults};
 pub use report::{CanonicalReport, CensorshipReport};
 pub use validate::ValidationReport;

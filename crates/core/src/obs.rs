@@ -14,6 +14,32 @@ use serde::{Deserialize, Serialize};
 
 use crate::convert::{convert_measurement, ConversionStats};
 
+/// Dense identifier of an interned AS path.
+///
+/// Path churn means the tomography grind re-sees *few distinct paths,
+/// observed many times*; consumers that intern each distinct path once
+/// (`churnlab-engine`'s shard-local `PathTable`) hand out a `PathId` and
+/// do all downstream bookkeeping — dedup, clause storage, report cells —
+/// on this `u32` instead of re-hashing the path per instance cell.
+///
+/// Stability guarantees, relied on across snapshot boundaries:
+///
+/// * ids are assigned densely from `0` in first-intern order and **never
+///   reassigned** — a `PathId` resolved at one snapshot still names the
+///   same path at every later snapshot of the same table;
+/// * the id is only meaningful against the table (or table snapshot)
+///   that issued it — ids from different shards are unrelated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PathId(pub u32);
+
+impl PathId {
+    /// The id as a usize index (dense ids double as vector indices).
+    #[inline]
+    pub fn usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// One converted (AS-level) observation.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ConvertedObs {

@@ -1,6 +1,7 @@
 //! The sharded engine: ingestion routing, shard workers, report merging.
 
 use crate::incremental::IncrementalStats;
+use crate::intern::InternStats;
 use crate::shard::{run_worker, Msg, ShardReport, SolvedCell};
 use churnlab_core::accumulate::FindingsAccumulator;
 use churnlab_core::convert::ConversionStats;
@@ -55,6 +56,14 @@ pub struct EngineStats {
     pub observations: u64,
     /// Per-instance incremental-solve counters, summed over shards.
     pub incremental: IncrementalStats,
+    /// Path-interner counters, summed over shards (a path routed to two
+    /// shards counts as distinct in each — distinctness is per shard).
+    /// Describes the *ingest* stream: in the deferred
+    /// [`churnlab_core::pipeline::ChurnMode::FirstPathOnly`] ablation,
+    /// where ingestion buffers rather than interns, these stay zero.
+    /// Defaults on deserialize so pre-interning stats blobs still parse.
+    #[serde(default)]
+    pub interner: InternStats,
 }
 
 /// The sharded, order-independent, incremental tomography engine.
@@ -192,22 +201,30 @@ impl<'c> Engine<'c> {
         let mut acc = FindingsAccumulator::new();
         let mut churn = ChurnAccumulator::new();
         let mut trivial = 0u64;
-        let mut cells: Vec<SolvedCell> = Vec::new();
-        for r in reports {
+        // Cells cross the shard boundary carrying PathIds; each id is
+        // only meaningful against its own shard's snapshot, so cells are
+        // tagged with their shard index for resolution below — the one
+        // place ids turn back into AS paths.
+        let mut snaps = Vec::with_capacity(reports.len());
+        let mut cells: Vec<(usize, SolvedCell)> = Vec::new();
+        for (si, r) in reports.into_iter().enumerate() {
             stats.observations += r.observations;
             stats.incremental.merge(r.stats);
+            stats.interner.merge(r.intern);
             trivial += r.trivial;
             churn.merge(r.churn);
             acc.on_censored_path.extend(r.on_censored_path);
-            cells.extend(r.cells);
+            cells.extend(r.cells.into_iter().map(|c| (si, c)));
+            snaps.push(r.paths);
         }
         // One deterministic global order, whatever the shard layout.
-        cells.sort_by_key(|c| c.outcome.key);
+        cells.sort_by_key(|(_, c)| c.outcome.key);
         let mut outcomes = Vec::with_capacity(cells.len());
-        for cell in cells {
+        for (si, cell) in cells {
+            let snap = &snaps[si];
             acc.record(
                 &cell.outcome,
-                cell.censored_paths.iter().map(Vec::as_slice),
+                cell.censored_paths.iter().map(|id| snap.path(*id)),
                 self.topo,
             );
             outcomes.push(cell.outcome);

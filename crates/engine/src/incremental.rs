@@ -1,11 +1,11 @@
-//! Incremental per-instance tomography state.
+//! Incremental per-instance tomography state, interned end to end.
 //!
 //! The batch pipeline buffers a URL's observations and runs a full
 //! census (AllSAT count + backbone probes) per instance at flush time.
-//! [`IncrementalInstance`] instead keeps the instance *solved at all
-//! times*: each new observation is folded into a memoized
-//! unit-propagation/backbone state, and in the common cases the update is
-//! a constant number of hash probes per path AS — no solver call at all:
+//! The engine instead keeps every instance *solved at all times*: each
+//! new observation is folded into a memoized unit-propagation/backbone
+//! state, and in the common cases the update is a constant-time state
+//! transition — no solver call at all:
 //!
 //! * **early-unsat** — clauses only ever shrink the model set, so an
 //!   unsatisfiable instance stays unsatisfiable forever; further
@@ -20,17 +20,45 @@
 //!   seed unit propagation, and the census runs over the *reduced*
 //!   formula (free ASes only) instead of the raw clause set.
 //!
+//! Since PR 5, the data plane is id-based. A shard interns each incoming
+//! path once ([`crate::PathTable`], one hash per measurement); the
+//! granularity×anomaly fan-out then works entirely on the dense
+//! [`PathId`]:
+//!
+//! * an [`InstanceGroup`] holds the one (URL × window) **variable space**
+//!   shared by its [`AnomalyType::ALL`] cells — every cell sees the same
+//!   observation stream, so the distinct-AS set (and hence the variable
+//!   numbering) is provably identical across the anomaly fan-out. The
+//!   group resolves a path to its group-local variable-index list
+//!   **once**, amortized across all cells;
+//! * per-cell dedup is a polarity bitmask looked up with the *same*
+//!   group probe — a duplicate observation costs one `u32` map probe for
+//!   all five cells together, not five full-path hashes;
+//! * each [`IncrementalInstance`] stores `(PathId, polarity)` records,
+//!   clause literals are read out of the group's flat index arena, and
+//!   the per-AS backbone memo is a dense `Vec<Fate>` indexed by
+//!   group-local variable index — no per-AS hashing anywhere on the
+//!   update path.
+//!
 //! The produced [`InstanceOutcome`] is exactly what
 //! [`churnlab_core::analyze::analyze`] computes for the same observation
 //! set, in any arrival order — the engine's order-independence proof
-//! leans on this equivalence (see the crate's property tests).
+//! leans on this equivalence (see the crate's property tests, which also
+//! check the retained un-interned [`crate::reference`] implementation
+//! differentially).
 
+use crate::intern::{FxMap, PathTable};
+use churnlab_bgp::TimeWindow;
 use churnlab_core::analyze::InstanceOutcome;
-use churnlab_core::instance::{InstanceKey, Observation};
+use churnlab_core::instance::InstanceKey;
+use churnlab_core::obs::PathId;
+use churnlab_platform::{AnomalySet, AnomalyType};
 use churnlab_sat::{CompiledCnf, Lit, SolutionCount, Solvability, SolverCtx, Var};
 use churnlab_topology::Asn;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Cells per group — one per anomaly type.
+const N_CELLS: usize = AnomalyType::ALL.len();
 
 /// What is known about one AS across all models of the current clause
 /// set. `Always*` knowledge is stable under new observations (models only
@@ -55,8 +83,11 @@ enum Memo {
     /// Proven unsatisfiable — absorbing.
     Unsat,
     /// Satisfiable, with the (possibly capped) model count and the exact
-    /// per-AS backbone knowledge.
-    Solved { count: SolutionCount, fate: HashMap<Asn, Fate> },
+    /// per-AS backbone knowledge, dense over group-local variable
+    /// indices. Invariant: after every update, `fate` covers every group
+    /// variable (`fate.len() == group vars`), because any observation
+    /// that introduces variables reaches every cell as a non-duplicate.
+    Solved { count: SolutionCount, fate: Vec<Fate> },
 }
 
 /// Counters describing how much work the incremental path saved.
@@ -83,20 +114,38 @@ impl IncrementalStats {
         self.unsat_skips += other.unsat_skips;
         self.resolves += other.resolves;
     }
+
+    /// Fraction of dedup decisions that were duplicates (the
+    /// churn-sparsity headline: how duplicate-dominated the per-cell
+    /// observe stream was).
+    pub fn duplicate_ratio(&self) -> f64 {
+        let total = self.updates + self.duplicates;
+        if total == 0 {
+            0.0
+        } else {
+            self.duplicates as f64 / total as f64
+        }
+    }
 }
 
 /// Reusable solving scratch shared by every instance a worker owns: the
 /// watched-literal [`SolverCtx`], a [`CompiledCnf`] the reduced formulas
-/// are built into, and the AS↔variable mapping buffers. All of it is
+/// are built into, and dense per-variable assignment/mapping buffers
+/// (indexed by group-local variable index — no hashing). All of it is
 /// rewound per re-solve, never freed, so a steady-state shard performs
 /// zero solver allocations per observation.
 #[derive(Debug, Default)]
 pub struct SolveScratch {
     ctx: SolverCtx,
     cnf: CompiledCnf,
-    var_of: HashMap<Asn, Var>,
-    fixed: HashMap<Asn, bool>,
-    free_vars: Vec<Asn>,
+    /// Per-variable assignment during a re-solve: `FIXED_FALSE`,
+    /// `FIXED_TRUE`, or `UNFIXED`.
+    fixed: Vec<u8>,
+    /// Group-local variable index → reduced-formula [`Var`] (or
+    /// `u32::MAX` for fixed variables).
+    var_map: Vec<u32>,
+    /// Reduced-formula variable → group-local variable index.
+    free_vars: Vec<u32>,
 }
 
 impl SolveScratch {
@@ -104,30 +153,188 @@ impl SolveScratch {
     pub fn new() -> Self {
         SolveScratch::default()
     }
+
+    /// The scratch's warm solver context, for callers (the shard's
+    /// deferred Figure-4 report path) that run batch [`analyze`]
+    /// alongside incremental updates.
+    ///
+    /// [`analyze`]: churnlab_core::analyze::analyze_with
+    pub fn solver_ctx(&mut self) -> &mut SolverCtx {
+        &mut self.ctx
+    }
 }
+
+const FIXED_FALSE: u8 = 0;
+const FIXED_TRUE: u8 = 1;
+const UNFIXED: u8 = 2;
 
 /// `seen` mask bit: a clean observation of the path was recorded.
 const SEEN_CLEAN: u8 = 1;
 /// `seen` mask bit: a censored observation of the path was recorded.
 const SEEN_CENSORED: u8 = 2;
 
-/// One (URL × window × anomaly) instance kept incrementally solved.
+/// One path resolved against a group's variable space: where its
+/// variable-index list lives in the flat arena, plus the per-cell
+/// dedup polarity masks — so one probe serves resolution *and* dedup for
+/// the whole anomaly fan-out.
+#[derive(Debug, Clone, Copy)]
+struct Resolved {
+    /// Start of the var-index list in [`VarSpace::lits`].
+    start: u32,
+    /// Length of the list (distinct ASes on the path — `u32`, not a
+    /// narrower type: imported replay records put no bound on path
+    /// length, and a silent truncation here would mis-solve the cell).
+    len: u32,
+    /// Per-cell seen-polarity masks (`SEEN_CLEAN` / `SEEN_CENSORED`).
+    masks: [u8; N_CELLS],
+}
+
+/// The (URL × window) variable space shared by a group's cells: the
+/// distinct ASes in first-appearance order (the variable numbering), and
+/// the per-path resolved variable-index lists in one flat arena.
+#[derive(Debug, Clone, Default)]
+struct VarSpace {
+    /// Group-local variable index → AS, first-appearance order.
+    vars: Vec<Asn>,
+    /// AS → group-local variable index.
+    var_ix: FxMap<Asn, u32>,
+    /// Flat arena of resolved var-index lists (one span per path).
+    lits: Vec<u32>,
+    /// Path → its span in `lits` + dedup masks.
+    resolved: FxMap<PathId, Resolved>,
+}
+
+impl VarSpace {
+    /// The var-index list of a path previously resolved in this space.
+    #[inline]
+    fn lit_slice(&self, pid: PathId) -> &[u32] {
+        let r = &self.resolved[&pid];
+        &self.lits[r.start as usize..r.start as usize + r.len as usize]
+    }
+}
+
+/// One observation record: which interned path, which polarity.
+#[derive(Debug, Clone, Copy)]
+struct ObsRec {
+    path: PathId,
+    censored: bool,
+}
+
+/// All [`AnomalyType::ALL`] instances of one (URL × window), sharing one
+/// [`VarSpace`]. The group is the dedup and resolution point: an
+/// observation is resolved to its variable-index list (and checked
+/// against every cell's dedup mask) with a single `PathId` probe.
+#[derive(Debug, Clone)]
+pub struct InstanceGroup {
+    space: VarSpace,
+    cells: [IncrementalInstance; N_CELLS],
+}
+
+impl InstanceGroup {
+    /// Fresh group for one (URL × window).
+    pub fn new(url_id: u32, window: TimeWindow) -> Self {
+        InstanceGroup {
+            space: VarSpace::default(),
+            cells: std::array::from_fn(|i| {
+                IncrementalInstance::new(InstanceKey {
+                    url_id,
+                    anomaly: AnomalyType::ALL[i],
+                    window,
+                })
+            }),
+        }
+    }
+
+    /// Fold one interned observation into every cell. `detected` decides
+    /// each cell's polarity; `table` resolves the path's distinct-AS list
+    /// the first time this group sees it; `cap` is the enumeration cap
+    /// ([`churnlab_core::analyze::SolveConfig`]); `scratch` is the
+    /// worker-owned reusable solver state.
+    pub fn observe(
+        &mut self,
+        pid: PathId,
+        table: &PathTable,
+        detected: AnomalySet,
+        cap: u64,
+        stats: &mut IncrementalStats,
+        scratch: &mut SolveScratch,
+    ) {
+        let (start, len);
+        // Polarity to apply per cell; `None` = duplicate, skip.
+        let mut todo = [None::<bool>; N_CELLS];
+        {
+            let VarSpace { vars, var_ix, lits, resolved } = &mut self.space;
+            let entry = resolved.entry(pid).or_insert_with(|| {
+                // First sight of this path in the group: resolve its
+                // distinct ASes to group-local variable indices once,
+                // registering fresh variables in appearance order.
+                let start = lits.len() as u32;
+                for a in table.distinct(pid) {
+                    let ix = *var_ix.entry(*a).or_insert_with(|| {
+                        let ix = vars.len() as u32;
+                        vars.push(*a);
+                        ix
+                    });
+                    lits.push(ix);
+                }
+                let len = lits.len() as u32 - start;
+                Resolved { start, len, masks: [0; N_CELLS] }
+            });
+            start = entry.start as usize;
+            len = entry.len as usize;
+            for (i, anomaly) in AnomalyType::ALL.into_iter().enumerate() {
+                let censored = detected.contains(anomaly);
+                let bit = if censored { SEEN_CENSORED } else { SEEN_CLEAN };
+                if entry.masks[i] & bit != 0 {
+                    stats.duplicates += 1;
+                } else {
+                    entry.masks[i] |= bit;
+                    todo[i] = Some(censored);
+                }
+            }
+        }
+        let space = &self.space;
+        let vlist = &space.lits[start..start + len];
+        for (i, censored) in todo.iter().enumerate() {
+            if let Some(censored) = *censored {
+                stats.updates += 1;
+                self.cells[i].observe(pid, vlist, censored, space, cap, stats, scratch);
+            }
+        }
+    }
+
+    /// The group's variable numbering (group-local index → AS).
+    pub fn vars(&self) -> &[Asn] {
+        &self.space.vars
+    }
+
+    /// The group's cells, in [`AnomalyType::ALL`] order.
+    pub fn cells(&self) -> impl Iterator<Item = &IncrementalInstance> {
+        self.cells.iter()
+    }
+
+    /// The cell localizing one anomaly type.
+    pub fn cell(&self, anomaly: AnomalyType) -> &IncrementalInstance {
+        let i = AnomalyType::ALL.iter().position(|a| *a == anomaly).expect("known anomaly");
+        &self.cells[i]
+    }
+}
+
+/// One (URL × window × anomaly) instance kept incrementally solved, all
+/// state id- and index-based: `(PathId, polarity)` observation records,
+/// `PathId` clauses read out of the group's literal arena, and a dense
+/// per-variable [`Fate`] memo. Lives inside an [`InstanceGroup`], which
+/// owns dedup and variable resolution.
 #[derive(Debug, Clone)]
 pub struct IncrementalInstance {
     key: InstanceKey,
-    /// Dedup index: path → which polarities were already observed.
-    /// Keyed by owned path but probed by slice, so the (frequent)
-    /// duplicate observation costs no allocation.
-    seen: HashMap<Vec<Asn>, u8>,
-    observations: Vec<Observation>,
+    observations: Vec<ObsRec>,
     n_positive: usize,
-    /// Distinct ASes, first-appearance order.
-    vars: Vec<Asn>,
-    var_set: HashSet<Asn>,
-    /// Deduplicated censored paths (the positive clauses).
-    pos_clauses: Vec<Vec<Asn>>,
-    /// ASes appearing on some clean path — axiom unit negations.
-    neg_forced: HashSet<Asn>,
+    /// Deduplicated censored paths (the positive clauses), by id.
+    pos_clauses: Vec<PathId>,
+    /// Variables appearing on some clean path — axiom unit negations
+    /// (dense over group-local variable indices, lazily grown).
+    neg_forced: Vec<bool>,
     memo: Memo,
 }
 
@@ -161,16 +368,13 @@ fn pow2(n: usize) -> u128 {
 
 impl IncrementalInstance {
     /// Fresh instance.
-    pub fn new(key: InstanceKey) -> Self {
+    fn new(key: InstanceKey) -> Self {
         IncrementalInstance {
             key,
-            seen: HashMap::new(),
             observations: Vec::new(),
             n_positive: 0,
-            vars: Vec::new(),
-            var_set: HashSet::new(),
             pos_clauses: Vec::new(),
-            neg_forced: HashSet::new(),
+            neg_forced: Vec::new(),
             memo: Memo::Trivial,
         }
     }
@@ -195,65 +399,66 @@ impl IncrementalInstance {
         self.observations.is_empty()
     }
 
-    /// The deduplicated censored paths (leakage analysis input).
-    pub fn censored_paths(&self) -> impl Iterator<Item = &[Asn]> {
-        self.observations.iter().filter(|o| o.censored).map(|o| o.path.as_slice())
+    /// The deduplicated censored paths (leakage analysis input), as ids
+    /// against the shard's [`PathTable`] — resolved back to AS paths only
+    /// at the report boundary.
+    pub fn censored_paths(&self) -> impl Iterator<Item = PathId> + '_ {
+        self.observations.iter().filter(|o| o.censored).map(|o| o.path)
     }
 
-    /// Fold in one observation, keeping the memoized solve state current.
-    /// `cap` is the enumeration cap ([`churnlab_core::analyze::SolveConfig`]);
-    /// `scratch` is the worker-owned reusable solver state — re-solves run
-    /// on its warm context instead of allocating a solver per update.
-    pub fn observe(
+    #[inline]
+    fn is_neg_forced(&self, ix: u32) -> bool {
+        self.neg_forced.get(ix as usize).copied().unwrap_or(false)
+    }
+
+    /// Fold in one non-duplicate observation. `vlist` is the path's
+    /// group-resolved variable-index list; `space` resolves clause ids
+    /// during re-solves.
+    #[allow(clippy::too_many_arguments)]
+    fn observe(
         &mut self,
-        path: &[Asn],
+        pid: PathId,
+        vlist: &[u32],
         censored: bool,
+        space: &VarSpace,
         cap: u64,
         stats: &mut IncrementalStats,
         scratch: &mut SolveScratch,
     ) {
-        let bit = if censored { SEEN_CENSORED } else { SEEN_CLEAN };
-        match self.seen.get_mut(path) {
-            Some(mask) if *mask & bit != 0 => {
-                stats.duplicates += 1;
-                return;
-            }
-            Some(mask) => *mask |= bit,
-            None => {
-                self.seen.insert(path.to_vec(), bit);
-            }
-        }
-        self.observations.push(Observation { path: path.to_vec(), censored });
-        stats.updates += 1;
-        for a in path {
-            if self.var_set.insert(*a) {
-                self.vars.push(*a);
-            }
-        }
+        self.observations.push(ObsRec { path: pid, censored });
         if censored {
             self.n_positive += 1;
-            self.pos_clauses.push(path.to_vec());
+            self.pos_clauses.push(pid);
         } else {
-            self.neg_forced.extend(path.iter().copied());
+            for &ix in vlist {
+                let ix = ix as usize;
+                if ix >= self.neg_forced.len() {
+                    self.neg_forced.resize(ix + 1, false);
+                }
+                self.neg_forced[ix] = true;
+            }
         }
 
         if matches!(self.memo, Memo::Unsat) {
             stats.unsat_skips += 1;
             return;
         }
+        let n_vars = space.vars.len();
         if censored {
-            self.apply_positive(path, cap, stats, scratch);
+            self.apply_positive(vlist, n_vars, cap, stats, space, scratch);
         } else {
-            self.apply_negative(path, cap, stats, scratch);
+            self.apply_negative(vlist, n_vars, cap, stats, space, scratch);
         }
     }
 
     /// New positive clause (censored path) against the current memo.
     fn apply_positive(
         &mut self,
-        path: &[Asn],
+        vlist: &[u32],
+        n_vars: usize,
         cap: u64,
         stats: &mut IncrementalStats,
+        space: &VarSpace,
         scratch: &mut SolveScratch,
     ) {
         match &mut self.memo {
@@ -262,70 +467,84 @@ impl IncrementalInstance {
                 // First censored observation: every previously seen AS is
                 // a clean-path axiom (False), so the models are exactly
                 // the non-empty subsets of the path's unexonerated ASes.
-                let candidates: BTreeSet<Asn> =
-                    path.iter().filter(|a| !self.neg_forced.contains(a)).copied().collect();
                 stats.direct_updates += 1;
-                if candidates.is_empty() {
+                let n_cand = vlist.iter().filter(|&&ix| !self.is_neg_forced(ix)).count();
+                if n_cand == 0 {
                     self.memo = Memo::Unsat;
                     return;
                 }
-                let mut fate: HashMap<Asn, Fate> = self
-                    .vars
-                    .iter()
-                    .map(|a| (*a, Fate::AlwaysFalse))
-                    .collect();
-                if candidates.len() == 1 {
-                    fate.insert(*candidates.iter().next().expect("non-empty"), Fate::AlwaysTrue);
+                let mut fate = vec![Fate::AlwaysFalse; n_vars];
+                if n_cand == 1 {
+                    let ix = vlist
+                        .iter()
+                        .copied()
+                        .find(|&ix| !self.is_neg_forced(ix))
+                        .expect("one candidate");
+                    fate[ix as usize] = Fate::AlwaysTrue;
                     self.memo = Memo::Solved { count: SolutionCount::Exact(1), fate };
                 } else {
-                    for a in &candidates {
-                        fate.insert(*a, Fate::Both);
+                    for &ix in vlist {
+                        if !self.is_neg_forced(ix) {
+                            fate[ix as usize] = Fate::Both;
+                        }
                     }
-                    let count = cap_count(pow2(candidates.len()) - 1, cap);
+                    let count = cap_count(pow2(n_cand) - 1, cap);
                     self.memo = Memo::Solved { count, fate };
                 }
             }
             Memo::Solved { count, fate } => {
-                let fresh: BTreeSet<Asn> =
-                    path.iter().filter(|a| !fate.contains_key(a)).copied().collect();
-                let satisfied = path.iter().any(|a| fate.get(a) == Some(&Fate::AlwaysTrue));
+                // Variables beyond the memo's coverage are exactly this
+                // path's fresh ASes: any observation that grows the group
+                // variable space reaches every cell as a non-duplicate,
+                // so the memo was full-coverage before this path arrived.
+                let known = fate.len();
+                let n_fresh = n_vars - known;
+                debug_assert_eq!(
+                    n_fresh,
+                    vlist.iter().filter(|&&ix| ix as usize >= known).count(),
+                    "fresh variables must all come from this path"
+                );
+                let mut satisfied = false;
+                let mut undecided = false;
+                for &ix in vlist {
+                    if (ix as usize) < known {
+                        match fate[ix as usize] {
+                            Fate::AlwaysTrue => satisfied = true,
+                            Fate::Both => undecided = true,
+                            Fate::AlwaysFalse => {}
+                        }
+                    }
+                }
                 if satisfied {
                     // The clause already holds in every model; the fresh
                     // ASes it introduces are entirely free.
                     stats.direct_updates += 1;
-                    if !fresh.is_empty() {
-                        *count = scale_count(*count, pow2(fresh.len()), cap);
-                        for a in &fresh {
-                            fate.insert(*a, Fate::Both);
-                        }
+                    if n_fresh > 0 {
+                        *count = scale_count(*count, pow2(n_fresh), cap);
+                        fate.resize(n_vars, Fate::Both);
                     }
                     return;
                 }
-                let undecided = path
-                    .iter()
-                    .any(|a| fate.get(a) == Some(&Fate::Both));
                 if undecided {
                     // The clause interacts with genuinely ambiguous ASes:
                     // re-solve over the reduced formula.
                     stats.resolves += 1;
-                    self.resolve(cap, scratch);
+                    self.resolve(n_vars, space, cap, scratch);
                     return;
                 }
                 // Every known AS on the path is always-False: the clause
                 // can only be satisfied by its fresh ASes.
                 stats.direct_updates += 1;
-                match fresh.len() {
+                match n_fresh {
                     0 => self.memo = Memo::Unsat,
                     1 => {
                         // Exactly one candidate: a censor identified
                         // incrementally; the model count is unchanged.
-                        fate.insert(*fresh.iter().next().expect("one"), Fate::AlwaysTrue);
+                        fate.resize(n_vars, Fate::AlwaysTrue);
                     }
                     n => {
                         *count = scale_count(*count, pow2(n) - 1, cap);
-                        for a in &fresh {
-                            fate.insert(*a, Fate::Both);
-                        }
+                        fate.resize(n_vars, Fate::Both);
                     }
                 }
             }
@@ -335,9 +554,11 @@ impl IncrementalInstance {
     /// New unit negations (clean path) against the current memo.
     fn apply_negative(
         &mut self,
-        path: &[Asn],
+        vlist: &[u32],
+        n_vars: usize,
         cap: u64,
         stats: &mut IncrementalStats,
+        space: &VarSpace,
         scratch: &mut SolveScratch,
     ) {
         match &mut self.memo {
@@ -347,25 +568,35 @@ impl IncrementalInstance {
                 stats.direct_updates += 1;
             }
             Memo::Solved { fate, .. } => {
-                if path.iter().any(|a| fate.get(a) == Some(&Fate::AlwaysTrue)) {
+                let known = fate.len();
+                let mut any_true = false;
+                let mut any_both = false;
+                for &ix in vlist {
+                    if (ix as usize) < known {
+                        match fate[ix as usize] {
+                            Fate::AlwaysTrue => any_true = true,
+                            Fate::Both => any_both = true,
+                            Fate::AlwaysFalse => {}
+                        }
+                    }
+                }
+                if any_true {
                     // A definite censor observed clean in the same window:
                     // contradiction (noise or a policy change).
                     stats.direct_updates += 1;
                     self.memo = Memo::Unsat;
                     return;
                 }
-                if path.iter().all(|a| !matches!(fate.get(a), Some(Fate::Both))) {
+                if !any_both {
                     // Every known AS here is already always-False; the new
                     // units are implied and fresh ASes are plain axioms.
                     stats.direct_updates += 1;
-                    for a in path {
-                        fate.entry(*a).or_insert(Fate::AlwaysFalse);
-                    }
+                    fate.resize(n_vars, Fate::AlwaysFalse);
                     return;
                 }
                 // A potential censor just got exonerated: re-solve.
                 stats.resolves += 1;
-                self.resolve(cap, scratch);
+                self.resolve(n_vars, space, cap, scratch);
             }
         }
     }
@@ -374,62 +605,68 @@ impl IncrementalInstance {
     /// and the memoized backbone (both survive clause addition), then run
     /// the census over the reduced formula only — on the worker's warm
     /// [`SolverCtx`], building the reduced CNF into its reusable CSR
-    /// arena. The only per-call heap traffic is the recycled fate map's
-    /// occasional growth.
-    fn resolve(&mut self, cap: u64, scratch: &mut SolveScratch) {
+    /// arena, with all per-variable state in dense scratch vectors. The
+    /// only per-call heap traffic is the recycled buffers' occasional
+    /// growth.
+    fn resolve(&mut self, n_vars: usize, space: &VarSpace, cap: u64, scratch: &mut SolveScratch) {
         let fixed = &mut scratch.fixed;
         fixed.clear();
-        for a in &self.neg_forced {
-            fixed.insert(*a, false);
+        fixed.resize(n_vars, UNFIXED);
+        for (ix, neg) in self.neg_forced.iter().enumerate() {
+            if *neg {
+                fixed[ix] = FIXED_FALSE;
+            }
         }
         // Take the memo (leaving the absorbing Unsat in place, which every
         // early return below wants): its fate seeds the fixed set, and its
-        // map is recycled as the next memo's allocation.
+        // vector is recycled as the next memo's allocation.
         let mut fate = match std::mem::replace(&mut self.memo, Memo::Unsat) {
             Memo::Solved { fate, .. } => {
-                for (a, f) in &fate {
-                    let v = match f {
-                        Fate::AlwaysTrue => true,
-                        Fate::AlwaysFalse => false,
-                        Fate::Both => continue,
-                    };
-                    if fixed.insert(*a, v) == Some(!v) {
-                        return;
+                for (ix, f) in fate.iter().enumerate() {
+                    match f {
+                        Fate::AlwaysTrue => {
+                            if fixed[ix] == FIXED_FALSE {
+                                return; // exonerated definite censor: unsat
+                            }
+                            fixed[ix] = FIXED_TRUE;
+                        }
+                        Fate::AlwaysFalse => fixed[ix] = FIXED_FALSE,
+                        Fate::Both => {}
                     }
                 }
                 let mut fate = fate;
                 fate.clear();
                 fate
             }
-            _ => HashMap::with_capacity(self.vars.len()),
+            _ => Vec::with_capacity(n_vars),
         };
-        // Unit propagation over the positive clauses to fixpoint. A clause
-        // is unit when exactly one *distinct* AS on it is unfixed.
+        // Unit propagation over the positive clauses to fixpoint. Clause
+        // literal lists are pre-deduplicated (the group resolves distinct
+        // ASes only), so a clause is unit when exactly one literal is
+        // unfixed.
         loop {
             let mut changed = false;
-            for clause in &self.pos_clauses {
-                if clause.iter().any(|a| fixed.get(a) == Some(&true)) {
+            for &pid in &self.pos_clauses {
+                let clause = space.lit_slice(pid);
+                if clause.iter().any(|&ix| fixed[ix as usize] == FIXED_TRUE) {
                     continue;
                 }
-                let mut first_free: Option<Asn> = None;
+                let mut first_free: Option<u32> = None;
                 let mut multi = false;
-                for a in clause {
-                    if fixed.contains_key(a) {
+                for &ix in clause {
+                    if fixed[ix as usize] != UNFIXED {
                         continue;
                     }
-                    match first_free {
-                        None => first_free = Some(*a),
-                        Some(f) if f != *a => {
-                            multi = true;
-                            break;
-                        }
-                        Some(_) => {}
+                    if first_free.is_some() {
+                        multi = true;
+                        break;
                     }
+                    first_free = Some(ix);
                 }
                 match first_free {
                     None => return, // conflict: memo stays Unsat
-                    Some(a) if !multi => {
-                        fixed.insert(a, true);
+                    Some(ix) if !multi => {
+                        fixed[ix as usize] = FIXED_TRUE;
                         changed = true;
                     }
                     Some(_) => {}
@@ -441,69 +678,82 @@ impl IncrementalInstance {
         }
         // Census over the reduced formula. Unconstrained free ASes count
         // as 2^k model blocks, exactly as the batch census sees them.
-        let var_of = &mut scratch.var_of;
+        let var_map = &mut scratch.var_map;
+        var_map.clear();
+        var_map.resize(n_vars, u32::MAX);
         let free_vars = &mut scratch.free_vars;
-        var_of.clear();
         free_vars.clear();
-        for a in &self.vars {
-            if !fixed.contains_key(a) {
-                var_of.insert(*a, Var(free_vars.len() as u32));
-                free_vars.push(*a);
+        for (ix, f) in fixed.iter().enumerate() {
+            if *f == UNFIXED {
+                var_map[ix] = free_vars.len() as u32;
+                free_vars.push(ix as u32);
             }
         }
         scratch.cnf.reset(free_vars.len());
-        for clause in &self.pos_clauses {
-            if clause.iter().any(|a| fixed.get(a) == Some(&true)) {
+        for &pid in &self.pos_clauses {
+            let clause = space.lit_slice(pid);
+            if clause.iter().any(|&ix| fixed[ix as usize] == FIXED_TRUE) {
                 continue;
             }
-            scratch
-                .cnf
-                .push_clause(clause.iter().filter_map(|a| var_of.get(a)).map(|v| Lit::pos(*v)));
+            scratch.cnf.push_clause(
+                clause
+                    .iter()
+                    .filter(|&&ix| fixed[ix as usize] == UNFIXED)
+                    .map(|&ix| Lit::pos(Var(var_map[ix as usize]))),
+            );
         }
         let result = scratch.ctx.census(&scratch.cnf, cap);
         let Some(backbone) = result.backbone else {
             return; // memo stays Unsat
         };
-        for (a, v) in fixed.iter() {
-            fate.insert(*a, if *v { Fate::AlwaysTrue } else { Fate::AlwaysFalse });
-        }
-        for (i, a) in free_vars.iter().enumerate() {
-            let f = match (backbone.ever_true[i], backbone.ever_false[i]) {
-                (true, false) => Fate::AlwaysTrue,
-                (false, true) => Fate::AlwaysFalse,
-                // (false, false) cannot happen for a satisfiable formula.
-                _ => Fate::Both,
+        fate.reserve(n_vars);
+        for (ix, f) in fixed.iter().enumerate() {
+            let fate_ix = match *f {
+                FIXED_TRUE => Fate::AlwaysTrue,
+                FIXED_FALSE => Fate::AlwaysFalse,
+                _ => {
+                    let v = var_map[ix] as usize;
+                    match (backbone.ever_true[v], backbone.ever_false[v]) {
+                        (true, false) => Fate::AlwaysTrue,
+                        (false, true) => Fate::AlwaysFalse,
+                        // (false, false) cannot happen when satisfiable.
+                        _ => Fate::Both,
+                    }
+                }
             };
-            fate.insert(*a, f);
+            fate.push(fate_ix);
         }
         self.memo = Memo::Solved { count: result.count, fate };
     }
 
     /// The analysed outcome — identical to running
     /// [`churnlab_core::analyze::analyze`] on the batch-built instance
-    /// over the same observation set.
-    pub fn outcome(&self) -> InstanceOutcome {
-        let n_vars = self.vars.len();
+    /// over the same observation set. `vars` is the owning group's
+    /// variable numbering ([`InstanceGroup::vars`]); every cell of a
+    /// group shares it, since every cell sees every observation.
+    pub fn outcome(&self, vars: &[Asn]) -> InstanceOutcome {
+        let n_vars = vars.len();
         let (solvability, bucket, censors, potential, eliminated) = match &self.memo {
             Memo::Trivial => {
                 // Clean observations only: the all-False assignment is
                 // the unique model and every AS is exonerated.
-                let mut elim = self.vars.clone();
+                let mut elim = vars.to_vec();
                 elim.sort();
                 (Solvability::Unique, 1u8, Vec::new(), Vec::new(), elim)
             }
             Memo::Unsat => (Solvability::Unsat, 0, Vec::new(), Vec::new(), Vec::new()),
             Memo::Solved { count, fate } => {
+                debug_assert_eq!(fate.len(), n_vars, "memo covers the group's variables");
                 let solvability = count.solvability();
                 debug_assert_ne!(solvability, Solvability::Unsat, "Solved memo is satisfiable");
                 let mut censors = Vec::new();
                 let mut potential = Vec::new();
                 let mut eliminated = Vec::new();
-                for (a, f) in fate {
+                for (ix, f) in fate.iter().enumerate() {
                     match f {
-                        Fate::AlwaysTrue => censors.push(*a),
-                        Fate::AlwaysFalse => eliminated.push(*a),
-                        Fate::Both => potential.push(*a),
+                        Fate::AlwaysTrue => censors.push(vars[ix]),
+                        Fate::AlwaysFalse => eliminated.push(vars[ix]),
+                        Fate::Both => potential.push(vars[ix]),
                     }
                 }
                 debug_assert!(
@@ -536,22 +786,64 @@ impl IncrementalInstance {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use churnlab_bgp::{Granularity, TimeWindow};
+    use crate::reference::{ReferenceScratch, UninternedInstance};
+    use churnlab_bgp::Granularity;
     use churnlab_core::analyze::{analyze, SolveConfig};
     use churnlab_core::instance::InstanceBuilder;
-    use churnlab_platform::AnomalyType;
     use proptest::prelude::*;
 
     fn key() -> InstanceKey {
         InstanceKey {
             url_id: 3,
             anomaly: AnomalyType::Dns,
-            window: TimeWindow::of(0, Granularity::Day, 365),
+            window: window(),
         }
+    }
+
+    fn window() -> TimeWindow {
+        TimeWindow::of(0, Granularity::Day, 365)
     }
 
     fn asns(v: &[u32]) -> Vec<Asn> {
         v.iter().map(|x| Asn(*x)).collect()
+    }
+
+    /// Drives an [`InstanceGroup`] the way a shard does, reporting the
+    /// Dns cell (whose polarity tracks the `censored` flag; the other
+    /// four cells see the same paths all-clean).
+    struct Harness {
+        table: PathTable,
+        group: InstanceGroup,
+        stats: IncrementalStats,
+        scratch: SolveScratch,
+    }
+
+    impl Harness {
+        fn new() -> Self {
+            Harness {
+                table: PathTable::new(),
+                group: InstanceGroup::new(3, window()),
+                stats: IncrementalStats::default(),
+                scratch: SolveScratch::new(),
+            }
+        }
+
+        fn observe(&mut self, path: &[Asn], censored: bool) {
+            let pid = self.table.intern(path);
+            let mut detected = AnomalySet::empty();
+            if censored {
+                detected.insert(AnomalyType::Dns);
+            }
+            self.group.observe(pid, &self.table, detected, 64, &mut self.stats, &mut self.scratch);
+        }
+
+        fn dns(&self) -> &IncrementalInstance {
+            self.group.cell(AnomalyType::Dns)
+        }
+
+        fn outcome(&self) -> InstanceOutcome {
+            self.dns().outcome(self.group.vars())
+        }
     }
 
     /// Batch-analyse the same observation sequence with the pipeline's
@@ -565,9 +857,22 @@ mod tests {
     }
 
     fn incremental_outcome(observations: &[(Vec<Asn>, bool)]) -> Option<InstanceOutcome> {
-        let mut inst = IncrementalInstance::new(key());
+        let mut h = Harness::new();
+        for (path, censored) in observations {
+            h.observe(path, *censored);
+        }
+        if h.dns().is_empty() {
+            None
+        } else {
+            Some(h.outcome())
+        }
+    }
+
+    /// The retained un-interned implementation, as differential oracle.
+    fn reference_outcome(observations: &[(Vec<Asn>, bool)]) -> Option<InstanceOutcome> {
+        let mut inst = UninternedInstance::new(key());
         let mut stats = IncrementalStats::default();
-        let mut scratch = SolveScratch::new();
+        let mut scratch = ReferenceScratch::new();
         for (path, censored) in observations {
             inst.observe(path, *censored, SolveConfig::default().count_cap, &mut stats, &mut scratch);
         }
@@ -580,26 +885,77 @@ mod tests {
 
     #[test]
     fn unique_censor_identified_incrementally() {
-        let mut inst = IncrementalInstance::new(key());
-        let mut stats = IncrementalStats::default();
-        let mut scratch = SolveScratch::new();
-        inst.observe(&asns(&[1, 2, 3]), true, 64, &mut stats, &mut scratch);
-        inst.observe(&asns(&[1, 2, 4]), false, 64, &mut stats, &mut scratch);
-        let out = inst.outcome();
+        let mut h = Harness::new();
+        h.observe(&asns(&[1, 2, 3]), true);
+        h.observe(&asns(&[1, 2, 4]), false);
+        let out = h.outcome();
         assert_eq!(out.solvability, Solvability::Unique);
         assert_eq!(out.censors, asns(&[3]));
         assert_eq!(out.eliminated, asns(&[1, 2, 4]));
-        // The first positive is closed-form; the clean path exonerates
-        // potential censors, which is the one genuine re-solve case.
-        assert_eq!(stats.direct_updates, 1);
-        assert_eq!(stats.resolves, 1);
-        // A duplicate of either observation is then a no-op, and a clean
-        // path over already-eliminated ASes is closed-form again.
-        inst.observe(&asns(&[1, 2, 4]), false, 64, &mut stats, &mut scratch);
-        assert_eq!(stats.duplicates, 1);
-        inst.observe(&asns(&[1, 4]), false, 64, &mut stats, &mut scratch);
-        assert_eq!(stats.direct_updates, 2);
-        assert_eq!(stats.resolves, 1, "implied units must not re-solve");
+        // The first positive is closed-form on the Dns cell; the clean
+        // path exonerates potential censors, which is the one genuine
+        // re-solve case (the other four cells stay Trivial throughout).
+        assert_eq!(h.stats.resolves, 1);
+        // A duplicate of either observation is a no-op for all 5 cells,
+        // and a clean path over already-eliminated ASes is closed-form.
+        h.observe(&asns(&[1, 2, 4]), false);
+        assert_eq!(h.stats.duplicates, N_CELLS as u64);
+        h.observe(&asns(&[1, 4]), false);
+        assert_eq!(h.stats.resolves, 1, "implied units must not re-solve");
+    }
+
+    #[test]
+    fn contradiction_is_absorbing_unsat() {
+        let mut h = Harness::new();
+        h.observe(&asns(&[5, 6]), true);
+        h.observe(&asns(&[5, 6]), false);
+        assert_eq!(h.outcome().solvability, Solvability::Unsat);
+        // Everything after is a constant-time skip on the Dns cell.
+        h.observe(&asns(&[7, 8]), true);
+        h.observe(&asns(&[7]), false);
+        assert_eq!(h.stats.unsat_skips, 2);
+        let out = h.outcome();
+        assert_eq!(out.solvability, Solvability::Unsat);
+        assert_eq!(out.n_vars, 4);
+        assert_eq!(out.n_observations, 4);
+    }
+
+    #[test]
+    fn same_path_both_polarities_dedups_separately() {
+        // The ID-based dedup keys on (PathId, polarity): the same path
+        // observed censored AND clean is two distinct records (the
+        // contradiction the paper keeps), while re-observing either
+        // polarity is a duplicate.
+        let mut h = Harness::new();
+        h.observe(&asns(&[1, 2]), true);
+        h.observe(&asns(&[1, 2]), false); // same id, other polarity: kept (Dns)
+        h.observe(&asns(&[1, 2]), true); // duplicate censored: dropped
+        h.observe(&asns(&[1, 2]), false); // duplicate clean: dropped
+        assert_eq!(h.dns().len(), 2, "both polarities recorded once each");
+        assert_eq!(h.outcome().solvability, Solvability::Unsat);
+        assert_eq!(h.table.len(), 1, "one distinct path interned");
+        assert_eq!(h.table.stats().hits, 3);
+    }
+
+    #[test]
+    fn repeated_ases_on_a_path_collapse_to_one_variable() {
+        // A path visiting the same AS twice (route with an AS-level
+        // loop artifact) contributes that AS once to the variable space
+        // and once per clause — so [9, 9] censored has models {9}, i.e.
+        // a unique censor, exactly as the batch builder sees it.
+        let seq = vec![(asns(&[9, 9]), true)];
+        let batch = batch_outcome(&seq).expect("non-empty");
+        let inc = incremental_outcome(&seq).expect("non-empty");
+        assert_eq!(inc, batch);
+        assert_eq!(inc.censors, asns(&[9]));
+        assert_eq!(inc.n_vars, 1);
+        // And through a longer mixed sequence with repeats.
+        let seq = vec![
+            (asns(&[1, 7, 1, 3]), true),
+            (asns(&[1, 1]), false),
+            (asns(&[3, 3, 3]), false),
+        ];
+        assert_eq!(incremental_outcome(&seq), batch_outcome(&seq));
     }
 
     #[test]
@@ -611,32 +967,12 @@ mod tests {
     }
 
     #[test]
-    fn contradiction_is_absorbing_unsat() {
-        let mut inst = IncrementalInstance::new(key());
-        let mut stats = IncrementalStats::default();
-        let mut scratch = SolveScratch::new();
-        inst.observe(&asns(&[5, 6]), true, 64, &mut stats, &mut scratch);
-        inst.observe(&asns(&[5, 6]), false, 64, &mut stats, &mut scratch);
-        assert_eq!(inst.outcome().solvability, Solvability::Unsat);
-        // Everything after is a constant-time skip.
-        inst.observe(&asns(&[7, 8]), true, 64, &mut stats, &mut scratch);
-        inst.observe(&asns(&[7]), false, 64, &mut stats, &mut scratch);
-        assert_eq!(stats.unsat_skips, 2);
-        let out = inst.outcome();
-        assert_eq!(out.solvability, Solvability::Unsat);
-        assert_eq!(out.n_vars, 4);
-        assert_eq!(out.n_observations, 4);
-    }
-
-    #[test]
     fn duplicates_are_noops() {
-        let mut inst = IncrementalInstance::new(key());
-        let mut stats = IncrementalStats::default();
-        let mut scratch = SolveScratch::new();
-        inst.observe(&asns(&[1, 2]), true, 64, &mut stats, &mut scratch);
-        inst.observe(&asns(&[1, 2]), true, 64, &mut stats, &mut scratch);
-        assert_eq!(stats.duplicates, 1);
-        assert_eq!(inst.len(), 1);
+        let mut h = Harness::new();
+        h.observe(&asns(&[1, 2]), true);
+        h.observe(&asns(&[1, 2]), true);
+        assert_eq!(h.stats.duplicates, N_CELLS as u64, "all five cells dedup");
+        assert_eq!(h.dns().len(), 1);
     }
 
     #[test]
@@ -671,11 +1007,13 @@ mod tests {
         #![proptest_config(ProptestConfig::with_cases(256))]
 
         /// Over a small AS universe (model counts stay below the cap, so
-        /// outcomes are exact), the incremental state machine agrees with
-        /// the batch analyze() for the same observations — in the given
-        /// order AND reversed (order independence).
+        /// outcomes are exact), the interned state machine agrees with
+        /// the batch analyze() AND the retained un-interned reference
+        /// for the same observations — in the given order AND reversed
+        /// (order independence). Paths draw with repetition from a tiny
+        /// universe, so repeated ASes within a path are exercised.
         #[test]
-        fn prop_incremental_matches_batch(
+        fn prop_interned_matches_batch_and_reference(
             observations in proptest::collection::vec(
                 (proptest::collection::vec(1u32..6, 1..5), any::<bool>()),
                 1..10,
@@ -687,6 +1025,7 @@ mod tests {
                 .collect();
             let batch = batch_outcome(&obs);
             prop_assert_eq!(incremental_outcome(&obs), batch.clone());
+            prop_assert_eq!(reference_outcome(&obs), batch.clone());
             let reversed: Vec<_> = obs.iter().rev().cloned().collect();
             prop_assert_eq!(incremental_outcome(&reversed), batch);
         }

@@ -1,0 +1,308 @@
+//! Shard-local AS-path interning.
+//!
+//! Path churn means the engine re-sees *few distinct paths, observed many
+//! times* (the committed smoke bench: ~72% of per-cell observations are
+//! duplicates). The [`PathTable`] exploits that: each distinct path is
+//! hashed and copied **once per shard**, yielding a dense
+//! [`PathId`] plus a precomputed flat slice into a single [`Asn`] arena
+//! (CSR layout, mirroring `churnlab_sat::CompiledCnf`). Everything
+//! downstream — per-instance dedup, clause storage, report cells — then
+//! works on the `u32` id: the duplicate-dominated observe path drops from
+//! O(path-len) hashing per instance cell to an O(1) integer probe.
+//!
+//! Id stability: ids are dense, assigned in first-intern order, and never
+//! reassigned, so a [`PathSnapshot`] taken at report time remains a valid
+//! resolver for every id issued before it — and earlier snapshots are
+//! strict prefixes of later ones (see [`PathId`]'s guarantees).
+
+use churnlab_core::obs::PathId;
+use churnlab_topology::Asn;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A fast multiplicative hasher (FxHash-style) for the engine's hot maps:
+/// small integer keys ([`PathId`], [`Asn`]) and short `u32` sequences
+/// (AS-path slices). Not DoS-resistant — fine for shard-local state keyed
+/// by data the shard itself produced.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher(u64);
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Final avalanche so the map's bucket-index truncation sees
+        // well-mixed low bits even for tiny keys.
+        let mut x = self.0;
+        x ^= x >> 32;
+        x = x.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        x ^= x >> 32;
+        x
+    }
+}
+
+/// `HashMap` with the engine's fast hasher.
+pub type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` with the engine's fast hasher.
+pub type FxSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// Interner work counters (hit rate = how duplicate-dominated the stream
+/// was at *measurement* granularity, before the instance fan-out).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InternStats {
+    /// Distinct paths interned (arena entries).
+    pub distinct_paths: u64,
+    /// Intern calls answered from the table (duplicates at measurement
+    /// granularity).
+    pub hits: u64,
+}
+
+impl InternStats {
+    /// Fold another counter set into this one (shard fan-in; the sums are
+    /// per-shard tallies, so a path crossing shards counts once *per
+    /// shard* it is distinct in).
+    pub fn merge(&mut self, other: InternStats) {
+        self.distinct_paths += other.distinct_paths;
+        self.hits += other.hits;
+    }
+
+    /// Fraction of intern calls answered from the table.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.distinct_paths + self.hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The shard-local path interner: distinct AS paths stored once in a CSR
+/// arena, addressed by dense [`PathId`]s.
+#[derive(Debug, Default, Clone)]
+pub struct PathTable {
+    /// Path → id. Keyed by an owned copy but probed by slice
+    /// (`Box<[Asn]>: Borrow<[Asn]>`), so the frequent duplicate intern
+    /// hashes the path once and allocates nothing.
+    ids: FxMap<Box<[Asn]>, PathId>,
+    /// Concatenated paths (CSR values).
+    arena: Vec<Asn>,
+    /// Path `i` occupies `arena[offsets[i] .. offsets[i + 1]]`.
+    offsets: Vec<u32>,
+    /// Concatenated per-path *distinct-AS* lists (first-occurrence order)
+    /// — the variable set each path contributes to an instance, so the
+    /// fan-out never re-dedups ASes within a path.
+    distinct_arena: Vec<Asn>,
+    /// Distinct list `i` occupies
+    /// `distinct_arena[distinct_offsets[i] .. distinct_offsets[i + 1]]`.
+    distinct_offsets: Vec<u32>,
+    /// Intern calls answered from the table.
+    hits: u64,
+}
+
+impl PathTable {
+    /// Fresh empty table.
+    pub fn new() -> Self {
+        PathTable {
+            ids: FxMap::default(),
+            arena: Vec::new(),
+            offsets: vec![0],
+            distinct_arena: Vec::new(),
+            distinct_offsets: vec![0],
+            hits: 0,
+        }
+    }
+
+    /// Intern one path: one hash probe; a copy into the arena only the
+    /// first time this exact path is seen.
+    pub fn intern(&mut self, path: &[Asn]) -> PathId {
+        if let Some(&id) = self.ids.get(path) {
+            self.hits += 1;
+            return id;
+        }
+        let id = PathId(self.offsets.len() as u32 - 1);
+        self.arena.extend_from_slice(path);
+        self.offsets.push(self.arena.len() as u32);
+        // Distinct-AS sublist: paths are short, so a linear scan over the
+        // part already appended beats hashing.
+        let start = self.distinct_arena.len();
+        for a in path {
+            if !self.distinct_arena[start..].contains(a) {
+                self.distinct_arena.push(*a);
+            }
+        }
+        self.distinct_offsets.push(self.distinct_arena.len() as u32);
+        self.ids.insert(path.into(), id);
+        id
+    }
+
+    /// The interned path, vantage AS first.
+    #[inline]
+    pub fn path(&self, id: PathId) -> &[Asn] {
+        let i = id.usize();
+        &self.arena[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// The path's distinct ASes, first-occurrence order.
+    #[inline]
+    pub fn distinct(&self, id: PathId) -> &[Asn] {
+        let i = id.usize();
+        &self.distinct_arena[self.distinct_offsets[i] as usize..self.distinct_offsets[i + 1] as usize]
+    }
+
+    /// Number of distinct paths interned.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True if nothing was interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The table's work counters.
+    pub fn stats(&self) -> InternStats {
+        InternStats { distinct_paths: self.len() as u64, hits: self.hits }
+    }
+
+    /// A read-only resolver for every id issued so far, detached from the
+    /// table (for crossing the shard boundary). Copies only the arena —
+    /// one flat `Asn` buffer over *distinct* paths — never a
+    /// per-observation `Vec<Vec<Asn>>`.
+    pub fn snapshot(&self) -> PathSnapshot {
+        PathSnapshot { arena: self.arena.clone(), offsets: self.offsets.clone() }
+    }
+}
+
+/// A detached id → path resolver (see [`PathTable::snapshot`]).
+#[derive(Debug, Clone)]
+pub struct PathSnapshot {
+    arena: Vec<Asn>,
+    offsets: Vec<u32>,
+}
+
+impl Default for PathSnapshot {
+    fn default() -> Self {
+        PathSnapshot { arena: Vec::new(), offsets: vec![0] }
+    }
+}
+
+impl PathSnapshot {
+    /// A snapshot resolving no ids — for reports that carry none, so a
+    /// snapshot of an id-free report never clones an arena.
+    pub fn empty() -> Self {
+        PathSnapshot::default()
+    }
+
+    /// The path for an id issued before this snapshot was taken.
+    #[inline]
+    pub fn path(&self, id: PathId) -> &[Asn] {
+        let i = id.usize();
+        &self.arena[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Number of paths resolvable through this snapshot.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True if the snapshot resolves no ids.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asns(v: &[u32]) -> Vec<Asn> {
+        v.iter().map(|x| Asn(*x)).collect()
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut t = PathTable::new();
+        let a = t.intern(&asns(&[1, 2, 3]));
+        let b = t.intern(&asns(&[4, 5]));
+        let a2 = t.intern(&asns(&[1, 2, 3]));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!((a.0, b.0), (0, 1), "ids are dense, first-intern order");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.path(a), asns(&[1, 2, 3]).as_slice());
+        assert_eq!(t.path(b), asns(&[4, 5]).as_slice());
+        assert_eq!(t.stats(), InternStats { distinct_paths: 2, hits: 1 });
+    }
+
+    #[test]
+    fn distinct_list_dedups_repeated_ases_in_order() {
+        let mut t = PathTable::new();
+        let id = t.intern(&asns(&[7, 3, 7, 9, 3]));
+        assert_eq!(t.path(id), asns(&[7, 3, 7, 9, 3]).as_slice(), "full path kept verbatim");
+        assert_eq!(t.distinct(id), asns(&[7, 3, 9]).as_slice(), "first-occurrence dedup");
+    }
+
+    #[test]
+    fn prefix_paths_are_distinct_entries() {
+        // CSR slicing must not confuse a path with its prefix.
+        let mut t = PathTable::new();
+        let long = t.intern(&asns(&[1, 2, 3]));
+        let short = t.intern(&asns(&[1, 2]));
+        assert_ne!(long, short);
+        assert_eq!(t.path(short), asns(&[1, 2]).as_slice());
+    }
+
+    #[test]
+    fn snapshot_resolves_all_prior_ids_and_stays_valid() {
+        let mut t = PathTable::new();
+        let a = t.intern(&asns(&[1, 2]));
+        let snap1 = t.snapshot();
+        let b = t.intern(&asns(&[3]));
+        let snap2 = t.snapshot();
+        assert_eq!(snap1.len(), 1);
+        assert_eq!(snap1.path(a), t.path(a), "id stable across snapshots");
+        assert_eq!(snap2.path(a), t.path(a));
+        assert_eq!(snap2.path(b), t.path(b));
+        assert_eq!(t.intern(&asns(&[1, 2])), a, "re-intern after snapshot keeps the id");
+    }
+}

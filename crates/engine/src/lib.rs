@@ -24,6 +24,13 @@
 //!   (early-unsat and already-decided instances short-circuit), and
 //!   otherwise a census over the *reduced* formula — never a from-scratch
 //!   AllSAT pass over a whole URL buffer.
+//! * **Interned** — path churn means few distinct paths observed many
+//!   times, so each shard interns every distinct AS path once into a
+//!   [`PathTable`] (one hash per measurement) and the whole
+//!   granularity×anomaly fan-out works on the dense
+//!   [`churnlab_core::obs::PathId`]: dedup is an integer probe, clause
+//!   literals live in one flat arena, and report cells carry ids that
+//!   are resolved back to paths only at the merge boundary.
 //!
 //! [`Engine::snapshot`] / [`Engine::finish`] produce a
 //! [`churnlab_core::pipeline::PipelineResults`], so reports, validation,
@@ -60,7 +67,10 @@
 
 mod engine;
 pub mod incremental;
+pub mod intern;
+pub mod reference;
 mod shard;
 
 pub use engine::{Engine, EngineConfig, EngineStats, Feeder};
-pub use incremental::{IncrementalInstance, IncrementalStats};
+pub use incremental::{IncrementalInstance, IncrementalStats, InstanceGroup, SolveScratch};
+pub use intern::{InternStats, PathSnapshot, PathTable};

@@ -6,19 +6,24 @@
 //! observation routed to it (any order) and answers [`Msg::Report`] with
 //! a self-contained [`ShardReport`] the engine merges on the caller's
 //! thread (which is where the topology lives — workers are `'static`).
+//!
+//! The shard is where interning happens: every incoming path is resolved
+//! to a [`PathId`] against the shard-local [`PathTable`] — **one hash
+//! per measurement** — and the granularity×anomaly fan-out works on the
+//! id alone. Report cells carry ids too; the merger resolves them back
+//! to AS paths through the report's [`PathSnapshot`] only at the
+//! boundary.
 
-use crate::incremental::{IncrementalInstance, IncrementalStats, SolveScratch};
+use crate::incremental::{IncrementalStats, InstanceGroup, SolveScratch};
+use crate::intern::{FxMap, FxSet, InternStats, PathSnapshot, PathTable};
+use churnlab_bgp::TimeWindow;
 use churnlab_core::analyze::{analyze_with, InstanceOutcome};
-use churnlab_sat::SolverCtx;
-use churnlab_core::batch::split_url_buffer;
-use churnlab_core::instance::InstanceKey;
-use churnlab_core::obs::ConvertedObs;
+use churnlab_core::batch::{first_path_refs, for_each_instance};
+use churnlab_core::obs::{ConvertedObs, PathId};
 use churnlab_core::pipeline::{ChurnMode, PipelineConfig};
 use churnlab_core::ChurnAccumulator;
-use churnlab_bgp::TimeWindow;
-use churnlab_platform::AnomalyType;
 use churnlab_topology::Asn;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::sync::mpsc::{Receiver, SyncSender};
 
 /// A message to a shard worker.
@@ -32,34 +37,77 @@ pub(crate) enum Msg {
 }
 
 /// One analysed instance crossing the shard boundary: the outcome plus
-/// the censored paths the merger's leakage analysis needs (attached only
-/// when the instance pinned down a censor).
+/// the ids of the censored paths the merger's leakage analysis needs
+/// (attached only when the instance pinned down a censor; resolved
+/// against the owning [`ShardReport::paths`] snapshot).
 pub(crate) struct SolvedCell {
     pub outcome: InstanceOutcome,
-    pub censored_paths: Vec<Vec<Asn>>,
+    pub censored_paths: Vec<PathId>,
 }
 
 /// Everything a shard contributes to a merged report.
 pub(crate) struct ShardReport {
     pub cells: Vec<SolvedCell>,
+    /// Resolver for every [`PathId`] in `cells` (one flat arena over the
+    /// shard's *distinct* paths — the report never deep-copies a
+    /// per-observation `Vec<Vec<Asn>>`).
+    pub paths: PathSnapshot,
     pub trivial: u64,
     pub churn: ChurnAccumulator,
     pub on_censored_path: HashSet<Asn>,
     pub stats: IncrementalStats,
+    pub intern: InternStats,
     pub observations: u64,
+}
+
+/// One URL's deferred buffer for the Figure-4 ablation, where "first
+/// path" is only defined once the whole stream is known. Kept sorted
+/// lazily: appends in test order preserve sortedness for free, and a
+/// report sorts at most once per out-of-order batch — repeated snapshots
+/// never re-sort (or clone) an unchanged buffer.
+struct DeferredBuf {
+    obs: Vec<ConvertedObs>,
+    sorted: bool,
+}
+
+impl DeferredBuf {
+    fn push(&mut self, o: ConvertedObs) {
+        if self.sorted {
+            if let Some(last) = self.obs.last() {
+                if last.test_order() > o.test_order() {
+                    self.sorted = false;
+                }
+            }
+        }
+        self.obs.push(o);
+    }
+
+    /// Restore the runner's test order so "first distinct path" means
+    /// what the batch pipeline means by it. No-op when already sorted.
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.obs.sort_by_key(ConvertedObs::test_order);
+            self.sorted = true;
+        }
+    }
 }
 
 /// Shard-local state.
 pub(crate) struct ShardState {
     cfg: PipelineConfig,
-    /// Incrementally solved instances (Normal churn mode).
-    instances: HashMap<InstanceKey, IncrementalInstance>,
-    /// Per-URL buffers for the Figure-4 ablation, where "first path" is
-    /// only defined once the whole stream is known — processed (without
+    /// The shard-local path interner: each distinct path hashed and
+    /// copied once, everything downstream id-based.
+    table: PathTable,
+    /// Incrementally solved instance groups (Normal churn mode), one per
+    /// (URL × window), each holding every anomaly cell.
+    groups: FxMap<(u32, TimeWindow), InstanceGroup>,
+    /// Per-URL buffers for the Figure-4 ablation, processed (without
     /// consuming) at report time over the restored test order.
-    deferred: HashMap<u32, Vec<ConvertedObs>>,
+    deferred: FxMap<u32, DeferredBuf>,
     churn: ChurnAccumulator,
-    on_censored_path: HashSet<Asn>,
+    /// Ids of paths that carried at least one detected anomaly — the
+    /// observability horizon, expanded to ASes only at report time.
+    censored_path_ids: FxSet<PathId>,
     stats: IncrementalStats,
     observations: u64,
     /// Worker-owned reusable solver state: every re-solve of every
@@ -71,10 +119,11 @@ impl ShardState {
     pub(crate) fn new(cfg: PipelineConfig) -> Self {
         ShardState {
             cfg,
-            instances: HashMap::new(),
-            deferred: HashMap::new(),
+            table: PathTable::new(),
+            groups: FxMap::default(),
+            deferred: FxMap::default(),
             churn: ChurnAccumulator::new(),
-            on_censored_path: HashSet::new(),
+            censored_path_ids: FxSet::default(),
             stats: IncrementalStats::default(),
             observations: 0,
             scratch: SolveScratch::new(),
@@ -86,98 +135,120 @@ impl ShardState {
         self.observations += 1;
         self.churn.add(o.vp_asn, o.dest_asn, o.day, &o.path);
         if self.cfg.churn_mode == ChurnMode::FirstPathOnly {
-            self.deferred.entry(o.url_id).or_default().push(o);
+            self.deferred
+                .entry(o.url_id)
+                .or_insert_with(|| DeferredBuf { obs: Vec::new(), sorted: true })
+                .push(o);
             return;
         }
+        // One hash per measurement: everything below works on the id.
+        let pid = self.table.intern(&o.path);
         // Any censored observation lands in at least one analysed
         // instance (its own anomaly's), so the observability horizon can
         // accumulate here without waiting for the report.
         if !o.detected.is_empty() {
-            self.on_censored_path.extend(o.path.iter().copied());
+            self.censored_path_ids.insert(pid);
         }
         let cap = self.cfg.solve.count_cap;
         for &g in &self.cfg.granularities {
             let window = TimeWindow::of(o.day, g, self.cfg.total_days);
-            for anomaly in AnomalyType::ALL {
-                let key = InstanceKey { url_id: o.url_id, anomaly, window };
-                self.instances
-                    .entry(key)
-                    .or_insert_with(|| IncrementalInstance::new(key))
-                    .observe(
-                        &o.path,
-                        o.detected.contains(anomaly),
-                        cap,
-                        &mut self.stats,
-                        &mut self.scratch,
-                    );
-            }
+            self.groups
+                .entry((o.url_id, window))
+                .or_insert_with(|| InstanceGroup::new(o.url_id, window))
+                .observe(pid, &self.table, o.detected, cap, &mut self.stats, &mut self.scratch);
         }
     }
 
-    /// Produce a report of everything processed so far. Non-destructive:
-    /// the shard keeps ingesting afterwards.
-    pub(crate) fn report(&self) -> ShardReport {
+    /// Produce a report of everything processed so far. Non-destructive
+    /// for the tomography state — the shard keeps ingesting afterwards;
+    /// `&mut` only so deferred ablation buffers can be sorted in place
+    /// (at most once per out-of-order batch) and the warm scratch solver
+    /// reused.
+    pub(crate) fn report(&mut self) -> ShardReport {
         let mut cells = Vec::new();
         let mut trivial = 0u64;
-        let mut on_censored_path = self.on_censored_path.clone();
-        match self.cfg.churn_mode {
+        let mut on_censored_path: HashSet<Asn> = HashSet::new();
+        for &pid in &self.censored_path_ids {
+            on_censored_path.extend(self.table.path(pid).iter().copied());
+        }
+        // Resolver for the ids in `cells`. Interning is an ingest-path
+        // mechanism, so in Normal mode this is the shard table; the
+        // deferred ablation mode never interns at ingest and instead
+        // resolves report cells against a report-local table, keeping
+        // the shard's `InternStats` an honest description of the
+        // measurement stream (all zeros in that mode) rather than a
+        // count of how many snapshots were taken.
+        let paths = match self.cfg.churn_mode {
             ChurnMode::Normal => {
-                for inst in self.instances.values() {
-                    if self.cfg.require_positive && !inst.has_positive() {
-                        trivial += 1;
-                        continue;
+                for group in self.groups.values() {
+                    for inst in group.cells() {
+                        if self.cfg.require_positive && !inst.has_positive() {
+                            trivial += 1;
+                            continue;
+                        }
+                        let outcome = inst.outcome(group.vars());
+                        let censored_paths = if outcome.censors.is_empty() {
+                            Vec::new()
+                        } else {
+                            inst.censored_paths().collect()
+                        };
+                        cells.push(SolvedCell { outcome, censored_paths });
                     }
-                    let outcome = inst.outcome();
-                    let censored_paths = if outcome.censors.is_empty() {
-                        Vec::new()
-                    } else {
-                        inst.censored_paths().map(<[Asn]>::to_vec).collect()
-                    };
-                    cells.push(SolvedCell { outcome, censored_paths });
+                }
+                // No cell carries an id until some instance pins a
+                // censor; until then a snapshot needs no arena clone —
+                // the table only grows, so this is the common case for
+                // frequent polling early in a stream.
+                if cells.iter().all(|c| c.censored_paths.is_empty()) {
+                    PathSnapshot::empty()
+                } else {
+                    self.table.snapshot()
                 }
             }
             ChurnMode::FirstPathOnly => {
-                // `report` is `&self`, so the shard's own scratch is out of
-                // reach; one context for the whole report still keeps the
-                // solver allocation count per-report, not per-instance.
-                let mut ctx = SolverCtx::new();
-                for (&url_id, obs) in &self.deferred {
-                    let mut buf = obs.clone();
-                    // Restore the runner's test order so "first distinct
-                    // path" means what the batch pipeline means by it.
-                    buf.sort_by_key(ConvertedObs::test_order);
-                    split_url_buffer(
+                let mut report_table = PathTable::new();
+                let ShardState { cfg, deferred, scratch, .. } = self;
+                for (&url_id, buf) in deferred.iter_mut() {
+                    buf.ensure_sorted();
+                    // Non-destructive first-path filter over the sorted
+                    // buffer: the kept observations are borrowed, never
+                    // cloned, and the buffer survives for later (larger)
+                    // snapshots.
+                    let kept = first_path_refs(&buf.obs);
+                    for_each_instance(
                         url_id,
-                        buf,
-                        ChurnMode::FirstPathOnly,
-                        &self.cfg.granularities,
-                        self.cfg.total_days,
+                        &kept,
+                        &cfg.granularities,
+                        cfg.total_days,
                         |builder| {
-                            if self.cfg.require_positive && !builder.has_positive() {
+                            if cfg.require_positive && !builder.has_positive() {
                                 trivial += 1;
                                 return;
                             }
                             let inst = builder.build().expect("non-empty builder");
-                            let outcome = analyze_with(&inst, &self.cfg.solve, &mut ctx);
+                            let outcome = analyze_with(&inst, &cfg.solve, scratch.solver_ctx());
                             let mut censored_paths = Vec::new();
                             for ob in inst.observations.iter().filter(|o| o.censored) {
                                 on_censored_path.extend(ob.path.iter().copied());
                                 if !outcome.censors.is_empty() {
-                                    censored_paths.push(ob.path.clone());
+                                    censored_paths.push(report_table.intern(&ob.path));
                                 }
                             }
                             cells.push(SolvedCell { outcome, censored_paths });
                         },
                     );
                 }
+                report_table.snapshot()
             }
-        }
+        };
         ShardReport {
             cells,
+            paths,
             trivial,
             churn: self.churn.clone(),
             on_censored_path,
             stats: self.stats,
+            intern: self.table.stats(),
             observations: self.observations,
         }
     }

@@ -102,6 +102,65 @@ fn shuffled_engine_matches_ordered_pipeline_byte_identically() {
     }
 }
 
+/// The interned-dedup acceptance matrix: shuffled multi-feeder ingest is
+/// byte-identical to the ordered batch pipeline across shard counts
+/// {1, 4} × both churn modes × 3 seeds. This is the end-to-end proof
+/// that the id-based data plane — `PathId` dedup masks, group-shared
+/// variable spaces, snapshot-resolved report cells — changes nothing
+/// observable, whatever the arrival order or shard layout.
+#[test]
+fn interned_dedup_matrix_is_byte_identical() {
+    for seed in [5u64, 17, 29] {
+        let s = study(seed);
+        let (platform, ms) = measurements(&s);
+        for mode in [ChurnMode::Normal, ChurnMode::FirstPathOnly] {
+            let expected = canonical_json(&pipeline_results(&platform, &ms, mode));
+            for shards in [1usize, 4] {
+                let mut shuffled = ms.clone();
+                shuffled.shuffle(&mut StdRng::seed_from_u64(seed ^ (shards as u64) << 8));
+                let got = canonical_json(&engine_results(&platform, &shuffled, mode, shards));
+                assert_eq!(
+                    got, expected,
+                    "seed {seed}, mode {mode:?}, {shards} shard(s): interned engine diverged"
+                );
+            }
+        }
+    }
+}
+
+/// Repeated snapshots are self-consistent: a second snapshot over the
+/// same ingested prefix is byte-identical to the first (the deferred
+/// Figure-4 buffers are sorted once and must not be corrupted by the
+/// sort-tracking), and a later snapshot over more data still matches the
+/// batch pipeline — also proving `PathId`s stay valid across snapshot
+/// boundaries as the shard tables keep growing.
+#[test]
+fn repeated_snapshots_are_stable_in_both_modes() {
+    for mode in [ChurnMode::Normal, ChurnMode::FirstPathOnly] {
+        let s = study(43);
+        let (platform, ms) = measurements(&s);
+        let mut cfg = PipelineConfig::paper(platform.config().total_days);
+        cfg.churn_mode = mode;
+        let engine = Engine::new(&platform, EngineConfig::new(cfg).with_shards(2));
+        // Out-of-order ingest so the deferred buffers are genuinely dirty.
+        let mut shuffled = ms.clone();
+        shuffled.shuffle(&mut StdRng::seed_from_u64(7));
+        let half = shuffled.len() / 2;
+        for m in &shuffled[..half] {
+            engine.ingest(m);
+        }
+        let snap1 = canonical_json(&engine.snapshot());
+        let snap2 = canonical_json(&engine.snapshot());
+        assert_eq!(snap1, snap2, "mode {mode:?}: identical prefix, diverging snapshots");
+        for m in &shuffled[half..] {
+            engine.ingest(m);
+        }
+        let full = canonical_json(&engine.finish());
+        let expected = canonical_json(&pipeline_results(&platform, &ms, mode));
+        assert_eq!(full, expected, "mode {mode:?}: post-snapshot ingest diverged from batch");
+    }
+}
+
 /// The Figure-4 ablation also survives shuffling: the engine restores the
 /// test order internally before applying the first-path filter.
 #[test]

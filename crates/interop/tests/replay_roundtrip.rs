@@ -93,6 +93,52 @@ fn replayed_dump_matches_direct_run_byte_identically() {
     }
 }
 
+/// The replay feeders drive the interned engine: every observation that
+/// reaches a shard interns exactly once (distinct + hits = routed
+/// observations), the stream is distinct-path sparse (the churn premise
+/// the interner exploits), and the counters are feeder-count invariant.
+#[test]
+fn replay_feeders_account_for_interning_exactly() {
+    let s = study(5);
+    let platform = Platform::new(&s.world, &s.scenario, s.platform_cfg.clone());
+    let sim = RoutingSim::new(&s.world.topology, &s.churn_cfg);
+    let cfg = PipelineConfig::paper(s.platform_cfg.total_days);
+    let mut dump = Vec::new();
+    export_study(&platform, &sim, &mut dump).unwrap();
+
+    let mut seen: Option<(u64, u64)> = None;
+    for feeders in [1usize, 4] {
+        let engine = Engine::with_context(
+            platform.measured_ip2as(),
+            &s.world.topology,
+            EngineConfig::new(cfg.clone()).with_shards(2),
+        );
+        replay_jsonl(&dump[..], &engine, feeders, ReplayFormat::Native).unwrap();
+        let (_, stats) = engine.finish_with_stats();
+        let intern = stats.interner;
+        assert!(intern.distinct_paths > 0, "replay interned no paths");
+        assert_eq!(
+            intern.distinct_paths + intern.hits,
+            stats.observations,
+            "every routed observation interns exactly once"
+        );
+        assert!(
+            intern.distinct_paths < stats.observations / 2,
+            "smoke campaign must be distinct-path sparse: {} distinct of {}",
+            intern.distinct_paths,
+            stats.observations,
+        );
+        match seen {
+            None => seen = Some((intern.distinct_paths, intern.hits)),
+            Some(prev) => assert_eq!(
+                prev,
+                (intern.distinct_paths, intern.hits),
+                "interner accounting must be feeder-count invariant"
+            ),
+        }
+    }
+}
+
 /// Dirty dumps — malformed lines and blanks interleaved at arbitrary
 /// positions — replay to the *same* report as the clean dump, with exact
 /// skip accounting, and the multi-feeder accounting agrees with the
