@@ -3,6 +3,23 @@
 //! one pre-collected measurement campaign. Shared by the Criterion bench
 //! (`benches/engine_bench.rs`) and the `engine_bench` binary that writes
 //! `BENCH_engine.json` in CI.
+//!
+//! Besides wall-clock throughput, each row carries two **scaling
+//! efficiency** figures relative to the 1-shard row:
+//!
+//! * `wallclock_efficiency` — `(meas/s at N shards) / (meas/s at 1) / N`,
+//!   the real thing, meaningful only when the machine has at least N
+//!   cores to run the shards on;
+//! * `model_efficiency` — the same ratio computed over the engine's
+//!   per-thread busy-time attribution (`critical path = max shard busy +
+//!   merge`), which exposes a *serialized* engine (one thread doing all
+//!   the work) even on a box with fewer cores than shards, where
+//!   wall-clock cannot.
+//!
+//! A flat shard curve — the bug this module's gate exists to catch —
+//! fails both: wall-clock efficiency at N shards lands near `1/N`, and
+//! the busy-time model shows one shard's busy time not shrinking as N
+//! grows.
 
 use crate::Bench;
 use churnlab_bgp::RoutingSim;
@@ -48,21 +65,28 @@ impl<'w> ThroughputHarness<'w> {
 
     /// Time one engine pass with `shards` workers fed from `feeders`
     /// threads (ingest + finish), returning seconds and the engine's work
-    /// counters.
+    /// counters. The per-feeder chunks are cloned *before* the clock
+    /// starts: a deployed feeder owns its measurements (they arrive off
+    /// the wire), so the copy is harness overhead, not engine work.
     pub fn time_engine(&self, shards: usize, feeders: usize) -> (f64, EngineStats) {
+        let feeders = feeders.max(1);
+        let chunks: Vec<Vec<Measurement>> = self
+            .measurements
+            .chunks(self.measurements.len().div_ceil(feeders))
+            .map(<[Measurement]>::to_vec)
+            .collect();
         let start = Instant::now();
         let engine = Engine::new(
             &self.platform,
             EngineConfig::new(self.cfg.clone()).with_shards(shards),
         );
-        let feeders = feeders.max(1);
         std::thread::scope(|scope| {
-            for chunk in self.measurements.chunks(self.measurements.len().div_ceil(feeders)) {
+            for chunk in chunks {
                 let engine = &engine;
                 scope.spawn(move || {
                     let mut feeder = engine.feeder();
                     for m in chunk {
-                        feeder.ingest(m);
+                        feeder.ingest_owned(m);
                     }
                 });
             }
@@ -87,6 +111,22 @@ pub struct ThroughputRow {
     pub meas_per_sec: f64,
     /// Ratio vs the batch pipeline's measurements/sec.
     pub speedup_vs_pipeline: f64,
+    /// Wall-clock scaling efficiency vs this sweep's 1-shard row:
+    /// `(meas_per_sec / 1-shard meas_per_sec) / shards`. `None` when the
+    /// sweep has no 1-shard row (and on pre-efficiency baseline files).
+    /// Only meaningful when `available_cores >= shards`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub wallclock_efficiency: Option<f64>,
+    /// Busy-time-model scaling efficiency vs the 1-shard row:
+    /// `C_1 / (shards × C_N)` where `C_k` is the critical path at `k`
+    /// shards (slowest shard's busy nanos + merge nanos). Core-count
+    /// independent: catches a serialized engine even on a 1-core box.
+    /// Each `C_k` is the lowest critical path across the repeats — the
+    /// noise-floor estimator, same logic as best-of wall time — so it
+    /// may come from a different repeat than the wall-clock-best one
+    /// this row's `stats` were taken from.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub model_efficiency: Option<f64>,
     /// Fraction of per-cell observe decisions that were duplicates — the
     /// distinct-path sparsity the interner exploits. Defaults to 0 so
     /// pre-interning baseline files still parse (the gate compares
@@ -102,6 +142,15 @@ pub struct ThroughputRow {
     pub interner_hit_rate: f64,
     /// Incremental-solve effectiveness counters.
     pub stats: EngineStats,
+}
+
+impl ThroughputRow {
+    /// The row's busy-time critical path in nanoseconds: the slowest
+    /// shard worker plus the serial merge. Zero on rows from baselines
+    /// predating busy-time attribution.
+    pub fn critical_nanos(&self) -> u64 {
+        self.stats.busy.shard_max_nanos + self.stats.busy.merge_nanos
+    }
 }
 
 /// The full throughput report (`BENCH_engine.json`).
@@ -123,8 +172,20 @@ pub struct ThroughputReport {
     pub engine: Vec<ThroughputRow>,
 }
 
+/// Resolve a feeder spec against a shard count: `0` means "one feeder
+/// per shard" — the configuration the scaling gate reasons about (N
+/// cores' worth of supply driving N shards).
+pub fn resolve_feeders(spec: usize, shards: usize) -> usize {
+    if spec == 0 {
+        shards
+    } else {
+        spec
+    }
+}
+
 /// Run the sweep: best-of-`repeats` timing for the pipeline and for the
-/// engine at each shard count.
+/// engine at each shard count. `feeders` is a spec: `0` matches the
+/// row's shard count, anything else is a fixed feeder count.
 pub fn run_throughput(
     harness: &ThroughputHarness<'_>,
     scale_label: &str,
@@ -135,34 +196,58 @@ pub fn run_throughput(
 ) -> ThroughputReport {
     let repeats = repeats.max(1);
     let n = harness.measurements.len() as u64;
-    let best = |times: &[f64]| times.iter().copied().fold(f64::INFINITY, f64::min);
 
-    let pipeline_times: Vec<f64> = (0..repeats).map(|_| harness.time_pipeline()).collect();
-    let pipeline_secs = best(&pipeline_times);
+    let pipeline_secs = (0..repeats)
+        .map(|_| harness.time_pipeline())
+        .fold(f64::INFINITY, f64::min);
     let pipeline_meas_per_sec = n as f64 / pipeline_secs;
 
     let mut engine = Vec::new();
+    let mut min_crit = Vec::new(); // per-row noise-floor critical path
     for &shards in shard_counts {
-        let mut times = Vec::with_capacity(repeats);
-        let mut stats = EngineStats::default();
-        for _ in 0..repeats {
-            let (secs, s) = harness.time_engine(shards, feeders);
-            times.push(secs);
-            stats = s;
-        }
-        let secs = best(&times);
+        let row_feeders = resolve_feeders(feeders, shards);
+        let runs: Vec<(f64, EngineStats)> =
+            (0..repeats).map(|_| harness.time_engine(shards, row_feeders)).collect();
+        let crit = |s: &EngineStats| s.busy.shard_max_nanos + s.busy.merge_nanos;
+        min_crit.push(runs.iter().map(|(_, s)| crit(s)).min().expect("repeats >= 1"));
+        // Keep the stats paired with the repeat they came from: the
+        // committed row must be one coherent observation, not the best
+        // wall time glued to the last repeat's counters.
+        let (secs, stats) = runs
+            .into_iter()
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .expect("repeats >= 1");
         let meas_per_sec = n as f64 / secs;
         engine.push(ThroughputRow {
             shards,
-            feeders,
+            feeders: row_feeders,
             secs,
             meas_per_sec,
             speedup_vs_pipeline: meas_per_sec / pipeline_meas_per_sec,
+            wallclock_efficiency: None, // filled below, needs the 1-shard row
+            model_efficiency: None,
             duplicate_ratio: stats.incremental.duplicate_ratio(),
             distinct_paths: stats.interner.distinct_paths,
             interner_hit_rate: stats.interner.hit_rate(),
             stats,
         });
+    }
+
+    // Efficiency is relative to the sweep's own 1-shard row.
+    let base = engine
+        .iter()
+        .zip(&min_crit)
+        .find(|(r, _)| r.shards == 1)
+        .map(|(r, &c)| (r.meas_per_sec, c));
+    if let Some((base_mps, base_crit)) = base {
+        for (row, &crit) in engine.iter_mut().zip(&min_crit) {
+            let n_shards = row.shards as f64;
+            row.wallclock_efficiency = Some((row.meas_per_sec / base_mps) / n_shards);
+            if base_crit > 0 && crit > 0 {
+                row.model_efficiency =
+                    Some(base_crit as f64 / (n_shards * crit as f64));
+            }
+        }
     }
 
     ThroughputReport {

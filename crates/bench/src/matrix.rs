@@ -223,7 +223,7 @@ pub fn run_cell(spec: &CellSpec) -> CellRow {
         // oversubscribe. The chunked feeder keeps channel traffic cheap.
         let engine = Engine::new(&platform, EngineConfig::new(pipeline_cfg).with_shards(1));
         let mut feeder = engine.feeder();
-        let stats = platform.run(&sim, |m| feeder.ingest(&m));
+        let stats = platform.run(&sim, |m| feeder.ingest_owned(m));
         drop(feeder);
         (stats, engine.finish())
     } else {

@@ -64,6 +64,14 @@ impl ConversionStats {
         self.discarded[i] += 1;
     }
 
+    /// Fold another counter set into this one (shard fan-in).
+    pub fn merge(&mut self, other: ConversionStats) {
+        self.converted += other.converted;
+        for (d, o) in self.discarded.iter_mut().zip(other.discarded) {
+            *d += o;
+        }
+    }
+
     /// Total discards.
     pub fn total_discarded(&self) -> u64 {
         self.discarded.iter().sum()

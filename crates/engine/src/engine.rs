@@ -5,14 +5,14 @@ use crate::intern::InternStats;
 use crate::shard::{run_worker, Msg, ShardReport, SolvedCell};
 use churnlab_core::accumulate::FindingsAccumulator;
 use churnlab_core::convert::ConversionStats;
-use churnlab_core::obs::ConvertedObs;
 use churnlab_core::pipeline::{PipelineConfig, PipelineResults};
 use churnlab_core::ChurnAccumulator;
 use churnlab_platform::{Measurement, Platform};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Engine configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -22,8 +22,9 @@ pub struct EngineConfig {
     pub pipeline: PipelineConfig,
     /// Shard worker count; `0` means one per available core.
     pub shards: usize,
-    /// Bounded per-shard queue depth (backpressure: `ingest` blocks when
-    /// a shard falls this far behind).
+    /// Bounded per-shard queue depth in messages (backpressure: sends
+    /// block when a shard falls this far behind; a message is one direct
+    /// ingest or one feeder chunk).
     pub queue_capacity: usize,
 }
 
@@ -47,6 +48,30 @@ impl EngineConfig {
     }
 }
 
+/// Per-thread busy-time attribution, nanoseconds. Shard workers account
+/// every nanosecond they spend converting, solving, and building
+/// reports; the merge accounts its own serial section. Together these
+/// give the bench an Amdahl-style critical path (`max shard busy +
+/// merge`) that exposes a serialized engine even on machines with fewer
+/// cores than shards — the basis of the committed scaling-efficiency
+/// gate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineBusy {
+    /// Sum of all shard workers' busy time — the run's total parallel
+    /// work (grows slightly with shard count: per-shard interners
+    /// re-intern paths that cross shards).
+    pub shard_total_nanos: u64,
+    /// The slowest shard worker's busy time — the parallel section's
+    /// critical path. Flat scaling shows up here: a serialized engine
+    /// has `max ≈ total`.
+    pub shard_max_nanos: u64,
+    /// Critical-path cost of the merge that produced this report: the
+    /// merging thread's on-CPU time plus the slowest parallel
+    /// accumulation worker (wall time where the CPU clock is
+    /// unavailable). The serial section at the snapshot boundary.
+    pub merge_nanos: u64,
+}
+
 /// Aggregate engine-side work counters (incremental-solve effectiveness).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineStats {
@@ -64,6 +89,10 @@ pub struct EngineStats {
     /// Defaults on deserialize so pre-interning stats blobs still parse.
     #[serde(default)]
     pub interner: InternStats,
+    /// Busy-time attribution for this report's cut. Defaults on
+    /// deserialize so pre-accounting stats blobs still parse.
+    #[serde(default)]
+    pub busy: EngineBusy,
 }
 
 /// The sharded, order-independent, incremental tomography engine.
@@ -71,10 +100,13 @@ pub struct EngineStats {
 /// Unlike the batch [`churnlab_core::pipeline::Pipeline`], the engine
 /// accepts measurements in **any order** — there is no URL-grouping
 /// contract — and keeps every (URL × window × anomaly) instance
-/// incrementally solved as observations stream in. `ingest` converts on
-/// the calling thread, then routes the observation to a shard worker by
-/// `hash(url_id)` over a bounded channel; `&self` ingestion means any
-/// number of feeder threads can share one engine.
+/// incrementally solved as observations stream in. `ingest` routes the
+/// *raw* measurement to a shard worker by `hash(url_id)` over a bounded
+/// channel; conversion (the §3.1 elimination rules — the most expensive
+/// per-measurement stage) runs **on the shard's thread**, so one
+/// ingesting caller drives N shards' worth of conversion in parallel.
+/// `&self` ingestion means any number of feeder threads can share one
+/// engine.
 ///
 /// [`Engine::snapshot`] merges per-shard reports into a
 /// [`PipelineResults`] without stopping ingestion; [`Engine::finish`]
@@ -82,26 +114,47 @@ pub struct EngineStats {
 /// `PipelineResults`-compatible, so everything downstream — reports,
 /// validation, the matrix harness — works unchanged, and
 /// [`churnlab_core::report::CanonicalReport`] serializations are
-/// byte-identical to the batch pipeline's over the same measurement set.
+/// byte-identical to the batch pipeline's over the same measurement
+/// set.
 pub struct Engine<'c> {
-    db: &'c churnlab_topology::Ip2AsDb,
     topo: &'c churnlab_topology::Topology,
     cfg: PipelineConfig,
     senders: Vec<SyncSender<Msg>>,
-    workers: Vec<JoinHandle<()>>,
-    /// `[converted, discarded-rule1..rule4]`, accumulated lock-free from
-    /// feeder threads.
-    conversion: [AtomicU64; 5],
+    /// Joined on shutdown, or eagerly by [`Engine::worker_died`] when a
+    /// send fails — `Mutex` because `&self` senders may hit a dead
+    /// worker concurrently and exactly one of them gets to join it.
+    workers: Mutex<Vec<Option<JoinHandle<()>>>>,
 }
 
-/// Deterministic URL → shard routing (splitmix-style avalanche so
-/// consecutive URL ids spread across shards).
+/// Deterministic URL → shard routing: round robin over the id.
+///
+/// URL ids are dense corpus indices (the platform's corpus and the
+/// interop importer both hand them out sequentially), so modulo is the
+/// *balanced* partition — every shard owns the same number of URLs ±1.
+/// The avalanche hash this replaces looked more principled but binned a
+/// small dense id space binomially: at 60 URLs over 8 shards the
+/// busiest shard drew ~40% more URLs than the mean, and that partition
+/// skew — not any serialization — capped 8-shard scaling efficiency at
+/// ~0.6× linear.
 fn shard_of(url_id: u32, n_shards: usize) -> usize {
-    let mut x = u64::from(url_id).wrapping_add(0x9e37_79b9_7f4a_7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    ((x ^ (x >> 31)) % n_shards as u64) as usize
+    (url_id as usize) % n_shards
 }
+
+/// Render a worker's panic payload for re-raising with shard context.
+fn payload_msg(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
+/// Cells below this total skip the scoped-thread fan-out at the merge
+/// boundary: spawning per-shard merge threads costs more than resolving
+/// a small report serially.
+const PARALLEL_MERGE_MIN_CELLS: usize = 1024;
 
 impl<'c> Engine<'c> {
     /// New engine over a platform (interpret the platform's measurements
@@ -112,33 +165,30 @@ impl<'c> Engine<'c> {
 
     /// New engine over externally supplied context — the entry point for
     /// imported measurement records, mirroring
-    /// [`churnlab_core::pipeline::Pipeline::with_context`].
+    /// [`churnlab_core::pipeline::Pipeline::with_context`]. The IP-to-AS
+    /// database is cloned once into the shard workers (they convert on
+    /// their own threads and outlive the borrow).
     pub fn with_context(
-        db: &'c churnlab_topology::Ip2AsDb,
+        db: &churnlab_topology::Ip2AsDb,
         topo: &'c churnlab_topology::Topology,
         cfg: EngineConfig,
     ) -> Self {
         let n = cfg.resolved_shards().max(1);
+        let db = Arc::new(db.clone());
         let mut senders = Vec::with_capacity(n);
         let mut workers = Vec::with_capacity(n);
         for i in 0..n {
             let (tx, rx) = sync_channel(cfg.queue_capacity.max(1));
             let worker_cfg = cfg.pipeline.clone();
+            let worker_db = Arc::clone(&db);
             let handle = std::thread::Builder::new()
                 .name(format!("churnlab-shard-{i}"))
-                .spawn(move || run_worker(rx, worker_cfg))
+                .spawn(move || run_worker(rx, worker_cfg, worker_db))
                 .expect("spawn shard worker");
             senders.push(tx);
-            workers.push(handle);
+            workers.push(Some(handle));
         }
-        Engine {
-            db,
-            topo,
-            cfg: cfg.pipeline,
-            senders,
-            workers,
-            conversion: Default::default(),
-        }
+        Engine { topo, cfg: cfg.pipeline, senders, workers: Mutex::new(workers) }
     }
 
     /// Number of shard workers.
@@ -146,31 +196,64 @@ impl<'c> Engine<'c> {
         self.senders.len()
     }
 
-    /// Ingest one measurement, in any order relative to any other.
-    /// Conversion (the §3.1 elimination rules) runs on the calling
-    /// thread; the surviving observation is routed to its URL's shard.
-    /// Blocks only when that shard's bounded queue is full.
-    pub fn ingest(&self, m: &Measurement) {
-        let mut local = ConversionStats::default();
-        let obs = ConvertedObs::from_measurement(m, self.db, &mut local);
-        if local.converted > 0 {
-            self.conversion[0].fetch_add(local.converted, Ordering::Relaxed);
-        }
-        for (i, d) in local.discarded.into_iter().enumerate() {
-            if d > 0 {
-                self.conversion[i + 1].fetch_add(d, Ordering::Relaxed);
-            }
-        }
-        if let Some(o) = obs {
-            let shard = shard_of(o.url_id, self.senders.len());
-            self.senders[shard].send(Msg::Obs(vec![o])).expect("shard worker alive");
+    /// Send to a shard, turning a dead worker into a contextful panic
+    /// instead of an unrelated `SendError` unwrap.
+    pub(crate) fn send(&self, shard: usize, msg: Msg) {
+        if self.senders[shard].send(msg).is_err() {
+            self.worker_died(shard);
         }
     }
 
-    /// A buffering ingest handle for one feeder thread: conversions
+    /// A send or reply failed because shard `shard`'s worker is gone:
+    /// join it and propagate its panic payload with shard context. A
+    /// worker exiting without panicking while senders are live is a bug
+    /// in its own right and panics too.
+    #[cold]
+    fn worker_died(&self, shard: usize) -> ! {
+        let handle =
+            self.workers.lock().unwrap_or_else(|e| e.into_inner())[shard].take();
+        match handle.map(JoinHandle::join) {
+            Some(Err(payload)) => {
+                panic!("shard worker {shard} panicked: {}", payload_msg(payload.as_ref()))
+            }
+            Some(Ok(())) => {
+                panic!("shard worker {shard} exited with senders still live (engine bug)")
+            }
+            // Another thread already joined it and is propagating; this
+            // thread still cannot make progress.
+            None => panic!("shard worker {shard} is dead (joined elsewhere)"),
+        }
+    }
+
+    /// Test instrumentation: make shard `shard`'s worker panic, so the
+    /// worker-death propagation path can be exercised deterministically.
+    /// Not part of the public API.
+    #[doc(hidden)]
+    pub fn inject_worker_panic(&self, shard: usize) {
+        // An Err means the worker is already gone, which is fine — the
+        // next real send will propagate.
+        let _ = self.senders[shard].send(Msg::Poison);
+    }
+
+    /// Ingest one measurement, in any order relative to any other. The
+    /// raw measurement is routed to its URL's shard and converted (the
+    /// §3.1 elimination rules) on the shard's own thread. Blocks only
+    /// when that shard's bounded queue is full. Copies the measurement —
+    /// callers that own theirs should prefer [`Engine::ingest_owned`].
+    pub fn ingest(&self, m: &Measurement) {
+        self.ingest_owned(m.clone());
+    }
+
+    /// [`Engine::ingest`] without the copy.
+    pub fn ingest_owned(&self, m: Measurement) {
+        let shard = shard_of(m.url_id, self.senders.len());
+        self.send(shard, Msg::Raw(m));
+    }
+
+    /// A buffering ingest handle for one feeder thread: measurements
     /// accumulate locally and ship to shards in chunks, amortizing the
     /// channel synchronization that per-measurement `ingest` pays. Spawn
-    /// one per feeder thread; buffered observations reach the shards when
+    /// one per feeder thread; buffered measurements reach the shards when
     /// a chunk fills, at [`Feeder::flush`], or on drop — flush (or drop)
     /// every feeder before `snapshot` if the snapshot must include its
     /// tail.
@@ -178,8 +261,7 @@ impl<'c> Engine<'c> {
         Feeder {
             engine: self,
             buffers: vec![Vec::new(); self.senders.len()],
-            chunk: 128,
-            conversion: ConversionStats::default(),
+            chunk: Feeder::DEFAULT_CHUNK,
         }
     }
 
@@ -188,57 +270,108 @@ impl<'c> Engine<'c> {
     /// shard even while feeders keep ingesting.
     fn collect_reports(&self) -> Vec<ShardReport> {
         let mut pending = Vec::with_capacity(self.senders.len());
-        for tx in &self.senders {
+        for shard in 0..self.senders.len() {
             let (reply_tx, reply_rx) = sync_channel(1);
-            tx.send(Msg::Report(reply_tx)).expect("shard worker alive");
+            self.send(shard, Msg::Report(reply_tx));
             pending.push(reply_rx);
         }
-        pending.into_iter().map(|rx| rx.recv().expect("shard report")).collect()
+        pending
+            .into_iter()
+            .enumerate()
+            .map(|(shard, rx)| match rx.recv() {
+                Ok(report) => report,
+                Err(_) => self.worker_died(shard),
+            })
+            .collect()
     }
 
     fn merge(&self, reports: Vec<ShardReport>) -> (PipelineResults, EngineStats) {
+        // Critical-path accounting, same basis as the shard workers:
+        // the merging thread's on-CPU time (immune to being descheduled
+        // under core oversubscription) plus the slowest parallel
+        // accumulation worker — what an unconstrained machine would
+        // serially wait for. Wall time is the fallback.
+        let cpu0 = crate::shard::thread_cpu_nanos();
+        let t0 = Instant::now();
+        let mut par_max_nanos = 0u64;
         let mut stats = EngineStats { shards: self.senders.len(), ..Default::default() };
-        let mut acc = FindingsAccumulator::new();
+        let mut conversion = ConversionStats::default();
         let mut churn = ChurnAccumulator::new();
         let mut trivial = 0u64;
-        // Cells cross the shard boundary carrying PathIds; each id is
-        // only meaningful against its own shard's snapshot, so cells are
-        // tagged with their shard index for resolution below — the one
-        // place ids turn back into AS paths.
-        let mut snaps = Vec::with_capacity(reports.len());
-        let mut cells: Vec<(usize, SolvedCell)> = Vec::new();
-        for (si, r) in reports.into_iter().enumerate() {
+        let mut total_cells = 0usize;
+        for r in &reports {
             stats.observations += r.observations;
             stats.incremental.merge(r.stats);
             stats.interner.merge(r.intern);
+            stats.busy.shard_total_nanos += r.busy_nanos;
+            stats.busy.shard_max_nanos = stats.busy.shard_max_nanos.max(r.busy_nanos);
+            conversion.merge(r.conversion);
             trivial += r.trivial;
+            total_cells += r.cells.len();
+        }
+        // Cells carry PathIds; each id is only meaningful against its own
+        // shard's snapshot, so findings accumulate per shard — in
+        // parallel for big reports (scoped threads: the topology is a
+        // borrow) — and fan in through the order-independent
+        // `FindingsAccumulator::merge`. This keeps the snapshot boundary
+        // from serializing on one thread as shard counts grow.
+        let topo = self.topo;
+        let shard_acc = |r: &ShardReport| {
+            let mut acc = FindingsAccumulator::new();
+            for cell in &r.cells {
+                acc.record(
+                    &cell.outcome,
+                    cell.censored_paths.iter().map(|id| r.paths.path(*id)),
+                    topo,
+                );
+            }
+            acc
+        };
+        let accs: Vec<FindingsAccumulator> =
+            if total_cells >= PARALLEL_MERGE_MIN_CELLS && reports.len() > 1 {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = reports
+                        .iter()
+                        .map(|r| {
+                            scope.spawn(|| {
+                                let c0 = crate::shard::thread_cpu_nanos().unwrap_or(0);
+                                let acc = shard_acc(r);
+                                let c1 = crate::shard::thread_cpu_nanos().unwrap_or(0);
+                                (acc, c1.saturating_sub(c0))
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| {
+                            let (acc, nanos) = h.join().expect("merge worker");
+                            par_max_nanos = par_max_nanos.max(nanos);
+                            acc
+                        })
+                        .collect()
+                })
+            } else {
+                reports.iter().map(shard_acc).collect()
+            };
+        let mut acc = FindingsAccumulator::new();
+        for a in accs {
+            acc.merge(a);
+        }
+        let mut outcomes = Vec::with_capacity(total_cells);
+        for r in reports {
             churn.merge(r.churn);
             acc.on_censored_path.extend(r.on_censored_path);
-            cells.extend(r.cells.into_iter().map(|c| (si, c)));
-            snaps.push(r.paths);
+            outcomes.extend(r.cells.into_iter().map(|c: SolvedCell| c.outcome));
         }
         // One deterministic global order, whatever the shard layout.
-        cells.sort_by_key(|(_, c)| c.outcome.key);
-        let mut outcomes = Vec::with_capacity(cells.len());
-        for (si, cell) in cells {
-            let snap = &snaps[si];
-            acc.record(
-                &cell.outcome,
-                cell.censored_paths.iter().map(|id| snap.path(*id)),
-                self.topo,
-            );
-            outcomes.push(cell.outcome);
-        }
-        let conversion = ConversionStats {
-            converted: self.conversion[0].load(Ordering::Relaxed),
-            discarded: [
-                self.conversion[1].load(Ordering::Relaxed),
-                self.conversion[2].load(Ordering::Relaxed),
-                self.conversion[3].load(Ordering::Relaxed),
-                self.conversion[4].load(Ordering::Relaxed),
-            ],
-        };
+        outcomes.sort_by_key(|o| o.key);
         let FindingsAccumulator { censor_findings, leakage, on_censored_path } = acc;
+        stats.busy.merge_nanos = match (cpu0, crate::shard::thread_cpu_nanos()) {
+            // Caller CPU excludes the scoped workers (and the idle wait
+            // joining them); add back the slowest worker's CPU.
+            (Some(a), Some(b)) => b.saturating_sub(a) + par_max_nanos,
+            _ => t0.elapsed().as_nanos() as u64,
+        };
         let results = PipelineResults {
             outcomes,
             conversion,
@@ -254,24 +387,18 @@ impl<'c> Engine<'c> {
 
     /// Merge a point-in-time report without stopping ingestion. The cut
     /// is per-shard consistent: everything enqueued before the call is
-    /// included.
-    ///
-    /// Consistency boundary: the tomography state (outcomes, findings,
-    /// leakage, churn) reflects exactly the per-shard cut, but the
-    /// conversion counters are global atomics read at merge time — under
-    /// concurrent feeding they can lead the cut by in-flight
-    /// measurements (or lag it by a [`Feeder`]'s unflushed tail). Once
-    /// feeders are flushed and ingestion quiesces — and always at
-    /// [`Engine::finish`] — the counters agree exactly with the report.
+    /// included — and because conversion is shard state, the conversion
+    /// counters agree exactly with the cut (a [`Feeder`]'s unflushed
+    /// tail is excluded from both).
     pub fn snapshot(&self) -> PipelineResults {
         self.merge(self.collect_reports()).0
     }
 
     /// Final report plus the engine-side work counters; shuts the shard
-    /// workers down.
+    /// workers down (propagating any worker panic with shard context).
     pub fn finish_with_stats(mut self) -> (PipelineResults, EngineStats) {
         let merged = self.merge(self.collect_reports());
-        self.shutdown();
+        self.shutdown(true);
         merged
     }
 
@@ -280,68 +407,81 @@ impl<'c> Engine<'c> {
         self.finish_with_stats().0
     }
 
-    fn shutdown(&mut self) {
+    fn shutdown(&mut self, propagate: bool) {
         self.senders.clear(); // workers exit when the last sender drops
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
+        let mut workers = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+        for (shard, slot) in workers.iter_mut().enumerate() {
+            if let Some(handle) = slot.take() {
+                if let Err(payload) = handle.join() {
+                    if propagate {
+                        panic!(
+                            "shard worker {shard} panicked: {}",
+                            payload_msg(payload.as_ref())
+                        );
+                    }
+                }
+            }
         }
     }
 }
 
 impl Drop for Engine<'_> {
     fn drop(&mut self) {
-        self.shutdown();
+        // Propagate a worker panic out of a plain drop too — but never
+        // while already unwinding (a double panic aborts).
+        let unwinding = std::thread::panicking();
+        self.shutdown(!unwinding);
     }
 }
 
-/// A per-thread buffering ingest handle (see [`Engine::feeder`]).
+/// A per-thread buffering ingest handle (see [`Engine::feeder`]). Holds
+/// raw measurements — conversion happens shard-side — so its only
+/// per-measurement work is a hash and a buffer push.
 pub struct Feeder<'e, 'c> {
     engine: &'e Engine<'c>,
-    buffers: Vec<Vec<ConvertedObs>>,
+    buffers: Vec<Vec<Measurement>>,
     chunk: usize,
-    conversion: ConversionStats,
 }
 
 impl Feeder<'_, '_> {
-    /// Override the per-shard chunk size (observations buffered before a
+    /// Default per-shard chunk size. Sized for throughput: feeding is so
+    /// cheap post-routing that channel synchronization dominates it, so
+    /// chunks are big; live vantage feeds that want short unflushed
+    /// tails before snapshots can shrink this via [`Feeder::with_chunk`].
+    pub const DEFAULT_CHUNK: usize = 512;
+
+    /// Override the per-shard chunk size (measurements buffered before a
     /// channel send). Larger chunks amortize synchronization further at
-    /// the cost of a longer unflushed tail before `snapshot`; replay
-    /// front-ends reading from fast local files benefit from bigger
-    /// chunks than live vantage feeds do.
+    /// the cost of a longer unflushed tail before `snapshot`.
     pub fn with_chunk(mut self, chunk: usize) -> Self {
         self.chunk = chunk.max(1);
         self
     }
 
     /// Ingest one measurement through this feeder's local buffers.
+    /// Copies the measurement — callers that own theirs should prefer
+    /// [`Feeder::ingest_owned`].
     pub fn ingest(&mut self, m: &Measurement) {
-        let obs = ConvertedObs::from_measurement(m, self.engine.db, &mut self.conversion);
-        if let Some(o) = obs {
-            let shard = shard_of(o.url_id, self.buffers.len());
-            self.buffers[shard].push(o);
-            if self.buffers[shard].len() >= self.chunk {
-                let batch = std::mem::take(&mut self.buffers[shard]);
-                self.engine.senders[shard].send(Msg::Obs(batch)).expect("shard worker alive");
-            }
+        self.ingest_owned(m.clone());
+    }
+
+    /// [`Feeder::ingest`] without the copy.
+    pub fn ingest_owned(&mut self, m: Measurement) {
+        let shard = shard_of(m.url_id, self.buffers.len());
+        let buf = &mut self.buffers[shard];
+        buf.push(m);
+        if buf.len() >= self.chunk {
+            let batch = std::mem::replace(buf, Vec::with_capacity(self.chunk));
+            self.engine.send(shard, Msg::Batch(batch));
         }
     }
 
-    /// Ship every buffered observation and fold the conversion counters
-    /// into the engine.
+    /// Ship every buffered measurement to its shard.
     pub fn flush(&mut self) {
         for (shard, buf) in self.buffers.iter_mut().enumerate() {
             if !buf.is_empty() {
                 let batch = std::mem::take(buf);
-                self.engine.senders[shard].send(Msg::Obs(batch)).expect("shard worker alive");
-            }
-        }
-        let stats = std::mem::take(&mut self.conversion);
-        if stats.converted > 0 {
-            self.engine.conversion[0].fetch_add(stats.converted, Ordering::Relaxed);
-        }
-        for (i, d) in stats.discarded.into_iter().enumerate() {
-            if d > 0 {
-                self.engine.conversion[i + 1].fetch_add(d, Ordering::Relaxed);
+                self.engine.send(shard, Msg::Batch(batch));
             }
         }
     }
@@ -349,6 +489,17 @@ impl Feeder<'_, '_> {
 
 impl Drop for Feeder<'_, '_> {
     fn drop(&mut self) {
-        self.flush();
+        if std::thread::panicking() {
+            // Best-effort tail delivery while unwinding: a dead worker
+            // must not turn one panic into an abort.
+            for (shard, buf) in self.buffers.iter_mut().enumerate() {
+                if !buf.is_empty() {
+                    let batch = std::mem::take(buf);
+                    let _ = self.engine.senders[shard].send(Msg::Batch(batch));
+                }
+            }
+        } else {
+            self.flush();
+        }
     }
 }

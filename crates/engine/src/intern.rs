@@ -20,6 +20,7 @@ use churnlab_topology::Asn;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
 
 /// A fast multiplicative hasher (FxHash-style) for the engine's hot maps:
 /// small integer keys ([`PathId`], [`Asn`]) and short `u32` sequences
@@ -137,6 +138,10 @@ pub struct PathTable {
     distinct_offsets: Vec<u32>,
     /// Intern calls answered from the table.
     hits: u64,
+    /// Last [`PathTable::snapshot_shared`] result, reused while the table
+    /// has not grown since — a snapshot-heavy polling loop pays one arena
+    /// clone per *table growth*, not one per report.
+    snap_cache: Option<Arc<PathSnapshot>>,
 }
 
 impl PathTable {
@@ -149,6 +154,7 @@ impl PathTable {
             distinct_arena: Vec::new(),
             distinct_offsets: vec![0],
             hits: 0,
+            snap_cache: None,
         }
     }
 
@@ -210,6 +216,22 @@ impl PathTable {
     /// per-observation `Vec<Vec<Asn>>`.
     pub fn snapshot(&self) -> PathSnapshot {
         PathSnapshot { arena: self.arena.clone(), offsets: self.offsets.clone() }
+    }
+
+    /// [`PathTable::snapshot`] behind an `Arc`, cached: returns the same
+    /// allocation until the table grows again. Ids are dense and never
+    /// reassigned, so a cached snapshot taken at the current length is
+    /// exactly the snapshot a fresh clone would produce — repeated
+    /// reports of a quiesced shard are allocation-free at this boundary.
+    pub fn snapshot_shared(&mut self) -> Arc<PathSnapshot> {
+        match &self.snap_cache {
+            Some(s) if s.len() == self.len() => Arc::clone(s),
+            _ => {
+                let s = Arc::new(self.snapshot());
+                self.snap_cache = Some(Arc::clone(&s));
+                s
+            }
+        }
     }
 }
 
@@ -304,5 +326,21 @@ mod tests {
         assert_eq!(snap2.path(a), t.path(a));
         assert_eq!(snap2.path(b), t.path(b));
         assert_eq!(t.intern(&asns(&[1, 2])), a, "re-intern after snapshot keeps the id");
+    }
+
+    #[test]
+    fn shared_snapshot_is_cached_until_growth() {
+        let mut t = PathTable::new();
+        let a = t.intern(&asns(&[1, 2]));
+        let s1 = t.snapshot_shared();
+        t.intern(&asns(&[1, 2])); // duplicate: no growth
+        let s2 = t.snapshot_shared();
+        assert!(Arc::ptr_eq(&s1, &s2), "unchanged table reuses the snapshot");
+        let b = t.intern(&asns(&[9]));
+        let s3 = t.snapshot_shared();
+        assert!(!Arc::ptr_eq(&s1, &s3), "growth invalidates the cache");
+        assert_eq!(s3.path(a), t.path(a));
+        assert_eq!(s3.path(b), t.path(b));
+        assert_eq!(s1.path(a), t.path(a), "old snapshot stays valid for old ids");
     }
 }

@@ -14,10 +14,12 @@
 //!
 //! * **Any order** — [`Engine::ingest`] accepts measurements in whatever
 //!   order they arrive; instance state is keyed, not positional.
-//! * **Sharded** — each converted observation is routed by
-//!   `hash(url_id)` to a shard worker over a bounded channel; shards own
-//!   their instances outright (no locks on the hot path) and solve in
-//!   parallel.
+//! * **Sharded** — each *raw* measurement is routed by `hash(url_id)`
+//!   to a shard worker over a bounded channel; shards own their
+//!   instances outright (no locks on the hot path) and both **convert**
+//!   (the §3.1 elimination rules — the most expensive per-measurement
+//!   stage) and solve in parallel, so one ingesting thread drives N
+//!   cores' worth of work.
 //! * **Incremental** — every instance keeps a memoized
 //!   unit-propagation/backbone state ([`IncrementalInstance`]), so a new
 //!   observation is usually a constant-time state transition
@@ -57,7 +59,7 @@
 //! # );
 //! let cfg = EngineConfig::new(PipelineConfig::paper(pcfg.total_days)).with_shards(2);
 //! let engine = Engine::new(&platform, cfg);
-//! platform.run(&sim, |m| engine.ingest(&m)); // any order would do
+//! platform.run(&sim, |m| engine.ingest_owned(m)); // any order would do
 //! let results = engine.finish();
 //! println!("identified {} censors", results.identified_censors().len());
 //! ```
@@ -71,6 +73,6 @@ pub mod intern;
 pub mod reference;
 mod shard;
 
-pub use engine::{Engine, EngineConfig, EngineStats, Feeder};
+pub use engine::{Engine, EngineBusy, EngineConfig, EngineStats, Feeder};
 pub use incremental::{IncrementalInstance, IncrementalStats, InstanceGroup, SolveScratch};
 pub use intern::{InternStats, PathSnapshot, PathTable};

@@ -2,38 +2,58 @@
 //!
 //! Each shard owns the instances of its URL subset outright — no locks,
 //! no sharing; cross-shard aggregation happens only when a report is
-//! requested. A shard receives [`Msg::Obs`] for every converted
-//! observation routed to it (any order) and answers [`Msg::Report`] with
+//! requested. A shard receives [`Msg::Raw`]/[`Msg::Batch`] for every
+//! measurement routed to it (any order) and answers [`Msg::Report`] with
 //! a self-contained [`ShardReport`] the engine merges on the caller's
 //! thread (which is where the topology lives — workers are `'static`).
 //!
-//! The shard is where interning happens: every incoming path is resolved
-//! to a [`PathId`] against the shard-local [`PathTable`] — **one hash
-//! per measurement** — and the granularity×anomaly fan-out works on the
-//! id alone. Report cells carry ids too; the merger resolves them back
-//! to AS paths through the report's [`PathSnapshot`] only at the
-//! boundary.
+//! The shard is where **conversion** happens: routing needs only the
+//! measurement's `url_id`, so the §3.1 elimination rules (per-hop
+//! IP-to-AS trie walks over three traceroutes — the single most
+//! expensive per-measurement stage) run on the shard's own thread
+//! against a shared [`Ip2AsDb`]. One ingesting caller therefore drives
+//! N shards' worth of conversion in parallel instead of converting
+//! serially for all of them — the fix for the flat shard-scaling curve.
+//! A side effect: conversion counters are shard state, so a report's
+//! conversion accounting is exactly consistent with its cut.
+//!
+//! The shard is also where interning happens: every converted path is
+//! resolved to a [`PathId`] against the shard-local [`PathTable`] —
+//! **one hash per measurement** — and the granularity×anomaly fan-out
+//! works on the id alone. Report cells carry ids too; the merger
+//! resolves them back to AS paths through the report's [`PathSnapshot`]
+//! only at the boundary.
 
 use crate::incremental::{IncrementalStats, InstanceGroup, SolveScratch};
 use crate::intern::{FxMap, FxSet, InternStats, PathSnapshot, PathTable};
 use churnlab_bgp::TimeWindow;
 use churnlab_core::analyze::{analyze_with, InstanceOutcome};
 use churnlab_core::batch::{first_path_refs, for_each_instance};
+use churnlab_core::convert::ConversionStats;
 use churnlab_core::obs::{ConvertedObs, PathId};
 use churnlab_core::pipeline::{ChurnMode, PipelineConfig};
 use churnlab_core::ChurnAccumulator;
-use churnlab_topology::Asn;
+use churnlab_platform::Measurement;
+use churnlab_topology::{Asn, Ip2AsDb};
 use std::collections::HashSet;
 use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// A message to a shard worker.
 pub(crate) enum Msg {
-    /// A batch of converted observations for this shard's URL subset
-    /// (size 1 for direct [`crate::Engine::ingest`]; feeders chunk).
-    Obs(Vec<ConvertedObs>),
+    /// One raw measurement for this shard's URL subset (direct
+    /// [`crate::Engine::ingest`] — carried inline: no per-measurement
+    /// heap allocation on the send side).
+    Raw(Measurement),
+    /// A feeder's chunk of raw measurements.
+    Batch(Vec<Measurement>),
     /// Produce a report of everything processed so far (a snapshot when
     /// the engine keeps running, the final answer at `finish`).
     Report(SyncSender<ShardReport>),
+    /// Test instrumentation: panic the worker, so the engine's
+    /// worker-death propagation can be exercised deterministically.
+    Poison,
 }
 
 /// One analysed instance crossing the shard boundary: the outcome plus
@@ -50,14 +70,22 @@ pub(crate) struct ShardReport {
     pub cells: Vec<SolvedCell>,
     /// Resolver for every [`PathId`] in `cells` (one flat arena over the
     /// shard's *distinct* paths — the report never deep-copies a
-    /// per-observation `Vec<Vec<Asn>>`).
-    pub paths: PathSnapshot,
+    /// per-observation `Vec<Vec<Asn>>`). Shared: a quiesced shard hands
+    /// out the same cached snapshot allocation report after report.
+    pub paths: Arc<PathSnapshot>,
     pub trivial: u64,
     pub churn: ChurnAccumulator,
     pub on_censored_path: HashSet<Asn>,
     pub stats: IncrementalStats,
     pub intern: InternStats,
+    /// Conversion accounting for every measurement routed here —
+    /// exactly consistent with this report's cut.
+    pub conversion: ConversionStats,
     pub observations: u64,
+    /// Cumulative busy time of this worker (conversion + ingest +
+    /// report building), in nanoseconds — the per-thread attribution the
+    /// bench's scaling-efficiency model is built on.
+    pub busy_nanos: u64,
 }
 
 /// One URL's deferred buffer for the Figure-4 ablation, where "first
@@ -109,6 +137,7 @@ pub(crate) struct ShardState {
     /// observability horizon, expanded to ASes only at report time.
     censored_path_ids: FxSet<PathId>,
     stats: IncrementalStats,
+    conversion: ConversionStats,
     observations: u64,
     /// Worker-owned reusable solver state: every re-solve of every
     /// instance on this shard runs on one warm watched-literal context.
@@ -125,8 +154,19 @@ impl ShardState {
             churn: ChurnAccumulator::new(),
             censored_path_ids: FxSet::default(),
             stats: IncrementalStats::default(),
+            conversion: ConversionStats::default(),
             observations: 0,
             scratch: SolveScratch::new(),
+        }
+    }
+
+    /// Convert one raw measurement (the §3.1 elimination rules) and fold
+    /// the surviving observation in. This is the engine's conversion
+    /// site: it runs on the shard's own thread, in parallel across
+    /// shards, whatever the feeder count.
+    pub(crate) fn ingest_raw(&mut self, m: &Measurement, db: &Ip2AsDb) {
+        if let Some(o) = ConvertedObs::from_measurement(m, db, &mut self.conversion) {
+            self.ingest(o);
         }
     }
 
@@ -198,11 +238,14 @@ impl ShardState {
                 // No cell carries an id until some instance pins a
                 // censor; until then a snapshot needs no arena clone —
                 // the table only grows, so this is the common case for
-                // frequent polling early in a stream.
+                // frequent polling early in a stream. Once ids do cross,
+                // the shared snapshot is cached per table growth, so a
+                // quiesced shard resolves report after report from one
+                // allocation.
                 if cells.iter().all(|c| c.censored_paths.is_empty()) {
-                    PathSnapshot::empty()
+                    Arc::new(PathSnapshot::empty())
                 } else {
-                    self.table.snapshot()
+                    self.table.snapshot_shared()
                 }
             }
             ChurnMode::FirstPathOnly => {
@@ -238,7 +281,7 @@ impl ShardState {
                         },
                     );
                 }
-                report_table.snapshot()
+                Arc::new(report_table.snapshot())
             }
         };
         ShardReport {
@@ -249,24 +292,67 @@ impl ShardState {
             on_censored_path,
             stats: self.stats,
             intern: self.table.stats(),
+            conversion: self.conversion,
             observations: self.observations,
+            busy_nanos: 0, // stamped by the worker loop
         }
     }
 }
 
-/// The worker loop: drain messages until every sender is gone.
-pub(crate) fn run_worker(rx: Receiver<Msg>, cfg: PipelineConfig) {
+/// Cumulative on-CPU time of the calling thread, in nanoseconds
+/// (Linux: `/proc/thread-self/schedstat` field 0). `None` where the
+/// file is absent.
+///
+/// This — not wall time around each message — is what busy-time
+/// attribution must be built on: when shards outnumber cores the OS
+/// time-slices the workers, and a wall interval around "process one
+/// batch" silently includes every other thread's turn on the core,
+/// inflating each worker's apparent busy time to nearly the whole run.
+/// On-CPU time is immune to descheduling, so the scaling-efficiency
+/// model stays honest on machines of any core count.
+pub(crate) fn thread_cpu_nanos() -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/thread-self/schedstat").ok()?;
+    text.split_whitespace().next()?.parse().ok()
+}
+
+/// The worker loop: drain messages until every sender is gone,
+/// converting and solving on this thread and attributing the busy time
+/// spent doing it (the scaling-efficiency model's raw data).
+pub(crate) fn run_worker(rx: Receiver<Msg>, cfg: PipelineConfig, db: Arc<Ip2AsDb>) {
     let mut state = ShardState::new(cfg);
+    // Probe the CPU clock once: where it works, busy time is one file
+    // read per report; otherwise fall back to wall intervals around each
+    // message (overstated under core oversubscription, but better than
+    // nothing on non-Linux hosts).
+    let cpu_clock = thread_cpu_nanos().is_some();
+    let mut wall_busy_nanos = 0u64;
     while let Ok(msg) = rx.recv() {
+        let t0 = if cpu_clock { None } else { Some(Instant::now()) };
         match msg {
-            Msg::Obs(batch) => {
-                for o in batch {
-                    state.ingest(o);
+            Msg::Raw(m) => state.ingest_raw(&m, &db),
+            Msg::Batch(batch) => {
+                for m in &batch {
+                    state.ingest_raw(m, &db);
                 }
             }
-            // A dropped reply channel means the requester gave up; the
-            // shard itself is still healthy.
-            Msg::Report(reply) => drop(reply.send(state.report())),
+            Msg::Report(reply) => {
+                let mut report = state.report();
+                if let Some(t0) = t0 {
+                    wall_busy_nanos += t0.elapsed().as_nanos() as u64;
+                }
+                // The worker thread does nothing but process messages
+                // (a blocked recv costs no CPU), so its whole on-CPU
+                // time is the shard's busy time.
+                report.busy_nanos = thread_cpu_nanos().unwrap_or(wall_busy_nanos);
+                // A dropped reply channel means the requester gave up;
+                // the shard itself is still healthy.
+                drop(reply.send(report));
+                continue;
+            }
+            Msg::Poison => panic!("poisoned by test instrumentation"),
+        }
+        if let Some(t0) = t0 {
+            wall_busy_nanos += t0.elapsed().as_nanos() as u64;
         }
     }
 }

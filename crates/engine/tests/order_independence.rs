@@ -104,7 +104,7 @@ fn shuffled_engine_matches_ordered_pipeline_byte_identically() {
 
 /// The interned-dedup acceptance matrix: shuffled multi-feeder ingest is
 /// byte-identical to the ordered batch pipeline across shard counts
-/// {1, 4} × both churn modes × 3 seeds. This is the end-to-end proof
+/// {1, 4, 8} × both churn modes × 3 seeds. This is the end-to-end proof
 /// that the id-based data plane — `PathId` dedup masks, group-shared
 /// variable spaces, snapshot-resolved report cells — changes nothing
 /// observable, whatever the arrival order or shard layout.
@@ -115,7 +115,7 @@ fn interned_dedup_matrix_is_byte_identical() {
         let (platform, ms) = measurements(&s);
         for mode in [ChurnMode::Normal, ChurnMode::FirstPathOnly] {
             let expected = canonical_json(&pipeline_results(&platform, &ms, mode));
-            for shards in [1usize, 4] {
+            for shards in [1usize, 4, 8] {
                 let mut shuffled = ms.clone();
                 shuffled.shuffle(&mut StdRng::seed_from_u64(seed ^ (shards as u64) << 8));
                 let got = canonical_json(&engine_results(&platform, &shuffled, mode, shards));
@@ -199,6 +199,48 @@ fn concurrent_feeders_match_pipeline() {
     });
     let got = canonical_json(&engine.finish());
     assert_eq!(got, expected, "concurrent feeders diverged from pipeline");
+}
+
+/// The documented snapshot cut semantics around feeder tails, asserted
+/// while a feeder is genuinely mid-chunk: a flushed tail is included in
+/// the snapshot, an unflushed tail is excluded from it (both the
+/// outcomes *and* the conversion counters — conversion is shard state,
+/// so the accounting tracks the cut exactly), and dropping the feeder
+/// implies a flush.
+#[test]
+fn snapshot_cut_respects_feeder_tails() {
+    let s = study(67);
+    let (platform, ms) = measurements(&s);
+    let cfg = PipelineConfig::paper(platform.config().total_days);
+    let engine = Engine::new(&platform, EngineConfig::new(cfg).with_shards(2));
+    let half = ms.len() / 2;
+
+    // A chunk bigger than the stream: nothing ships until we say so.
+    let mut feeder = engine.feeder().with_chunk(ms.len() + 1);
+    for m in &ms[..half] {
+        feeder.ingest(m);
+    }
+    // Unflushed tail: the cut must be empty.
+    let before = engine.snapshot();
+    assert_eq!(before.conversion.converted + before.conversion.total_discarded(), 0);
+    assert!(before.outcomes.is_empty(), "unflushed tail leaked into the snapshot");
+
+    // Flushed tail: the cut must equal a batch run over the same prefix.
+    feeder.flush();
+    let mid = engine.snapshot();
+    let mid_expected = pipeline_results(&platform, &ms[..half], ChurnMode::Normal);
+    assert_eq!(canonical_json(&mid), canonical_json(&mid_expected));
+    assert_eq!(mid.conversion, mid_expected.conversion);
+
+    // Drop implies flush: the rest of the stream arrives via drop alone.
+    for m in &ms[half..] {
+        feeder.ingest(m);
+    }
+    drop(feeder);
+    let full = engine.finish();
+    let full_expected = pipeline_results(&platform, &ms, ChurnMode::Normal);
+    assert_eq!(canonical_json(&full), canonical_json(&full_expected));
+    assert_eq!(full.conversion, full_expected.conversion);
 }
 
 /// `snapshot()` mid-stream is a consistent prefix report, and ingestion

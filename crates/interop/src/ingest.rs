@@ -107,14 +107,11 @@ pub fn replay_jsonl<R: BufRead>(
             senders.push(tx);
             handles.push(scope.spawn(move || {
                 let mut stats = ImportStats::default();
-                // Replay reads a fast local file, not a trickling vantage
-                // feed: larger feeder chunks amortize channel traffic and
-                // nothing needs a snapshot mid-replay.
-                let mut feeder = engine.feeder().with_chunk(512);
+                let mut feeder = engine.feeder();
                 while let Ok(batch) = rx.recv() {
                     for line in &batch {
                         if let Some((m, _domain)) = format.import_line(line, &mut stats) {
-                            feeder.ingest(&m);
+                            feeder.ingest_owned(m);
                         }
                     }
                 }
