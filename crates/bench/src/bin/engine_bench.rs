@@ -38,9 +38,30 @@
 //! path = slowest shard + merge), loudly annotated — so a flat curve
 //! fails everywhere, including runners with fewer cores than shards.
 //! The sweep must include a 1-shard row: efficiency is relative to it.
+//!
+//! `--assert-overhead` is a dedicated mode: the same workload through a
+//! *stripped* engine (no metrics registry — zero atomic ops) and an
+//! instrumented one, interleaved best-of-`--repeats` with alternating
+//! order, at the highest `--shards` count. Both arms are measured on
+//! the wall clock and on the engine's own busy attribution; the gate
+//! arms on the on-CPU delta (the work instrumentation *adds*, immune to
+//! other processes stealing the core) whenever the thread CPU clock
+//! exists, wall clock otherwise (annotated). The run fails (exit 1) if
+//! instrumentation costs more than `--max-overhead` (default 2%).
+//!
+//! `--metrics-out FILE` makes the run instrumented and keeps FILE
+//! current with the registry's Prometheus text exposition (rewritten
+//! every ~500ms by a scraper thread, final scrape at exit).
+//! `--journal-out FILE` streams the run's JSONL event journal there —
+//! engine events plus this binary's `gate_armed`/`gate_skipped`
+//! outcomes.
 
-use churnlab_bench::enginebench::{run_throughput, ThroughputHarness, ThroughputReport};
+use churnlab_bench::enginebench::{
+    run_overhead, run_throughput, ThroughputHarness, ThroughputReport,
+};
+use churnlab_bench::obsbench::{BenchObs, MetricsWriter};
 use churnlab_bench::{Bench, Scale};
+use churnlab_obs::Journal;
 
 /// Fraction of the baseline speedup the new run must retain.
 const REGRESSION_FLOOR: f64 = 0.8;
@@ -48,6 +69,10 @@ const REGRESSION_FLOOR: f64 = 0.8;
 /// Default `--min-efficiency`: the ISSUE-6 deliverable is ≥0.7× linear
 /// scaling at 8 shards.
 const DEFAULT_MIN_EFFICIENCY: f64 = 0.7;
+
+/// Default `--max-overhead`: the ISSUE-7 deliverable is instrumentation
+/// costing ≤2% of stripped throughput.
+const DEFAULT_MAX_OVERHEAD: f64 = 0.02;
 
 struct Args {
     scale: Scale,
@@ -61,6 +86,10 @@ struct Args {
     update_baseline: bool,
     assert_scaling: bool,
     min_efficiency: f64,
+    assert_overhead: bool,
+    max_overhead: f64,
+    metrics_out: Option<String>,
+    journal_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -76,6 +105,10 @@ fn parse_args() -> Result<Args, String> {
         update_baseline: false,
         assert_scaling: false,
         min_efficiency: DEFAULT_MIN_EFFICIENCY,
+        assert_overhead: false,
+        max_overhead: DEFAULT_MAX_OVERHEAD,
+        metrics_out: None,
+        journal_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -114,17 +147,33 @@ fn parse_args() -> Result<Args, String> {
                     return Err(format!("--min-efficiency {v} outside (0, 1]"));
                 }
             }
+            "--max-overhead" => {
+                let v = it.next().ok_or("--max-overhead needs a fraction (e.g. 0.02)")?;
+                args.max_overhead = v.parse().map_err(|_| format!("bad overhead `{v}`"))?;
+                if args.max_overhead <= 0.0 {
+                    return Err(format!("--max-overhead {v} must be positive"));
+                }
+            }
             "--out" => args.out = Some(it.next().ok_or("--out needs a path")?),
             "--baseline" => args.baseline = Some(it.next().ok_or("--baseline needs a path")?),
+            "--metrics-out" => {
+                args.metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?)
+            }
+            "--journal-out" => {
+                args.journal_out = Some(it.next().ok_or("--journal-out needs a path")?)
+            }
             "--require-gate" => args.require_gate = true,
             "--update-baseline" => args.update_baseline = true,
             "--assert-scaling" => args.assert_scaling = true,
+            "--assert-overhead" => args.assert_overhead = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: engine_bench [--scale smoke|small|paper] [--seed N] \
                      [--shards 1,2,4,8] [--feeders N|0=match-shards] [--repeats N] \
                      [--out FILE] [--baseline FILE] [--require-gate] \
-                     [--update-baseline] [--assert-scaling] [--min-efficiency X]"
+                     [--update-baseline] [--assert-scaling] [--min-efficiency X] \
+                     [--assert-overhead] [--max-overhead X] \
+                     [--metrics-out FILE] [--journal-out FILE]"
                         .into(),
                 )
             }
@@ -152,6 +201,13 @@ fn parse_args() -> Result<Args, String> {
         args.out = Some(target);
         args.baseline = None; // the run IS the baseline — nothing to gate on
     }
+    if args.assert_overhead
+        && (args.baseline.is_some() || args.assert_scaling || args.update_baseline)
+    {
+        return Err("--assert-overhead is a dedicated stripped-vs-instrumented mode; it \
+             cannot combine with --baseline/--assert-scaling/--update-baseline"
+            .into());
+    }
     Ok(args)
 }
 
@@ -172,6 +228,27 @@ fn warn_loudly(msg: &str) {
         println!("::warning title=engine_bench gate::{msg}");
     }
     eprintln!("engine_bench: WARNING — {msg}");
+}
+
+/// Gate outcomes mirrored into the run's event journal (when one is
+/// attached), so a scraped journal shows whether the run was actually
+/// gated — the machine-readable counterpart of [`warn_loudly`].
+struct GateJournal<'a>(Option<&'a Journal>);
+
+impl GateJournal<'_> {
+    fn armed(&self, gate: &str, detail: &str) {
+        if let Some(j) = self.0 {
+            j.emit_tagged("gate_armed", &[], &[("gate", gate), ("detail", detail)]);
+            j.flush(); // gates may exit the process right after
+        }
+    }
+
+    fn skipped(&self, gate: &str, reason: &str) {
+        if let Some(j) = self.0 {
+            j.emit_tagged("gate_skipped", &[], &[("gate", gate), ("reason", reason)]);
+            j.flush();
+        }
+    }
 }
 
 /// Compare the run against a committed baseline report: every shard count
@@ -197,7 +274,7 @@ fn check_regression(report: &ThroughputReport, baseline: &ThroughputReport) -> V
 /// `--assert-scaling`: efficiency at the highest shard count must reach
 /// `min_efficiency`, on whichever basis the machine can honestly
 /// measure. Exits the process on failure.
-fn assert_scaling(report: &ThroughputReport, min_efficiency: f64) {
+fn assert_scaling(report: &ThroughputReport, min_efficiency: f64, gates: &GateJournal<'_>) {
     let max = report.engine.iter().max_by_key(|r| r.shards).expect("at least one shard count");
     if max.shards == 1 {
         eprintln!("engine_bench: FAIL — --assert-scaling needs a shard count above 1");
@@ -230,6 +307,7 @@ fn assert_scaling(report: &ThroughputReport, min_efficiency: f64) {
         std::process::exit(1);
     };
     if efficiency < min_efficiency {
+        gates.armed("scaling", &format!("fail — {basis} {efficiency:.2} < {min_efficiency:.2}"));
         eprintln!(
             "engine_bench: FAIL — {basis} scaling efficiency {:.2} at {} shards is below \
              the {:.2} floor (flat curve: the engine is serialized somewhere)",
@@ -237,6 +315,7 @@ fn assert_scaling(report: &ThroughputReport, min_efficiency: f64) {
         );
         std::process::exit(1);
     }
+    gates.armed("scaling", &format!("pass — {basis} {efficiency:.2} >= {min_efficiency:.2}"));
     eprintln!(
         "engine_bench: scaling ok — {basis} efficiency {:.2} at {} shards \
          (floor {:.2}, {} core(s))",
@@ -261,6 +340,21 @@ fn main() {
         serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse baseline {path}: {e}"))
     });
 
+    // Observability sink: either output flag makes the run instrumented
+    // (shared registry + optional journal across every engine built).
+    let journal = args.journal_out.as_ref().map(|path| {
+        Journal::to_file(std::path::Path::new(path))
+            .unwrap_or_else(|e| panic!("create journal {path}: {e}"))
+    });
+    let sink = (args.metrics_out.is_some() || journal.is_some())
+        .then(|| BenchObs::new(journal.clone()));
+    let metrics_writer = args
+        .metrics_out
+        .as_ref()
+        .zip(sink.as_ref())
+        .map(|(path, s)| MetricsWriter::spawn(s.registry.clone(), path));
+    let gates = GateJournal(journal.as_ref());
+
     let bench = Bench::assemble(args.scale, args.seed);
     let harness = ThroughputHarness::assemble(&bench);
     eprintln!(
@@ -272,6 +366,91 @@ fn main() {
         args.repeats,
     );
 
+    if args.assert_overhead {
+        // Dedicated mode: the stripped-vs-instrumented comparison is the
+        // whole run — no pipeline control, no sweep, no baseline gate.
+        let shards = *args.shards.iter().max().expect("shards validated non-empty");
+        let report = run_overhead(
+            &harness,
+            scale_label(args.scale),
+            shards,
+            args.feeders,
+            args.repeats,
+            sink.as_ref(),
+        );
+        eprintln!(
+            "engine_bench: overhead — wall: stripped {:.3}s vs instrumented {:.3}s \
+             ({:+.2}%); on-CPU: {:.3}s vs {:.3}s ({:+.2}%) \
+             ({} shard(s), {} feeder(s), best of {} × {} pass(es))",
+            report.stripped_secs,
+            report.instrumented_secs,
+            report.overhead_frac * 100.0,
+            report.stripped_cpu_secs,
+            report.instrumented_cpu_secs,
+            report.cpu_overhead_frac * 100.0,
+            report.shards,
+            report.feeders,
+            report.repeats,
+            report.passes,
+        );
+        let json = serde_json::to_string(&report).expect("report serializes");
+        match &args.out {
+            Some(path) => {
+                std::fs::write(path, format!("{json}\n")).expect("write report");
+                eprintln!("engine_bench: wrote {path}");
+            }
+            None => println!("{json}"),
+        }
+        // Gate on the added on-CPU work when the busy clock is
+        // CPU-attributed: it measures exactly what the instrumentation
+        // costs, where wall clock on a shared runner also measures every
+        // other process. Without schedstat the busy figures are wall
+        // intervals anyway, so fall back to the wall-clock delta.
+        let basis = if report.cpu_attributed {
+            report.cpu_overhead_frac
+        } else {
+            println!(
+                "::warning::overhead gate: no thread CPU clock on this host — \
+                 gating on wall clock, which folds in scheduler noise"
+            );
+            report.overhead_frac
+        };
+        // Noise can make the instrumented arm win; that is zero measured
+        // overhead, not a speedup claim.
+        let effective = basis.max(0.0);
+        let pass = effective <= args.max_overhead;
+        gates.armed(
+            "overhead",
+            &format!(
+                "{} — {:.4} vs max {:.4} ({})",
+                if pass { "pass" } else { "fail" },
+                effective,
+                args.max_overhead,
+                if report.cpu_attributed { "on-CPU basis" } else { "wall basis" },
+            ),
+        );
+        if let Some(w) = metrics_writer {
+            w.finish();
+        }
+        if let Some(j) = &journal {
+            j.flush();
+        }
+        if !pass {
+            eprintln!(
+                "engine_bench: FAIL — instrumentation overhead {:.2}% exceeds the {:.2}% budget",
+                effective * 100.0,
+                args.max_overhead * 100.0,
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "engine_bench: overhead ok — {:.2}% within the {:.2}% budget",
+            effective * 100.0,
+            args.max_overhead * 100.0,
+        );
+        return;
+    }
+
     let report = run_throughput(
         &harness,
         scale_label(args.scale),
@@ -279,7 +458,18 @@ fn main() {
         &args.shards,
         args.feeders,
         args.repeats,
+        sink.as_ref(),
     );
+
+    // The engines are done: freeze the metrics file at the terminal
+    // scrape and flush the run's journal events before gating begins
+    // (gate events flush themselves).
+    if let Some(w) = metrics_writer {
+        w.finish();
+    }
+    if let Some(j) = &journal {
+        j.flush();
+    }
 
     eprintln!(
         "pipeline: {:>10.0} meas/s ({:.3}s)",
@@ -309,7 +499,7 @@ fn main() {
     }
 
     if args.assert_scaling {
-        assert_scaling(&report, args.min_efficiency);
+        assert_scaling(&report, args.min_efficiency, &gates);
     }
 
     let json = serde_json::to_string(&report).expect("report serializes");
@@ -335,11 +525,13 @@ fn main() {
         if baseline.scale != report.scale {
             // Ratios aren't comparable across workload scales; skip the
             // gate rather than fail a legitimate local run.
+            gates.skipped("regression", "baseline/run scale mismatch");
             warn_loudly(&format!(
                 "baseline scale `{}` != run scale `{}`; regression gate NOT armed",
                 baseline.scale, report.scale
             ));
         } else if baseline.available_cores != report.available_cores {
+            gates.skipped("regression", "baseline/run core-count mismatch");
             // The shard-count speedup ratio depends on how many cores the
             // workers can spread over, not just machine speed — a 1-core
             // baseline vs an 8-core runner (or vice versa) would make the
@@ -363,13 +555,16 @@ fn main() {
                 eprintln!("engine_bench: FAIL — {msg}");
             }
             if !failures.is_empty() {
+                gates.armed("regression", &format!("fail — {} regression(s)", failures.len()));
                 std::process::exit(1);
             }
             if gate_armed {
+                gates.armed("regression", &format!("pass — {compared} shard count(s) compared"));
                 eprintln!(
                     "engine_bench: gate armed — within 20% of baseline speedups ({compared} shard count(s) compared)",
                 );
             } else {
+                gates.skipped("regression", "no shared shard counts with baseline");
                 warn_loudly("baseline shares no shard counts with this run; regression gate NOT armed");
             }
         }

@@ -18,12 +18,19 @@
 //! `--verify` additionally re-runs the study in memory through the batch
 //! pipeline and fails (exit 1) unless the replayed `CanonicalReport` is
 //! byte-identical — the round-trip guarantee CI smokes on every push.
+//! `--metrics-out FILE` instruments the replay: engine shard workers and
+//! feeder threads publish live series, a scraper thread keeps FILE
+//! current as Prometheus text, and the terminal scrape is embedded in
+//! `BENCH_replay.json` under `metrics`.
 
+use churnlab_bench::obsbench::MetricsWriter;
 use churnlab_bench::replaybench::{replay_into_engine, ReplayBenchReport};
 use churnlab_bench::{Bench, Scale};
 use churnlab_bgp::RoutingSim;
 use churnlab_core::pipeline::{Pipeline, PipelineConfig};
+use churnlab_engine::EngineObs;
 use churnlab_interop::{export_study, ReplayFormat, StudyManifest};
+use churnlab_obs::Registry;
 use churnlab_platform::Platform;
 use std::io::BufReader;
 
@@ -36,6 +43,7 @@ struct Args {
     feeders: usize,
     format: ReplayFormat,
     out: String,
+    metrics_out: Option<String>,
     verify: bool,
 }
 
@@ -50,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
         feeders: cores.min(4),
         format: ReplayFormat::Native,
         out: "BENCH_replay.json".to_string(),
+        metrics_out: None,
         verify: false,
     };
     let mut it = std::env::args().skip(1);
@@ -81,12 +90,15 @@ fn parse_args() -> Result<Args, String> {
                 args.format = ReplayFormat::parse(&v).ok_or(format!("bad format `{v}`"))?;
             }
             "--out" => args.out = it.next().ok_or("--out needs a path")?,
+            "--metrics-out" => {
+                args.metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?)
+            }
             "--verify" => args.verify = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: replay --export FILE [--scale smoke|small|paper] [--seed N]\n\
                      \x20      replay --in FILE [--shards N] [--feeders N] [--format native|ooni] \
-                     [--out BENCH_replay.json] [--verify]"
+                     [--out BENCH_replay.json] [--metrics-out FILE] [--verify]"
                         .into(),
                 )
             }
@@ -162,6 +174,19 @@ fn ingest(args: &Args, path: &str) {
     let platform = Platform::new(&bench.world, &bench.scenario, bench.platform_cfg.clone());
     let cfg = PipelineConfig::paper(bench.platform_cfg.total_days);
 
+    // One registry regardless of instrumentation: the end-of-run
+    // `churnlab_stats_*` mirror always lands in it, and `--metrics-out`
+    // additionally makes the engine publish its live series there (with
+    // a scraper thread keeping the file current during the run).
+    let registry = Registry::new();
+    let (obs, writer) = match &args.metrics_out {
+        Some(out) => (
+            Some(EngineObs::new(registry.clone())),
+            Some(MetricsWriter::spawn(registry.clone(), out)),
+        ),
+        None => (None, None),
+    };
+
     let file = std::fs::File::open(path).unwrap_or_else(|e| panic!("open {path}: {e}"));
     let outcome = replay_into_engine(
         BufReader::new(file),
@@ -171,10 +196,20 @@ fn ingest(args: &Args, path: &str) {
         args.shards,
         args.feeders,
         args.format,
+        obs,
     )
     .expect("replay dump");
 
-    let report = ReplayBenchReport::assemble(scale.label(), seed, outcome.engine_stats.shards, &outcome);
+    outcome.engine_stats.record_into(&registry);
+    outcome.report.stats.record_into(&registry);
+    let metrics = registry.scrape();
+    if let Some(w) = writer {
+        w.finish();
+    }
+
+    let report =
+        ReplayBenchReport::assemble(scale.label(), seed, outcome.engine_stats.shards, &outcome)
+            .with_metrics(metrics.clone());
     eprintln!(
         "replay: {} lines → {} records → {} observations in {:.2}s ({:.0} rec/s, {:.0} meas/s) \
          [{} shard(s), {} feeder(s)]",
@@ -187,20 +222,9 @@ fn ingest(args: &Args, path: &str) {
         report.shards,
         report.feeders,
     );
-    eprintln!(
-        "replay: import stats: malformed {} blank {} unknown-anomalies {} unknown-verdicts {} rejected {}",
-        report.import.malformed,
-        report.import.blank,
-        report.import.unknown_anomalies,
-        report.import.unknown_verdicts,
-        report.import.rejected,
-    );
-    eprintln!(
-        "replay: interner: {} distinct path(s), {:.1}% hit rate, {:.1}% per-cell duplicates",
-        outcome.engine_stats.interner.distinct_paths,
-        outcome.engine_stats.interner.hit_rate() * 100.0,
-        outcome.engine_stats.incremental.duplicate_ratio() * 100.0,
-    );
+    // The uniform stats line: every binary prints the same flat
+    // `name{labels}: value` JSON instead of hand-formatted blocks.
+    eprintln!("replay: stats {}", metrics.flat_json());
     eprintln!(
         "replay: canonical report {} — {} CNFs, {} identified censor(s)",
         report.report_digest,
@@ -211,6 +235,9 @@ fn ingest(args: &Args, path: &str) {
     let json = serde_json::to_string(&report).expect("report serializes");
     std::fs::write(&args.out, format!("{json}\n")).expect("write bench report");
     eprintln!("replay: wrote {}", args.out);
+    if let Some(out) = &args.metrics_out {
+        eprintln!("replay: wrote {out}");
+    }
 
     if args.verify {
         // The round-trip guarantee, checked for real: re-simulate the

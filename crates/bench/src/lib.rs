@@ -13,6 +13,7 @@
 pub mod enginebench;
 pub mod internbench;
 pub mod matrix;
+pub mod obsbench;
 pub mod replaybench;
 pub mod satbench;
 

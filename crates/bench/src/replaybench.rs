@@ -4,8 +4,9 @@
 //! `BENCH_replay.json`) and the round-trip verification it runs in CI.
 
 use churnlab_core::pipeline::{PipelineConfig, PipelineResults};
-use churnlab_engine::{Engine, EngineConfig, EngineStats};
+use churnlab_engine::{Engine, EngineConfig, EngineObs, EngineStats};
 use churnlab_interop::{replay_jsonl, ImportStats, ReplayFormat, ReplayReport};
+use churnlab_obs::Snapshot;
 use churnlab_topology::{Ip2AsDb, Topology};
 use serde::{Deserialize, Serialize};
 use std::io::BufRead;
@@ -25,7 +26,11 @@ pub struct ReplayOutcome {
 }
 
 /// Replay a dump into a fresh engine over the given interpretation
-/// context and time it end to end.
+/// context and time it end to end. Passing `obs` builds an instrumented
+/// engine: shard workers and the replay's feeder threads publish live
+/// series into its registry (the caller keeps a registry clone to
+/// scrape); `None` replays stripped.
+#[allow(clippy::too_many_arguments)]
 pub fn replay_into_engine<R: BufRead>(
     r: R,
     db: &Ip2AsDb,
@@ -34,9 +39,11 @@ pub fn replay_into_engine<R: BufRead>(
     shards: usize,
     feeders: usize,
     format: ReplayFormat,
+    obs: Option<EngineObs>,
 ) -> std::io::Result<ReplayOutcome> {
     let start = Instant::now();
-    let engine = Engine::with_context(db, topo, EngineConfig::new(cfg).with_shards(shards));
+    let engine =
+        Engine::with_context_obs(db, topo, EngineConfig::new(cfg).with_shards(shards), obs);
     let report = replay_jsonl(r, &engine, feeders, format)?;
     let (results, engine_stats) = engine.finish_with_stats();
     let secs = start.elapsed().as_secs_f64();
@@ -77,6 +84,12 @@ pub struct ReplayBenchReport {
     pub report_digest: String,
     /// Identified censoring ASes.
     pub identified_censors: usize,
+    /// Terminal metrics scrape — the uniform stats surface (live engine
+    /// series when the replay was instrumented, plus the
+    /// `churnlab_stats_*` mirror of the counters above). Absent on
+    /// reports from before the observability layer.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub metrics: Option<Snapshot>,
 }
 
 impl ReplayBenchReport {
@@ -99,6 +112,13 @@ impl ReplayBenchReport {
             engine: outcome.engine_stats,
             report_digest: format!("{:016x}", canonical.digest()),
             identified_censors: canonical.censor_findings.len(),
+            metrics: None,
         }
+    }
+
+    /// Attach the run's terminal metrics scrape.
+    pub fn with_metrics(mut self, metrics: Snapshot) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 }

@@ -2,12 +2,15 @@
 
 use crate::incremental::IncrementalStats;
 use crate::intern::InternStats;
+use crate::obs::{EngineObs, ShardObs, PHASE_NANOS};
 use crate::shard::{run_worker, Msg, ShardReport, SolvedCell};
 use churnlab_core::accumulate::FindingsAccumulator;
 use churnlab_core::convert::ConversionStats;
 use churnlab_core::pipeline::{PipelineConfig, PipelineResults};
 use churnlab_core::ChurnAccumulator;
+use churnlab_obs::{thread_cpu_nanos, Registry};
 use churnlab_platform::{Measurement, Platform};
+use churnlab_sat::CtxStats;
 use serde::{Deserialize, Serialize};
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::{Arc, Mutex};
@@ -93,6 +96,110 @@ pub struct EngineStats {
     /// deserialize so pre-accounting stats blobs still parse.
     #[serde(default)]
     pub busy: EngineBusy,
+    /// SAT-solver work counters, summed over the shards' warm contexts
+    /// (propagations, backtracks, censuses, models). Defaults on
+    /// deserialize so pre-solver-stats blobs still parse.
+    #[serde(default)]
+    pub sat: CtxStats,
+}
+
+/// Mirror a `u64` counter value into an absolute gauge (gauges are
+/// `i64`; values past `i64::MAX` saturate, which nothing real reaches).
+fn stats_gauge(reg: &Registry, name: &str, help: &str, v: u64) {
+    reg.gauge(name, help, &[]).set(v.min(i64::MAX as u64) as i64);
+}
+
+impl EngineStats {
+    /// Mirror this stats block into `churnlab_stats_*` gauges on
+    /// `registry` — the *uniform stats surface* the binaries publish
+    /// instead of hand-formatted text blocks. Gauges, not counters, on
+    /// purpose: these are absolute cumulative values from a finished
+    /// cut, so re-recording after a later cut must overwrite, not add.
+    /// The namespace is disjoint from the live `churnlab_*_total{shard}`
+    /// series so the two never collide on metric kind.
+    pub fn record_into(&self, registry: &Registry) {
+        stats_gauge(registry, "churnlab_stats_shards", "shard workers used", self.shards as u64);
+        stats_gauge(
+            registry,
+            "churnlab_stats_observations",
+            "converted observations routed to shards",
+            self.observations,
+        );
+        let inc = &self.incremental;
+        stats_gauge(
+            registry,
+            "churnlab_stats_updates",
+            "observations that changed an instance (post-dedup)",
+            inc.updates,
+        );
+        stats_gauge(
+            registry,
+            "churnlab_stats_duplicates",
+            "duplicate observations dropped by dedup",
+            inc.duplicates,
+        );
+        stats_gauge(
+            registry,
+            "churnlab_stats_direct_updates",
+            "updates resolved by a closed-form state transition",
+            inc.direct_updates,
+        );
+        stats_gauge(
+            registry,
+            "churnlab_stats_unsat_skips",
+            "updates skipped on already-unsat instances",
+            inc.unsat_skips,
+        );
+        stats_gauge(
+            registry,
+            "churnlab_stats_resolves",
+            "updates that ran a reduced-formula re-solve",
+            inc.resolves,
+        );
+        self.interner.record_into(registry);
+        stats_gauge(
+            registry,
+            "churnlab_stats_shard_total_nanos",
+            "sum of shard workers' busy nanoseconds",
+            self.busy.shard_total_nanos,
+        );
+        stats_gauge(
+            registry,
+            "churnlab_stats_shard_max_nanos",
+            "slowest shard worker's busy nanoseconds",
+            self.busy.shard_max_nanos,
+        );
+        stats_gauge(
+            registry,
+            "churnlab_stats_merge_nanos",
+            "critical-path nanoseconds of the merge",
+            self.busy.merge_nanos,
+        );
+        stats_gauge(
+            registry,
+            "churnlab_stats_sat_propagations",
+            "SAT trail entries processed by unit propagation",
+            self.sat.propagations,
+        );
+        stats_gauge(
+            registry,
+            "churnlab_stats_sat_backtracks",
+            "SAT decision levels undone",
+            self.sat.backtracks,
+        );
+        stats_gauge(
+            registry,
+            "churnlab_stats_sat_censuses",
+            "SAT census queries answered",
+            self.sat.censuses,
+        );
+        stats_gauge(
+            registry,
+            "churnlab_stats_sat_census_models",
+            "models counted across all SAT censuses",
+            self.sat.census_models,
+        );
+    }
 }
 
 /// The sharded, order-independent, incremental tomography engine.
@@ -124,6 +231,9 @@ pub struct Engine<'c> {
     /// send fails — `Mutex` because `&self` senders may hit a dead
     /// worker concurrently and exactly one of them gets to join it.
     workers: Mutex<Vec<Option<JoinHandle<()>>>>,
+    /// Observability context; `None` is the stripped configuration the
+    /// overhead gate baselines against (no registry, no atomics).
+    obs: Option<Arc<EngineObs>>,
 }
 
 /// Deterministic URL → shard routing: round robin over the id.
@@ -163,6 +273,17 @@ impl<'c> Engine<'c> {
         Self::with_context(platform.measured_ip2as(), &platform.world().topology, cfg)
     }
 
+    /// [`Engine::new`] with an observability context (see
+    /// [`Engine::with_context_obs`]).
+    pub fn new_with_obs(platform: &'c Platform<'c>, cfg: EngineConfig, obs: EngineObs) -> Self {
+        Self::with_context_obs(
+            platform.measured_ip2as(),
+            &platform.world().topology,
+            cfg,
+            Some(obs),
+        )
+    }
+
     /// New engine over externally supplied context — the entry point for
     /// imported measurement records, mirroring
     /// [`churnlab_core::pipeline::Pipeline::with_context`]. The IP-to-AS
@@ -173,6 +294,22 @@ impl<'c> Engine<'c> {
         topo: &'c churnlab_topology::Topology,
         cfg: EngineConfig,
     ) -> Self {
+        Self::with_context_obs(db, topo, cfg, None)
+    }
+
+    /// [`Engine::with_context`] with an observability context: shard
+    /// workers publish live metrics (and journal events, when a journal
+    /// is attached) through `obs`. Passing `None` is the *stripped*
+    /// configuration — no registry, no atomic ops, one predictable
+    /// branch per instrumentation site — which is what the bench's
+    /// overhead gate compares the instrumented engine against.
+    pub fn with_context_obs(
+        db: &churnlab_topology::Ip2AsDb,
+        topo: &'c churnlab_topology::Topology,
+        cfg: EngineConfig,
+        obs: Option<EngineObs>,
+    ) -> Self {
+        let obs = obs.map(Arc::new);
         let n = cfg.resolved_shards().max(1);
         let db = Arc::new(db.clone());
         let mut senders = Vec::with_capacity(n);
@@ -181,14 +318,20 @@ impl<'c> Engine<'c> {
             let (tx, rx) = sync_channel(cfg.queue_capacity.max(1));
             let worker_cfg = cfg.pipeline.clone();
             let worker_db = Arc::clone(&db);
+            let shard_obs = obs.as_ref().map(|o| ShardObs::new(o, i));
             let handle = std::thread::Builder::new()
                 .name(format!("churnlab-shard-{i}"))
-                .spawn(move || run_worker(rx, worker_cfg, worker_db))
+                .spawn(move || run_worker(rx, worker_cfg, worker_db, shard_obs))
                 .expect("spawn shard worker");
             senders.push(tx);
             workers.push(Some(handle));
         }
-        Engine { topo, cfg: cfg.pipeline, senders, workers: Mutex::new(workers) }
+        Engine { topo, cfg: cfg.pipeline, senders, workers: Mutex::new(workers), obs }
+    }
+
+    /// The engine's observability context, if one was attached.
+    pub fn obs(&self) -> Option<&EngineObs> {
+        self.obs.as_deref()
     }
 
     /// Number of shard workers.
@@ -214,7 +357,11 @@ impl<'c> Engine<'c> {
             self.workers.lock().unwrap_or_else(|e| e.into_inner())[shard].take();
         match handle.map(JoinHandle::join) {
             Some(Err(payload)) => {
-                panic!("shard worker {shard} panicked: {}", payload_msg(payload.as_ref()))
+                let msg = payload_msg(payload.as_ref());
+                if let Some(obs) = &self.obs {
+                    obs.worker_panic(shard, msg);
+                }
+                panic!("shard worker {shard} panicked: {msg}")
             }
             Some(Ok(())) => {
                 panic!("shard worker {shard} exited with senders still live (engine bug)")
@@ -268,11 +415,11 @@ impl<'c> Engine<'c> {
     /// Collect one report per shard. Each shard replies after draining
     /// everything enqueued before the request — a consistent cut per
     /// shard even while feeders keep ingesting.
-    fn collect_reports(&self) -> Vec<ShardReport> {
+    fn collect_reports(&self, fin: bool) -> Vec<ShardReport> {
         let mut pending = Vec::with_capacity(self.senders.len());
         for shard in 0..self.senders.len() {
             let (reply_tx, reply_rx) = sync_channel(1);
-            self.send(shard, Msg::Report(reply_tx));
+            self.send(shard, Msg::Report { reply: reply_tx, fin });
             pending.push(reply_rx);
         }
         pending
@@ -291,7 +438,7 @@ impl<'c> Engine<'c> {
         // under core oversubscription) plus the slowest parallel
         // accumulation worker — what an unconstrained machine would
         // serially wait for. Wall time is the fallback.
-        let cpu0 = crate::shard::thread_cpu_nanos();
+        let cpu0 = thread_cpu_nanos();
         let t0 = Instant::now();
         let mut par_max_nanos = 0u64;
         let mut stats = EngineStats { shards: self.senders.len(), ..Default::default() };
@@ -303,6 +450,7 @@ impl<'c> Engine<'c> {
             stats.observations += r.observations;
             stats.incremental.merge(r.stats);
             stats.interner.merge(r.intern);
+            stats.sat = stats.sat.merged(r.sat);
             stats.busy.shard_total_nanos += r.busy_nanos;
             stats.busy.shard_max_nanos = stats.busy.shard_max_nanos.max(r.busy_nanos);
             conversion.merge(r.conversion);
@@ -334,9 +482,9 @@ impl<'c> Engine<'c> {
                         .iter()
                         .map(|r| {
                             scope.spawn(|| {
-                                let c0 = crate::shard::thread_cpu_nanos().unwrap_or(0);
+                                let c0 = thread_cpu_nanos().unwrap_or(0);
                                 let acc = shard_acc(r);
-                                let c1 = crate::shard::thread_cpu_nanos().unwrap_or(0);
+                                let c1 = thread_cpu_nanos().unwrap_or(0);
                                 (acc, c1.saturating_sub(c0))
                             })
                         })
@@ -366,12 +514,17 @@ impl<'c> Engine<'c> {
         // One deterministic global order, whatever the shard layout.
         outcomes.sort_by_key(|o| o.key);
         let FindingsAccumulator { censor_findings, leakage, on_censored_path } = acc;
-        stats.busy.merge_nanos = match (cpu0, crate::shard::thread_cpu_nanos()) {
+        stats.busy.merge_nanos = match (cpu0, thread_cpu_nanos()) {
             // Caller CPU excludes the scoped workers (and the idle wait
             // joining them); add back the slowest worker's CPU.
             (Some(a), Some(b)) => b.saturating_sub(a) + par_max_nanos,
             _ => t0.elapsed().as_nanos() as u64,
         };
+        if let Some(obs) = &self.obs {
+            obs.registry()
+                .counter(PHASE_NANOS.0, PHASE_NANOS.1, &[("phase", "merge")])
+                .add(stats.busy.merge_nanos);
+        }
         let results = PipelineResults {
             outcomes,
             conversion,
@@ -391,13 +544,13 @@ impl<'c> Engine<'c> {
     /// counters agree exactly with the cut (a [`Feeder`]'s unflushed
     /// tail is excluded from both).
     pub fn snapshot(&self) -> PipelineResults {
-        self.merge(self.collect_reports()).0
+        self.merge(self.collect_reports(false)).0
     }
 
     /// Final report plus the engine-side work counters; shuts the shard
     /// workers down (propagating any worker panic with shard context).
     pub fn finish_with_stats(mut self) -> (PipelineResults, EngineStats) {
-        let merged = self.merge(self.collect_reports());
+        let merged = self.merge(self.collect_reports(true));
         self.shutdown(true);
         merged
     }
@@ -413,11 +566,12 @@ impl<'c> Engine<'c> {
         for (shard, slot) in workers.iter_mut().enumerate() {
             if let Some(handle) = slot.take() {
                 if let Err(payload) = handle.join() {
+                    let msg = payload_msg(payload.as_ref());
+                    if let Some(obs) = &self.obs {
+                        obs.worker_panic(shard, msg);
+                    }
                     if propagate {
-                        panic!(
-                            "shard worker {shard} panicked: {}",
-                            payload_msg(payload.as_ref())
-                        );
+                        panic!("shard worker {shard} panicked: {msg}");
                     }
                 }
             }

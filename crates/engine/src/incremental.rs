@@ -48,14 +48,16 @@
 //! differentially).
 
 use crate::intern::{FxMap, PathTable};
+use crate::obs::ResolveObs;
 use churnlab_bgp::TimeWindow;
 use churnlab_core::analyze::InstanceOutcome;
 use churnlab_core::instance::InstanceKey;
 use churnlab_core::obs::PathId;
 use churnlab_platform::{AnomalySet, AnomalyType};
-use churnlab_sat::{CompiledCnf, Lit, SolutionCount, Solvability, SolverCtx, Var};
+use churnlab_sat::{CompiledCnf, CtxStats, Lit, SolutionCount, Solvability, SolverCtx, Var};
 use churnlab_topology::Asn;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Cells per group — one per anomaly type.
 const N_CELLS: usize = AnomalyType::ALL.len();
@@ -146,6 +148,11 @@ pub struct SolveScratch {
     var_map: Vec<u32>,
     /// Reduced-formula variable → group-local variable index.
     free_vars: Vec<u32>,
+    /// Re-solve timing handles (latency histogram + phase counter),
+    /// `None` when the owning engine runs stripped. Wall-clock timed:
+    /// re-solves are rare (tens of thousands per millions of updates),
+    /// so an `Instant` pair per call is noise.
+    resolve_obs: Option<ResolveObs>,
 }
 
 impl SolveScratch {
@@ -161,6 +168,16 @@ impl SolveScratch {
     /// [`analyze`]: churnlab_core::analyze::analyze_with
     pub fn solver_ctx(&mut self) -> &mut SolverCtx {
         &mut self.ctx
+    }
+
+    /// Thread re-solve timing handles in (worker construction path).
+    pub(crate) fn set_resolve_obs(&mut self, obs: ResolveObs) {
+        self.resolve_obs = Some(obs);
+    }
+
+    /// Cumulative SAT work counters of the warm context.
+    pub(crate) fn sat_stats(&self) -> CtxStats {
+        self.ctx.stats()
     }
 }
 
@@ -601,6 +618,24 @@ impl IncrementalInstance {
         }
     }
 
+    /// [`IncrementalInstance::resolve_inner`] with optional wall-clock
+    /// timing into the scratch's re-solve observability handles. The
+    /// handles are taken out for the duration so the borrow of `scratch`
+    /// stays whole.
+    fn resolve(&mut self, n_vars: usize, space: &VarSpace, cap: u64, scratch: &mut SolveScratch) {
+        match scratch.resolve_obs.take() {
+            None => self.resolve_inner(n_vars, space, cap, scratch),
+            Some(obs) => {
+                let t0 = Instant::now();
+                self.resolve_inner(n_vars, space, cap, scratch);
+                let nanos = t0.elapsed().as_nanos() as u64;
+                obs.latency.observe(nanos);
+                obs.nanos.add(nanos);
+                scratch.resolve_obs = Some(obs);
+            }
+        }
+    }
+
     /// Incremental re-solve: seed unit propagation with the axiom units
     /// and the memoized backbone (both survive clause addition), then run
     /// the census over the reduced formula only — on the worker's warm
@@ -608,7 +643,7 @@ impl IncrementalInstance {
     /// arena, with all per-variable state in dense scratch vectors. The
     /// only per-call heap traffic is the recycled buffers' occasional
     /// growth.
-    fn resolve(&mut self, n_vars: usize, space: &VarSpace, cap: u64, scratch: &mut SolveScratch) {
+    fn resolve_inner(&mut self, n_vars: usize, space: &VarSpace, cap: u64, scratch: &mut SolveScratch) {
         let fixed = &mut scratch.fixed;
         fixed.clear();
         fixed.resize(n_vars, UNFIXED);

@@ -115,6 +115,17 @@ impl InternStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Mirror these counters into `churnlab_stats_*` gauges on
+    /// `registry` (absolute values — repeat-safe, later cuts overwrite).
+    pub fn record_into(&self, registry: &churnlab_obs::Registry) {
+        registry
+            .gauge("churnlab_stats_distinct_paths", "distinct paths interned, summed over shards", &[])
+            .set(self.distinct_paths.min(i64::MAX as u64) as i64);
+        registry
+            .gauge("churnlab_stats_intern_hits", "intern calls answered from the table", &[])
+            .set(self.hits.min(i64::MAX as u64) as i64);
+    }
 }
 
 /// The shard-local path interner: distinct AS paths stored once in a CSR

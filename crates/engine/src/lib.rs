@@ -70,9 +70,14 @@
 mod engine;
 pub mod incremental;
 pub mod intern;
+mod obs;
 pub mod reference;
 mod shard;
 
 pub use engine::{Engine, EngineBusy, EngineConfig, EngineStats, Feeder};
 pub use incremental::{IncrementalInstance, IncrementalStats, InstanceGroup, SolveScratch};
 pub use intern::{InternStats, PathSnapshot, PathTable};
+pub use obs::EngineObs;
+// The schedstat on-CPU clock moved into `churnlab-obs`; re-exported so
+// engine consumers keep one import path.
+pub use churnlab_obs::thread_cpu_nanos;

@@ -26,6 +26,7 @@
 
 use crate::incremental::{IncrementalStats, InstanceGroup, SolveScratch};
 use crate::intern::{FxMap, FxSet, InternStats, PathSnapshot, PathTable};
+use crate::obs::ShardObs;
 use churnlab_bgp::TimeWindow;
 use churnlab_core::analyze::{analyze_with, InstanceOutcome};
 use churnlab_core::batch::{first_path_refs, for_each_instance};
@@ -33,12 +34,14 @@ use churnlab_core::convert::ConversionStats;
 use churnlab_core::obs::{ConvertedObs, PathId};
 use churnlab_core::pipeline::{ChurnMode, PipelineConfig};
 use churnlab_core::ChurnAccumulator;
+use churnlab_obs::{BusyTimer, Counter, Stopwatch};
 use churnlab_platform::Measurement;
+use churnlab_sat::CtxStats;
 use churnlab_topology::{Asn, Ip2AsDb};
+use std::collections::hash_map::Entry;
 use std::collections::HashSet;
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// A message to a shard worker.
 pub(crate) enum Msg {
@@ -48,9 +51,14 @@ pub(crate) enum Msg {
     Raw(Measurement),
     /// A feeder's chunk of raw measurements.
     Batch(Vec<Measurement>),
-    /// Produce a report of everything processed so far (a snapshot when
-    /// the engine keeps running, the final answer at `finish`).
-    Report(SyncSender<ShardReport>),
+    /// Produce a report of everything processed so far. `fin` marks the
+    /// engine's final cut: journal window-closed/cell-solved events are
+    /// emitted only then, so the event stream reconciles exactly with
+    /// one report instead of double-counting across snapshots.
+    Report {
+        reply: SyncSender<ShardReport>,
+        fin: bool,
+    },
     /// Test instrumentation: panic the worker, so the engine's
     /// worker-death propagation can be exercised deterministically.
     Poison,
@@ -81,6 +89,8 @@ pub(crate) struct ShardReport {
     /// Conversion accounting for every measurement routed here —
     /// exactly consistent with this report's cut.
     pub conversion: ConversionStats,
+    /// Cumulative SAT-solver work counters of this shard's warm context.
+    pub sat: CtxStats,
     pub observations: u64,
     /// Cumulative busy time of this worker (conversion + ingest +
     /// report building), in nanoseconds — the per-thread attribution the
@@ -142,10 +152,18 @@ pub(crate) struct ShardState {
     /// Worker-owned reusable solver state: every re-solve of every
     /// instance on this shard runs on one warm watched-literal context.
     scratch: SolveScratch,
+    /// Observability handles, `None` in the stripped configuration (the
+    /// overhead gate's baseline): one predictable branch per use, no
+    /// atomic ops at all.
+    obs: Option<ShardObs>,
 }
 
 impl ShardState {
-    pub(crate) fn new(cfg: PipelineConfig) -> Self {
+    pub(crate) fn new(cfg: PipelineConfig, obs: Option<ShardObs>) -> Self {
+        let mut scratch = SolveScratch::new();
+        if let Some(o) = &obs {
+            scratch.set_resolve_obs(o.resolve.clone());
+        }
         ShardState {
             cfg,
             table: PathTable::new(),
@@ -156,7 +174,8 @@ impl ShardState {
             stats: IncrementalStats::default(),
             conversion: ConversionStats::default(),
             observations: 0,
-            scratch: SolveScratch::new(),
+            scratch,
+            obs,
         }
     }
 
@@ -173,6 +192,11 @@ impl ShardState {
     /// Fold one observation into the shard.
     pub(crate) fn ingest(&mut self, o: ConvertedObs) {
         self.observations += 1;
+        if let Some(obs) = &self.obs {
+            // The only per-measurement instrumentation: one relaxed
+            // fetch_add on a thread-local counter slot.
+            obs.observations.inc();
+        }
         self.churn.add(o.vp_asn, o.dest_asn, o.day, &o.path);
         if self.cfg.churn_mode == ChurnMode::FirstPathOnly {
             self.deferred
@@ -192,10 +216,16 @@ impl ShardState {
         let cap = self.cfg.solve.count_cap;
         for &g in &self.cfg.granularities {
             let window = TimeWindow::of(o.day, g, self.cfg.total_days);
-            self.groups
-                .entry((o.url_id, window))
-                .or_insert_with(|| InstanceGroup::new(o.url_id, window))
-                .observe(pid, &self.table, o.detected, cap, &mut self.stats, &mut self.scratch);
+            let group = match self.groups.entry((o.url_id, window)) {
+                Entry::Occupied(e) => e.into_mut(),
+                Entry::Vacant(e) => {
+                    if let Some(obs) = &self.obs {
+                        obs.window_opened(o.url_id, window);
+                    }
+                    e.insert(InstanceGroup::new(o.url_id, window))
+                }
+            };
+            group.observe(pid, &self.table, o.detected, cap, &mut self.stats, &mut self.scratch);
         }
     }
 
@@ -203,8 +233,10 @@ impl ShardState {
     /// for the tomography state — the shard keeps ingesting afterwards;
     /// `&mut` only so deferred ablation buffers can be sorted in place
     /// (at most once per out-of-order batch) and the warm scratch solver
-    /// reused.
-    pub(crate) fn report(&mut self) -> ShardReport {
+    /// reused. `fin` marks the engine's final cut: only then are journal
+    /// window-closed / cell-solved events emitted (once per window, once
+    /// per cell — so the journal reconciles exactly with this report).
+    pub(crate) fn report(&mut self, fin: bool) -> ShardReport {
         let mut cells = Vec::new();
         let mut trivial = 0u64;
         let mut on_censored_path: HashSet<Asn> = HashSet::new();
@@ -220,19 +252,33 @@ impl ShardState {
         // count of how many snapshots were taken.
         let paths = match self.cfg.churn_mode {
             ChurnMode::Normal => {
-                for group in self.groups.values() {
+                for (&(url_id, window), group) in self.groups.iter() {
+                    let mut group_reported = 0u64;
+                    let mut group_trivial = 0u64;
                     for inst in group.cells() {
                         if self.cfg.require_positive && !inst.has_positive() {
                             trivial += 1;
+                            group_trivial += 1;
                             continue;
                         }
                         let outcome = inst.outcome(group.vars());
+                        if fin {
+                            if let Some(obs) = &self.obs {
+                                obs.cell_solved(&outcome);
+                            }
+                        }
                         let censored_paths = if outcome.censors.is_empty() {
                             Vec::new()
                         } else {
                             inst.censored_paths().collect()
                         };
                         cells.push(SolvedCell { outcome, censored_paths });
+                        group_reported += 1;
+                    }
+                    if fin {
+                        if let Some(obs) = &self.obs {
+                            obs.window_closed(url_id, window, group_reported, group_trivial);
+                        }
                     }
                 }
                 // No cell carries an id until some instance pins a
@@ -293,66 +339,92 @@ impl ShardState {
             stats: self.stats,
             intern: self.table.stats(),
             conversion: self.conversion,
+            sat: self.scratch.sat_stats(),
             observations: self.observations,
             busy_nanos: 0, // stamped by the worker loop
         }
     }
 }
 
-/// Cumulative on-CPU time of the calling thread, in nanoseconds
-/// (Linux: `/proc/thread-self/schedstat` field 0). `None` where the
-/// file is absent.
-///
-/// This — not wall time around each message — is what busy-time
-/// attribution must be built on: when shards outnumber cores the OS
-/// time-slices the workers, and a wall interval around "process one
-/// batch" silently includes every other thread's turn on the core,
-/// inflating each worker's apparent busy time to nearly the whole run.
-/// On-CPU time is immune to descheduling, so the scaling-efficiency
-/// model stays honest on machines of any core count.
-pub(crate) fn thread_cpu_nanos() -> Option<u64> {
-    let text = std::fs::read_to_string("/proc/thread-self/schedstat").ok()?;
-    text.split_whitespace().next()?.parse().ok()
+/// Phase-attribution handles the worker loop drives directly (cloned
+/// out of the shard's [`ShardObs`] so the loop can time around `&mut
+/// state` calls).
+struct PhaseCounters {
+    measurements: Counter,
+    convert: Counter,
+    intern: Counter,
 }
 
 /// The worker loop: drain messages until every sender is gone,
 /// converting and solving on this thread and attributing the busy time
 /// spent doing it (the scaling-efficiency model's raw data).
-pub(crate) fn run_worker(rx: Receiver<Msg>, cfg: PipelineConfig, db: Arc<Ip2AsDb>) {
-    let mut state = ShardState::new(cfg);
-    // Probe the CPU clock once: where it works, busy time is one file
-    // read per report; otherwise fall back to wall intervals around each
-    // message (overstated under core oversubscription, but better than
-    // nothing on non-Linux hosts).
-    let cpu_clock = thread_cpu_nanos().is_some();
-    let mut wall_busy_nanos = 0u64;
+///
+/// Busy accounting runs on [`BusyTimer`]: the thread's cumulative
+/// on-CPU clock where `schedstat` exists (a blocked `recv` costs no
+/// CPU, so the whole on-CPU time is the shard's busy time), accumulated
+/// wall intervals around each message elsewhere (overstated under core
+/// oversubscription, but better than nothing on non-Linux hosts).
+pub(crate) fn run_worker(
+    rx: Receiver<Msg>,
+    cfg: PipelineConfig,
+    db: Arc<Ip2AsDb>,
+    obs: Option<ShardObs>,
+) {
+    let phase = obs.as_ref().map(|o| PhaseCounters {
+        measurements: o.measurements.clone(),
+        convert: o.phase_convert.clone(),
+        intern: o.phase_intern.clone(),
+    });
+    let mut state = ShardState::new(cfg, obs);
+    let mut busy = BusyTimer::detect();
+    // Instrumented batches convert into this worker-lifetime buffer and
+    // lap this worker-lifetime stopwatch, so the phase split below costs
+    // no per-batch allocation and no per-batch schedstat open.
+    let mut converted: Vec<ConvertedObs> = Vec::new();
+    let mut sw = Stopwatch::new();
     while let Ok(msg) = rx.recv() {
-        let t0 = if cpu_clock { None } else { Some(Instant::now()) };
         match msg {
-            Msg::Raw(m) => state.ingest_raw(&m, &db),
-            Msg::Batch(batch) => {
-                for m in &batch {
-                    state.ingest_raw(m, &db);
+            Msg::Raw(m) => busy.interval(|| {
+                if let Some(p) = &phase {
+                    p.measurements.inc();
                 }
-            }
-            Msg::Report(reply) => {
-                let mut report = state.report();
-                if let Some(t0) = t0 {
-                    wall_busy_nanos += t0.elapsed().as_nanos() as u64;
+                state.ingest_raw(&m, &db);
+            }),
+            Msg::Batch(batch) => busy.interval(|| match &phase {
+                None => {
+                    for m in &batch {
+                        state.ingest_raw(m, &db);
+                    }
                 }
-                // The worker thread does nothing but process messages
-                // (a blocked recv costs no CPU), so its whole on-CPU
-                // time is the shard's busy time.
-                report.busy_nanos = thread_cpu_nanos().unwrap_or(wall_busy_nanos);
+                Some(p) => {
+                    // Instrumented batches split conversion from the
+                    // intern/solve fold with one chained stopwatch —
+                    // three clock reads per chunk, not per measurement —
+                    // staging conversions through the worker-lifetime
+                    // buffer. Conversion order and ingest order both
+                    // match the stripped path, so results stay
+                    // byte-identical.
+                    p.measurements.add(batch.len() as u64);
+                    sw.restart();
+                    converted.clear();
+                    converted.extend(batch.iter().filter_map(|m| {
+                        ConvertedObs::from_measurement(m, &db, &mut state.conversion)
+                    }));
+                    sw.lap(&p.convert);
+                    for o in converted.drain(..) {
+                        state.ingest(o);
+                    }
+                    sw.lap(&p.intern);
+                }
+            }),
+            Msg::Report { reply, fin } => {
+                let mut report = busy.interval(|| state.report(fin));
+                report.busy_nanos = busy.busy_nanos();
                 // A dropped reply channel means the requester gave up;
                 // the shard itself is still healthy.
                 drop(reply.send(report));
-                continue;
             }
             Msg::Poison => panic!("poisoned by test instrumentation"),
-        }
-        if let Some(t0) = t0 {
-            wall_busy_nanos += t0.elapsed().as_nanos() as u64;
         }
     }
 }

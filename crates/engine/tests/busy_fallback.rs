@@ -1,0 +1,70 @@
+//! Busy-time accounting when the per-thread CPU clock is unavailable:
+//! with `/proc/<tid>/schedstat` forced away, every timer in the stack
+//! (shard workers' `BusyTimer`, the instrumented path's `Stopwatch`
+//! laps, the merge accounting) must degrade to wall-interval accounting
+//! and still produce sane, non-zero numbers.
+//!
+//! This lives in its own integration binary because the forcing switch
+//! is process-global: sharing a process with other engine tests would
+//! leak wall-clock fallback into their timing assertions.
+
+use churnlab_bgp::{ChurnConfig, RoutingSim};
+use churnlab_censor::{CensorConfig, CensorshipScenario};
+use churnlab_core::pipeline::PipelineConfig;
+use churnlab_engine::{Engine, EngineConfig, EngineObs};
+use churnlab_obs::{force_wall_clock_for_tests, thread_cpu_nanos, Registry};
+use churnlab_platform::{Platform, PlatformConfig, PlatformScale};
+use churnlab_topology::{generator, WorldConfig, WorldScale};
+
+#[test]
+fn busy_accounting_survives_missing_cpu_clock() {
+    force_wall_clock_for_tests(true);
+    assert_eq!(thread_cpu_nanos(), None, "forcing must hide the schedstat clock");
+
+    let seed = 11;
+    let world = generator::generate(&WorldConfig::preset(WorldScale::Smoke, seed));
+    let mut censor_cfg = CensorConfig::scaled_for(world.topology.countries().len());
+    censor_cfg.seed = seed.wrapping_add(2);
+    let platform_cfg = PlatformConfig::preset(PlatformScale::Smoke, seed.wrapping_add(1));
+    censor_cfg.total_days = platform_cfg.total_days;
+    let scenario = CensorshipScenario::generate_for_world(&world, &censor_cfg);
+    let churn_cfg = ChurnConfig {
+        seed: seed.wrapping_add(3),
+        total_days: platform_cfg.total_days,
+        ..ChurnConfig::default()
+    };
+    let platform = Platform::new(&world, &scenario, platform_cfg.clone());
+    let sim = RoutingSim::new(&world.topology, &churn_cfg);
+    let (measurements, _) = platform.run_collect(&sim);
+
+    let registry = Registry::new();
+    let cfg = EngineConfig::new(PipelineConfig::paper(platform_cfg.total_days)).with_shards(2);
+    let engine = Engine::new_with_obs(&platform, cfg, EngineObs::new(registry.clone()));
+    {
+        let mut feeder = engine.feeder();
+        for m in &measurements {
+            feeder.ingest_owned(m.clone());
+        }
+    }
+    let (results, stats) = engine.finish_with_stats();
+    assert!(!results.outcomes.is_empty(), "campaign produced no instances");
+
+    // Wall-interval fallback still attributes real busy time, with the
+    // same invariants the CPU clock provides.
+    assert!(stats.busy.shard_total_nanos > 0, "fallback lost all shard busy time");
+    assert!(stats.busy.shard_max_nanos > 0);
+    assert!(
+        stats.busy.shard_max_nanos <= stats.busy.shard_total_nanos,
+        "max shard busy cannot exceed the sum over shards"
+    );
+
+    // Stopwatch-driven phase counters degrade to wall laps, not zero.
+    let snap = registry.scrape();
+    assert!(
+        snap.counter_sum("churnlab_phase_nanos_total") > 0,
+        "phase attribution vanished under wall fallback"
+    );
+    assert_eq!(snap.counter_sum("churnlab_measurements_total"), measurements.len() as u64);
+
+    force_wall_clock_for_tests(false);
+}

@@ -1,0 +1,106 @@
+//! The journal's replayability guarantee, asserted end to end: the event
+//! stream an instrumented engine emits reconciles *exactly* with the
+//! final report — every opened window closes once, the closed windows'
+//! per-cell tallies sum to the report's outcome and trivial-instance
+//! counts, and the live `churnlab_windows_open` gauge returns to zero.
+
+use churnlab_bgp::{ChurnConfig, RoutingSim};
+use churnlab_censor::{CensorConfig, CensorshipScenario};
+use churnlab_core::pipeline::PipelineConfig;
+use churnlab_engine::{Engine, EngineConfig, EngineObs};
+use churnlab_obs::{parse_jsonl, Journal, JournalEvent, MemorySink, Registry};
+use churnlab_platform::{Platform, PlatformConfig, PlatformScale};
+use churnlab_topology::{generator, WorldConfig, WorldScale};
+
+fn events_named<'a>(events: &'a [JournalEvent], name: &str) -> Vec<&'a JournalEvent> {
+    events.iter().filter(|e| e.event == name).collect()
+}
+
+#[test]
+fn journal_reconciles_with_final_report() {
+    let seed = 7;
+    let world = generator::generate(&WorldConfig::preset(WorldScale::Smoke, seed));
+    let mut censor_cfg = CensorConfig::scaled_for(world.topology.countries().len());
+    censor_cfg.seed = seed.wrapping_add(2);
+    let platform_cfg = PlatformConfig::preset(PlatformScale::Smoke, seed.wrapping_add(1));
+    censor_cfg.total_days = platform_cfg.total_days;
+    let scenario = CensorshipScenario::generate_for_world(&world, &censor_cfg);
+    let churn_cfg = ChurnConfig {
+        seed: seed.wrapping_add(3),
+        total_days: platform_cfg.total_days,
+        ..ChurnConfig::default()
+    };
+    let platform = Platform::new(&world, &scenario, platform_cfg.clone());
+    let sim = RoutingSim::new(&world.topology, &churn_cfg);
+    let (measurements, _) = platform.run_collect(&sim);
+
+    let sink = MemorySink::new();
+    let registry = Registry::new();
+    let obs = EngineObs::new(registry.clone()).with_journal(Journal::to_writer(sink.clone()));
+    let cfg = EngineConfig::new(PipelineConfig::paper(platform_cfg.total_days)).with_shards(3);
+    let engine = Engine::new_with_obs(&platform, cfg, obs);
+
+    // A mid-stream snapshot must NOT close windows: only the final
+    // report freezes per-cell tallies.
+    let half = measurements.len() / 2;
+    {
+        let mut feeder = engine.feeder();
+        for m in &measurements[..half] {
+            feeder.ingest_owned(m.clone());
+        }
+    }
+    let _ = engine.snapshot();
+    {
+        let mut feeder = engine.feeder();
+        for m in &measurements[half..] {
+            feeder.ingest_owned(m.clone());
+        }
+    }
+    let (results, stats) = engine.finish_with_stats();
+
+    let text = sink.contents();
+    let events = parse_jsonl(&text).expect("journal parses back");
+    assert!(!events.is_empty(), "instrumented run emitted no events");
+
+    let opened = events_named(&events, "window_opened");
+    let closed = events_named(&events, "window_closed");
+    let solved = events_named(&events, "cell_solved");
+    assert!(!opened.is_empty(), "no windows opened over a non-empty campaign");
+    assert_eq!(
+        opened.len(),
+        closed.len(),
+        "every opened window must close exactly once at the final report"
+    );
+
+    // Each close names a window some shard opened (same shard, url, index).
+    let key = |e: &JournalEvent| {
+        (e.field("shard").unwrap(), e.field("url_id").unwrap(), e.field("window_index").unwrap())
+    };
+    let mut open_keys: Vec<_> = opened.iter().map(|e| key(e)).collect();
+    let mut close_keys: Vec<_> = closed.iter().map(|e| key(e)).collect();
+    open_keys.sort_unstable();
+    close_keys.sort_unstable();
+    assert_eq!(open_keys, close_keys, "window_closed events must pair with window_opened");
+
+    // The tallies the closes carry sum to exactly the report's counts.
+    let cells_reported: u64 = closed.iter().map(|e| e.field("cells_reported").unwrap()).sum();
+    let cells_trivial: u64 = closed.iter().map(|e| e.field("cells_trivial").unwrap()).sum();
+    assert_eq!(cells_reported, results.outcomes.len() as u64);
+    assert_eq!(cells_trivial, results.trivial_instances);
+    assert_eq!(solved.len() as u64, cells_reported, "one cell_solved per reported outcome");
+
+    // Metrics agree with both the stats counters and the journal.
+    let snap = registry.scrape();
+    assert_eq!(snap.counter_sum("churnlab_measurements_total"), measurements.len() as u64);
+    assert_eq!(snap.counter_sum("churnlab_observations_total"), stats.observations);
+    let windows_open: i64 = snap
+        .samples
+        .iter()
+        .filter(|s| s.name == "churnlab_windows_open")
+        .map(|s| match &s.value {
+            churnlab_obs::SampleValue::Gauge(v) => *v,
+            other => panic!("windows_open should be a gauge, got {other:?}"),
+        })
+        .sum();
+    assert_eq!(windows_open, 0, "every window must be closed after finish");
+}

@@ -19,6 +19,7 @@
 
 use crate::jsonl::{import_native_line, import_ooni_line, ImportStats};
 use churnlab_engine::Engine;
+use churnlab_obs::{Counter, Stopwatch};
 use serde::{Deserialize, Serialize};
 use std::io::BufRead;
 use std::sync::mpsc::sync_channel;
@@ -82,6 +83,40 @@ pub struct ReplayReport {
 /// tail of a file.
 const DEAL_BATCH: usize = 256;
 
+/// Per-feeder metric handles, registered (cold path) before the feeder
+/// thread starts chewing lines. Present only when the engine was built
+/// with an [`churnlab_engine::EngineObs`]; the stripped replay path takes
+/// no atomic ops.
+struct FeederObs {
+    /// `churnlab_phase_nanos_total{phase="feeder_parse",feeder=i}` — the
+    /// feeder's on-CPU parse/deserialize time, accumulated per dealt
+    /// batch (two clock reads per [`DEAL_BATCH`] lines).
+    parse_nanos: Counter,
+    /// `churnlab_feeder_records_total{feeder=i}` — lines this feeder
+    /// processed, showing how evenly the deal spread the work.
+    records: Counter,
+}
+
+impl FeederObs {
+    fn new(engine: &Engine<'_>, feeder: usize) -> Option<FeederObs> {
+        let obs = engine.obs()?;
+        let reg = obs.registry();
+        let f = feeder.to_string();
+        Some(FeederObs {
+            parse_nanos: reg.counter(
+                "churnlab_phase_nanos_total",
+                "on-CPU nanoseconds by phase",
+                &[("phase", "feeder_parse"), ("feeder", &f)],
+            ),
+            records: reg.counter(
+                "churnlab_feeder_records_total",
+                "replay lines processed, per feeder thread",
+                &[("feeder", &f)],
+            ),
+        })
+    }
+}
+
 /// Replay a JSONL dump into an engine through `feeders` parallel feeder
 /// threads. Blank/malformed/unconvertible lines are counted per the
 /// lossy-import policy, never fed. I/O errors abort (after the feeders
@@ -102,16 +137,33 @@ pub fn replay_jsonl<R: BufRead>(
     std::thread::scope(|scope| {
         let mut senders = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
-        for _ in 0..n {
+        for i in 0..n {
             let (tx, rx) = sync_channel::<Vec<String>>(4);
             senders.push(tx);
+            let obs = FeederObs::new(engine, i);
             handles.push(scope.spawn(move || {
                 let mut stats = ImportStats::default();
                 let mut feeder = engine.feeder();
+                // Thread-lifetime stopwatch: one schedstat open per
+                // feeder, restarted per batch.
+                let mut sw = obs.as_ref().map(|_| Stopwatch::new());
                 while let Ok(batch) = rx.recv() {
-                    for line in &batch {
-                        if let Some((m, _domain)) = format.import_line(line, &mut stats) {
-                            feeder.ingest_owned(m);
+                    // Instrumented and stripped loops kept separate so the
+                    // common (stripped) replay takes no atomic ops.
+                    if let (Some(obs), Some(sw)) = (&obs, &mut sw) {
+                        sw.restart();
+                        for line in &batch {
+                            if let Some((m, _domain)) = format.import_line(line, &mut stats) {
+                                feeder.ingest_owned(m);
+                            }
+                        }
+                        sw.lap(&obs.parse_nanos);
+                        obs.records.add(batch.len() as u64);
+                    } else {
+                        for line in &batch {
+                            if let Some((m, _domain)) = format.import_line(line, &mut stats) {
+                                feeder.ingest_owned(m);
+                            }
                         }
                     }
                 }

@@ -1,0 +1,187 @@
+//! A JSONL event journal: the narrative the metrics can't tell.
+//!
+//! Counters say *how much*; the journal says *what happened, in order* —
+//! a churn window opened, a cell was solved, a worker panicked, a CI
+//! gate armed or was skipped. Each event is one JSON object on one line,
+//! stamped with the journal's uptime, and parses back into a
+//! [`JournalEvent`] so a run's event stream can be *reconciled* against
+//! its final report (every window opened must close; cells solved must
+//! sum to the report's instance count).
+//!
+//! Emission is best-effort by design: a full disk or broken pipe must
+//! never take down a shard worker, so write errors are swallowed. The
+//! writer sits behind a `Mutex` — events are rare (per window / per
+//! report, never per measurement), so contention is a non-issue.
+
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One journaled event, as written and as parsed back.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalEvent {
+    /// Nanoseconds since the journal was opened.
+    pub uptime_nanos: u64,
+    /// Event name (`window_opened`, `cell_solved`, `worker_panic`,
+    /// `gate_armed`, `gate_skipped`, `scrape`, ...).
+    pub event: String,
+    /// Numeric payload, in emission order.
+    pub fields: Vec<(String, u64)>,
+    /// String payload (gate names, panic messages), in emission order.
+    pub tags: Vec<(String, String)>,
+}
+
+impl JournalEvent {
+    /// A numeric field by name.
+    pub fn field(&self, name: &str) -> Option<u64> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// A string field by name.
+    pub fn tag(&self, name: &str) -> Option<&str> {
+        self.tags.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+struct Inner {
+    start: Instant,
+    sink: Mutex<Box<dyn Write + Send>>,
+}
+
+/// A cloneable handle to one JSONL event stream.
+#[derive(Clone)]
+pub struct Journal {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Journal")
+    }
+}
+
+impl Journal {
+    /// Journal into any writer (a file, a pipe, a [`MemorySink`]).
+    pub fn to_writer(w: impl Write + Send + 'static) -> Journal {
+        Journal {
+            inner: Arc::new(Inner { start: Instant::now(), sink: Mutex::new(Box::new(w)) }),
+        }
+    }
+
+    /// Journal into a file at `path` (truncating).
+    pub fn to_file(path: &std::path::Path) -> std::io::Result<Journal> {
+        Ok(Journal::to_writer(std::io::BufWriter::new(std::fs::File::create(path)?)))
+    }
+
+    /// Emit an event with numeric fields.
+    pub fn emit(&self, event: &str, fields: &[(&str, u64)]) {
+        self.emit_tagged(event, fields, &[]);
+    }
+
+    /// Emit an event with numeric fields and string tags.
+    pub fn emit_tagged(&self, event: &str, fields: &[(&str, u64)], tags: &[(&str, &str)]) {
+        let ev = JournalEvent {
+            uptime_nanos: self.inner.start.elapsed().as_nanos() as u64,
+            event: event.to_string(),
+            fields: fields.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            tags: tags.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+        };
+        if let Ok(line) = serde_json::to_string(&ev) {
+            let mut sink = self.inner.sink.lock().unwrap_or_else(|e| e.into_inner());
+            // Best effort: a failed journal write must not fail the run.
+            let _ = writeln!(sink, "{line}");
+        }
+    }
+
+    /// Flush the underlying writer (call before reading the file back).
+    pub fn flush(&self) {
+        let mut sink = self.inner.sink.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = sink.flush();
+    }
+}
+
+/// Parse a journal back from its JSONL text. Errors name the offending
+/// line — a journal that doesn't parse is a bug, not an input problem.
+pub fn parse_jsonl(text: &str) -> Result<Vec<JournalEvent>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| {
+            serde_json::from_str(l).map_err(|e| format!("journal line {}: {e:?}", i + 1))
+        })
+        .collect()
+}
+
+/// An in-memory sink for tests: clone it, hand one clone to
+/// [`Journal::to_writer`], read `contents()` from the other.
+#[derive(Clone, Default)]
+pub struct MemorySink {
+    buf: Arc<Mutex<Vec<u8>>>,
+}
+
+impl MemorySink {
+    /// A fresh empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// Everything written so far, as UTF-8.
+    pub fn contents(&self) -> String {
+        let buf = self.buf.lock().unwrap_or_else(|e| e.into_inner());
+        String::from_utf8_lossy(&buf).into_owned()
+    }
+}
+
+impl Write for MemorySink {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.buf.lock().unwrap_or_else(|e| e.into_inner()).extend_from_slice(data);
+        Ok(data.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip_through_jsonl() {
+        let sink = MemorySink::new();
+        let journal = Journal::to_writer(sink.clone());
+        journal.emit("window_opened", &[("shard", 2), ("url_id", 17)]);
+        journal.emit_tagged("worker_panic", &[("shard", 0)], &[("message", "boom")]);
+        journal.emit("window_closed", &[("shard", 2), ("url_id", 17), ("cells", 3)]);
+        journal.flush();
+
+        let events = parse_jsonl(&sink.contents()).expect("journal parses back");
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].event, "window_opened");
+        assert_eq!(events[0].field("url_id"), Some(17));
+        assert_eq!(events[1].tag("message"), Some("boom"));
+        assert_eq!(events[2].field("cells"), Some(3));
+        // Uptime stamps never go backwards within one journal.
+        assert!(events.windows(2).all(|w| w[0].uptime_nanos <= w[1].uptime_nanos));
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_line_number() {
+        let err = parse_jsonl("{\"uptime_nanos\":0,\"event\":\"a\",\"fields\":[],\"tags\":[]}\nnot json\n")
+            .unwrap_err();
+        assert!(err.contains("line 2"), "error names the line: {err}");
+    }
+
+    #[test]
+    fn clones_share_one_stream() {
+        let sink = MemorySink::new();
+        let a = Journal::to_writer(sink.clone());
+        let b = a.clone();
+        a.emit("from_a", &[]);
+        b.emit("from_b", &[]);
+        a.flush();
+        let events = parse_jsonl(&sink.contents()).unwrap();
+        assert_eq!(events.len(), 2);
+    }
+}

@@ -1,0 +1,413 @@
+//! The metrics registry: named counters, gauges, and log2 histograms.
+//!
+//! Built for the engine's per-measurement hot path. Registration (the
+//! cold path) takes a `Mutex`; observation (the hot path) never does:
+//!
+//! * a [`Counter`] increment is one relaxed `fetch_add` on a
+//!   cache-padded slot picked per thread — concurrent feeders and shard
+//!   workers never contend on a line;
+//! * a [`Gauge`] set is one relaxed `store`;
+//! * a [`Histogram`] observation is two relaxed `fetch_add`s (its log2
+//!   bucket plus the running sum).
+//!
+//! Slots are aggregated only at [`Registry::scrape`] time, so a scrape
+//! sees a consistent-enough point-in-time [`Snapshot`] without ever
+//! stalling a writer (per-series totals are exact; cross-series skew is
+//! bounded by the scrape itself, which is fine for rates).
+//!
+//! Handles are cheap `Arc` clones. Registration is idempotent: asking
+//! for an already-registered `(name, labels)` series returns a handle to
+//! the same storage, so N shard workers can each "register" their own
+//! labeled series without coordination. Re-registering a name as a
+//! different kind panics — that is a bug in the instrumentation, not a
+//! runtime condition.
+
+use crate::snapshot::{HistogramSample, Sample, SampleValue, Snapshot};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Per-counter striping width. Wide enough that a dozen feeder threads
+/// rarely share a slot, small enough that scrape-time aggregation stays
+/// trivial.
+const SLOTS: usize = 16;
+
+/// Histogram bucket count: one per power-of-two magnitude of a `u64`
+/// (bucket 0 holds the value 0, bucket `i` holds values with bit length
+/// `i`, i.e. `[2^(i-1), 2^i)`), plus nothing else — `u64::MAX` lands in
+/// bucket 64.
+pub(crate) const BUCKETS: usize = 65;
+
+/// The log2 bucket of a value.
+#[inline]
+pub(crate) fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// A cache-line-padded atomic, so striped slots never false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+/// Striped counter storage.
+pub(crate) struct CounterCore {
+    slots: [PaddedU64; SLOTS],
+}
+
+impl CounterCore {
+    fn new() -> Self {
+        CounterCore { slots: std::array::from_fn(|_| PaddedU64::default()) }
+    }
+
+    fn sum(&self) -> u64 {
+        self.slots.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// The calling thread's stripe index: assigned round-robin on first use,
+/// then cached in a thread-local — slot selection on the hot path is one
+/// TLS read.
+#[inline]
+fn thread_slot() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SLOT: usize = NEXT.fetch_add(1, Ordering::Relaxed) % SLOTS;
+    }
+    SLOT.with(|s| *s)
+}
+
+/// A monotone counter handle. Clone freely; all clones share storage.
+#[derive(Clone)]
+pub struct Counter(Arc<CounterCore>);
+
+impl Counter {
+    /// Add one. One relaxed `fetch_add` on the calling thread's slot.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.slots[thread_slot()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total (scrape-path: sums the slots).
+    pub fn value(&self) -> u64 {
+        self.0.sum()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Counter").field(&self.value()).finish()
+    }
+}
+
+/// A settable gauge handle.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the gauge by a signed delta.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Gauge").field(&self.value()).finish()
+    }
+}
+
+/// Log2-bucketed histogram storage.
+pub(crate) struct HistogramCore {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new() -> Self {
+        HistogramCore { buckets: std::array::from_fn(|_| AtomicU64::new(0)), sum: AtomicU64::new(0) }
+    }
+
+    fn sample(&self) -> HistogramSample {
+        let buckets: Vec<u64> =
+            self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let count = buckets.iter().sum();
+        HistogramSample { buckets, sum: self.sum.load(Ordering::Relaxed), count }
+    }
+}
+
+/// A histogram handle: observations land in log2 buckets.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Record one observation: two relaxed `fetch_add`s.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.0.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Point-in-time sample (scrape path).
+    pub fn sample(&self) -> HistogramSample {
+        self.0.sample()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Histogram").field(&self.sample().count).finish()
+    }
+}
+
+#[derive(Clone)]
+enum Storage {
+    Counter(Arc<CounterCore>),
+    Gauge(Arc<AtomicI64>),
+    Histogram(Arc<HistogramCore>),
+}
+
+impl Storage {
+    fn kind(&self) -> &'static str {
+        match self {
+            Storage::Counter(_) => "counter",
+            Storage::Gauge(_) => "gauge",
+            Storage::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    name: String,
+    labels: Vec<(String, String)>,
+    help: String,
+    storage: Storage,
+}
+
+struct Inner {
+    start: Instant,
+    entries: Mutex<Vec<Entry>>,
+}
+
+/// The metric registry. Cloning is cheap (an `Arc` bump); every clone is
+/// a handle onto the same series set, so one registry can be shared by
+/// shard workers, feeder threads, the merge path, and a scrape thread.
+#[derive(Clone)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// Fresh, empty registry.
+    pub fn new() -> Self {
+        Registry { inner: Arc::new(Inner { start: Instant::now(), entries: Mutex::new(Vec::new()) }) }
+    }
+
+    /// Nanoseconds since the registry was created — the time base every
+    /// [`Snapshot`] and journal event is stamped with.
+    pub fn uptime_nanos(&self) -> u64 {
+        self.inner.start.elapsed().as_nanos() as u64
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Storage,
+    ) -> Storage {
+        let labels: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        let mut entries = self.inner.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let fresh_kind = {
+            // Same name must mean same kind, whatever the labels — the
+            // exposition format forbids anything else.
+            let same_name = entries.iter().find(|e| e.name == name);
+            if let Some(e) = entries.iter().find(|e| e.name == name && e.labels == labels) {
+                return e.storage.clone();
+            }
+            same_name.map(|e| e.storage.kind())
+        };
+        let storage = make();
+        if let Some(kind) = fresh_kind {
+            assert_eq!(
+                kind,
+                storage.kind(),
+                "metric `{name}` registered as both {kind} and {}",
+                storage.kind()
+            );
+        }
+        entries.push(Entry {
+            name: name.to_string(),
+            labels,
+            help: help.to_string(),
+            storage: storage.clone(),
+        });
+        storage
+    }
+
+    /// Register (or look up) a counter series.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.register(name, help, labels, || Storage::Counter(Arc::new(CounterCore::new()))) {
+            Storage::Counter(c) => Counter(c),
+            other => panic!("metric `{name}` already registered as {}", other.kind()),
+        }
+    }
+
+    /// Register (or look up) a gauge series.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, help, labels, || Storage::Gauge(Arc::new(AtomicI64::new(0)))) {
+            Storage::Gauge(g) => Gauge(g),
+            other => panic!("metric `{name}` already registered as {}", other.kind()),
+        }
+    }
+
+    /// Register (or look up) a log2-bucketed histogram series.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.register(name, help, labels, || Storage::Histogram(Arc::new(HistogramCore::new())))
+        {
+            Storage::Histogram(h) => Histogram(h),
+            other => panic!("metric `{name}` already registered as {}", other.kind()),
+        }
+    }
+
+    /// Scrape every registered series into a point-in-time [`Snapshot`],
+    /// sorted by `(name, labels)` so two scrapes of the same registry
+    /// enumerate series in the same stable order.
+    pub fn scrape(&self) -> Snapshot {
+        let entries = self.inner.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let mut samples: Vec<Sample> = entries
+            .iter()
+            .map(|e| Sample {
+                name: e.name.clone(),
+                labels: e.labels.clone(),
+                help: e.help.clone(),
+                value: match &e.storage {
+                    Storage::Counter(c) => SampleValue::Counter(c.sum()),
+                    Storage::Gauge(g) => SampleValue::Gauge(g.load(Ordering::Relaxed)),
+                    Storage::Histogram(h) => SampleValue::Histogram(h.sample()),
+                },
+            })
+            .collect();
+        samples.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        Snapshot { uptime_nanos: self.uptime_nanos(), samples }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let reg = Registry::new();
+        let c = reg.counter("t_total", "test", &[]);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 8000);
+    }
+
+    #[test]
+    fn registration_is_idempotent_per_series() {
+        let reg = Registry::new();
+        let a = reg.counter("x_total", "test", &[("shard", "0")]);
+        let b = reg.counter("x_total", "test", &[("shard", "0")]);
+        let other = reg.counter("x_total", "test", &[("shard", "1")]);
+        a.add(5);
+        b.add(2);
+        other.inc();
+        assert_eq!(a.value(), 7);
+        assert_eq!(other.value(), 1);
+        // Two series under one name, three handles, two samples.
+        assert_eq!(reg.scrape().samples.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as both")]
+    fn kind_conflict_panics() {
+        let reg = Registry::new();
+        let _ = reg.counter("y_total", "test", &[]);
+        let _ = reg.gauge("y_total", "test", &[("a", "b")]);
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let reg = Registry::new();
+        let g = reg.gauge("g", "test", &[]);
+        g.set(41);
+        g.add(1);
+        assert_eq!(g.value(), 42);
+        g.add(-50);
+        assert_eq!(g.value(), -8);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+
+        let reg = Registry::new();
+        let h = reg.histogram("h", "test", &[]);
+        for v in [0, 1, 2, 3, 1000] {
+            h.observe(v);
+        }
+        let s = h.sample();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1006);
+        assert_eq!(s.buckets[0], 1); // 0
+        assert_eq!(s.buckets[1], 1); // 1
+        assert_eq!(s.buckets[2], 2); // 2, 3
+        assert_eq!(s.buckets[10], 1); // 1000
+    }
+
+    #[test]
+    fn scrape_orders_series_stably() {
+        let reg = Registry::new();
+        reg.counter("b_total", "test", &[]).inc();
+        reg.counter("a_total", "test", &[("shard", "1")]).inc();
+        reg.counter("a_total", "test", &[("shard", "0")]).inc();
+        let names: Vec<(String, Vec<(String, String)>)> =
+            reg.scrape().samples.into_iter().map(|s| (s.name, s.labels)).collect();
+        assert_eq!(names[0].0, "a_total");
+        assert_eq!(names[0].1[0].1, "0");
+        assert_eq!(names[1].1[0].1, "1");
+        assert_eq!(names[2].0, "b_total");
+    }
+}

@@ -1,0 +1,156 @@
+//! Prometheus text exposition (version 0.0.4) over a [`Snapshot`].
+//!
+//! The renderer is deliberately boring: one `# HELP`/`# TYPE` pair per
+//! metric name (emitted at its first series — the snapshot is already
+//! sorted by name, so all of a name's series are contiguous), label
+//! values escaped per the spec, histograms expanded into cumulative
+//! `_bucket{le="..."}` series. Stability matters more than features
+//! here — the output is golden-tested so dashboards can rely on names
+//! and label shapes across versions.
+
+use crate::snapshot::{HistogramSample, Sample, SampleValue, Snapshot};
+use std::fmt::Write as _;
+
+/// Render a snapshot in Prometheus text format.
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut prev_name: Option<&str> = None;
+    for s in &snap.samples {
+        if prev_name != Some(s.name.as_str()) {
+            let kind = match s.value {
+                SampleValue::Counter(_) => "counter",
+                SampleValue::Gauge(_) => "gauge",
+                SampleValue::Histogram(_) => "histogram",
+            };
+            let _ = writeln!(out, "# HELP {} {}", s.name, escape_help(&s.help));
+            let _ = writeln!(out, "# TYPE {} {}", s.name, kind);
+            prev_name = Some(s.name.as_str());
+        }
+        match &s.value {
+            SampleValue::Counter(v) => {
+                let _ = writeln!(out, "{}{} {}", s.name, render_labels(&s.labels, None), v);
+            }
+            SampleValue::Gauge(v) => {
+                let _ = writeln!(out, "{}{} {}", s.name, render_labels(&s.labels, None), v);
+            }
+            SampleValue::Histogram(h) => render_histogram(&mut out, s, h),
+        }
+    }
+    out
+}
+
+/// Expand a log2 histogram into cumulative `le` buckets. Bucket `i`
+/// holds values of bit length `i` (bucket 0 is the value 0), so its
+/// inclusive upper bound is `2^i - 1`; emit buckets up to the highest
+/// non-empty one, then `+Inf`.
+fn render_histogram(out: &mut String, s: &Sample, h: &HistogramSample) {
+    let highest = h.buckets.iter().rposition(|&c| c > 0);
+    let mut cumulative = 0u64;
+    if let Some(hi) = highest {
+        for (i, &c) in h.buckets.iter().enumerate().take(hi + 1) {
+            cumulative += c;
+            let le = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
+            let _ = writeln!(
+                out,
+                "{}_bucket{} {}",
+                s.name,
+                render_labels(&s.labels, Some(&le.to_string())),
+                cumulative
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{}_bucket{} {}",
+        s.name,
+        render_labels(&s.labels, Some("+Inf")),
+        h.count
+    );
+    let _ = writeln!(out, "{}_sum{} {}", s.name, render_labels(&s.labels, None), h.sum);
+    let _ = writeln!(out, "{}_count{} {}", s.name, render_labels(&s.labels, None), h.count);
+}
+
+/// `{k="v",...}` with an optional trailing `le` label; empty string for
+/// no labels.
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "{}=\"{}\"", k, escape_label(v));
+        first = false;
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{}\"", le);
+    }
+    out.push('}');
+    out
+}
+
+/// Label values escape backslash, double-quote, and newline.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Help text escapes backslash and newline (quotes are fine there).
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn renders_counters_and_gauges_with_labels() {
+        let reg = Registry::new();
+        reg.counter("churnlab_measurements_total", "measurements ingested", &[("shard", "0")])
+            .add(7);
+        reg.counter("churnlab_measurements_total", "measurements ingested", &[("shard", "1")])
+            .add(5);
+        reg.gauge("churnlab_windows_open", "open churn windows", &[]).set(3);
+        let text = render_prometheus(&reg.scrape());
+        assert!(text.contains("# TYPE churnlab_measurements_total counter"));
+        assert!(text.contains("churnlab_measurements_total{shard=\"0\"} 7"));
+        assert!(text.contains("churnlab_measurements_total{shard=\"1\"} 5"));
+        assert!(text.contains("churnlab_windows_open 3"));
+        // HELP/TYPE emitted once per name, not per series.
+        assert_eq!(text.matches("# TYPE churnlab_measurements_total").count(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_powers_of_two() {
+        let reg = Registry::new();
+        let h = reg.histogram("churnlab_resolve_nanos", "re-solve latency", &[]);
+        h.observe(0); // bucket 0, le=0
+        h.observe(1); // bucket 1, le=1
+        h.observe(6); // bucket 3, le=7
+        let text = render_prometheus(&reg.scrape());
+        assert!(text.contains("churnlab_resolve_nanos_bucket{le=\"0\"} 1"));
+        assert!(text.contains("churnlab_resolve_nanos_bucket{le=\"1\"} 2"));
+        assert!(text.contains("churnlab_resolve_nanos_bucket{le=\"3\"} 2"));
+        assert!(text.contains("churnlab_resolve_nanos_bucket{le=\"7\"} 3"));
+        assert!(text.contains("churnlab_resolve_nanos_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("churnlab_resolve_nanos_sum 7"));
+        assert!(text.contains("churnlab_resolve_nanos_count 3"));
+        // Buckets past the highest non-empty one are elided.
+        assert!(!text.contains("le=\"15\""));
+    }
+
+    #[test]
+    fn escapes_label_values() {
+        let reg = Registry::new();
+        reg.counter("c_total", "help", &[("path", "a\"b\\c\nd")]).inc();
+        let text = render_prometheus(&reg.scrape());
+        assert!(text.contains("c_total{path=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+}

@@ -1,0 +1,274 @@
+//! Point-in-time scrapes and the delta/rate arithmetic between them.
+//!
+//! A [`Snapshot`] is what [`crate::metrics::Registry::scrape`] returns:
+//! every registered series with its current value, stamped with the
+//! registry's uptime. Snapshots are plain serializable data — they are
+//! the "one uniform stats JSON shape" the binaries emit instead of
+//! hand-formatted blocks — and two snapshots of the same registry
+//! compose: [`Snapshot::delta`] subtracts the earlier cumulative
+//! counters/histograms out of the later ones (gauges keep their later
+//! value), which is exactly what a periodic scraper needs to turn
+//! cumulative series into per-interval rates.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram's scraped state: raw (non-cumulative) log2 bucket counts,
+/// the running sum, and the total observation count.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSample {
+    /// `buckets[i]` counts observations with bit length `i` (bucket 0 is
+    /// the value 0). Length is fixed at 65.
+    pub buckets: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Total observations (sum of the buckets).
+    pub count: u64,
+}
+
+impl HistogramSample {
+    /// Mean observed value, `None` when nothing was observed.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+}
+
+/// One series' scraped value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SampleValue {
+    /// Cumulative monotone count.
+    Counter(u64),
+    /// Instantaneous value.
+    Gauge(i64),
+    /// Bucketed distribution.
+    Histogram(HistogramSample),
+}
+
+/// One series in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Metric name (Prometheus conventions: `snake_case`, counters end
+    /// in `_total` or a unit suffix).
+    pub name: String,
+    /// Label pairs, in registration order.
+    pub labels: Vec<(String, String)>,
+    /// Help text (one line).
+    pub help: String,
+    /// The value.
+    pub value: SampleValue,
+}
+
+impl Sample {
+    /// True when this sample names the same series as `(name, labels)`.
+    fn is(&self, name: &str, labels: &[(&str, &str)]) -> bool {
+        self.name == name
+            && self.labels.len() == labels.len()
+            && self.labels.iter().zip(labels).all(|((k, v), (lk, lv))| k == lk && v == lv)
+    }
+}
+
+/// A point-in-time scrape of a registry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Registry uptime at scrape time, nanoseconds.
+    pub uptime_nanos: u64,
+    /// Every registered series, sorted by `(name, labels)`.
+    pub samples: Vec<Sample>,
+}
+
+impl Snapshot {
+    /// The counter value of a named series, if present.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.samples.iter().find(|s| s.is(name, labels)).and_then(|s| match &s.value {
+            SampleValue::Counter(v) => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// The gauge value of a named series, if present.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        self.samples.iter().find(|s| s.is(name, labels)).and_then(|s| match &s.value {
+            SampleValue::Gauge(v) => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Sum of a counter across every labeling of `name` (e.g. a
+    /// per-shard series summed over shards).
+    pub fn counter_sum(&self, name: &str) -> u64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .filter_map(|s| match &s.value {
+                SampleValue::Counter(v) => Some(*v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Seconds between this snapshot and an earlier one of the same
+    /// registry.
+    pub fn elapsed_secs_since(&self, earlier: &Snapshot) -> f64 {
+        self.uptime_nanos.saturating_sub(earlier.uptime_nanos) as f64 / 1e9
+    }
+
+    /// The per-interval view between two scrapes of one registry:
+    /// counters and histogram buckets/sums become the increase since
+    /// `earlier` (saturating — a series absent from `earlier` keeps its
+    /// full value), gauges keep this snapshot's value. `uptime_nanos`
+    /// becomes the interval length.
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let samples = self
+            .samples
+            .iter()
+            .map(|s| {
+                let prev = earlier
+                    .samples
+                    .iter()
+                    .find(|p| p.name == s.name && p.labels == s.labels);
+                let value = match (&s.value, prev.map(|p| &p.value)) {
+                    (SampleValue::Counter(v), Some(SampleValue::Counter(pv))) => {
+                        SampleValue::Counter(v.saturating_sub(*pv))
+                    }
+                    (SampleValue::Histogram(h), Some(SampleValue::Histogram(ph))) => {
+                        SampleValue::Histogram(HistogramSample {
+                            buckets: h
+                                .buckets
+                                .iter()
+                                .zip(&ph.buckets)
+                                .map(|(a, b)| a.saturating_sub(*b))
+                                .collect(),
+                            sum: h.sum.saturating_sub(ph.sum),
+                            count: h.count.saturating_sub(ph.count),
+                        })
+                    }
+                    (v, _) => v.clone(),
+                };
+                Sample { name: s.name.clone(), labels: s.labels.clone(), help: s.help.clone(), value }
+            })
+            .collect();
+        Snapshot {
+            uptime_nanos: self.uptime_nanos.saturating_sub(earlier.uptime_nanos),
+            samples,
+        }
+    }
+
+    /// One flat JSON object over the snapshot: `"name{k=v,...}"` keys
+    /// mapping counters and gauges to their numbers and histograms to
+    /// `{"count":..,"sum":..}`. This is the uniform one-line stats shape
+    /// the binaries print in place of hand-formatted blocks; keys come
+    /// out in the snapshot's `(name, labels)` sort order, so the line is
+    /// deterministic and diffable across runs.
+    pub fn flat_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, s) in self.samples.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let mut key = s.name.clone();
+            if !s.labels.is_empty() {
+                key.push('{');
+                for (j, (k, v)) in s.labels.iter().enumerate() {
+                    if j > 0 {
+                        key.push(',');
+                    }
+                    key.push_str(k);
+                    key.push('=');
+                    key.push_str(v);
+                }
+                key.push('}');
+            }
+            out.push_str(&serde_json::to_string(&key).expect("string serializes"));
+            out.push(':');
+            match &s.value {
+                SampleValue::Counter(v) => out.push_str(&v.to_string()),
+                SampleValue::Gauge(v) => out.push_str(&v.to_string()),
+                SampleValue::Histogram(h) => {
+                    out.push_str(&format!("{{\"count\":{},\"sum\":{}}}", h.count, h.sum));
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// A counter's rate over the interval since `earlier`, per second.
+    pub fn rate(&self, earlier: &Snapshot, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let secs = self.elapsed_secs_since(earlier);
+        if secs <= 0.0 {
+            return None;
+        }
+        let now = self.counter(name, labels)?;
+        let then = earlier.counter(name, labels).unwrap_or(0);
+        Some(now.saturating_sub(then) as f64 / secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn delta_and_rate_between_scrapes() {
+        let reg = Registry::new();
+        let c = reg.counter("work_total", "test", &[]);
+        let g = reg.gauge("depth", "test", &[]);
+        let h = reg.histogram("sizes", "test", &[]);
+        c.add(10);
+        g.set(3);
+        h.observe(4);
+        let first = reg.scrape();
+        c.add(32);
+        g.set(7);
+        h.observe(4);
+        h.observe(100);
+        let second = reg.scrape();
+
+        let d = second.delta(&first);
+        assert_eq!(d.counter("work_total", &[]), Some(32));
+        // Gauges are instantaneous: the delta keeps the later value.
+        assert_eq!(d.gauge("depth", &[]), Some(7));
+        let hist = d.samples.iter().find(|s| s.name == "sizes").unwrap();
+        match &hist.value {
+            SampleValue::Histogram(hs) => {
+                assert_eq!(hs.count, 2);
+                assert_eq!(hs.sum, 104);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+
+        let rate = second.rate(&first, "work_total", &[]).expect("clock advanced");
+        assert!(rate > 0.0);
+    }
+
+    #[test]
+    fn flat_json_is_deterministic_and_parseable() {
+        let reg = Registry::new();
+        reg.counter("work_total", "t", &[("shard", "1")]).add(5);
+        reg.counter("work_total", "t", &[("shard", "0")]).add(3);
+        reg.gauge("depth", "t", &[]).set(-2);
+        reg.histogram("sizes", "t", &[]).observe(7);
+        let line = reg.scrape().flat_json();
+        assert_eq!(
+            line,
+            "{\"depth\":-2,\"sizes\":{\"count\":1,\"sum\":7},\
+             \"work_total{shard=0}\":3,\"work_total{shard=1}\":5}"
+        );
+    }
+
+    #[test]
+    fn survives_json_round_trip() {
+        let reg = Registry::new();
+        reg.counter("a_total", "help a", &[("shard", "0")]).add(9);
+        reg.gauge("b", "help b", &[]).set(-4);
+        reg.histogram("c", "help c", &[]).observe(17);
+        let snap = reg.scrape();
+        let json = serde_json::to_string(&snap).expect("serializes");
+        let back: Snapshot = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, snap);
+    }
+}

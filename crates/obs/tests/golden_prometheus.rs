@@ -1,0 +1,72 @@
+//! Golden test: the Prometheus exposition format is a public interface.
+//!
+//! Dashboards and scrape configs key on metric names, label shapes, and
+//! the `HELP`/`TYPE` framing. This test pins the exact rendered text for
+//! a representative registry — if it fails, either fix the regression or
+//! consciously update the golden string *and* the README's
+//! "Observability" section together.
+
+use churnlab_obs::{render_prometheus, Registry};
+
+#[test]
+fn exposition_format_is_stable() {
+    let reg = Registry::new();
+    reg.counter(
+        "churnlab_measurements_total",
+        "raw measurements ingested, per shard",
+        &[("shard", "0")],
+    )
+    .add(1200);
+    reg.counter(
+        "churnlab_measurements_total",
+        "raw measurements ingested, per shard",
+        &[("shard", "1")],
+    )
+    .add(1100);
+    reg.gauge("churnlab_windows_open", "churn windows currently open", &[]).set(5);
+    let h = reg.histogram("churnlab_resolve_nanos", "incremental re-solve latency", &[]);
+    h.observe(0);
+    h.observe(3);
+    h.observe(900);
+    reg.counter(
+        "churnlab_phase_nanos_total",
+        "on-CPU nanoseconds by phase",
+        &[("phase", "convert"), ("shard", "0")],
+    )
+    .add(42_000);
+
+    let text = render_prometheus(&reg.scrape());
+
+    let golden = "\
+# HELP churnlab_measurements_total raw measurements ingested, per shard
+# TYPE churnlab_measurements_total counter
+churnlab_measurements_total{shard=\"0\"} 1200
+churnlab_measurements_total{shard=\"1\"} 1100
+# HELP churnlab_phase_nanos_total on-CPU nanoseconds by phase
+# TYPE churnlab_phase_nanos_total counter
+churnlab_phase_nanos_total{phase=\"convert\",shard=\"0\"} 42000
+# HELP churnlab_resolve_nanos incremental re-solve latency
+# TYPE churnlab_resolve_nanos histogram
+churnlab_resolve_nanos_bucket{le=\"0\"} 1
+churnlab_resolve_nanos_bucket{le=\"1\"} 1
+churnlab_resolve_nanos_bucket{le=\"3\"} 2
+churnlab_resolve_nanos_bucket{le=\"7\"} 2
+churnlab_resolve_nanos_bucket{le=\"15\"} 2
+churnlab_resolve_nanos_bucket{le=\"31\"} 2
+churnlab_resolve_nanos_bucket{le=\"63\"} 2
+churnlab_resolve_nanos_bucket{le=\"127\"} 2
+churnlab_resolve_nanos_bucket{le=\"255\"} 2
+churnlab_resolve_nanos_bucket{le=\"511\"} 2
+churnlab_resolve_nanos_bucket{le=\"1023\"} 3
+churnlab_resolve_nanos_bucket{le=\"+Inf\"} 3
+churnlab_resolve_nanos_sum 903
+churnlab_resolve_nanos_count 3
+# HELP churnlab_windows_open churn windows currently open
+# TYPE churnlab_windows_open gauge
+churnlab_windows_open 5
+";
+    assert_eq!(
+        text, golden,
+        "Prometheus exposition drifted — metric names/label shapes are a public interface"
+    );
+}

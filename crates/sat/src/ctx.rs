@@ -39,6 +39,38 @@
 use crate::cnf::{Cnf, Lit, Var};
 use crate::compiled::CompiledCnf;
 use crate::enumerate::{Backbone, SolutionCensus, SolutionCount};
+use serde::{Deserialize, Serialize};
+
+/// Cumulative work counters for one [`SolverCtx`] across its whole
+/// lifetime (they survive [`SolverCtx::attach`], unlike the rest of the
+/// context state). Plain `u64` bumps on paths that already mutate the
+/// context — no atomics — so keeping them costs nothing measurable;
+/// observability layers read them out via [`SolverCtx::stats`] and
+/// publish deltas.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CtxStats {
+    /// Trail entries processed by unit propagation.
+    pub propagations: u64,
+    /// Decision levels undone (flips, probe pops, root rewinds).
+    pub backtracks: u64,
+    /// Census queries answered.
+    pub censuses: u64,
+    /// Models counted across all censuses (capped counts contribute the
+    /// cap, and block-counted leaves contribute their whole `2^free`).
+    pub census_models: u64,
+}
+
+impl CtxStats {
+    /// Field-wise sum, for merging per-shard solver stats.
+    pub fn merged(self, other: CtxStats) -> CtxStats {
+        CtxStats {
+            propagations: self.propagations + other.propagations,
+            backtracks: self.backtracks + other.backtracks,
+            censuses: self.censuses + other.censuses,
+            census_models: self.census_models + other.census_models,
+        }
+    }
+}
 
 /// Dense index of a literal: `var * 2 + positive`.
 #[inline]
@@ -96,12 +128,19 @@ pub struct SolverCtx {
     /// Compile target for the `*_cnf` convenience entry points, borrowed
     /// out via `mem::take` while the solve runs.
     compiled_scratch: CompiledCnf,
+    /// Lifetime work counters (not rewound by `attach`).
+    stats: CtxStats,
 }
 
 impl SolverCtx {
     /// Fresh, empty context.
     pub fn new() -> Self {
         SolverCtx::default()
+    }
+
+    /// Cumulative work counters over this context's lifetime.
+    pub fn stats(&self) -> CtxStats {
+        self.stats
     }
 
     /// Rewind the context onto `cnf`: copy the clause arena, rebuild
@@ -236,6 +275,7 @@ impl SolverCtx {
     /// Undo the topmost decision level: pop the trail to its mark,
     /// unassigning and reversing the satisfaction counters.
     fn backtrack_level(&mut self) {
+        self.stats.backtracks += 1;
         let mark = self.trail_lim.pop().expect("a decision level to backtrack") as usize;
         while self.trail.len() > mark {
             let v = self.trail.pop().expect("trail bounded by mark");
@@ -267,6 +307,7 @@ impl SolverCtx {
     /// assignment made so far, so a level pop undoes them).
     fn propagate(&mut self) -> bool {
         while self.prop_head < self.trail.len() {
+            self.stats.propagations += 1;
             let v = self.trail[self.prop_head];
             self.prop_head += 1;
             let val = self.assign[v.usize()].expect("trail entries are assigned");
@@ -577,6 +618,7 @@ impl SolverCtx {
     /// whole model set). Result-identical to [`crate::enumerate::census`].
     pub fn census(&mut self, cnf: &CompiledCnf, cap: u64) -> SolutionCensus {
         assert!(cap >= 2, "a cap below 2 cannot distinguish unique from multiple");
+        self.stats.censuses += 1;
         let unsat = SolutionCensus {
             count: SolutionCount::Exact(0),
             unique_model: None,
@@ -586,6 +628,7 @@ impl SolverCtx {
             return unsat;
         }
         let (count, capped) = self.enumerate(cap);
+        self.stats.census_models += count;
         if count == 0 {
             return unsat;
         }
@@ -731,6 +774,31 @@ mod tests {
             let b = c.backbone.unwrap();
             assert!(b.ever_true.iter().all(|t| *t));
         }
+    }
+
+    #[test]
+    fn stats_accumulate_across_instances() {
+        let mut ctx = SolverCtx::new();
+        assert_eq!(ctx.stats(), CtxStats::default());
+        let mut f = Cnf::new(3);
+        f.add_positive_clause([Var(0), Var(1), Var(2)]);
+        let c = ctx.census(&compiled(&f), 10);
+        assert_eq!(c.count, SolutionCount::Exact(7));
+        let first = ctx.stats();
+        assert_eq!(first.censuses, 1);
+        assert_eq!(first.census_models, 7);
+        assert!(first.propagations > 0, "enumeration propagates");
+        assert!(first.backtracks > 0, "enumeration backtracks");
+        // Counters are lifetime-cumulative: a second census adds on top.
+        ctx.census(&compiled(&f), 10);
+        let second = ctx.stats();
+        assert_eq!(second.censuses, 2);
+        assert_eq!(second.census_models, 14);
+        assert!(second.propagations >= first.propagations);
+        // And merge field-wise.
+        let m = first.merged(second);
+        assert_eq!(m.censuses, 3);
+        assert_eq!(m.census_models, 21);
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub mod solver;
 
 pub use cnf::{Clause, Cnf, DimacsError, Lit, Var};
 pub use compiled::CompiledCnf;
-pub use ctx::SolverCtx;
+pub use ctx::{CtxStats, SolverCtx};
 pub use enumerate::{backbone, census, count_solutions, Backbone, SolutionCensus, SolutionCount};
 pub use solver::{solve, solve_with};
 
