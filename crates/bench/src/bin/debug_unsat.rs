@@ -2,7 +2,7 @@
 //! contradict, and why. Development tool, not part of the experiment suite.
 
 use churnlab_bench::{Bench, Scale};
-use churnlab_bgp::{Granularity, RoutingSim, TimeWindow};
+use churnlab_bgp::{Granularity, TimeWindow};
 use churnlab_core::convert::{convert_measurement, ConversionStats};
 use churnlab_core::instance::{InstanceBuilder, InstanceKey};
 use churnlab_platform::{AnomalyType, Platform};
@@ -12,7 +12,7 @@ use std::collections::HashMap;
 fn main() {
     let bench = Bench::assemble(Scale::Small, 42);
     let platform = Platform::new(&bench.world, &bench.scenario, bench.platform_cfg.clone());
-    let sim = RoutingSim::new(&bench.world.topology, &bench.churn_cfg);
+    let sim = bench.sim();
     let (ms, _) = platform.run_collect(&sim);
     let db = platform.measured_ip2as();
     let mut stats = ConversionStats::default();

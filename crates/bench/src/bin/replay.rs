@@ -26,7 +26,6 @@
 use churnlab_bench::obsbench::MetricsWriter;
 use churnlab_bench::replaybench::{replay_into_engine, ReplayBenchReport};
 use churnlab_bench::{Bench, Scale};
-use churnlab_bgp::RoutingSim;
 use churnlab_core::pipeline::{Pipeline, PipelineConfig};
 use churnlab_engine::EngineObs;
 use churnlab_interop::{export_study, ReplayFormat, StudyManifest};
@@ -122,7 +121,7 @@ fn reassemble(scale: Scale, seed: u64) -> Bench {
 fn export(path: &str, scale: Scale, seed: u64) {
     let bench = reassemble(scale, seed);
     let platform = Platform::new(&bench.world, &bench.scenario, bench.platform_cfg.clone());
-    let sim = RoutingSim::new(&bench.world.topology, &bench.churn_cfg);
+    let sim = bench.sim();
     let file = std::fs::File::create(path).expect("create dump file");
     let start = std::time::Instant::now();
     let (records, stats) =
@@ -243,7 +242,7 @@ fn ingest(args: &Args, path: &str) {
         // The round-trip guarantee, checked for real: re-simulate the
         // study in memory, run the batch pipeline over it, and demand the
         // replayed canonical report match byte for byte.
-        let sim = RoutingSim::new(&bench.world.topology, &bench.churn_cfg);
+        let sim = bench.sim();
         let mut direct = Pipeline::new(&platform, cfg);
         platform.run(&sim, |m| direct.ingest(&m));
         let expected = direct.finish().canonical_report().to_json();

@@ -23,7 +23,6 @@
 
 use crate::obsbench::BenchObs;
 use crate::Bench;
-use churnlab_bgp::RoutingSim;
 use churnlab_core::pipeline::{Pipeline, PipelineConfig};
 use churnlab_engine::{Engine, EngineConfig, EngineStats};
 use churnlab_platform::{Measurement, Platform};
@@ -45,7 +44,7 @@ impl<'w> ThroughputHarness<'w> {
     /// Run the measurement campaign once and capture it.
     pub fn assemble(bench: &'w Bench) -> ThroughputHarness<'w> {
         let platform = Platform::new(&bench.world, &bench.scenario, bench.platform_cfg.clone());
-        let sim = RoutingSim::new(&bench.world.topology, &bench.churn_cfg);
+        let sim = bench.sim();
         let (measurements, _) = platform.run_collect(&sim);
         let cfg = PipelineConfig::paper(bench.platform_cfg.total_days);
         ThroughputHarness { platform, measurements, cfg }

@@ -15,6 +15,7 @@ pub mod internbench;
 pub mod matrix;
 pub mod obsbench;
 pub mod replaybench;
+pub mod routebench;
 pub mod satbench;
 
 use churnlab_bgp::{ChurnConfig, RoutingSim};
@@ -105,10 +106,21 @@ impl Bench {
         Bench { world, scenario, platform_cfg, churn_cfg }
     }
 
+    /// A routing simulator over this bench's world, honoring the world
+    /// config's `tree_cache_capacity` (0 = sized automatically from the
+    /// world's footprint).
+    pub fn sim(&self) -> RoutingSim<'_> {
+        RoutingSim::with_cache_capacity(
+            &self.world.topology,
+            &self.churn_cfg,
+            self.world.config.tree_cache_capacity,
+        )
+    }
+
     /// Run the measurement campaign through a pipeline config.
     pub fn run(&self, pipeline_cfg: PipelineConfig) -> (DatasetStats, PipelineResults) {
         let platform = Platform::new(&self.world, &self.scenario, self.platform_cfg.clone());
-        let sim = RoutingSim::new(&self.world.topology, &self.churn_cfg);
+        let sim = self.sim();
         let mut pipeline = Pipeline::new(&platform, pipeline_cfg);
         let stats = platform.run(&sim, |m| pipeline.ingest(&m));
         (stats, pipeline.finish())

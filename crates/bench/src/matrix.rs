@@ -58,6 +58,7 @@ impl CellSpec {
                 WorldScale::Smoke => "smoke",
                 WorldScale::Small => "small",
                 WorldScale::Paper => "paper",
+                WorldScale::Huge => "huge",
             },
             self.mechanism.label(),
             match self.churn_mode {
@@ -176,7 +177,9 @@ fn platform_scale(w: WorldScale) -> PlatformScale {
     match w {
         WorldScale::Smoke => PlatformScale::Smoke,
         WorldScale::Small => PlatformScale::Small,
-        WorldScale::Paper => PlatformScale::Paper,
+        // A Huge world routes Internet-scale topologies; the measurement
+        // campaign itself still runs at the paper's size.
+        WorldScale::Paper | WorldScale::Huge => PlatformScale::Paper,
     }
 }
 
@@ -213,7 +216,11 @@ pub fn run_cell(spec: &CellSpec) -> CellRow {
     };
 
     let platform = Platform::new(&world, &scenario, platform_cfg.clone());
-    let sim = RoutingSim::new(&world.topology, &churn_cfg);
+    let sim = RoutingSim::with_cache_capacity(
+        &world.topology,
+        &churn_cfg,
+        world.config.tree_cache_capacity,
+    );
     let mut pipeline_cfg = PipelineConfig::paper(platform_cfg.total_days);
     pipeline_cfg.churn_mode = spec.churn_mode;
     let (stats, results) = if spec.engine {

@@ -19,27 +19,105 @@
 //! **salted tiebreak** over the next-hop ASN. The salt comes from the
 //! churn timeline's TE-shift process, so equal-cost choices drift over
 //! time exactly like hot-potato routing does.
+//!
+//! ## Internet-scale layout
+//!
+//! At CAIDA scale (~80k ASes, ~700k edges) a tree is computed hundreds of
+//! thousands of times per study, so this module is built for steady-state
+//! zero allocation and compactness:
+//!
+//! * all per-tree working state lives in a caller-owned [`TreeScratch`]
+//!   that [`RouteTree::compute_into`] reuses — after the first tree no
+//!   allocation happens as long as the world doesn't grow;
+//! * the link-state and salt closures are sampled **once per link / once
+//!   per AS** into flat arrays up front, instead of a dyn-dispatched
+//!   binary search per edge visit (the old dominant cost);
+//! * [`SelectedRoute`] is packed to 8 bytes (`u32` next hop, `u16`
+//!   length, class byte), so a Huge tree is ~500 KB instead of several
+//!   MB of `Option` padding.
 
 use crate::policy::RouteClass;
-use churnlab_topology::graph::EdgeKind;
 use churnlab_topology::{AsIdx, Asn, LinkId, Topology};
-use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 
 const INF: u16 = u16::MAX;
+const NO_NEXT: u32 = u32::MAX;
 
-/// The route an AS selected toward the tree's destination.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// The route an AS selected toward the tree's destination, packed into
+/// 8 bytes. Unreachable nodes hold a sentinel (`len() == u16::MAX`
+/// internally) and are surfaced as `None` by [`RouteTree::route`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SelectedRoute {
+    next: u32,
+    len: u16,
+    class: u8,
+}
+
+const _: () = assert!(std::mem::size_of::<SelectedRoute>() == 8);
+
+impl SelectedRoute {
+    const UNREACHABLE: SelectedRoute = SelectedRoute { next: NO_NEXT, len: INF, class: 0 };
+
+    #[inline]
+    fn reachable(self) -> bool {
+        self.len != INF
+    }
+
     /// How the route was learned.
-    pub class: RouteClass,
+    #[inline]
+    pub fn class(self) -> RouteClass {
+        match self.class {
+            0 => RouteClass::Customer,
+            1 => RouteClass::Peer,
+            _ => RouteClass::Provider,
+        }
+    }
+
     /// Shortest valley-free AS-path length (a lower bound; the actual
     /// forwarding path through preference-selected providers may be
     /// longer — see [`RouteTree::path_from`]).
-    pub len: u16,
+    #[inline]
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(self) -> u16 {
+        self.len
+    }
+
     /// Next hop (`None` only at the destination).
-    pub next: Option<AsIdx>,
+    #[inline]
+    pub fn next(self) -> Option<AsIdx> {
+        (self.next != NO_NEXT).then_some(AsIdx(self.next))
+    }
+}
+
+/// Reusable working state for [`RouteTree::compute_into`].
+///
+/// Holds the per-stage distance arrays, the BFS queue, the Dijkstra
+/// heap, the link-state bitmap, and the per-AS salt cache. All buffers
+/// grow to the world's size on first use and are then recycled: in
+/// steady state a tree computation performs **zero** heap allocations
+/// (the `route_bench` binary asserts this with a counting allocator).
+#[derive(Debug, Default)]
+pub struct TreeScratch {
+    cust: Vec<u16>,
+    peer: Vec<u16>,
+    prov: Vec<u16>,
+    adv: Vec<u16>,
+    queue: VecDeque<u32>,
+    /// Dial's bucket queue for the provider descent: every edge has unit
+    /// weight, so a per-length bucket gives O(1) push/pop where a binary
+    /// heap pays a log factor per operation.
+    buckets: Vec<Vec<u32>>,
+    /// One bit per link: up (1) or down (0) under this snapshot.
+    up: Vec<u64>,
+    /// Per-AS tiebreak salt under this snapshot.
+    salts: Vec<u64>,
+}
+
+impl TreeScratch {
+    /// Empty scratch; buffers are sized lazily by the first compute.
+    pub fn new() -> Self {
+        TreeScratch::default()
+    }
 }
 
 /// All selected routes toward one destination under one link-state/salt
@@ -48,11 +126,18 @@ pub struct SelectedRoute {
 pub struct RouteTree {
     /// The destination AS.
     pub dest: AsIdx,
-    routes: Vec<Option<SelectedRoute>>,
+    routes: Vec<SelectedRoute>,
 }
 
 impl RouteTree {
-    /// Compute the tree.
+    /// An empty tree to [`compute_into`](RouteTree::compute_into). The
+    /// placeholder destination is overwritten by the first compute.
+    pub fn empty() -> RouteTree {
+        RouteTree { dest: AsIdx(0), routes: Vec::new() }
+    }
+
+    /// Compute the tree (convenience wrapper over
+    /// [`RouteTree::compute_into`] with throwaway scratch).
     ///
     /// * `link_up(link)` — live link state (from the churn timeline).
     /// * `salt(as_index)` — per-AS tiebreak salt (from the TE process).
@@ -62,32 +147,80 @@ impl RouteTree {
         link_up: &dyn Fn(LinkId) -> bool,
         salt: &dyn Fn(usize) -> u64,
     ) -> RouteTree {
+        let mut scratch = TreeScratch::new();
+        let mut tree = RouteTree::empty();
+        RouteTree::compute_into(&mut scratch, topo, dest, link_up, salt, &mut tree);
+        tree
+    }
+
+    /// Compute the tree into `out`, reusing `scratch` across calls.
+    ///
+    /// `link_up` is sampled exactly once per link and `salt` once per AS
+    /// (into scratch-owned flat arrays), so closure cost is linear in the
+    /// world, not in edge visits. Allocation-free once `scratch` and
+    /// `out` have seen the world's size.
+    pub fn compute_into(
+        scratch: &mut TreeScratch,
+        topo: &Topology,
+        dest: AsIdx,
+        link_up: &dyn Fn(LinkId) -> bool,
+        salt: &dyn Fn(usize) -> u64,
+        out: &mut RouteTree,
+    ) {
+        assert!(
+            topo.is_frozen(),
+            "RouteTree::compute_into requires a frozen (CSR) topology: \
+             the stages walk per-kind adjacency slices"
+        );
         let n = topo.n_ases();
         let d = dest.usize();
+        let TreeScratch { cust, peer, prov, adv, queue, buckets, up, salts } = scratch;
+
+        // --- Snapshot the closures into flat arrays. ---------------------
+        let n_links = topo.n_links();
+        up.clear();
+        up.resize(n_links.div_ceil(64), 0);
+        for l in 0..n_links {
+            if link_up(LinkId(l as u32)) {
+                up[l >> 6] |= 1u64 << (l & 63);
+            }
+        }
+        let live = |l: LinkId| -> bool {
+            let i = l.0 as usize;
+            (up[i >> 6] >> (i & 63)) & 1 == 1
+        };
+        salts.clear();
+        salts.resize(n, 0);
+        for (x, s) in salts.iter_mut().enumerate() {
+            *s = salt(x);
+        }
 
         // --- Stage 1: customer routes (BFS up). -------------------------
-        let mut cust = vec![INF; n];
+        cust.clear();
+        cust.resize(n, INF);
         cust[d] = 0;
-        let mut queue = std::collections::VecDeque::new();
-        queue.push_back(d);
+        queue.clear();
+        queue.push_back(d as u32);
         while let Some(x) = queue.pop_front() {
-            for adj in topo.neighbors(AsIdx(x as u32)) {
-                if adj.kind != EdgeKind::ToProvider || !link_up(adj.link) {
+            let cx = cust[x as usize];
+            for adj in topo.provider_edges(AsIdx(x)) {
+                if !live(adj.link) {
                     continue;
                 }
                 let p = adj.peer.usize();
                 if cust[p] == INF {
-                    cust[p] = cust[x] + 1;
-                    queue.push_back(p);
+                    cust[p] = cx + 1;
+                    queue.push_back(adj.peer.0);
                 }
             }
         }
 
         // --- Stage 2: peer routes (one peering hop). ---------------------
-        let mut peer = vec![INF; n];
+        peer.clear();
+        peer.resize(n, INF);
         for (x, px) in peer.iter_mut().enumerate() {
-            for adj in topo.neighbors(AsIdx(x as u32)) {
-                if adj.kind != EdgeKind::ToPeer || !link_up(adj.link) {
+            for adj in topo.peer_edges(AsIdx(x as u32)) {
+                if !live(adj.link) {
                     continue;
                 }
                 let y = adj.peer.usize();
@@ -107,42 +240,62 @@ impl RouteTree {
             }
         };
 
-        // --- Stage 3: provider routes (Dijkstra down). --------------------
-        let mut prov = vec![INF; n];
-        let mut adv = vec![INF; n];
-        let mut heap: BinaryHeap<Reverse<(u16, usize)>> = BinaryHeap::new();
+        // --- Stage 3: provider routes (Dial's bucket descent). ------------
+        // Every edge has unit weight, so Dijkstra degenerates to processing
+        // advertised lengths in increasing order through per-length buckets
+        // (O(1) push/pop instead of a heap's log factor). All buckets drain
+        // to empty by the end, so no cross-tree cleanup is needed.
+        prov.clear();
+        prov.resize(n, INF);
+        adv.clear();
+        adv.resize(n, INF);
+        debug_assert!(buckets.iter().all(Vec::is_empty));
+        let push = |buckets: &mut Vec<Vec<u32>>, len: u16, x: u32| {
+            let len = len as usize;
+            if buckets.len() <= len {
+                buckets.resize_with(len + 1, Vec::new);
+            }
+            buckets[len].push(x);
+        };
         for (x, ax) in adv.iter_mut().enumerate() {
-            let b = base_len(x, &cust, &peer);
+            let b = base_len(x, cust, peer);
             if b != INF {
                 *ax = b;
-                heap.push(Reverse((b, x)));
+                push(buckets, b, x as u32);
             }
         }
-        while let Some(Reverse((dist, x))) = heap.pop() {
-            if dist > adv[x] {
-                continue; // stale entry
-            }
-            for adj in topo.neighbors(AsIdx(x as u32)) {
-                if adj.kind != EdgeKind::ToCustomer || !link_up(adj.link) {
-                    continue;
+        let mut dist: u16 = 0;
+        while (dist as usize) < buckets.len() {
+            while let Some(x) = buckets[dist as usize].pop() {
+                if dist > adv[x as usize] {
+                    continue; // stale entry, improved since queued
                 }
-                let c = adj.peer.usize();
-                let cand = dist.saturating_add(1);
-                if cand < prov[c] {
-                    prov[c] = cand;
-                    // Class preference: a node with any base route keeps
-                    // advertising it; only base-less nodes advertise
-                    // provider routes onward.
-                    if base_len(c, &cust, &peer) == INF && cand < adv[c] {
-                        adv[c] = cand;
-                        heap.push(Reverse((cand, c)));
+                for adj in topo.customer_edges(AsIdx(x)) {
+                    if !live(adj.link) {
+                        continue;
+                    }
+                    let c = adj.peer.usize();
+                    let cand = dist + 1;
+                    if cand < prov[c] {
+                        prov[c] = cand;
+                        // Class preference: a node with any base route keeps
+                        // advertising it; only base-less nodes advertise
+                        // provider routes onward.
+                        if base_len(c, cust, peer) == INF && cand < adv[c] {
+                            adv[c] = cand;
+                            push(buckets, cand, adj.peer.0);
+                        }
                     }
                 }
             }
+            dist += 1;
         }
 
         // --- Selection + tiebroken next hops. ------------------------------
-        let mut routes: Vec<Option<SelectedRoute>> = vec![None; n];
+        out.dest = dest;
+        let routes = &mut out.routes;
+        routes.clear();
+        routes.resize(n, SelectedRoute::UNREACHABLE);
         for x in 0..n {
             let (class, len) = if cust[x] != INF {
                 (RouteClass::Customer, cust[x])
@@ -154,7 +307,7 @@ impl RouteTree {
                 continue; // unreachable under this link state
             };
             if x == d {
-                routes[x] = Some(SelectedRoute { class: RouteClass::Customer, len: 0, next: None });
+                routes[x] = SelectedRoute { next: NO_NEXT, len: 0, class: 0 };
                 continue;
             }
             // Candidate next hops. Within the customer and peer classes,
@@ -167,71 +320,122 @@ impl RouteTree {
             // stub's egress (and with it, the whole tail of the path),
             // producing the egress-level churn the paper observes.
             let want = len.saturating_sub(1);
-            let mut best: Option<(u64, AsIdx)> = None;
-            for adj in topo.neighbors(AsIdx(x as u32)) {
-                if !link_up(adj.link) {
+            let sx = salts[x];
+            let mut best_key = u64::MAX;
+            let mut best: u32 = NO_NEXT;
+            // Candidates live entirely in the slice matching the selected
+            // class, so only that kind's run is scanned.
+            let xi = AsIdx(x as u32);
+            let candidates = match class {
+                RouteClass::Customer => topo.customer_edges(xi),
+                RouteClass::Peer => topo.peer_edges(xi),
+                RouteClass::Provider => topo.provider_edges(xi),
+            };
+            for adj in candidates {
+                if !live(adj.link) {
                     continue;
                 }
                 let yi = adj.peer.usize();
                 let matches = match class {
-                    RouteClass::Customer => adj.kind == EdgeKind::ToCustomer && cust[yi] == want,
-                    RouteClass::Peer => adj.kind == EdgeKind::ToPeer && cust[yi] == want,
-                    RouteClass::Provider => {
-                        adj.kind == EdgeKind::ToProvider && adv[yi] != INF
-                    }
+                    RouteClass::Customer | RouteClass::Peer => cust[yi] == want,
+                    RouteClass::Provider => adv[yi] != INF,
                 };
                 if matches {
-                    let key = crate::mix64(salt(x) ^ u64::from(topo.asn(adj.peer).0));
-                    if best.map(|(k, _)| key < k).unwrap_or(true) {
-                        best = Some((key, adj.peer));
+                    let key = crate::mix64(sx ^ u64::from(topo.asn(adj.peer).0));
+                    if key < best_key || best == NO_NEXT {
+                        best_key = key;
+                        best = adj.peer.0;
                     }
                 }
             }
-            let next = best.map(|(_, y)| y).expect("finite length implies a candidate");
+            debug_assert!(best != NO_NEXT, "finite length implies a candidate");
             // `len` is the shortest valley-free length (a lower bound);
             // the forwarding path through a preference-selected provider
             // may be longer. `path_from` reports the real path.
-            routes[x] = Some(SelectedRoute { class, len, next: Some(next) });
+            routes[x] = SelectedRoute { next: best, len, class: class.rank() };
         }
-        RouteTree { dest, routes }
     }
 
     /// The selected route at `src`, if `src` can reach the destination.
-    pub fn route(&self, src: AsIdx) -> Option<&SelectedRoute> {
-        self.routes[src.usize()].as_ref()
+    pub fn route(&self, src: AsIdx) -> Option<SelectedRoute> {
+        let r = self.routes[src.usize()];
+        r.reachable().then_some(r)
     }
 
-    /// The AS-level forwarding path from `src` to the destination,
-    /// inclusive of both ends. `None` if unreachable.
-    pub fn path_from(&self, src: AsIdx) -> Option<Vec<AsIdx>> {
-        let mut path = vec![src];
+    /// Append the AS-level forwarding path from `src` to the destination
+    /// (inclusive of both ends) onto `out` after clearing it. Returns
+    /// `false` — leaving `out` empty — if the destination is unreachable
+    /// from `src`. The allocation-free form of [`RouteTree::path_from`].
+    pub fn path_into(&self, src: AsIdx, out: &mut Vec<AsIdx>) -> bool {
+        out.clear();
+        if !self.routes[src.usize()].reachable() {
+            return false;
+        }
+        out.push(src);
         let mut cur = src;
-        let mut guard = 0;
         while cur != self.dest {
-            let r = self.routes[cur.usize()].as_ref()?;
-            let next = r.next?;
-            path.push(next);
+            let r = self.routes[cur.usize()];
+            let Some(next) = r.next() else {
+                out.clear();
+                return false;
+            };
+            out.push(next);
             cur = next;
-            guard += 1;
-            if guard > self.routes.len() {
+            if out.len() > self.routes.len() {
                 unreachable!(
                     "forwarding loop: the up-phase follows the acyclic provider \
                      DAG and the down-phase strictly decreases customer length"
                 );
             }
         }
-        Some(path)
+        true
+    }
+
+    /// Like [`RouteTree::path_into`], mapped to ASNs.
+    pub fn asn_path_into(&self, topo: &Topology, src: AsIdx, out: &mut Vec<Asn>) -> bool {
+        out.clear();
+        if !self.routes[src.usize()].reachable() {
+            return false;
+        }
+        out.push(topo.asn(src));
+        let mut cur = src;
+        let mut guard = 0usize;
+        while cur != self.dest {
+            let r = self.routes[cur.usize()];
+            let Some(next) = r.next() else {
+                out.clear();
+                return false;
+            };
+            out.push(topo.asn(next));
+            cur = next;
+            guard += 1;
+            if guard > self.routes.len() {
+                unreachable!("forwarding loop (see path_into)");
+            }
+        }
+        true
+    }
+
+    /// The AS-level forwarding path from `src` to the destination,
+    /// inclusive of both ends. `None` if unreachable.
+    pub fn path_from(&self, src: AsIdx) -> Option<Vec<AsIdx>> {
+        let mut path = Vec::new();
+        self.path_into(src, &mut path).then_some(path)
     }
 
     /// Same as [`RouteTree::path_from`], returned as ASNs.
     pub fn asn_path_from(&self, topo: &Topology, src: AsIdx) -> Option<Vec<Asn>> {
-        self.path_from(src)
-            .map(|p| p.into_iter().map(|i| topo.asn(i)).collect())
+        self.path_from(src).map(|p| p.into_iter().map(|i| topo.asn(i)).collect())
     }
 
     /// Number of ASes that can reach the destination.
     pub fn reachable_count(&self) -> usize {
-        self.routes.iter().filter(|r| r.is_some()).count()
+        self.routes.iter().filter(|r| r.reachable()).count()
+    }
+
+    /// Bytes held by the route table (8 per AS) — cache sizing input.
+    pub fn route_bytes(&self) -> usize {
+        self.routes.len() * std::mem::size_of::<SelectedRoute>()
     }
 }
 
@@ -239,6 +443,7 @@ impl RouteTree {
 mod tests {
     use super::*;
     use churnlab_topology::asys::{AsClass, AsInfo, AsRole};
+    use churnlab_topology::graph::EdgeKind;
     use churnlab_topology::geo::{countries, CountryCode};
     use churnlab_topology::links::{Link, LinkStability};
     use churnlab_topology::{generator, WorldConfig, WorldScale};
@@ -269,6 +474,7 @@ mod tests {
         t.add_link(Link::transit(Asn(5), Asn(3), s())).unwrap();
         t.add_link(Link::transit(Asn(6), Asn(3), s())).unwrap();
         t.add_link(Link::peering(Asn(2), Asn(3), s())).unwrap();
+        t.freeze();
         t
     }
 
@@ -278,6 +484,12 @@ mod tests {
 
     fn no_salt(_: usize) -> u64 {
         0
+    }
+
+    #[test]
+    fn selected_route_is_packed() {
+        assert_eq!(std::mem::size_of::<SelectedRoute>(), 8);
+        assert_eq!(std::mem::size_of::<Option<SelectedRoute>>(), 8 + 4); // why we sentinel
     }
 
     #[test]
@@ -314,10 +526,10 @@ mod tests {
         let dest = t.idx(Asn(6)).unwrap();
         let tree = RouteTree::compute(&t, dest, &all_up, &no_salt);
         let r2 = tree.route(t.idx(Asn(2)).unwrap()).unwrap();
-        assert_eq!(r2.class, RouteClass::Peer, "peer (2-3-6) must beat provider (2-1-3-6)");
-        assert_eq!(r2.len, 2);
+        assert_eq!(r2.class(), RouteClass::Peer, "peer (2-3-6) must beat provider (2-1-3-6)");
+        assert_eq!(r2.len(), 2);
         let r1 = tree.route(t.idx(Asn(1)).unwrap()).unwrap();
-        assert_eq!(r1.class, RouteClass::Customer, "1 reaches 6 down its customer cone");
+        assert_eq!(r1.class(), RouteClass::Customer, "1 reaches 6 down its customer cone");
     }
 
     #[test]
@@ -326,9 +538,51 @@ mod tests {
         let dest = t.idx(Asn(6)).unwrap();
         let tree = RouteTree::compute(&t, dest, &all_up, &no_salt);
         let r = tree.route(dest).unwrap();
-        assert_eq!(r.len, 0);
-        assert!(r.next.is_none());
+        assert_eq!(r.len(), 0);
+        assert!(r.next().is_none());
         assert_eq!(tree.path_from(dest).unwrap(), vec![dest]);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_compute() {
+        // One scratch + one output tree across many (dest, link-state)
+        // combinations must agree exactly with throwaway computes.
+        let w = generator::generate(&WorldConfig::preset(WorldScale::Smoke, 5));
+        let t = &w.topology;
+        let mut scratch = TreeScratch::new();
+        let mut tree = RouteTree::empty();
+        for (i, dest) in t.select(|a| a.role == AsRole::Stub).into_iter().take(6).enumerate() {
+            let dead = LinkId((i % t.n_links()) as u32);
+            let link_up = move |l: LinkId| l != dead;
+            let salt = move |x: usize| crate::mix64((i as u64) << 17 ^ x as u64);
+            RouteTree::compute_into(&mut scratch, t, dest, &link_up, &salt, &mut tree);
+            let fresh = RouteTree::compute(t, dest, &link_up, &salt);
+            assert_eq!(tree.dest, fresh.dest);
+            for x in 0..t.n_ases() {
+                assert_eq!(
+                    tree.route(AsIdx(x as u32)),
+                    fresh.route(AsIdx(x as u32)),
+                    "route mismatch at {x} for dest {dest:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_into_matches_path_from_and_reuses_buffer() {
+        let w = generator::generate(&WorldConfig::preset(WorldScale::Smoke, 8));
+        let t = &w.topology;
+        let dest = t.select(|a| a.role == AsRole::Stub)[0];
+        let tree = RouteTree::compute(t, dest, &all_up, &no_salt);
+        let mut buf = Vec::new();
+        let mut asn_buf = Vec::new();
+        for x in 0..t.n_ases() {
+            let src = AsIdx(x as u32);
+            let got = tree.path_into(src, &mut buf);
+            assert_eq!(got.then(|| buf.clone()), tree.path_from(src));
+            let got_asn = tree.asn_path_into(t, src, &mut asn_buf);
+            assert_eq!(got_asn.then(|| asn_buf.clone()), tree.asn_path_from(t, src));
+        }
     }
 
     #[test]
@@ -370,6 +624,9 @@ mod tests {
         let tree = RouteTree::compute(&t, dest, &link_up, &no_salt);
         assert!(tree.path_from(src).is_none());
         assert!(tree.route(src).is_none());
+        let mut buf = vec![AsIdx(7)];
+        assert!(!tree.path_into(src, &mut buf));
+        assert!(buf.is_empty(), "failed path_into must leave the buffer empty");
     }
 
     #[test]
@@ -380,6 +637,7 @@ mod tests {
         let mut t = diamond();
         t.add_as(mk(7, AsRole::Stub)).unwrap();
         t.add_link(Link::transit(Asn(7), Asn(1), LinkStability::stable())).unwrap();
+        t.freeze(); // mutation thawed the topology; compute needs CSR
         let dest = t.idx(Asn(7)).unwrap();
         let src = t.idx(Asn(5)).unwrap();
         // 5→2→1→7 and 5→3→1→7 are both provider routes of length 3.
@@ -436,6 +694,74 @@ mod tests {
         }
     }
 
+    /// The Huge preset shrunk ~40x so the preferential-attachment family
+    /// is exercised by debug-mode tests; full Huge runs in the release
+    /// bench/CI smoke.
+    fn mini_pa(seed: u64) -> WorldConfig {
+        let mut cfg = WorldConfig::preset(WorldScale::Huge, seed);
+        cfg.n_countries = 20;
+        cfg.n_tier1 = 5;
+        cfg.pa_transits = 150;
+        cfg.pa_stubs = 1_200;
+        cfg.pa_peering_links = 2_500;
+        cfg.hosting_orgs = 6;
+        cfg
+    }
+
+    #[test]
+    fn pa_sampled_paths_valley_free_and_loop_free() {
+        use crate::policy::{is_valley_free, StepKind};
+        // Property over the Huge (PA) world family: for random seeds,
+        // destinations, salts, and link failures, every returned path is
+        // valley-free and visits no AS twice.
+        for seed in 0..3u64 {
+            let w = generator::generate(&mini_pa(seed));
+            let t = &w.topology;
+            let stubs = t.select(|a| a.role == AsRole::Stub);
+            let mut scratch = TreeScratch::new();
+            let mut tree = RouteTree::empty();
+            for case in 0..6u64 {
+                let dest = stubs[(crate::mix64(seed ^ case << 3) % stubs.len() as u64) as usize];
+                let dead = LinkId(
+                    (crate::mix64(seed << 7 ^ case) % t.n_links() as u64) as u32,
+                );
+                let link_up = move |l: LinkId| l != dead;
+                let salt = move |x: usize| crate::mix64(seed << 13 ^ case << 40 ^ x as u64);
+                RouteTree::compute_into(&mut scratch, t, dest, &link_up, &salt, &mut tree);
+                let mut buf = Vec::new();
+                for probe in 0..200u64 {
+                    let src =
+                        AsIdx((crate::mix64(case ^ probe << 17) % t.n_ases() as u64) as u32);
+                    if !tree.path_into(src, &mut buf) {
+                        continue;
+                    }
+                    let mut seen = std::collections::HashSet::new();
+                    assert!(buf.iter().all(|a| seen.insert(*a)), "loop in {buf:?}");
+                    let steps: Vec<StepKind> = buf
+                        .windows(2)
+                        .map(|w2| {
+                            let adj = t
+                                .neighbors(w2[0])
+                                .iter()
+                                .find(|a| a.peer == w2[1])
+                                .expect("path uses real edges");
+                            assert!(adj.link != dead, "path crossed the failed link");
+                            match adj.kind {
+                                EdgeKind::ToProvider => StepKind::Up,
+                                EdgeKind::ToPeer => StepKind::Peer,
+                                EdgeKind::ToCustomer => StepKind::Down,
+                            }
+                        })
+                        .collect();
+                    assert!(
+                        is_valley_free(&steps),
+                        "valley in path (seed {seed}, case {case}, src {src:?})"
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn everyone_reachable_when_all_links_up() {
         let w = generator::generate(&WorldConfig::preset(WorldScale::Smoke, 9));
@@ -443,6 +769,7 @@ mod tests {
         let dest = t.select(|a| a.role == AsRole::Stub)[0];
         let tree = RouteTree::compute(t, dest, &all_up, &no_salt);
         assert_eq!(tree.reachable_count(), t.n_ases());
+        assert_eq!(tree.route_bytes(), t.n_ases() * 8);
     }
 
     #[test]
@@ -455,7 +782,7 @@ mod tests {
             let src = AsIdx(src as u32);
             if let (Some(r), Some(p)) = (tree.route(src), tree.path_from(src)) {
                 assert!(
-                    p.len() > r.len as usize,
+                    p.len() > r.len() as usize,
                     "selected len must lower-bound the real path at {}",
                     t.asn(src)
                 );

@@ -21,7 +21,9 @@
 //!   plus per-AS traffic-engineering shifts that re-roll equal-cost
 //!   tiebreaks, mirroring hot-potato and TE-induced churn in real BGP.
 //! * [`sim`] — [`sim::RoutingSim`], the epoch-indexed path oracle used by
-//!   the measurement platform.
+//!   the measurement platform, with a sharded route-tree cache.
+//! * [`reference`] — the pre-CSR compute path, retained as the benchmark
+//!   baseline and differential oracle for the scratch-reused fast path.
 //! * [`stats`] — distinct-path counting over time windows (Figure 3's
 //!   statistic) and churn summaries.
 //! * [`time`] — simulation time: epochs, days, and the day/week/month/year
@@ -35,12 +37,14 @@
 pub mod churn;
 pub mod compute;
 pub mod policy;
+pub mod reference;
 pub mod sim;
 pub mod stats;
 pub mod time;
 
 pub use churn::{ChurnConfig, ChurnTimeline};
-pub use compute::{RouteTree, SelectedRoute};
+pub use compute::{RouteTree, SelectedRoute, TreeScratch};
+pub use reference::{ReferenceRouter, ReferenceTree};
 pub use policy::RouteClass;
 pub use sim::RoutingSim;
 pub use time::{Day, Epoch, Granularity, TimeWindow};

@@ -5,62 +5,236 @@
 //! at any epoch. Trees are computed per (destination, epoch) and cached,
 //! because the measurement platform naturally batches many vantage points
 //! against the same destination in the same epoch.
+//!
+//! ## Cache layout
+//!
+//! At Internet scale the tree cache is the contention point: one worker
+//! thread computing a Huge tree (~0.6 MB, milliseconds) must not stall
+//! every other worker's cache *lookups*. The cache is therefore split
+//! into [`N_SHARDS`] stripes keyed by destination hash, each behind its
+//! own mutex, and trees are computed **outside** any lock. Each stripe is
+//! a true LRU (stamp-based, lazily compacted recency queue — both `get`
+//! and re-`put` promote), unlike the FIFO it replaces, so the platform's
+//! revisit-heavy access pattern keeps hot destinations resident.
+//!
+//! Capacity comes from [`RoutingSim::with_cache_capacity`] (the world
+//! generator exposes `WorldConfig::tree_cache_capacity`); `0` picks an
+//! automatic value from a fixed memory budget and the world size, so a
+//! Huge world doesn't silently pin gigabytes of trees.
+//!
+//! Per-thread [`TreeScratch`] buffers are reused across computes, and
+//! cache traffic is observable through [`RoutingSim::instrument`]
+//! (`churnlab_route_cache_{hit,miss,evict}`, `churnlab_route_trees_computed`,
+//! and a compute-nanos histogram).
 
 use crate::churn::{ChurnConfig, ChurnTimeline};
-use crate::compute::RouteTree;
+use crate::compute::{RouteTree, TreeScratch};
 use crate::time::{Epoch, EpochMapper};
+use churnlab_obs::Registry;
 use churnlab_topology::{AsIdx, Asn, Topology};
 use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, OnceLock};
+
+/// Number of cache stripes (destinations hash across them).
+pub const N_SHARDS: usize = 16;
+
+/// Memory budget the automatic capacity targets (route bytes only).
+const AUTO_CACHE_BUDGET_BYTES: usize = 256 << 20;
+
+/// Cache capacity (total trees) for a world of `n_ases`, when the
+/// configured capacity is `0` (automatic): a 256 MB budget divided by
+/// the per-tree footprint, clamped to `[64, 4096]`. A Small world gets
+/// the old fixed 4096; a Huge world (~640 KB/tree) lands near 410.
+pub fn auto_cache_capacity(n_ases: usize) -> usize {
+    let per_tree = 8 * n_ases.max(1) + 64;
+    (AUTO_CACHE_BUDGET_BYTES / per_tree).clamp(64, 4096)
+}
+
+thread_local! {
+    static SCRATCH: RefCell<TreeScratch> = RefCell::new(TreeScratch::new());
+}
+
+/// Cumulative cache-traffic counters (see [`RoutingSim::cache_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that required a tree computation.
+    pub misses: u64,
+    /// Trees evicted to stay within capacity.
+    pub evictions: u64,
+}
+
+struct Entry {
+    tree: Arc<RouteTree>,
+    stamp: u64,
+}
+
+/// One cache stripe: LRU via a monotone stamp per entry and a lazily
+/// compacted recency queue (a promoted entry's old queue positions go
+/// stale and are skipped at eviction time).
+struct CacheShard {
+    map: HashMap<(AsIdx, Epoch), Entry>,
+    recency: VecDeque<((AsIdx, Epoch), u64)>,
+    next_stamp: u64,
+    capacity: usize,
+}
+
+impl CacheShard {
+    fn new(capacity: usize) -> Self {
+        CacheShard {
+            map: HashMap::new(),
+            recency: VecDeque::new(),
+            next_stamp: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn stamp(&mut self) -> u64 {
+        self.next_stamp += 1;
+        self.next_stamp
+    }
+
+    fn get(&mut self, key: &(AsIdx, Epoch)) -> Option<Arc<RouteTree>> {
+        let stamp = self.stamp();
+        let tree = {
+            let e = self.map.get_mut(key)?;
+            e.stamp = stamp;
+            e.tree.clone()
+        };
+        self.recency.push_back((*key, stamp));
+        self.maybe_compact();
+        Some(tree)
+    }
+
+    /// Insert (or promote, if racing inserters got here first). Returns
+    /// the number of evictions performed.
+    fn put(&mut self, key: (AsIdx, Epoch), tree: Arc<RouteTree>) -> u64 {
+        let stamp = self.stamp();
+        if let Some(e) = self.map.get_mut(&key) {
+            // Same (dest, epoch) ⇒ identical tree; keep the resident one
+            // but refresh its recency.
+            e.stamp = stamp;
+            self.recency.push_back((key, stamp));
+            self.maybe_compact();
+            return 0;
+        }
+        let mut evicted = 0;
+        while self.map.len() >= self.capacity {
+            let Some((k, s)) = self.recency.pop_front() else {
+                break; // every map entry has a queue position, so unreachable
+            };
+            // Stale position (the entry was promoted since): skip.
+            if self.map.get(&k).is_some_and(|e| e.stamp == s) {
+                self.map.remove(&k);
+                evicted += 1;
+            }
+        }
+        self.map.insert(key, Entry { tree, stamp });
+        self.recency.push_back((key, stamp));
+        self.maybe_compact();
+        evicted
+    }
+
+    /// Drop stale queue positions once they dominate, bounding the queue
+    /// at ~4× capacity without per-promotion O(n) shuffling.
+    fn maybe_compact(&mut self) {
+        if self.recency.len() > 4 * self.capacity.max(16) {
+            let map = &self.map;
+            self.recency.retain(|(k, s)| map.get(k).is_some_and(|e| e.stamp == *s));
+        }
+    }
+}
+
+/// Cache-traffic metrics exported through `churnlab-obs`.
+struct RouteMetrics {
+    trees_computed: churnlab_obs::Counter,
+    cache_hit: churnlab_obs::Counter,
+    cache_miss: churnlab_obs::Counter,
+    cache_evict: churnlab_obs::Counter,
+    compute_nanos: churnlab_obs::Histogram,
+}
 
 /// Routing simulator: path oracle over (src, dst, epoch).
 pub struct RoutingSim<'t> {
     topo: &'t Topology,
     churn: ChurnTimeline,
-    /// Tree cache keyed by (dest, epoch). Bounded FIFO eviction.
-    cache: Mutex<TreeCache>,
-}
-
-struct TreeCache {
-    map: HashMap<(AsIdx, Epoch), Arc<RouteTree>>,
-    order: std::collections::VecDeque<(AsIdx, Epoch)>,
-    capacity: usize,
-}
-
-impl TreeCache {
-    fn new(capacity: usize) -> Self {
-        TreeCache { map: HashMap::new(), order: std::collections::VecDeque::new(), capacity }
-    }
-
-    fn get(&self, key: &(AsIdx, Epoch)) -> Option<Arc<RouteTree>> {
-        self.map.get(key).cloned()
-    }
-
-    fn put(&mut self, key: (AsIdx, Epoch), tree: Arc<RouteTree>) {
-        if self.map.contains_key(&key) {
-            return;
-        }
-        if self.map.len() >= self.capacity {
-            if let Some(old) = self.order.pop_front() {
-                self.map.remove(&old);
-            }
-        }
-        self.map.insert(key, tree);
-        self.order.push_back(key);
-    }
+    shards: Vec<Mutex<CacheShard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    metrics: OnceLock<RouteMetrics>,
 }
 
 impl<'t> RoutingSim<'t> {
-    /// Build a simulator over `topo` with churn per `cfg`.
+    /// Build a simulator over `topo` with churn per `cfg` and automatic
+    /// cache capacity (see [`auto_cache_capacity`]).
     pub fn new(topo: &'t Topology, cfg: &ChurnConfig) -> Self {
+        RoutingSim::with_cache_capacity(topo, cfg, 0)
+    }
+
+    /// Like [`RoutingSim::new`] with an explicit total tree capacity
+    /// (`0` = automatic). Worlds carry their preferred value in
+    /// `WorldConfig::tree_cache_capacity`.
+    pub fn with_cache_capacity(topo: &'t Topology, cfg: &ChurnConfig, capacity: usize) -> Self {
         let churn = ChurnTimeline::build(topo, cfg);
-        RoutingSim { topo, churn, cache: Mutex::new(TreeCache::new(4096)) }
+        RoutingSim::assemble(topo, churn, capacity)
     }
 
     /// Construct from an existing timeline (for sharing across sims).
     pub fn with_timeline(topo: &'t Topology, churn: ChurnTimeline) -> Self {
-        RoutingSim { topo, churn, cache: Mutex::new(TreeCache::new(4096)) }
+        RoutingSim::assemble(topo, churn, 0)
+    }
+
+    fn assemble(topo: &'t Topology, churn: ChurnTimeline, capacity: usize) -> Self {
+        let total = if capacity == 0 { auto_cache_capacity(topo.n_ases()) } else { capacity };
+        let per_shard = total.div_ceil(N_SHARDS).max(1);
+        let shards = (0..N_SHARDS).map(|_| Mutex::new(CacheShard::new(per_shard))).collect();
+        RoutingSim {
+            topo,
+            churn,
+            shards,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            metrics: OnceLock::new(),
+        }
+    }
+
+    /// Register this simulator's counters and the tree-compute-time
+    /// histogram in `registry`. Call once, before the hot loop; later
+    /// calls are ignored (counters keep feeding the first registry).
+    pub fn instrument(&self, registry: &Registry) {
+        let _ = self.metrics.set(RouteMetrics {
+            trees_computed: registry.counter(
+                "churnlab_route_trees_computed",
+                "Route trees computed (cache misses that did work)",
+                &[],
+            ),
+            cache_hit: registry.counter(
+                "churnlab_route_cache_hit",
+                "Route-tree cache lookups served from a stripe",
+                &[],
+            ),
+            cache_miss: registry.counter(
+                "churnlab_route_cache_miss",
+                "Route-tree cache lookups that missed",
+                &[],
+            ),
+            cache_evict: registry.counter(
+                "churnlab_route_cache_evict",
+                "Route trees evicted to stay within capacity",
+                &[],
+            ),
+            compute_nanos: registry.histogram(
+                "churnlab_route_tree_compute_nanos",
+                "Wall nanoseconds per route-tree computation",
+                &[],
+            ),
+        });
     }
 
     /// The underlying topology.
@@ -78,19 +252,68 @@ impl<'t> RoutingSim<'t> {
         self.churn.mapper()
     }
 
+    /// Total tree capacity across all cache stripes.
+    pub fn cache_capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().capacity).sum()
+    }
+
+    /// Cumulative cache-traffic counters for this simulator.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Relaxed),
+            misses: self.misses.load(Relaxed),
+            evictions: self.evictions.load(Relaxed),
+        }
+    }
+
+    fn shard_of(&self, dest: AsIdx) -> &Mutex<CacheShard> {
+        let h = crate::mix64(u64::from(dest.0));
+        &self.shards[(h as usize) % N_SHARDS]
+    }
+
     /// The routing tree toward `dest` at `epoch` (cached).
     pub fn route_tree(&self, dest: AsIdx, epoch: Epoch) -> Arc<RouteTree> {
-        if let Some(t) = self.cache.lock().get(&(dest, epoch)) {
+        let key = (dest, epoch);
+        let shard = self.shard_of(dest);
+        if let Some(t) = shard.lock().get(&key) {
+            self.hits.fetch_add(1, Relaxed);
+            if let Some(m) = self.metrics.get() {
+                m.cache_hit.inc();
+            }
             return t;
         }
+        self.misses.fetch_add(1, Relaxed);
+        if let Some(m) = self.metrics.get() {
+            m.cache_miss.inc();
+        }
+
+        // Compute outside the stripe lock, reusing this thread's scratch.
         let churn = &self.churn;
-        let tree = Arc::new(RouteTree::compute(
-            self.topo,
-            dest,
-            &|l| churn.link_up(l, epoch),
-            &|x| churn.te_salt(x, epoch),
-        ));
-        self.cache.lock().put((dest, epoch), tree.clone());
+        let started = std::time::Instant::now();
+        let mut tree = RouteTree::empty();
+        SCRATCH.with(|s| {
+            RouteTree::compute_into(
+                &mut s.borrow_mut(),
+                self.topo,
+                dest,
+                &|l| churn.link_up(l, epoch),
+                &|x| churn.te_salt(x, epoch),
+                &mut tree,
+            );
+        });
+        if let Some(m) = self.metrics.get() {
+            m.trees_computed.inc();
+            m.compute_nanos.observe(started.elapsed().as_nanos() as u64);
+        }
+
+        let tree = Arc::new(tree);
+        let evicted = shard.lock().put(key, tree.clone());
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Relaxed);
+            if let Some(m) = self.metrics.get() {
+                m.cache_evict.add(evicted);
+            }
+        }
         tree
     }
 
@@ -104,6 +327,17 @@ impl<'t> RoutingSim<'t> {
     pub fn asn_path(&self, src: AsIdx, dst: AsIdx, epoch: Epoch) -> Option<Vec<Asn>> {
         self.as_path(src, dst, epoch)
             .map(|p| p.into_iter().map(|i| self.topo.asn(i)).collect())
+    }
+
+    /// Allocation-free form of [`RoutingSim::as_path`]: fill `out` with
+    /// the path, returning `false` (and an empty `out`) if unreachable.
+    pub fn as_path_into(&self, src: AsIdx, dst: AsIdx, epoch: Epoch, out: &mut Vec<AsIdx>) -> bool {
+        self.route_tree(dst, epoch).path_into(src, out)
+    }
+
+    /// Allocation-free form of [`RoutingSim::asn_path`].
+    pub fn asn_path_into(&self, src: AsIdx, dst: AsIdx, epoch: Epoch, out: &mut Vec<Asn>) -> bool {
+        self.route_tree(dst, epoch).asn_path_into(self.topo, src, out)
     }
 }
 
@@ -123,6 +357,9 @@ mod tests {
         let p2 = sim.asn_path(s, d, 5);
         assert_eq!(p1, p2);
         assert!(p1.is_some());
+        let stats = sim.cache_stats();
+        assert_eq!(stats.misses, 1, "one tree computed");
+        assert_eq!(stats.hits, 1, "second query served from cache");
     }
 
     #[test]
@@ -177,5 +414,78 @@ mod tests {
         let stubs = w.topology.select(|a| a.role == AsRole::Stub);
         let p = sim.as_path(stubs[0], stubs[0], 0).unwrap();
         assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_forms() {
+        let w = generator::generate(&WorldConfig::preset(WorldScale::Smoke, 3));
+        let sim = RoutingSim::new(&w.topology, &ChurnConfig::default());
+        let stubs = w.topology.select(|a| a.role == AsRole::Stub);
+        let mut idx_buf = Vec::new();
+        let mut asn_buf = Vec::new();
+        for (i, &s) in stubs.iter().take(4).enumerate() {
+            let d = stubs[stubs.len() - 1 - i];
+            let e = (i * 17) as Epoch;
+            let ok = sim.as_path_into(s, d, e, &mut idx_buf);
+            assert_eq!(ok.then(|| idx_buf.clone()), sim.as_path(s, d, e));
+            let ok = sim.asn_path_into(s, d, e, &mut asn_buf);
+            assert_eq!(ok.then(|| asn_buf.clone()), sim.asn_path(s, d, e));
+        }
+    }
+
+    #[test]
+    fn capacity_bounds_residency_and_lru_promotes() {
+        let w = generator::generate(&WorldConfig::preset(WorldScale::Smoke, 1));
+        // Tiny cache: N_SHARDS stripes of 1 tree each.
+        let sim = RoutingSim::with_cache_capacity(&w.topology, &ChurnConfig::default(), N_SHARDS);
+        assert_eq!(sim.cache_capacity(), N_SHARDS);
+        let stubs = w.topology.select(|a| a.role == AsRole::Stub);
+        let d = stubs[0];
+        // Distinct epochs against one dest all land in one stripe of
+        // capacity 1 ⇒ each new epoch evicts the previous tree.
+        for e in 0..6 {
+            sim.route_tree(d, e);
+        }
+        let stats = sim.cache_stats();
+        assert_eq!(stats.misses, 6);
+        assert_eq!(stats.evictions, 5);
+        // LRU: re-touching the resident epoch keeps it resident.
+        sim.route_tree(d, 5);
+        assert_eq!(sim.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn auto_capacity_scales_down_with_world_size() {
+        assert_eq!(auto_cache_capacity(100), 4096); // small worlds: old fixed cap
+        let huge = auto_cache_capacity(80_000);
+        assert!(
+            (64..=512).contains(&huge),
+            "Huge worlds must cap residency well below 4096, got {huge}"
+        );
+        assert_eq!(auto_cache_capacity(usize::MAX / 16), 64);
+    }
+
+    #[test]
+    fn instrument_exports_route_metrics() {
+        let w = generator::generate(&WorldConfig::preset(WorldScale::Smoke, 4));
+        let sim = RoutingSim::new(&w.topology, &ChurnConfig::default());
+        let reg = Registry::new();
+        sim.instrument(&reg);
+        let stubs = w.topology.select(|a| a.role == AsRole::Stub);
+        sim.asn_path(stubs[0], stubs[1], 0);
+        sim.asn_path(stubs[2], stubs[1], 0);
+        let snap = reg.scrape();
+        assert_eq!(snap.counter("churnlab_route_trees_computed", &[]), Some(1));
+        assert_eq!(snap.counter("churnlab_route_cache_miss", &[]), Some(1));
+        assert_eq!(snap.counter("churnlab_route_cache_hit", &[]), Some(1));
+        let hist = snap
+            .samples
+            .iter()
+            .find(|s| s.name == "churnlab_route_tree_compute_nanos")
+            .expect("missing compute-nanos histogram");
+        match &hist.value {
+            churnlab_obs::SampleValue::Histogram(h) => assert_eq!(h.count, 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
     }
 }

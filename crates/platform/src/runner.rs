@@ -35,6 +35,17 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
+/// Reusable AS-path buffers for the measurement loop: one campaign runs
+/// millions of tests, and the routing layer can fill paths in place
+/// ([`RoutingSim::asn_path_into`]) instead of allocating per test.
+#[derive(Default)]
+struct PathBuffers {
+    /// The test's primary path at its epoch.
+    main: Vec<Asn>,
+    /// The next-epoch path probed by the route-shift traceroute.
+    alt: Vec<Asn>,
+}
+
 /// Convenience scale presets for the platform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PlatformScale {
@@ -236,6 +247,9 @@ impl<'w> Platform<'w> {
         let mut acc = StatsAccumulator::new();
         let interval = self.cfg.testing_interval_days();
         let all_vps: Vec<usize> = (0..self.vantage.len()).collect();
+        // Path buffers reused across every test in the campaign (the
+        // routing layer fills them in place — no per-measurement Vec).
+        let mut paths = PathBuffers::default();
         for url in self.corpus.entries() {
             // URL-list sweeps: every vantage point tests a URL on the same
             // testing days (the platform walks its list on a global
@@ -263,7 +277,7 @@ impl<'w> Platform<'w> {
                         // route changes are observable.
                         let seg = (epochs_per_day * t / k, (epochs_per_day * (t + 1) / k).max(epochs_per_day * t / k + 1));
                         let slot = rng.gen_range(seg.0..seg.1.min(epochs_per_day));
-                        let m = self.run_test(sim, vp, url.id, day, slot, &mut rng);
+                        let m = self.run_test(sim, vp, url.id, day, slot, &mut rng, &mut paths);
                         acc.add(&m);
                         sink(m);
                     }
@@ -297,6 +311,7 @@ impl<'w> Platform<'w> {
     }
 
     /// Execute one test.
+    #[allow(clippy::too_many_arguments)]
     fn run_test(
         &self,
         sim: &RoutingSim,
@@ -305,35 +320,34 @@ impl<'w> Platform<'w> {
         day: u32,
         slot: u32,
         rng: &mut StdRng,
+        paths: &mut PathBuffers,
     ) -> Measurement {
         let url = self.corpus.get(url_id);
         let epoch = sim.mapper().epoch(day, slot);
         let topo = &self.world.topology;
         let vp_idx = topo.idx(vp.asn).expect("vantage AS exists");
         let dest_idx = topo.idx(url.server_asn).expect("dest AS exists");
-        let asn_path = match sim.asn_path(vp_idx, dest_idx, epoch) {
-            Some(p) => p,
-            None => {
-                return Measurement {
-                    vp_id: vp.id,
-                    vp_asn: vp.public_asn,
-                    url_id,
-                    dest_asn: url.server_asn,
-                    day,
-                    epoch,
-                    detected: AnomalySet::empty(),
-                    traceroutes: vec![
-                        TracerouteRecord::failed(),
-                        TracerouteRecord::failed(),
-                        TracerouteRecord::failed(),
-                    ],
-                    failed: true,
-                }
-            }
-        };
+        if !sim.asn_path_into(vp_idx, dest_idx, epoch, &mut paths.main) {
+            return Measurement {
+                vp_id: vp.id,
+                vp_asn: vp.public_asn,
+                url_id,
+                dest_asn: url.server_asn,
+                day,
+                epoch,
+                detected: AnomalySet::empty(),
+                traceroutes: vec![
+                    TracerouteRecord::failed(),
+                    TracerouteRecord::failed(),
+                    TracerouteRecord::failed(),
+                ],
+                failed: true,
+            };
+        }
+        let asn_path: &[Asn] = &paths.main;
 
         let hop_path = HopPath::expand(
-            &asn_path,
+            asn_path,
             &self.world.prefixes,
             vp.ip,
             url.server_ip,
@@ -420,23 +434,22 @@ impl<'w> Platform<'w> {
             let shifted = i == 2
                 && rng.gen_bool(self.cfg.noise.intra_test_shift_prob.clamp(0.0, 1.0));
             let record = if shifted {
-                match sim.asn_path(vp_idx, dest_idx, epoch + 1) {
-                    Some(alt) if alt != asn_path => {
-                        let alt_path = HopPath::expand(
-                            &alt,
-                            &self.world.prefixes,
-                            vp.ip,
-                            url.server_ip,
-                            self.cfg.routers_per_as,
-                            rng,
-                        );
-                        let t = Traceroute::run(&alt_path, &self.cfg.noise.traceroute, rng);
-                        TracerouteRecord { hops: t.hops, error: t.error }
-                    }
-                    _ => {
-                        let t = Traceroute::run(&hop_path, &self.cfg.noise.traceroute, rng);
-                        TracerouteRecord { hops: t.hops, error: t.error }
-                    }
+                let changed = sim.asn_path_into(vp_idx, dest_idx, epoch + 1, &mut paths.alt)
+                    && paths.alt != asn_path;
+                if changed {
+                    let alt_path = HopPath::expand(
+                        &paths.alt,
+                        &self.world.prefixes,
+                        vp.ip,
+                        url.server_ip,
+                        self.cfg.routers_per_as,
+                        rng,
+                    );
+                    let t = Traceroute::run(&alt_path, &self.cfg.noise.traceroute, rng);
+                    TracerouteRecord { hops: t.hops, error: t.error }
+                } else {
+                    let t = Traceroute::run(&hop_path, &self.cfg.noise.traceroute, rng);
+                    TracerouteRecord { hops: t.hops, error: t.error }
                 }
             } else {
                 let t = Traceroute::run(&hop_path, &self.cfg.noise.traceroute, rng);

@@ -42,6 +42,11 @@ pub enum WorldScale {
     /// Paper-scale world (~2.5-3k ASes, 90 countries) for the experiment
     /// harness.
     Paper,
+    /// CAIDA-order world (~62k ASes, ~520k links) built by preferential
+    /// attachment instead of the per-country hierarchy, for exercising the
+    /// routing layer at real-Internet scale. Offline stand-in for the real
+    /// AS-REL2 graph (78,771 ASes / 723,215 edges).
+    Huge,
 }
 
 /// Generator configuration. All probabilities are in `[0, 1]`.
@@ -102,6 +107,23 @@ pub struct WorldConfig {
     pub giant_orgs: usize,
     /// Fraction of countries a giant org covers.
     pub giant_org_coverage: f64,
+    /// Transit ASes grown by preferential attachment. Non-zero switches
+    /// the generator from the per-country hierarchy to the PA family
+    /// (the [`WorldScale::Huge`] tier): a tier-1 clique, then
+    /// `pa_transits` transits each buying from 1–2 degree-weighted
+    /// earlier transits/tier-1s, then `pa_stubs` stubs, then a peering
+    /// mesh. Zero (all hierarchy presets) keeps the hierarchical path.
+    pub pa_transits: usize,
+    /// Stub ASes in the preferential-attachment family (ignored when
+    /// `pa_transits == 0`).
+    pub pa_stubs: usize,
+    /// Peering links drawn between random transit pairs in the
+    /// preferential-attachment family (ignored when `pa_transits == 0`).
+    pub pa_peering_links: usize,
+    /// Route-tree cache capacity for simulators built over this world
+    /// (trees, not bytes). `0` = auto-size from a fixed memory budget and
+    /// the world's AS count.
+    pub tree_cache_capacity: usize,
 }
 
 impl WorldConfig {
@@ -130,6 +152,10 @@ impl WorldConfig {
                 pop_via_regional_prob: 0.0,
                 giant_orgs: 0,
                 giant_org_coverage: 0.8,
+                pa_transits: 0,
+                pa_stubs: 0,
+                pa_peering_links: 0,
+                tree_cache_capacity: 0,
             },
             WorldScale::Small => WorldConfig {
                 seed,
@@ -153,6 +179,10 @@ impl WorldConfig {
                 pop_via_regional_prob: 0.0,
                 giant_orgs: 0,
                 giant_org_coverage: 0.75,
+                pa_transits: 0,
+                pa_stubs: 0,
+                pa_peering_links: 0,
+                tree_cache_capacity: 0,
             },
             WorldScale::Paper => WorldConfig {
                 seed,
@@ -176,6 +206,42 @@ impl WorldConfig {
                 pop_via_regional_prob: 0.0,
                 giant_orgs: 0,
                 giant_org_coverage: 0.6,
+                pa_transits: 0,
+                pa_stubs: 0,
+                pa_peering_links: 0,
+                tree_cache_capacity: 0,
+            },
+            WorldScale::Huge => WorldConfig {
+                seed,
+                n_countries: 120,
+                n_tier1: 20,
+                // Hierarchy knobs are inert on the PA path but kept sane
+                // in case a config tweak flips pa_transits back to 0.
+                nationals_per_country: (1, 2),
+                regionals_per_country: (0, 1),
+                stubs_per_country: (4, 8),
+                multihoming_prob: 0.55,
+                triple_homing_prob: 0.18,
+                foreign_provider_prob: 0.3,
+                regional_peering_prob: 0.2,
+                intercontinental_peering_prob: 0.02,
+                content_frac: 0.36,
+                enterprise_frac: 0.22,
+                flappy_link_frac: 0.10,
+                churn_scale: 1.0,
+                prefixes_per_as: (1, 1),
+                hosting_orgs: 32,
+                pops_per_org: (3, 6),
+                pop_via_regional_prob: 0.0,
+                giant_orgs: 0,
+                giant_org_coverage: 0.6,
+                // ~62k ASes / ~540k links: 20-clique + 6k transits (1-2
+                // degree-weighted providers) + 56k stubs (1-3 providers)
+                // + 440k-link peering mesh.
+                pa_transits: 6_000,
+                pa_stubs: 56_000,
+                pa_peering_links: 440_000,
+                tree_cache_capacity: 0,
             },
         }
     }
@@ -304,7 +370,15 @@ impl PrefixAllocator {
 
 /// Generate a world from a config. Panics only on internal invariant
 /// violations (the generator always produces valid topologies).
+///
+/// `pa_transits > 0` selects the preferential-attachment family (the
+/// [`WorldScale::Huge`] tier); otherwise the per-country hierarchy is
+/// built. Either way the returned topology is [frozen](Topology::freeze)
+/// and validated.
 pub fn generate(config: &WorldConfig) -> GeneratedWorld {
+    if config.pa_transits > 0 {
+        return generate_pa(config);
+    }
     let mut rng = StdRng::seed_from_u64(config.seed);
     let countries = geo::countries(config.n_countries);
     let mut topology = Topology::new(countries.clone());
@@ -634,6 +708,7 @@ pub fn generate(config: &WorldConfig) -> GeneratedWorld {
     )
     .expect("allocator never reuses blocks");
 
+    topology.freeze();
     let world = GeneratedWorld {
         topology,
         ip2as,
@@ -643,6 +718,250 @@ pub fn generate(config: &WorldConfig) -> GeneratedWorld {
         sibling_public,
     };
     world.topology.validate().expect("generator emits valid topologies");
+    world
+}
+
+/// The preferential-attachment family behind [`WorldScale::Huge`].
+///
+/// Classic rich-get-richer growth with Gao–Rexford guarantees by
+/// construction: a tier-1 clique seeds a "ball" list in which each
+/// transit appears once per provider-side edge; every new transit buys
+/// from 1–2 degree-weighted draws out of the ball (always an *earlier*
+/// node, so the provider digraph is a DAG and everyone reaches the
+/// clique), every stub from 1–3; finally `pa_peering_links` peering
+/// edges connect uniform random transit pairs. Countries rotate
+/// round-robin over transits so every country keeps carriers for the
+/// hosting-org loop, and stubs draw theirs at random.
+fn generate_pa(config: &WorldConfig) -> GeneratedWorld {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let countries = geo::countries(config.n_countries);
+    let mut topology = Topology::new(countries.clone());
+    let mut next_asn = 100u32;
+    let mut alloc = PrefixAllocator::new();
+    let mut prefixes: HashMap<Asn, Vec<Ipv4Prefix>> = HashMap::new();
+    let mut mk_asn = |rng: &mut StdRng| {
+        next_asn += 1 + rng.gen_range(0..37);
+        Asn(next_asn)
+    };
+    let edge_stability = |rng: &mut StdRng, cfg: &WorldConfig| -> LinkStability {
+        let mut s = if rng.gen_bool(cfg.flappy_link_frac) {
+            LinkStability::flappy()
+        } else {
+            LinkStability::stable()
+        };
+        s.flap_rate = (s.flap_rate * cfg.churn_scale).min(0.45);
+        s
+    };
+    let mid_stability = |cfg: &WorldConfig| -> LinkStability {
+        let mut s = LinkStability::stable();
+        s.flap_rate = (s.flap_rate * cfg.churn_scale).min(0.45);
+        s
+    };
+
+    // --- Tier-1 clique ---------------------------------------------------
+    let mut tier1s: Vec<Asn> = Vec::new();
+    for i in 0..config.n_tier1.max(2) {
+        let cc = countries[i % countries.len()].code;
+        let asn = mk_asn(&mut rng);
+        topology
+            .add_as(AsInfo {
+                asn,
+                name: format!("{cc}-Backbone-{i}"),
+                country: cc,
+                class: AsClass::TransitAccess,
+                role: AsRole::Tier1,
+            })
+            .expect("fresh ASN");
+        tier1s.push(asn);
+    }
+    for i in 0..tier1s.len() {
+        for j in (i + 1)..tier1s.len() {
+            topology
+                .add_link(Link::peering(tier1s[i], tier1s[j], LinkStability::rock_solid()))
+                .expect("clique links are unique");
+        }
+    }
+
+    // Degree-proportional provider sampling: `ball` holds one entry per
+    // provider-side edge endpoint, so indexing uniformly is a weighted
+    // draw. Seeded with the clique so early transits spread across it.
+    let mut ball: Vec<Asn> = tier1s.iter().flat_map(|&t| [t, t, t]).collect();
+    let mut transits: Vec<Asn> = Vec::with_capacity(config.pa_transits);
+    let mut transits_by_country: HashMap<CountryCode, Vec<Asn>> = HashMap::new();
+
+    // --- Transits --------------------------------------------------------
+    for k in 0..config.pa_transits {
+        let cc = countries[k % countries.len()].code;
+        let asn = mk_asn(&mut rng);
+        topology
+            .add_as(AsInfo {
+                asn,
+                name: format!("{cc}-Transit-{k}"),
+                country: cc,
+                class: AsClass::TransitAccess,
+                role: AsRole::NationalTransit,
+            })
+            .expect("fresh ASN");
+        let n_up = 1 + usize::from(rng.gen_bool(0.5));
+        let mut got = 0;
+        let mut tries = 0;
+        while got < n_up && tries < 32 {
+            tries += 1;
+            let p = ball[rng.gen_range(0..ball.len())];
+            if p == asn {
+                continue;
+            }
+            if topology.add_link(Link::transit(asn, p, mid_stability(config))).is_ok() {
+                // Provider gains attractiveness; the new transit enters the
+                // ball too (it is now itself a candidate provider).
+                ball.push(p);
+                ball.push(asn);
+                got += 1;
+            }
+        }
+        assert!(got > 0, "transit always finds a provider in 32 draws");
+        transits.push(asn);
+        transits_by_country.entry(cc).or_default().push(asn);
+    }
+
+    // --- Stubs -----------------------------------------------------------
+    for k in 0..config.pa_stubs {
+        let cc = countries[rng.gen_range(0..countries.len())].code;
+        let asn = mk_asn(&mut rng);
+        let roll: f64 = rng.gen();
+        let class = if roll < config.content_frac {
+            AsClass::Content
+        } else if roll < config.content_frac + config.enterprise_frac {
+            AsClass::Enterprise
+        } else {
+            AsClass::TransitAccess
+        };
+        topology
+            .add_as(AsInfo {
+                asn,
+                name: format!("{}-{}-{k}", cc, class.label()),
+                country: cc,
+                class,
+                role: AsRole::Stub,
+            })
+            .expect("fresh ASN");
+        let mut n_up = 1;
+        if rng.gen_bool(config.multihoming_prob) {
+            n_up += 1;
+            if rng.gen_bool(config.triple_homing_prob) {
+                n_up += 1;
+            }
+        }
+        let mut got = 0;
+        let mut tries = 0;
+        while got < n_up && tries < 32 {
+            tries += 1;
+            let p = ball[rng.gen_range(0..ball.len())];
+            if topology.add_link(Link::transit(asn, p, edge_stability(&mut rng, config))).is_ok() {
+                // Only the provider side gains weight: stubs never provide.
+                ball.push(p);
+                got += 1;
+            }
+        }
+        assert!(got > 0, "stub always finds a provider in 32 draws");
+    }
+
+    // --- Peering mesh ----------------------------------------------------
+    // Uniform random transit pairs; at Huge fill (~420k links over ~18M
+    // possible pairs) the duplicate rate stays ~2%, so 8 retries per link
+    // make the expected shortfall negligible.
+    let mut made = 0usize;
+    let mut budget = config.pa_peering_links * 8;
+    while made < config.pa_peering_links && budget > 0 {
+        budget -= 1;
+        let a = transits[rng.gen_range(0..transits.len())];
+        let b = transits[rng.gen_range(0..transits.len())];
+        if a == b {
+            continue;
+        }
+        if topology.add_link(Link::peering(a, b, edge_stability(&mut rng, config))).is_ok() {
+            made += 1;
+        }
+    }
+
+    // --- Hosting organizations -------------------------------------------
+    // Same structure as the hierarchical family, buying transit from the
+    // country's PA transits.
+    let mut orgs: Vec<HostingOrg> = Vec::new();
+    let mut sibling_public: HashMap<Asn, Asn> = HashMap::new();
+    let covered: Vec<CountryCode> = countries
+        .iter()
+        .map(|c| c.code)
+        .filter(|cc| transits_by_country.contains_key(cc))
+        .collect();
+    for o in 0..config.hosting_orgs {
+        let lo = config.pops_per_org.0.max(1);
+        let hi = config.pops_per_org.1.max(lo);
+        let n_pops = rng.gen_range(lo..=hi).min(covered.len());
+        let mut homes = covered.clone();
+        homes.shuffle(&mut rng);
+        homes.truncate(n_pops);
+        let mut pops = Vec::with_capacity(n_pops);
+        for cc in homes {
+            let asn = mk_asn(&mut rng);
+            topology
+                .add_as(AsInfo {
+                    asn,
+                    name: format!("GlobalHost-{o}-{cc}"),
+                    country: cc,
+                    class: AsClass::Content,
+                    role: AsRole::Stub,
+                })
+                .expect("fresh ASN");
+            let mut ups = transits_by_country[&cc].clone();
+            ups.shuffle(&mut rng);
+            let n_up =
+                (1 + usize::from(rng.gen_bool((config.multihoming_prob + 0.3).min(1.0))))
+                    .min(ups.len());
+            for up in ups.into_iter().take(n_up) {
+                topology
+                    .add_link(Link::transit(asn, up, edge_stability(&mut rng, config)))
+                    .expect("unique PoP uplink");
+            }
+            pops.push(asn);
+        }
+        let public = pops[0];
+        for pop in &pops {
+            sibling_public.insert(*pop, public);
+        }
+        orgs.push(HostingOrg { name: format!("GlobalHost-{o}"), public, pops });
+    }
+
+    // --- Prefixes ---------------------------------------------------------
+    for info in topology.ases().to_vec() {
+        let n = rng.gen_range(config.prefixes_per_as.0..=config.prefixes_per_as.1).max(1);
+        let mut ps = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len = match info.role {
+                AsRole::Tier1 => 14,
+                AsRole::NationalTransit => rng.gen_range(16..=18),
+                AsRole::RegionalIsp => rng.gen_range(17..=19),
+                AsRole::Stub => rng.gen_range(20..=22),
+            };
+            ps.push(alloc.alloc(len));
+        }
+        prefixes.insert(info.asn, ps);
+    }
+    let ip2as = Ip2AsDb::from_entries(
+        prefixes.iter().flat_map(|(asn, ps)| ps.iter().map(move |p| (*p, *asn))),
+    )
+    .expect("allocator never reuses blocks");
+
+    topology.freeze();
+    let world = GeneratedWorld {
+        topology,
+        ip2as,
+        prefixes,
+        orgs,
+        config: config.clone(),
+        sibling_public,
+    };
+    world.topology.validate().expect("PA generator emits valid topologies");
     world
 }
 
@@ -842,6 +1161,79 @@ mod tests {
         let asn = w.asns()[5];
         let h = w.host_in(asn, 3).unwrap();
         assert_eq!(w.ip2as.lookup(h), Some(asn));
+    }
+
+    /// Huge shrunk ~40x so the PA family is exercised by debug-mode unit
+    /// tests; the true Huge tier runs in the release-mode bench/CI smoke.
+    fn mini_pa(seed: u64) -> WorldConfig {
+        let mut cfg = WorldConfig::preset(WorldScale::Huge, seed);
+        cfg.n_countries = 20;
+        cfg.n_tier1 = 5;
+        cfg.pa_transits = 150;
+        cfg.pa_stubs = 1_200;
+        cfg.pa_peering_links = 2_500;
+        cfg.hosting_orgs = 6;
+        cfg
+    }
+
+    #[test]
+    fn pa_world_is_valid_and_frozen() {
+        let w = generate(&mini_pa(9));
+        assert!(w.topology.is_frozen());
+        assert!(w.topology.validate().is_ok());
+        // 5 + 150 + 1200 + org pops
+        assert!(w.topology.n_ases() >= 1_355);
+        // clique 10 + uplinks + ~2500 peering
+        assert!(w.topology.n_links() >= 3_800, "links = {}", w.topology.n_links());
+        for role in [AsRole::Tier1, AsRole::NationalTransit, AsRole::Stub] {
+            assert!(w.topology.ases().iter().any(|a| a.role == role), "missing {role}");
+        }
+    }
+
+    #[test]
+    fn pa_world_is_deterministic() {
+        let a = generate(&mini_pa(4));
+        let b = generate(&mini_pa(4));
+        assert_eq!(a.asns(), b.asns());
+        let la: Vec<_> = a.topology.links().iter().map(|l| (l.a, l.b)).collect();
+        let lb: Vec<_> = b.topology.links().iter().map(|l| (l.a, l.b)).collect();
+        assert_eq!(la, lb);
+        let c = generate(&mini_pa(5));
+        assert_ne!(a.asns(), c.asns());
+    }
+
+    #[test]
+    fn pa_world_supports_platform_queries() {
+        // The platform selects vantage/destination ASes by class; PA
+        // worlds must keep all three classes and org PoPs queryable.
+        let w = generate(&mini_pa(7));
+        assert!(!w.topology.select(|a| a.class == AsClass::Content).is_empty());
+        assert!(!w.topology.select(|a| a.class == AsClass::Enterprise).is_empty());
+        assert_eq!(w.orgs.len(), 6);
+        for org in &w.orgs {
+            assert_eq!(w.public_asn(org.pops[0]), org.public);
+        }
+        let asn = w.asns()[40];
+        assert_eq!(w.ip2as.lookup(w.host_in(asn, 2).unwrap()), Some(asn));
+    }
+
+    #[test]
+    fn huge_preset_meets_scale_floors() {
+        // ≥50k ASes / ≥500k links by construction: clique + uplink floors
+        // + the peering mesh. (Generating Huge is a release-mode job; unit
+        // tests check the arithmetic, the CI smoke checks the world.)
+        let cfg = WorldConfig::preset(WorldScale::Huge, 1);
+        let ases = cfg.n_tier1 + cfg.pa_transits + cfg.pa_stubs;
+        assert!(ases >= 50_000, "preset yields only {ases} ASes");
+        let clique = cfg.n_tier1 * (cfg.n_tier1 - 1) / 2;
+        let min_links = clique + cfg.pa_transits + cfg.pa_stubs + cfg.pa_peering_links;
+        assert!(min_links >= 500_000, "preset yields only {min_links} links");
+    }
+
+    #[test]
+    fn hierarchical_world_is_frozen() {
+        let w = generate(&WorldConfig::preset(WorldScale::Smoke, 1));
+        assert!(w.topology.is_frozen());
     }
 
     #[test]

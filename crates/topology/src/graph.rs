@@ -1,12 +1,21 @@
 //! The topology container: AS metadata, links, relationship-aware
 //! adjacency, and structural validation.
+//!
+//! Adjacency lives in one of two layouts. While a topology is being
+//! built (`add_as`/`add_link`) it is a per-AS `Vec<Vec<Adjacency>>` —
+//! cheap to append to, expensive to walk. [`Topology::freeze`] compacts
+//! it into CSR form (one flat `Adjacency` arena plus per-AS offsets) so
+//! the routing layer's BFS/Dijkstra passes stream contiguous memory
+//! instead of chasing one heap pointer per AS. Freezing is idempotent
+//! and transparent: every query works in either layout, and a mutation
+//! after freeze thaws back to the building layout automatically.
 
 use crate::asys::{AsInfo, AsRole, Asn};
 use crate::geo::{Country, CountryCode};
+use crate::hash::{FxMap, FxSet};
 use crate::links::{Link, LinkId, Relationship};
 use crate::TopologyError;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Dense index of an AS inside a [`Topology`] (stable for the lifetime of
 /// the topology; used by the routing simulator for array-indexed state).
@@ -44,27 +53,56 @@ pub struct Adjacency {
     pub kind: EdgeKind,
 }
 
+/// Adjacency storage: append-friendly while building, CSR once frozen.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum AdjStore {
+    /// One growable list per AS.
+    Building(Vec<Vec<Adjacency>>),
+    /// Compressed sparse row: AS `i`'s neighbours are
+    /// `flat[off[i]..off[i + 1]]`, grouped by kind — providers first,
+    /// then peers, then customers (insertion order within each kind) —
+    /// so the routing passes can walk exactly the edge kind they need:
+    /// providers are `flat[off[i]..prov_end[i]]`, peers
+    /// `flat[prov_end[i]..peer_end[i]]`, customers
+    /// `flat[peer_end[i]..off[i + 1]]`.
+    Csr {
+        /// Per-AS start offsets into `flat`, plus the terminal length.
+        off: Vec<u32>,
+        /// Per-AS end of the provider run (= start of the peer run).
+        prov_end: Vec<u32>,
+        /// Per-AS end of the peer run (= start of the customer run).
+        peer_end: Vec<u32>,
+        /// All adjacency entries, grouped by owning AS, then by kind.
+        flat: Vec<Adjacency>,
+    },
+}
+
 /// An AS-level topology: the synthetic Internet.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Topology {
     ases: Vec<AsInfo>,
-    asn_to_idx: HashMap<Asn, AsIdx>,
+    asn_to_idx: FxMap<Asn, AsIdx>,
     links: Vec<Link>,
-    adj: Vec<Vec<Adjacency>>,
+    adj: AdjStore,
+    /// Normalized (low, high) index pairs of existing links, for O(1)
+    /// duplicate detection (`add_link` used to scan the endpoint's whole
+    /// adjacency list, which is quadratic on high-degree tier-1s).
+    link_keys: FxSet<(u32, u32)>,
     countries: Vec<Country>,
-    country_idx: HashMap<CountryCode, usize>,
+    country_idx: FxMap<CountryCode, usize>,
 }
 
 impl Topology {
     /// Empty topology over the given country table.
     pub fn new(countries: Vec<Country>) -> Self {
         let country_idx =
-            countries.iter().enumerate().map(|(i, c)| (c.code, i)).collect::<HashMap<_, _>>();
+            countries.iter().enumerate().map(|(i, c)| (c.code, i)).collect::<FxMap<_, _>>();
         Topology {
             ases: Vec::new(),
-            asn_to_idx: HashMap::new(),
+            asn_to_idx: FxMap::default(),
             links: Vec::new(),
-            adj: Vec::new(),
+            adj: AdjStore::Building(Vec::new()),
+            link_keys: FxSet::default(),
             countries,
             country_idx,
         }
@@ -108,7 +146,11 @@ impl Topology {
         let idx = AsIdx(self.ases.len() as u32);
         self.asn_to_idx.insert(info.asn, idx);
         self.ases.push(info);
-        self.adj.push(Vec::new());
+        self.thaw();
+        match &mut self.adj {
+            AdjStore::Building(lists) => lists.push(Vec::new()),
+            AdjStore::Csr { .. } => unreachable!("thawed above"),
+        }
         Ok(idx)
     }
 
@@ -120,8 +162,7 @@ impl Topology {
         }
         let ia = self.idx(link.a).ok_or(TopologyError::UnknownAsn(link.a))?;
         let ib = self.idx(link.b).ok_or(TopologyError::UnknownAsn(link.b))?;
-        let dup = self.adj[ia.usize()].iter().any(|adj| adj.peer == ib);
-        if dup {
+        if !self.link_keys.insert((ia.0.min(ib.0), ia.0.max(ib.0))) {
             return Err(TopologyError::DuplicateLink(link.a, link.b));
         }
         let id = LinkId(self.links.len() as u32);
@@ -129,10 +170,60 @@ impl Topology {
             Relationship::CustomerToProvider => (EdgeKind::ToProvider, EdgeKind::ToCustomer),
             Relationship::PeerToPeer => (EdgeKind::ToPeer, EdgeKind::ToPeer),
         };
-        self.adj[ia.usize()].push(Adjacency { peer: ib, link: id, kind: kind_a });
-        self.adj[ib.usize()].push(Adjacency { peer: ia, link: id, kind: kind_b });
+        self.thaw();
+        match &mut self.adj {
+            AdjStore::Building(lists) => {
+                lists[ia.usize()].push(Adjacency { peer: ib, link: id, kind: kind_a });
+                lists[ib.usize()].push(Adjacency { peer: ia, link: id, kind: kind_b });
+            }
+            AdjStore::Csr { .. } => unreachable!("thawed above"),
+        }
         self.links.push(link);
         Ok(id)
+    }
+
+    /// Compact adjacency into CSR form. Idempotent; call once the graph
+    /// is fully built (the generator and AS-REL2 loader do). Queries work
+    /// either way, but the routing layer's tree computation is
+    /// substantially faster over the frozen layout.
+    pub fn freeze(&mut self) {
+        if let AdjStore::Building(lists) = &self.adj {
+            let total: usize = lists.iter().map(Vec::len).sum();
+            let mut off = Vec::with_capacity(lists.len() + 1);
+            let mut prov_end = Vec::with_capacity(lists.len());
+            let mut peer_end = Vec::with_capacity(lists.len());
+            let mut flat = Vec::with_capacity(total);
+            off.push(0u32);
+            for list in lists {
+                // Group each AS's run by kind (stable within a kind), so
+                // routing stages can walk only the kind they propagate.
+                flat.extend(list.iter().filter(|a| a.kind == EdgeKind::ToProvider));
+                prov_end.push(flat.len() as u32);
+                flat.extend(list.iter().filter(|a| a.kind == EdgeKind::ToPeer));
+                peer_end.push(flat.len() as u32);
+                flat.extend(list.iter().filter(|a| a.kind == EdgeKind::ToCustomer));
+                off.push(flat.len() as u32);
+            }
+            self.adj = AdjStore::Csr { off, prov_end, peer_end, flat };
+        }
+    }
+
+    /// Whether adjacency is in frozen (CSR) form.
+    pub fn is_frozen(&self) -> bool {
+        matches!(self.adj, AdjStore::Csr { .. })
+    }
+
+    /// Inverse of [`freeze`](Self::freeze): back to per-AS lists so
+    /// mutation can append. No-op while building.
+    fn thaw(&mut self) {
+        if let AdjStore::Csr { off, flat, .. } = &self.adj {
+            let n = off.len().saturating_sub(1);
+            let mut lists = Vec::with_capacity(n);
+            for i in 0..n {
+                lists.push(flat[off[i] as usize..off[i + 1] as usize].to_vec());
+            }
+            self.adj = AdjStore::Building(lists);
+        }
     }
 
     /// Dense index for an ASN.
@@ -160,30 +251,77 @@ impl Topology {
         &self.links[id.0 as usize]
     }
 
-    /// Adjacency list of an AS.
+    /// Adjacency list of an AS. While building, entries are in insertion
+    /// order; once [frozen](Self::freeze) they are grouped by kind
+    /// (providers, then peers, then customers).
+    #[inline]
     pub fn neighbors(&self, idx: AsIdx) -> &[Adjacency] {
-        &self.adj[idx.usize()]
+        match &self.adj {
+            AdjStore::Building(lists) => &lists[idx.usize()],
+            AdjStore::Csr { off, flat, .. } => {
+                let i = idx.usize();
+                &flat[off[i] as usize..off[i + 1] as usize]
+            }
+        }
+    }
+
+    /// The provider run of a frozen AS's adjacency — only the
+    /// `ToProvider` entries, contiguous.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the topology is [frozen](Self::freeze); the routing
+    /// hot path is CSR-only by design.
+    #[inline]
+    pub fn provider_edges(&self, idx: AsIdx) -> &[Adjacency] {
+        match &self.adj {
+            AdjStore::Building(_) => panic!("provider_edges requires a frozen topology"),
+            AdjStore::Csr { off, prov_end, flat, .. } => {
+                let i = idx.usize();
+                &flat[off[i] as usize..prov_end[i] as usize]
+            }
+        }
+    }
+
+    /// The peer run of a frozen AS's adjacency (see
+    /// [`provider_edges`](Self::provider_edges)).
+    #[inline]
+    pub fn peer_edges(&self, idx: AsIdx) -> &[Adjacency] {
+        match &self.adj {
+            AdjStore::Building(_) => panic!("peer_edges requires a frozen topology"),
+            AdjStore::Csr { prov_end, peer_end, flat, .. } => {
+                let i = idx.usize();
+                &flat[prov_end[i] as usize..peer_end[i] as usize]
+            }
+        }
+    }
+
+    /// The customer run of a frozen AS's adjacency (see
+    /// [`provider_edges`](Self::provider_edges)).
+    #[inline]
+    pub fn customer_edges(&self, idx: AsIdx) -> &[Adjacency] {
+        match &self.adj {
+            AdjStore::Building(_) => panic!("customer_edges requires a frozen topology"),
+            AdjStore::Csr { off, peer_end, flat, .. } => {
+                let i = idx.usize();
+                &flat[peer_end[i] as usize..off[i + 1] as usize]
+            }
+        }
     }
 
     /// The providers of an AS.
     pub fn providers(&self, idx: AsIdx) -> impl Iterator<Item = AsIdx> + '_ {
-        self.adj[idx.usize()]
-            .iter()
-            .filter(|a| a.kind == EdgeKind::ToProvider)
-            .map(|a| a.peer)
+        self.neighbors(idx).iter().filter(|a| a.kind == EdgeKind::ToProvider).map(|a| a.peer)
     }
 
     /// The customers of an AS.
     pub fn customers(&self, idx: AsIdx) -> impl Iterator<Item = AsIdx> + '_ {
-        self.adj[idx.usize()]
-            .iter()
-            .filter(|a| a.kind == EdgeKind::ToCustomer)
-            .map(|a| a.peer)
+        self.neighbors(idx).iter().filter(|a| a.kind == EdgeKind::ToCustomer).map(|a| a.peer)
     }
 
     /// The peers of an AS.
     pub fn peers(&self, idx: AsIdx) -> impl Iterator<Item = AsIdx> + '_ {
-        self.adj[idx.usize()].iter().filter(|a| a.kind == EdgeKind::ToPeer).map(|a| a.peer)
+        self.neighbors(idx).iter().filter(|a| a.kind == EdgeKind::ToPeer).map(|a| a.peer)
     }
 
     /// Indices of all ASes satisfying a predicate.
@@ -218,6 +356,8 @@ impl Topology {
 
     fn check_provider_dag(&self) -> Result<(), TopologyError> {
         // Iterative DFS three-colour cycle detection over provider edges.
+        // The cursor indexes the full adjacency slice (skipping non-provider
+        // entries inline) so no per-visit provider list is materialized.
         const WHITE: u8 = 0;
         const GRAY: u8 = 1;
         const BLACK: u8 = 2;
@@ -227,16 +367,19 @@ impl Topology {
             if color[start] != WHITE {
                 continue;
             }
-            // stack of (node, next-neighbor-cursor)
+            // stack of (node, next-adjacency-cursor)
             let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
             color[start] = GRAY;
             while let Some(top) = stack.len().checked_sub(1) {
                 let (node, cursor) = stack[top];
-                let provs: Vec<usize> =
-                    self.providers(AsIdx(node as u32)).map(|p| p.usize()).collect();
-                if cursor < provs.len() {
-                    stack[top].1 += 1;
-                    let next = provs[cursor];
+                let neigh = self.neighbors(AsIdx(node as u32));
+                let mut c = cursor;
+                while c < neigh.len() && neigh[c].kind != EdgeKind::ToProvider {
+                    c += 1;
+                }
+                if c < neigh.len() {
+                    stack[top].1 = c + 1;
+                    let next = neigh[c].peer.usize();
                     match color[next] {
                         WHITE => {
                             color[next] = GRAY;
@@ -299,7 +442,7 @@ impl Topology {
         let mut stack = vec![0usize];
         seen[0] = true;
         while let Some(u) = stack.pop() {
-            for adj in &self.adj[u] {
+            for adj in self.neighbors(AsIdx(u as u32)) {
                 let v = adj.peer.usize();
                 if !seen[v] {
                     seen[v] = true;
@@ -361,6 +504,56 @@ mod tests {
         let peers: Vec<_> = t.peers(i2).map(|p| t.asn(p)).collect();
         assert_eq!(peers, vec![Asn(4)]);
         assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn freeze_preserves_queries_and_validation() {
+        let mut t = tiny();
+        let before: Vec<Vec<Adjacency>> =
+            (0..t.n_ases()).map(|i| t.neighbors(AsIdx(i as u32)).to_vec()).collect();
+        assert!(!t.is_frozen());
+        t.freeze();
+        assert!(t.is_frozen());
+        t.freeze(); // idempotent
+        for (i, want) in before.iter().enumerate() {
+            let idx = AsIdx(i as u32);
+            // Freezing groups each run by kind; the entry *set* is intact.
+            let mut got = t.neighbors(idx).to_vec();
+            let mut want = want.clone();
+            let key = |a: &Adjacency| (a.kind as u8, a.peer.0, a.link.0);
+            got.sort_by_key(key);
+            want.sort_by_key(key);
+            assert_eq!(got, want);
+            // And the kind slices partition the run in grouped order.
+            let run = t.neighbors(idx);
+            let (p, r, c) =
+                (t.provider_edges(idx), t.peer_edges(idx), t.customer_edges(idx));
+            assert_eq!(p.len() + r.len() + c.len(), run.len());
+            assert!(p.iter().all(|a| a.kind == EdgeKind::ToProvider));
+            assert!(r.iter().all(|a| a.kind == EdgeKind::ToPeer));
+            assert!(c.iter().all(|a| a.kind == EdgeKind::ToCustomer));
+            assert_eq!(run[..p.len()], *p);
+            assert_eq!(run[p.len()..p.len() + r.len()], *r);
+            assert_eq!(run[p.len() + r.len()..], *c);
+        }
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn mutation_after_freeze_thaws() {
+        let mut t = tiny();
+        t.freeze();
+        let i5 = t.add_as(mk_as(5, AsRole::Stub)).unwrap();
+        assert!(!t.is_frozen());
+        t.add_link(Link::transit(Asn(5), Asn(2), LinkStability::stable())).unwrap();
+        assert_eq!(t.providers(i5).count(), 1);
+        t.freeze();
+        assert!(t.validate().is_ok());
+        // The pre-freeze duplicate guard still sees pre-thaw links.
+        assert_eq!(
+            t.add_link(Link::peering(Asn(2), Asn(4), LinkStability::stable())),
+            Err(TopologyError::DuplicateLink(Asn(2), Asn(4)))
+        );
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! Fast non-cryptographic hashing for topology-sized maps.
+//!
+//! A CAIDA-scale graph resolves ~80k ASNs through `asn_to_idx` while
+//! loading and every `Topology::idx` call afterwards; SipHash (std's
+//! default) is the wrong tool for 4-byte integer keys the topology itself
+//! produced. This is the same FxHash-style multiplicative hasher the
+//! engine uses for its intern tables, hoisted to the bottom of the crate
+//! stack so every layer can share it. Not DoS-resistant — keys here are
+//! simulator-internal, never attacker-controlled.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A fast multiplicative (FxHash-style) hasher for small integer keys.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher(u64);
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Final avalanche so the map's bucket-index truncation sees
+        // well-mixed low bits even for tiny keys.
+        let mut x = self.0;
+        x ^= x >> 32;
+        x = x.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        x ^= x >> 32;
+        x
+    }
+}
+
+/// `HashMap` with the fast topology hasher.
+pub type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` with the fast topology hasher.
+pub type FxSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_spreading() {
+        let h = |v: u32| {
+            let mut hasher = FxHasher::default();
+            hasher.write_u32(v);
+            hasher.finish()
+        };
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+        // Low bits must differ for consecutive keys (bucket truncation).
+        assert_ne!(h(1) & 0xffff, h(2) & 0xffff);
+    }
+
+    #[test]
+    fn map_round_trip() {
+        let mut m: FxMap<u32, u32> = FxMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.get(&500), Some(&1000));
+        assert_eq!(m.len(), 1000);
+    }
+}

@@ -15,7 +15,10 @@
 //!   peer-to-peer, following Gao–Rexford) and per-link stability
 //!   parameters that later drive BGP path churn.
 //! * [`graph`] — the topology container with relationship-aware adjacency
-//!   queries and structural validation.
+//!   queries (CSR-frozen for routing) and structural validation.
+//! * [`asrel`] — CAIDA AS-REL2 edge-list loader/writer, so worlds can be
+//!   swapped with the real inferred AS graph or exported to it.
+//! * [`hash`] — the fast integer-key hasher shared by the hot maps.
 //! * [`prefix`] — IPv4 prefixes and per-AS address allocation.
 //! * [`ip2as`] — a longest-prefix-match IP-to-AS database (the CAIDA
 //!   mapping substitute), with optional staleness to exercise the paper's
@@ -29,18 +32,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod asrel;
 pub mod asys;
 pub mod generator;
 pub mod geo;
 pub mod graph;
+pub mod hash;
 pub mod ip2as;
 pub mod links;
 pub mod prefix;
 
+pub use asrel::{load_asrel2, write_asrel2};
 pub use asys::{AsClass, AsInfo, AsRole, Asn};
 pub use generator::{GeneratedWorld, HostingOrg, WorldConfig, WorldScale};
 pub use geo::{Country, CountryCode, Region};
 pub use graph::{AsIdx, Topology};
+pub use hash::{FxMap, FxSet};
 pub use ip2as::{Ip2AsDb, Ip2AsNoise};
 pub use links::{Link, LinkId, LinkStability, Relationship};
 pub use prefix::Ipv4Prefix;
