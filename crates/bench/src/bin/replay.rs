@@ -20,14 +20,34 @@
 //! byte-identical — the round-trip guarantee CI smokes on every push.
 //! `--metrics-out FILE` instruments the replay: engine shard workers and
 //! feeder threads publish live series, a scraper thread keeps FILE
-//! current as Prometheus text, and the terminal scrape is embedded in
-//! `BENCH_replay.json` under `metrics`.
+//! current as Prometheus text (including `churnlab_rss_bytes`), and the
+//! terminal scrape is embedded in `BENCH_replay.json` under `metrics`.
+//!
+//! The service-lifecycle flags turn the one-shot replay into a
+//! kill-and-resume harness:
+//!
+//! ```text
+//! replay --in dump.jsonl --feeders 1 --window-horizon 7 \
+//!        --checkpoint ck.bin --checkpoint-every 100000
+//! replay --in dump.jsonl --feeders 1 --window-horizon 7 \
+//!        --resume ck.bin --expect-digest <hex>
+//! ```
+//!
+//! `--window-horizon DAYS` retires (URL × window) groups once the
+//! watermark passes them. `--checkpoint PATH --checkpoint-every N`
+//! writes an atomic engine snapshot every N input lines;
+//! `--halt-after-checkpoints N` then aborts the run mid-stream (the CI
+//! crash stand-in). `--resume PATH` restores the snapshot, skips the
+//! already-ingested prefix, and continues; `--expect-digest HEX` makes
+//! the run fail unless the final canonical digest matches — together
+//! they prove checkpoint → kill → restore → continue reproduces the
+//! uninterrupted report byte for byte.
 
 use churnlab_bench::obsbench::MetricsWriter;
-use churnlab_bench::replaybench::{replay_into_engine, ReplayBenchReport};
+use churnlab_bench::replaybench::{replay_session, ReplayBenchReport, ReplaySession, ReplaySessionOutcome};
 use churnlab_bench::{Bench, Scale};
 use churnlab_core::pipeline::{Pipeline, PipelineConfig};
-use churnlab_engine::EngineObs;
+use churnlab_engine::{EngineConfig, EngineObs};
 use churnlab_interop::{export_study, ReplayFormat, StudyManifest};
 use churnlab_obs::Registry;
 use churnlab_platform::Platform;
@@ -44,6 +64,12 @@ struct Args {
     out: String,
     metrics_out: Option<String>,
     verify: bool,
+    window_horizon: Option<u32>,
+    checkpoint: Option<String>,
+    checkpoint_every: Option<u64>,
+    resume: Option<String>,
+    halt_after_checkpoints: Option<u64>,
+    expect_digest: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -59,6 +85,12 @@ fn parse_args() -> Result<Args, String> {
         out: "BENCH_replay.json".to_string(),
         metrics_out: None,
         verify: false,
+        window_horizon: None,
+        checkpoint: None,
+        checkpoint_every: None,
+        resume: None,
+        halt_after_checkpoints: None,
+        expect_digest: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -93,11 +125,40 @@ fn parse_args() -> Result<Args, String> {
                 args.metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?)
             }
             "--verify" => args.verify = true,
+            "--window-horizon" => {
+                let v = it.next().ok_or("--window-horizon needs a day count")?;
+                args.window_horizon =
+                    Some(v.parse().map_err(|_| format!("bad horizon `{v}`"))?);
+            }
+            "--checkpoint" => {
+                args.checkpoint = Some(it.next().ok_or("--checkpoint needs a path")?)
+            }
+            "--checkpoint-every" => {
+                let v = it.next().ok_or("--checkpoint-every needs a line count")?;
+                let n: u64 = v.parse().map_err(|_| format!("bad interval `{v}`"))?;
+                if n == 0 {
+                    return Err("--checkpoint-every needs a positive line count".into());
+                }
+                args.checkpoint_every = Some(n);
+            }
+            "--resume" => args.resume = Some(it.next().ok_or("--resume needs a path")?),
+            "--halt-after-checkpoints" => {
+                let v = it.next().ok_or("--halt-after-checkpoints needs a count")?;
+                args.halt_after_checkpoints =
+                    Some(v.parse().map_err(|_| format!("bad count `{v}`"))?);
+            }
+            "--expect-digest" => {
+                args.expect_digest = Some(it.next().ok_or("--expect-digest needs a hex digest")?)
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: replay --export FILE [--scale smoke|small|paper] [--seed N]\n\
                      \x20      replay --in FILE [--shards N] [--feeders N] [--format native|ooni] \
-                     [--out BENCH_replay.json] [--metrics-out FILE] [--verify]"
+                     [--out BENCH_replay.json] [--metrics-out FILE] [--verify]\n\
+                     \x20             [--window-horizon DAYS] [--checkpoint FILE] \
+                     [--checkpoint-every LINES]\n\
+                     \x20             [--resume FILE] [--halt-after-checkpoints N] \
+                     [--expect-digest HEX]"
                         .into(),
                 )
             }
@@ -106,6 +167,17 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.export.is_some() == args.input.is_some() {
         return Err("exactly one of --export / --in is required (try --help)".into());
+    }
+    if args.checkpoint_every.is_some() && args.checkpoint.is_none() {
+        return Err("--checkpoint-every needs --checkpoint PATH".into());
+    }
+    if args.checkpoint.is_some() && args.checkpoint_every.is_none() {
+        // A path without a cadence gets a sane default rather than an
+        // error: checkpoint every 500k lines.
+        args.checkpoint_every = Some(500_000);
+    }
+    if args.halt_after_checkpoints.is_some() && args.checkpoint.is_none() {
+        return Err("--halt-after-checkpoints needs --checkpoint PATH".into());
     }
     Ok(args)
 }
@@ -186,18 +258,40 @@ fn ingest(args: &Args, path: &str) {
         None => (None, None),
     };
 
+    let mut engine_cfg = EngineConfig::new(cfg.clone()).with_shards(args.shards);
+    engine_cfg.window_horizon = args.window_horizon;
     let file = std::fs::File::open(path).unwrap_or_else(|e| panic!("open {path}: {e}"));
-    let outcome = replay_into_engine(
+    let session = ReplaySession {
+        engine_cfg,
+        feeders: args.feeders,
+        format: args.format,
+        obs,
+        resume_from: args.resume.as_deref(),
+        checkpoint_to: args.checkpoint.as_deref(),
+        checkpoint_every: args.checkpoint_every,
+        halt_after_checkpoints: args.halt_after_checkpoints,
+    };
+    let outcome = match replay_session(
         BufReader::new(file),
         platform.measured_ip2as(),
         &bench.world.topology,
-        cfg.clone(),
-        args.shards,
-        args.feeders,
-        args.format,
-        obs,
+        session,
     )
-    .expect("replay dump");
+    .expect("replay dump")
+    {
+        ReplaySessionOutcome::Finished(outcome) => outcome,
+        ReplaySessionOutcome::Halted { checkpoints, cursor } => {
+            if let Some(w) = writer {
+                w.finish();
+            }
+            eprintln!(
+                "replay: halted after {checkpoints} checkpoint(s) at line {cursor} — resume \
+                 with --resume {}",
+                args.checkpoint.as_deref().unwrap_or("<checkpoint>"),
+            );
+            return;
+        }
+    };
 
     outcome.engine_stats.record_into(&registry);
     outcome.report.stats.record_into(&registry);
@@ -236,6 +330,17 @@ fn ingest(args: &Args, path: &str) {
     eprintln!("replay: wrote {}", args.out);
     if let Some(out) = &args.metrics_out {
         eprintln!("replay: wrote {out}");
+    }
+
+    if let Some(expected) = &args.expect_digest {
+        if !report.report_digest.eq_ignore_ascii_case(expected) {
+            eprintln!(
+                "replay: FAIL — canonical digest {} does not match expected {expected}",
+                report.report_digest,
+            );
+            std::process::exit(1);
+        }
+        eprintln!("replay: digest matches expected {expected}");
     }
 
     if args.verify {

@@ -12,6 +12,7 @@
 
 pub mod enginebench;
 pub mod internbench;
+pub mod longhaul;
 pub mod matrix;
 pub mod obsbench;
 pub mod replaybench;

@@ -1,0 +1,131 @@
+//! Long-haul measurement: stream a looped, day-shifted study through an
+//! engine with a retirement horizon for long enough that an unbounded
+//! engine would visibly grow — and gate on the kernel's resident-set
+//! size plateauing instead.
+//!
+//! The claim under test is the "run forever" story: with window
+//! retirement on and retired cells drained ([`churnlab_engine::Engine::compact`]),
+//! every piece of engine state is bounded by the *working set* (live
+//! windows inside the horizon, distinct paths, distinct destinations) —
+//! not by stream length. RSS is the honest metric: allocator statistics
+//! miss fragmentation, and the deployment question is what the kernel
+//! charges the process.
+
+use serde::{Deserialize, Serialize};
+
+/// RSS plateau verdict over a run's sample series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlateauStats {
+    /// Samples dropped as warmup (first quarter of the series): interner
+    /// arenas, channel buffers, and solver scratch grow to working-set
+    /// size there by design.
+    pub warmup_samples: usize,
+    /// Max RSS over the first quartile of the post-warmup series.
+    pub early_max_bytes: u64,
+    /// Max RSS over the final quartile of the post-warmup series.
+    pub late_max_bytes: u64,
+    /// `late_max / early_max` — the growth the gate bounds.
+    pub growth_ratio: f64,
+    /// Max RSS over the whole run, warmup included.
+    pub peak_bytes: u64,
+}
+
+/// Judge a plateau: drop the first quarter as warmup, then compare the
+/// max RSS of the first and last quartiles of what remains. A leaking
+/// engine grows monotonically with stream length and fails any ratio
+/// bound; a bounded one's late max sits within noise of its early max.
+/// Returns `None` when the series is too short to quarter (< 8 samples).
+pub fn judge_plateau(samples: &[u64]) -> Option<PlateauStats> {
+    if samples.len() < 8 {
+        return None;
+    }
+    let warmup = samples.len() / 4;
+    let body = &samples[warmup..];
+    let quarter = body.len() / 4;
+    if quarter == 0 {
+        return None;
+    }
+    let early_max = *body[..quarter].iter().max().expect("non-empty quartile");
+    let late_max = *body[body.len() - quarter..].iter().max().expect("non-empty quartile");
+    Some(PlateauStats {
+        warmup_samples: warmup,
+        early_max_bytes: early_max,
+        late_max_bytes: late_max,
+        growth_ratio: late_max as f64 / early_max.max(1) as f64,
+        peak_bytes: *samples.iter().max().expect("non-empty series"),
+    })
+}
+
+/// The `BENCH_longhaul.json` document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LonghaulReport {
+    /// Workload scale label of the looped base study.
+    pub scale: String,
+    /// Base study seed.
+    pub seed: u64,
+    /// Times the base study was replayed with shifted days.
+    pub loops: u64,
+    /// Measurements streamed in total.
+    pub measurements: u64,
+    /// Converted observations the engine processed.
+    pub observations: u64,
+    /// Days covered by one base study pass.
+    pub base_days: u32,
+    /// Days covered by the whole looped stream.
+    pub total_days: u32,
+    /// Retirement horizon (days).
+    pub horizon: u32,
+    /// Shard workers.
+    pub shards: usize,
+    /// Wall seconds, ingest through finish.
+    pub secs: f64,
+    /// Measurements per second through the full path.
+    pub meas_per_sec: f64,
+    /// (URL × window) groups retired under the horizon.
+    pub windows_retired: u64,
+    /// Cells solved at retirement.
+    pub cells_retired: u64,
+    /// Per-cell outcomes drained by the periodic compactions.
+    pub outcomes_drained: u64,
+    /// RSS samples (bytes), one per loop, in order.
+    pub rss_samples: Vec<u64>,
+    /// Plateau verdict over `rss_samples` (absent when the run was too
+    /// short to judge).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub plateau: Option<PlateauStats>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plateau_judges_flat_series_near_one() {
+        let samples: Vec<u64> = (0..40).map(|i| 1_000_000 + (i % 3) * 1_000).collect();
+        let p = judge_plateau(&samples).expect("long enough");
+        assert!(p.growth_ratio <= 1.01, "flat series judged growing: {p:?}");
+    }
+
+    #[test]
+    fn plateau_flags_linear_growth() {
+        let samples: Vec<u64> = (0..40).map(|i| 1_000_000 + i * 100_000).collect();
+        let p = judge_plateau(&samples).expect("long enough");
+        assert!(p.growth_ratio > 1.1, "linear growth slipped the gate: {p:?}");
+    }
+
+    #[test]
+    fn plateau_ignores_warmup_climb() {
+        // Steep climb over the first quarter, flat afterwards — the
+        // by-design interner/scratch warmup must not fail the gate.
+        let samples: Vec<u64> = (0..40)
+            .map(|i| if i < 10 { 100_000 + i * 500_000 } else { 5_200_000 })
+            .collect();
+        let p = judge_plateau(&samples).expect("long enough");
+        assert!(p.growth_ratio <= 1.05, "warmup climb judged as growth: {p:?}");
+    }
+
+    #[test]
+    fn plateau_refuses_short_series() {
+        assert!(judge_plateau(&[1, 2, 3]).is_none());
+    }
+}

@@ -4,7 +4,7 @@
 //! the run is in flight.
 
 use churnlab_engine::EngineObs;
-use churnlab_obs::{render_prometheus, Journal, Registry};
+use churnlab_obs::{render_prometheus, rss_bytes, Journal, Registry};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -66,6 +66,7 @@ impl MetricsWriter {
                     // Write errors are deliberately swallowed: a broken
                     // metrics file must never take down the run it
                     // observes (same policy as the journal's sink).
+                    export_rss(&registry);
                     let _ = std::fs::write(&path, render_prometheus(&registry.scrape()));
                     std::thread::sleep(SCRAPE_EVERY);
                 }
@@ -80,7 +81,18 @@ impl MetricsWriter {
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
+        export_rss(&self.registry);
         let _ = std::fs::write(&self.path, render_prometheus(&self.registry.scrape()));
+    }
+}
+
+/// Refresh the process RSS gauge before a scrape. A `None` reading
+/// (non-Linux) registers nothing — absent beats a lying zero.
+fn export_rss(registry: &Registry) {
+    if let Some(rss) = rss_bytes() {
+        registry
+            .gauge("churnlab_rss_bytes", "process resident-set size in bytes", &[])
+            .set(rss.min(i64::MAX as u64) as i64);
     }
 }
 

@@ -3,13 +3,15 @@
 //! merge). Shared by the `replay` binary (which writes
 //! `BENCH_replay.json`) and the round-trip verification it runs in CI.
 
-use churnlab_core::pipeline::{PipelineConfig, PipelineResults};
+use churnlab_core::pipeline::PipelineResults;
 use churnlab_engine::{Engine, EngineConfig, EngineObs, EngineStats};
-use churnlab_interop::{replay_jsonl, ImportStats, ReplayFormat, ReplayReport};
+use churnlab_interop::{
+    replay_jsonl_resumable, ImportStats, ReplayFormat, ReplayReport, ResumeReplayOptions,
+};
 use churnlab_obs::Snapshot;
 use churnlab_topology::{Ip2AsDb, Topology};
 use serde::{Deserialize, Serialize};
-use std::io::BufRead;
+use std::io::{BufRead, Write};
 use std::time::Instant;
 
 /// Everything one replay pass produced.
@@ -25,29 +27,132 @@ pub struct ReplayOutcome {
     pub secs: f64,
 }
 
-/// Replay a dump into a fresh engine over the given interpretation
-/// context and time it end to end. Passing `obs` builds an instrumented
-/// engine: shard workers and the replay's feeder threads publish live
-/// series into its registry (the caller keeps a registry clone to
-/// scrape); `None` replays stripped.
-#[allow(clippy::too_many_arguments)]
-pub fn replay_into_engine<R: BufRead>(
+/// One replay run's shape: engine construction (fresh or restored from
+/// a checkpoint), feeder/format wiring, and the checkpoint cadence.
+pub struct ReplaySession<'a> {
+    /// Engine configuration — shard count, queue depth, retirement
+    /// horizon. On resume this must match the checkpointing run's
+    /// (restore refuses loudly otherwise).
+    pub engine_cfg: EngineConfig,
+    /// Feeder thread count. Digest-identical resume under a finite
+    /// horizon requires 1 (watermark order); without a horizon any count
+    /// reproduces the uninterrupted digest.
+    pub feeders: usize,
+    /// Record dialect of the replayed lines.
+    pub format: ReplayFormat,
+    /// Observability context for the engine, if instrumented.
+    pub obs: Option<EngineObs>,
+    /// Restore from this checkpoint file and continue past its cursor.
+    pub resume_from: Option<&'a str>,
+    /// Write periodic checkpoints to this path (atomically: tmp +
+    /// rename, so a crash mid-write never corrupts the previous one).
+    pub checkpoint_to: Option<&'a str>,
+    /// Lines between checkpoints (needs `checkpoint_to`).
+    pub checkpoint_every: Option<u64>,
+    /// Stop after this many checkpoints without finishing the engine —
+    /// the crash-injection hook the resume round-trip CI lane uses.
+    pub halt_after_checkpoints: Option<u64>,
+}
+
+/// How a [`replay_session`] ended.
+#[allow(clippy::large_enum_variant)] // one per run; size is irrelevant
+pub enum ReplaySessionOutcome {
+    /// The stream was fully ingested and merged into a report.
+    Finished(ReplayOutcome),
+    /// The run halted at `halt_after_checkpoints`; the engine was
+    /// dropped un-finished and the last checkpoint carries the state.
+    Halted {
+        /// Checkpoints written before halting.
+        checkpoints: u64,
+        /// Input lines ingested (== the last checkpoint's cursor).
+        cursor: u64,
+    },
+}
+
+/// Replay a dump into an engine over the given interpretation context
+/// and time it end to end: the one disk-to-report entry point, covering
+/// the plain one-shot run (no resume/checkpoint options), periodic
+/// checkpointing, and restore-and-continue.
+pub fn replay_session<R: BufRead>(
     r: R,
     db: &Ip2AsDb,
     topo: &Topology,
-    cfg: PipelineConfig,
-    shards: usize,
-    feeders: usize,
-    format: ReplayFormat,
-    obs: Option<EngineObs>,
-) -> std::io::Result<ReplayOutcome> {
+    session: ReplaySession<'_>,
+) -> std::io::Result<ReplaySessionOutcome> {
     let start = Instant::now();
-    let engine =
-        Engine::with_context_obs(db, topo, EngineConfig::new(cfg).with_shards(shards), obs);
-    let report = replay_jsonl(r, &engine, feeders, format)?;
+    let mut opts = ResumeReplayOptions {
+        checkpoint_every: session.checkpoint_every,
+        halt_after_checkpoints: session.halt_after_checkpoints,
+        ..ResumeReplayOptions::default()
+    };
+    let engine = match session.resume_from {
+        Some(path) => {
+            let file = std::fs::File::open(path)?;
+            let restored = Engine::restore_with_obs(
+                db,
+                topo,
+                session.engine_cfg,
+                &mut std::io::BufReader::new(file),
+                session.obs,
+            )
+            .map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, format!("restore {path}: {e}"))
+            })?;
+            opts.skip_lines = restored.cursor;
+            // The user blob is the import accounting at the cut; an
+            // empty blob (foreign checkpoint) just restarts the counts.
+            opts.prior = std::str::from_utf8(&restored.user)
+                .ok()
+                .and_then(|s| serde_json::from_str(s).ok())
+                .unwrap_or_default();
+            restored.engine
+        }
+        None => Engine::with_context_obs(db, topo, session.engine_cfg, session.obs),
+    };
+    let outcome = replay_jsonl_resumable(
+        r,
+        &engine,
+        session.feeders,
+        session.format,
+        &opts,
+        |cursor, stats| match session.checkpoint_to {
+            Some(path) => write_checkpoint(&engine, path, cursor, &stats),
+            None => Ok(()),
+        },
+    )?;
+    if outcome.halted {
+        return Ok(ReplaySessionOutcome::Halted {
+            checkpoints: outcome.checkpoints,
+            cursor: outcome.report.lines,
+        });
+    }
     let (results, engine_stats) = engine.finish_with_stats();
     let secs = start.elapsed().as_secs_f64();
-    Ok(ReplayOutcome { results, report, engine_stats, secs })
+    Ok(ReplaySessionOutcome::Finished(ReplayOutcome {
+        results,
+        report: outcome.report,
+        engine_stats,
+        secs,
+    }))
+}
+
+/// Write one checkpoint atomically: the engine state plus the import
+/// accounting (as the user blob) land in `path.tmp`, fsynced, then
+/// renamed over `path` — a crash mid-write leaves the previous
+/// checkpoint intact.
+fn write_checkpoint(
+    engine: &Engine<'_>,
+    path: &str,
+    cursor: u64,
+    stats: &ImportStats,
+) -> std::io::Result<()> {
+    let user = serde_json::to_string(stats).expect("import stats serialize").into_bytes();
+    let tmp = format!("{path}.tmp");
+    let mut w = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+    engine.checkpoint(cursor, &user, &mut w)?;
+    w.flush()?;
+    w.into_inner().expect("flushed").sync_all()?;
+    std::fs::rename(&tmp, path)
 }
 
 /// The `BENCH_replay.json` document.

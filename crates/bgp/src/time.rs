@@ -102,6 +102,22 @@ impl TimeWindow {
             Some(len) => (total_days / len).max(1),
         }
     }
+
+    /// Last day this window can absorb, or `None` for windows that stay
+    /// open for the rest of the stream: the `Year` window, and the final
+    /// window of every granularity (it takes the trailing partial slice
+    /// *and*, under [`TimeWindow::of`]'s clamping, every day past
+    /// `total_days`). A `None` window can never retire under a lateness
+    /// horizon; a `Some(end)` window receives no day later than `end`.
+    pub fn end_day(self, total_days: u32) -> Option<Day> {
+        let len = self.granularity.days()?;
+        let n_windows = (total_days / len).max(1);
+        if self.index + 1 >= n_windows {
+            None
+        } else {
+            Some((self.index + 1) * len - 1)
+        }
+    }
 }
 
 impl std::fmt::Display for TimeWindow {
@@ -173,6 +189,22 @@ mod tests {
     fn year_window_is_single() {
         assert_eq!(TimeWindow::count(Granularity::Year, 365), 1);
         assert_eq!(TimeWindow::of(200, Granularity::Year, 365).index, 0);
+    }
+
+    #[test]
+    fn end_day_marks_closable_windows() {
+        // Interior windows end exactly where the next one starts − 1.
+        assert_eq!(TimeWindow::of(0, Granularity::Day, 60).end_day(60), Some(0));
+        assert_eq!(TimeWindow::of(8, Granularity::Week, 60).end_day(60), Some(13));
+        assert_eq!(TimeWindow::of(5, Granularity::Month, 60).end_day(60), Some(29));
+        // The final window of every granularity absorbs the trailing
+        // slice (and clamped future days), so it never closes.
+        assert_eq!(TimeWindow::of(59, Granularity::Day, 60).end_day(60), None);
+        assert_eq!(TimeWindow::of(59, Granularity::Week, 60).end_day(60), None);
+        assert_eq!(TimeWindow::of(59, Granularity::Month, 60).end_day(60), None);
+        assert_eq!(TimeWindow::of(3, Granularity::Year, 60).end_day(60), None);
+        // Clamped future days land in the last (open) window.
+        assert_eq!(TimeWindow::of(1000, Granularity::Day, 60).end_day(60), None);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Accumulates censor findings, leakage, and the observability horizon
 /// over a stream of analysed instances.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct FindingsAccumulator {
     /// Identified censors: backbone-definite in at least one CNF.
     pub censor_findings: HashMap<Asn, CensorFinding>,

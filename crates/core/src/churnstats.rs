@@ -1,11 +1,24 @@
 //! Measured path-churn accounting (Figure 3), memory-bounded for
-//! paper-scale runs.
+//! paper-scale runs — and, in windowed mode, for *unbounded* runs.
 //!
-//! Accumulates one compact record per converted measurement — the
-//! (vantage point, destination) pair, the day, and a 64-bit hash of the
-//! AS-level path — then computes the distinct-path distributions per
-//! day/week/month/year window, plus the per-destination-class breakdown
-//! the paper uses to note that churn does not differ by destination type.
+//! Two storage modes share one accumulator type:
+//!
+//! - **Legacy** ([`ChurnAccumulator::new`]): one compact record per
+//!   converted measurement — the (vantage point, destination) pair, the
+//!   day, and a 64-bit hash of the AS-level path. Any granularity can be
+//!   queried after the fact. This is what the batch pipeline uses; memory
+//!   is proportional to the measurement count.
+//! - **Windowed** ([`ChurnAccumulator::windowed`]): granularities are
+//!   fixed up front and each observation folds straight into its
+//!   per-(granularity × pair × window) partial — a distinct-hash set plus
+//!   an observation count. Closed windows can then be *retired*: their
+//!   partials collapse into per-(granularity × destination) bucket
+//!   tallies ([`RetiredChurn`]) and the hashes are freed, so a
+//!   run-forever engine holds only the windows still inside its lateness
+//!   horizon. Distributions computed from partials + retired tallies are
+//!   exactly what the legacy mode would report from the full sample set,
+//!   because a window is only folded once it can receive no further
+//!   observation.
 
 use churnlab_bgp::stats::DistinctPathDist;
 use churnlab_bgp::{Granularity, TimeWindow};
@@ -13,11 +26,113 @@ use churnlab_topology::{AsClass, Asn, Topology};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
-/// One compact path observation.
+/// One compact path observation (legacy mode).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 struct Sample {
     day: u32,
     path_hash: u64,
+}
+
+/// Distinct-path evidence for one still-open (granularity × pair ×
+/// window) combo. Windows see few distinct paths (the paper's Figure 3
+/// tops out at 5+), so a linear-scan `Vec` beats a `HashSet` here.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct WindowAgg {
+    hashes: Vec<u64>,
+    count: u64,
+}
+
+/// Folded distinct-path tallies of one (granularity, destination) cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChurnTally {
+    /// Combos by distinct-path count (1, 2, 3, 4, 5+).
+    pub buckets: [u64; 5],
+    /// Total combos folded (with ≥2 observations).
+    pub total: u64,
+}
+
+/// Bucket tallies of retired (pair × window) combos, grouped by
+/// (granularity, destination AS) so the per-destination-class breakdowns
+/// stay exact after the underlying hash sets are gone.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RetiredChurn {
+    per_dest: HashMap<(Granularity, Asn), ChurnTally>,
+}
+
+impl RetiredChurn {
+    /// True when nothing has been retired.
+    pub fn is_empty(&self) -> bool {
+        self.per_dest.is_empty()
+    }
+
+    /// Fold one closed combo with `n_paths` distinct paths.
+    pub fn record(&mut self, granularity: Granularity, dest: Asn, n_paths: usize) {
+        let t = self.per_dest.entry((granularity, dest)).or_default();
+        t.buckets[n_paths.min(5) - 1] += 1;
+        t.total += 1;
+    }
+
+    /// Sum another retired store into this one.
+    pub fn merge(&mut self, other: &RetiredChurn) {
+        for (&key, tally) in &other.per_dest {
+            let t = self.per_dest.entry(key).or_default();
+            for (a, b) in t.buckets.iter_mut().zip(tally.buckets) {
+                *a += b;
+            }
+            t.total += tally.total;
+        }
+    }
+
+    /// Sorted `(granularity, dest, tally)` rows (checkpoint encoding).
+    pub fn entries_sorted(&self) -> Vec<(Granularity, Asn, ChurnTally)> {
+        let mut v: Vec<_> =
+            self.per_dest.iter().map(|(&(g, d), &t)| (g, d, t)).collect();
+        v.sort_by_key(|&(g, d, _)| (g, d));
+        v
+    }
+
+    /// Insert one row verbatim (checkpoint decoding). Sums if the cell
+    /// already exists.
+    pub fn insert(&mut self, granularity: Granularity, dest: Asn, tally: ChurnTally) {
+        let t = self.per_dest.entry((granularity, dest)).or_default();
+        for (a, b) in t.buckets.iter_mut().zip(tally.buckets) {
+            *a += b;
+        }
+        t.total += tally.total;
+    }
+}
+
+/// Windowed-mode state: live partials plus the retirement frontier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Windowed {
+    granularities: Vec<Granularity>,
+    total_days: u32,
+    /// Lateness horizon in days; `None` disables folding entirely.
+    horizon: Option<u32>,
+    /// Live (granularity, (vp, dest), window index) partials.
+    partials: HashMap<(Granularity, (Asn, Asn), u32), WindowAgg>,
+    /// Fold frontier: every window whose `end_day + horizon` is below
+    /// this watermark has been folded (or pruned) and takes no further
+    /// observations.
+    folded_min_hw: u32,
+    /// Tallies of folded combos (engine-side merged accumulators only;
+    /// shard-local accumulators prune instead of folding).
+    retired: RetiredChurn,
+    /// Observations that arrived for an already-folded window and were
+    /// dropped (per granularity: one measurement can be late for its day
+    /// window yet land in its still-open month window).
+    late_dropped: u64,
+}
+
+impl Windowed {
+    /// Whether `window` of `g` is behind the fold frontier.
+    fn folded(&self, g: Granularity, window: u32) -> bool {
+        let Some(h) = self.horizon else { return false };
+        match (TimeWindow { granularity: g, index: window }).end_day(self.total_days) {
+            Some(end) => (end as u64) + (h as u64) < self.folded_min_hw as u64,
+            None => false,
+        }
+    }
 }
 
 /// Streaming accumulator of per-pair path observations. Pairs are keyed
@@ -31,6 +146,7 @@ struct Sample {
 #[derive(Debug, Clone, Default)]
 pub struct ChurnAccumulator {
     per_pair: HashMap<(Asn, Asn), Vec<Sample>>,
+    windows: Option<Windowed>,
 }
 
 /// Hash an AS path (FNV-1a over ASNs — stable across runs).
@@ -45,40 +161,268 @@ pub fn path_hash(path: &[Asn]) -> u64 {
     h
 }
 
+/// One windowed-mode partial, flattened for checkpoint encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnWindowEntry {
+    /// CNF granularity of the window.
+    pub granularity: Granularity,
+    /// Vantage AS.
+    pub vp: Asn,
+    /// Destination AS.
+    pub dest: Asn,
+    /// Window index within the period.
+    pub window: u32,
+    /// Distinct path hashes seen (insertion order preserved).
+    pub hashes: Vec<u64>,
+    /// Observation count.
+    pub count: u64,
+}
+
 impl ChurnAccumulator {
-    /// Fresh accumulator.
+    /// Fresh legacy-mode accumulator (per-sample storage, arbitrary
+    /// granularities queryable later).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Fresh windowed-mode accumulator: observations fold straight into
+    /// per-(granularity × pair × window) partials. Only the listed
+    /// granularities can be queried afterwards. `horizon` (days) arms
+    /// retirement: once a watermark passes `window end + horizon`, the
+    /// window's partials may be folded ([`ChurnAccumulator::fold_closed`])
+    /// or pruned ([`ChurnAccumulator::prune_closed`]) and later
+    /// observations for it are dropped as late.
+    pub fn windowed(granularities: &[Granularity], total_days: u32, horizon: Option<u32>) -> Self {
+        ChurnAccumulator {
+            per_pair: HashMap::new(),
+            windows: Some(Windowed {
+                granularities: granularities.to_vec(),
+                total_days,
+                horizon,
+                partials: HashMap::new(),
+                folded_min_hw: 0,
+                retired: RetiredChurn::default(),
+                late_dropped: 0,
+            }),
+        }
     }
 
     /// Record one converted measurement (`vp` = the vantage AS as
     /// registered, i.e. [`churnlab_platform::Measurement::vp_asn`]).
     pub fn add(&mut self, vp: Asn, dest: Asn, day: u32, path: &[Asn]) {
-        self.per_pair
-            .entry((vp, dest))
-            .or_default()
-            .push(Sample { day, path_hash: path_hash(path) });
+        let h = path_hash(path);
+        match &mut self.windows {
+            None => {
+                self.per_pair.entry((vp, dest)).or_default().push(Sample { day, path_hash: h });
+            }
+            Some(w) => {
+                for i in 0..w.granularities.len() {
+                    let g = w.granularities[i];
+                    let ix = TimeWindow::of(day, g, w.total_days).index;
+                    if w.folded(g, ix) {
+                        w.late_dropped += 1;
+                        continue;
+                    }
+                    let e = w.partials.entry((g, (vp, dest), ix)).or_default();
+                    if !e.hashes.contains(&h) {
+                        e.hashes.push(h);
+                    }
+                    e.count += 1;
+                }
+            }
+        }
     }
 
-    /// Number of (vantage, destination) pairs observed.
+    /// Number of (vantage, destination) pairs with live evidence. In
+    /// windowed mode, pairs whose every window has been retired no longer
+    /// count (their identity was folded away by design).
     pub fn n_pairs(&self) -> usize {
-        self.per_pair.len()
+        match &self.windows {
+            None => self.per_pair.len(),
+            Some(w) => {
+                let pairs: HashSet<(Asn, Asn)> =
+                    w.partials.keys().map(|&(_, pair, _)| pair).collect();
+                pairs.len()
+            }
+        }
+    }
+
+    /// Observations dropped because their window was already folded
+    /// (windowed mode; always 0 in legacy mode).
+    pub fn late_dropped(&self) -> u64 {
+        self.windows.as_ref().map_or(0, |w| w.late_dropped)
     }
 
     /// Merge another accumulator into this one (shard fan-in). URL-keyed
     /// sharding splits a (vantage, destination) pair's samples across
-    /// shards; the per-window distinct-path sets and observation counts
-    /// are unions/sums, so concatenating sample lists reproduces exactly
-    /// what single-stream accumulation would have recorded.
+    /// shards; per-window distinct-path sets and observation counts are
+    /// unions/sums, so merging partials (or concatenating sample lists)
+    /// reproduces exactly what single-stream accumulation would have
+    /// recorded. An empty legacy accumulator (the `Default`) adopts the
+    /// other side's mode; otherwise modes and window configs must match.
     pub fn merge(&mut self, other: ChurnAccumulator) {
-        for (pair, samples) in other.per_pair {
-            self.per_pair.entry(pair).or_default().extend(samples);
+        if self.windows.is_none() && self.per_pair.is_empty() && other.windows.is_some() {
+            *self = other;
+            return;
         }
+        match (&mut self.windows, other.windows) {
+            (None, None) => {
+                for (pair, samples) in other.per_pair {
+                    self.per_pair.entry(pair).or_default().extend(samples);
+                }
+            }
+            (Some(a), Some(b)) => {
+                assert!(
+                    a.granularities == b.granularities
+                        && a.total_days == b.total_days
+                        && a.horizon == b.horizon,
+                    "ChurnAccumulator::merge: mismatched window configs",
+                );
+                for (key, agg) in b.partials {
+                    let e = a.partials.entry(key).or_default();
+                    for h in agg.hashes {
+                        if !e.hashes.contains(&h) {
+                            e.hashes.push(h);
+                        }
+                    }
+                    e.count += agg.count;
+                }
+                a.folded_min_hw = a.folded_min_hw.max(b.folded_min_hw);
+                a.retired.merge(&b.retired);
+                a.late_dropped += b.late_dropped;
+            }
+            _ => panic!("ChurnAccumulator::merge: cannot merge legacy and windowed modes"),
+        }
+    }
+
+    /// Adopt previously folded tallies and their frontier (the engine
+    /// re-injects its persistent retired store into each merged cut so
+    /// reports keep covering folded windows). Windowed mode only.
+    pub fn adopt_retired(&mut self, retired: &RetiredChurn, folded_min_hw: u32) {
+        let w = self.windows.as_mut().expect("adopt_retired requires windowed mode");
+        w.retired.merge(retired);
+        w.folded_min_hw = w.folded_min_hw.max(folded_min_hw);
+    }
+
+    /// Fold every combo whose window closed below the `min_hw` watermark
+    /// (strictly: `end_day + horizon < min_hw`) into the retired tallies,
+    /// freeing its hashes, and advance the fold frontier. The caller must
+    /// guarantee the folded windows are *complete* — every observation
+    /// that will ever legally count for them has been merged in — which
+    /// is exactly what a minimum over all shard watermarks at a
+    /// consistent cut guarantees. No-op without a horizon. Windowed mode
+    /// only.
+    pub fn fold_closed(&mut self, min_hw: u32) {
+        let w = self.windows.as_mut().expect("fold_closed requires windowed mode");
+        let Some(h) = w.horizon else { return };
+        let total_days = w.total_days;
+        let pre_frontier = w.folded_min_hw;
+        let end_of = |g: Granularity, ix: u32| {
+            (TimeWindow { granularity: g, index: ix }).end_day(total_days)
+        };
+        let closes = |g: Granularity, ix: u32| {
+            end_of(g, ix).is_some_and(|end| (end as u64) + (h as u64) < min_hw as u64)
+        };
+        let keys: Vec<_> =
+            w.partials.keys().filter(|&&(g, _, ix)| closes(g, ix)).copied().collect();
+        for key in keys {
+            let agg = w.partials.remove(&key).expect("key just listed");
+            let (g, (_, dest), ix) = key;
+            // A window already behind the adopted frontier was folded by
+            // an earlier cut; these partials are a stale copy (a report
+            // collected before its shard pruned) and must be discarded,
+            // not folded twice.
+            let stale = end_of(g, ix)
+                .is_some_and(|end| (end as u64) + (h as u64) < pre_frontier as u64);
+            // The ≥2-observations rule is final here: the window is
+            // closed, so a combo that never reached two observations
+            // never will.
+            if !stale && agg.count >= 2 {
+                w.retired.record(g, dest, agg.hashes.len());
+            }
+        }
+        w.folded_min_hw = w.folded_min_hw.max(min_hw);
+    }
+
+    /// Like [`ChurnAccumulator::fold_closed`] but *discards* the closed
+    /// partials instead of folding them — the shard-side half of the
+    /// protocol: the engine folds the merged (global) partials once, then
+    /// tells every shard to drop its local copies and late-drop anything
+    /// below the frontier. Windowed mode only.
+    pub fn prune_closed(&mut self, min_hw: u32) {
+        let w = self.windows.as_mut().expect("prune_closed requires windowed mode");
+        let Some(h) = w.horizon else { return };
+        let total_days = w.total_days;
+        w.partials.retain(|&(g, _, ix), _| {
+            (TimeWindow { granularity: g, index: ix })
+                .end_day(total_days)
+                .is_none_or(|end| (end as u64) + (h as u64) >= min_hw as u64)
+        });
+        w.folded_min_hw = w.folded_min_hw.max(min_hw);
+    }
+
+    /// The folded tallies and fold frontier (engine checkpoint state).
+    /// Windowed mode only.
+    pub fn retired_state(&self) -> (&RetiredChurn, u32) {
+        let w = self.windows.as_ref().expect("retired_state requires windowed mode");
+        (&w.retired, w.folded_min_hw)
+    }
+
+    /// Dump windowed-mode state as sorted rows for checkpoint encoding:
+    /// `(config granularities, total_days, horizon, partials, frontier,
+    /// late count)`. `None` in legacy mode. The retired store is *not*
+    /// included — shard accumulators never hold one (see
+    /// [`ChurnAccumulator::prune_closed`]).
+    #[allow(clippy::type_complexity)]
+    pub fn export_windowed(
+        &self,
+    ) -> Option<(&[Granularity], u32, Option<u32>, Vec<ChurnWindowEntry>, u32, u64)> {
+        let w = self.windows.as_ref()?;
+        let mut entries: Vec<ChurnWindowEntry> = w
+            .partials
+            .iter()
+            .map(|(&(g, (vp, dest), window), agg)| ChurnWindowEntry {
+                granularity: g,
+                vp,
+                dest,
+                window,
+                hashes: agg.hashes.clone(),
+                count: agg.count,
+            })
+            .collect();
+        entries.sort_by_key(|e| (e.granularity, e.vp, e.dest, e.window));
+        Some((&w.granularities, w.total_days, w.horizon, entries, w.folded_min_hw, w.late_dropped))
+    }
+
+    /// Rebuild a windowed accumulator from exported rows (checkpoint
+    /// decoding). Inverse of [`ChurnAccumulator::export_windowed`].
+    pub fn import_windowed(
+        granularities: &[Granularity],
+        total_days: u32,
+        horizon: Option<u32>,
+        entries: Vec<ChurnWindowEntry>,
+        folded_min_hw: u32,
+        late_dropped: u64,
+    ) -> Self {
+        let mut acc = Self::windowed(granularities, total_days, horizon);
+        let w = acc.windows.as_mut().expect("just built windowed");
+        for e in entries {
+            let prev = w.partials.insert(
+                (e.granularity, (e.vp, e.dest), e.window),
+                WindowAgg { hashes: e.hashes, count: e.count },
+            );
+            assert!(prev.is_none(), "duplicate churn window entry in checkpoint");
+        }
+        w.folded_min_hw = folded_min_hw;
+        w.late_dropped = late_dropped;
+        acc
     }
 
     /// Distinct-path distributions at the given granularities. A (pair,
     /// window) combo participates only when observed at least twice
-    /// (churn is unobservable from a single measurement).
+    /// (churn is unobservable from a single measurement). In windowed
+    /// mode every queried granularity must be one the accumulator was
+    /// built with.
     pub fn distributions(
         &self,
         granularities: &[Granularity],
@@ -91,6 +435,45 @@ impl ChurnAccumulator {
     /// destination satisfies `keep` (used for the by-destination-class
     /// breakdown).
     pub fn distributions_filtered(
+        &self,
+        granularities: &[Granularity],
+        total_days: u32,
+        keep: impl Fn(Asn) -> bool,
+    ) -> Vec<DistinctPathDist> {
+        match &self.windows {
+            None => self.distributions_legacy(granularities, total_days, keep),
+            Some(w) => granularities
+                .iter()
+                .map(|&g| {
+                    assert!(
+                        w.granularities.contains(&g),
+                        "granularity {g} not configured on this windowed churn accumulator",
+                    );
+                    let mut buckets = [0u64; 5];
+                    let mut total = 0u64;
+                    for (&(pg, (_, dest), _), agg) in &w.partials {
+                        if pg != g || agg.count < 2 || !keep(dest) {
+                            continue;
+                        }
+                        buckets[agg.hashes.len().min(5) - 1] += 1;
+                        total += 1;
+                    }
+                    for (&(rg, dest), tally) in &w.retired.per_dest {
+                        if rg != g || !keep(dest) {
+                            continue;
+                        }
+                        for (a, b) in buckets.iter_mut().zip(tally.buckets) {
+                            *a += b;
+                        }
+                        total += tally.total;
+                    }
+                    DistinctPathDist { granularity: g, buckets, total }
+                })
+                .collect(),
+        }
+    }
+
+    fn distributions_legacy(
         &self,
         granularities: &[Granularity],
         total_days: u32,
@@ -200,5 +583,196 @@ mod tests {
         acc.add(Asn(1), Asn(3), 0, &asns(&[1, 3]));
         acc.add(Asn(1), Asn(2), 1, &asns(&[1, 2]));
         assert_eq!(acc.n_pairs(), 2);
+    }
+
+    /// A deterministic pseudo-random workload shared by the equivalence
+    /// tests below.
+    fn workload() -> Vec<(Asn, Asn, u32, Vec<Asn>)> {
+        let mut out = Vec::new();
+        let mut state = 0x9e37_79b9_u64;
+        let mut next = move |m: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        for _ in 0..600 {
+            let vp = Asn(1 + next(4) as u32);
+            let dest = Asn(100 + next(5) as u32);
+            let day = next(60) as u32;
+            let path = asns(&[vp.0, 10 + next(3) as u32, dest.0]);
+            out.push((vp, dest, day, path));
+        }
+        out
+    }
+
+    #[test]
+    fn windowed_matches_legacy_exactly() {
+        let gs = Granularity::ALL;
+        let mut legacy = ChurnAccumulator::new();
+        let mut windowed = ChurnAccumulator::windowed(&gs, 60, None);
+        for (vp, dest, day, path) in workload() {
+            legacy.add(vp, dest, day, &path);
+            windowed.add(vp, dest, day, &path);
+        }
+        assert_eq!(legacy.distributions(&gs, 60), windowed.distributions(&gs, 60));
+        assert_eq!(legacy.n_pairs(), windowed.n_pairs());
+        // Filtered views agree too.
+        let f = |d: Asn| d.0.is_multiple_of(2);
+        assert_eq!(
+            legacy.distributions_filtered(&gs, 60, f),
+            windowed.distributions_filtered(&gs, 60, f),
+        );
+    }
+
+    #[test]
+    fn folding_preserves_distributions() {
+        let gs = Granularity::ALL;
+        let mut plain = ChurnAccumulator::windowed(&gs, 60, Some(3));
+        let mut folding = ChurnAccumulator::windowed(&gs, 60, Some(3));
+        let mut work = workload();
+        work.sort_by_key(|&(_, _, day, _)| day);
+        let mut hw = 0;
+        for (vp, dest, day, path) in work {
+            hw = hw.max(day);
+            plain.add(vp, dest, day, &path);
+            folding.add(vp, dest, day, &path);
+            // Fold aggressively at every watermark advance: closed
+            // windows collapse into retired tallies mid-stream.
+            folding.fold_closed(hw);
+        }
+        assert!(
+            !folding.retired_state().0.is_empty(),
+            "the workload must actually close windows",
+        );
+        assert_eq!(plain.distributions(&gs, 60), folding.distributions(&gs, 60));
+        assert_eq!(plain.late_dropped(), 0, "in-order feed has no late observations");
+    }
+
+    #[test]
+    fn fold_then_prune_round_trip_via_merge() {
+        // Engine protocol in miniature: two shards accumulate, the merge
+        // folds, shards prune, more data arrives, a second merge adopts
+        // the first fold's tallies — totals must match a single
+        // uninterrupted accumulator.
+        let gs = [Granularity::Day, Granularity::Month, Granularity::Year];
+        let horizon = Some(2);
+        let mut reference = ChurnAccumulator::windowed(&gs, 60, horizon);
+        let mut shard = [
+            ChurnAccumulator::windowed(&gs, 60, horizon),
+            ChurnAccumulator::windowed(&gs, 60, horizon),
+        ];
+        let mut work = workload();
+        work.sort_by_key(|&(_, _, day, _)| day);
+        let (early, late): (Vec<_>, Vec<_>) = work.into_iter().partition(|&(_, _, d, _)| d < 30);
+        for (vp, dest, day, path) in &early {
+            reference.add(*vp, *dest, *day, path);
+            shard[(dest.0 % 2) as usize].add(*vp, *dest, *day, path);
+        }
+        // First cut: merge, fold at the global watermark, prune shards.
+        let min_hw = 29;
+        let mut merged = ChurnAccumulator::default();
+        merged.merge(shard[0].clone());
+        merged.merge(shard[1].clone());
+        merged.fold_closed(min_hw);
+        let (retired, frontier) = {
+            let (r, f) = merged.retired_state();
+            (r.clone(), f)
+        };
+        assert!(!retired.is_empty());
+        shard[0].prune_closed(min_hw);
+        shard[1].prune_closed(min_hw);
+        // Second half of the stream.
+        for (vp, dest, day, path) in &late {
+            reference.add(*vp, *dest, *day, path);
+            shard[(dest.0 % 2) as usize].add(*vp, *dest, *day, path);
+        }
+        // Second cut re-adopts the persistent tallies.
+        let mut merged = ChurnAccumulator::default();
+        merged.merge(shard[0].clone());
+        merged.merge(shard[1].clone());
+        merged.adopt_retired(&retired, frontier);
+        merged.fold_closed(59);
+        assert_eq!(reference.distributions(&gs, 60), merged.distributions(&gs, 60));
+    }
+
+    #[test]
+    fn stale_partials_are_not_folded_twice() {
+        // Two overlapping cuts: the second one's reports predate the
+        // shards' prune and still carry partials the first cut already
+        // folded. Adopting the frontier must make the second fold drop
+        // them instead of double-counting.
+        let gs = [Granularity::Day];
+        let horizon = Some(1);
+        let mut shard = ChurnAccumulator::windowed(&gs, 60, horizon);
+        shard.add(Asn(1), Asn(2), 0, &asns(&[1, 2]));
+        shard.add(Asn(1), Asn(2), 0, &asns(&[1, 9, 2]));
+        shard.add(Asn(1), Asn(2), 10, &asns(&[1, 2]));
+        // Cut A folds day 0 at watermark 10.
+        let mut cut_a = ChurnAccumulator::default();
+        cut_a.merge(shard.clone());
+        cut_a.fold_closed(10);
+        let (retired, frontier) = {
+            let (r, f) = cut_a.retired_state();
+            (r.clone(), f)
+        };
+        assert_eq!(cut_a.distributions(&gs, 60)[0].buckets, [0, 1, 0, 0, 0]);
+        // Cut B was collected before the shard pruned: same stale
+        // partials, plus the adopted tallies from cut A.
+        let mut cut_b = ChurnAccumulator::default();
+        cut_b.merge(shard.clone());
+        cut_b.adopt_retired(&retired, frontier);
+        cut_b.fold_closed(10);
+        assert_eq!(
+            cut_b.distributions(&gs, 60),
+            cut_a.distributions(&gs, 60),
+            "stale partials must be dropped, not re-folded",
+        );
+    }
+
+    #[test]
+    fn late_observations_dropped_per_granularity() {
+        let gs = [Granularity::Day, Granularity::Year];
+        let mut acc = ChurnAccumulator::windowed(&gs, 60, Some(1));
+        acc.add(Asn(1), Asn(2), 10, &asns(&[1, 2]));
+        acc.prune_closed(10);
+        // Day 3's day-window (end 3, +1 < 10) is folded; its year window
+        // is still open — exactly one of the two granularities drops it.
+        acc.add(Asn(1), Asn(2), 3, &asns(&[1, 7, 2]));
+        assert_eq!(acc.late_dropped(), 1);
+        let dist = acc.distributions(&gs, 60);
+        assert_eq!(dist[0].total, 0, "late day-window observation dropped");
+        assert_eq!(dist[1].buckets, [0, 1, 0, 0, 0], "year window kept both");
+    }
+
+    #[test]
+    fn export_import_round_trip() {
+        let gs = Granularity::ALL;
+        let mut acc = ChurnAccumulator::windowed(&gs, 60, Some(3));
+        for (vp, dest, day, path) in workload() {
+            acc.add(vp, dest, day, &path);
+        }
+        acc.prune_closed(20);
+        let (g, days, h, entries, frontier, late) = acc.export_windowed().expect("windowed");
+        let back =
+            ChurnAccumulator::import_windowed(g, days, h, entries.clone(), frontier, late);
+        assert_eq!(acc.distributions(&gs, 60), back.distributions(&gs, 60));
+        assert_eq!(acc.late_dropped(), back.late_dropped());
+        let (_, _, _, entries2, frontier2, _) = back.export_windowed().expect("windowed");
+        assert_eq!(entries, entries2, "export is canonical");
+        assert_eq!(frontier, frontier2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not configured")]
+    fn windowed_rejects_unconfigured_granularity() {
+        let acc = ChurnAccumulator::windowed(&[Granularity::Day], 60, None);
+        acc.distributions(&[Granularity::Week], 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "legacy and windowed")]
+    fn mixed_mode_merge_rejected() {
+        let mut legacy = ChurnAccumulator::new();
+        legacy.add(Asn(1), Asn(2), 0, &asns(&[1, 2]));
+        legacy.merge(ChurnAccumulator::windowed(&[Granularity::Day], 60, None));
     }
 }

@@ -43,7 +43,7 @@ pub mod validate;
 
 pub use accumulate::FindingsAccumulator;
 pub use analyze::{InstanceOutcome, SolveConfig};
-pub use churnstats::ChurnAccumulator;
+pub use churnstats::{ChurnAccumulator, ChurnTally, ChurnWindowEntry, RetiredChurn};
 pub use convert::{convert_measurement, ConversionStats, DiscardReason};
 pub use instance::{InstanceBuilder, InstanceKey, TomographyInstance};
 pub use leakage::{CountryFlow, LeakageReport};

@@ -1,17 +1,21 @@
-//! The sharded engine: ingestion routing, shard workers, report merging.
+//! The sharded engine: ingestion routing, shard workers, report merging,
+//! the window-retirement fold protocol, and checkpoint/restore.
 
+use crate::ckpt::{self, Dec, Enc, RestoreError, MAGIC, VERSION};
 use crate::incremental::IncrementalStats;
 use crate::intern::InternStats;
 use crate::obs::{EngineObs, ShardObs, PHASE_NANOS};
-use crate::shard::{run_worker, Msg, ShardReport, SolvedCell};
+use crate::shard::{run_worker, CompactCut, Msg, ShardReport, ShardState, SolvedCell};
 use churnlab_core::accumulate::FindingsAccumulator;
+use churnlab_core::analyze::InstanceOutcome;
 use churnlab_core::convert::ConversionStats;
-use churnlab_core::pipeline::{PipelineConfig, PipelineResults};
-use churnlab_core::ChurnAccumulator;
+use churnlab_core::pipeline::{ChurnMode, PipelineConfig, PipelineResults};
+use churnlab_core::{ChurnAccumulator, RetiredChurn};
 use churnlab_obs::{thread_cpu_nanos, Registry};
 use churnlab_platform::{Measurement, Platform};
 use churnlab_sat::CtxStats;
 use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -29,17 +33,30 @@ pub struct EngineConfig {
     /// block when a shard falls this far behind; a message is one direct
     /// ingest or one feeder chunk).
     pub queue_capacity: usize,
+    /// Lateness horizon in days: a (URL × window) group retires — its
+    /// cells solved once, its solver state freed — when the shard's
+    /// high-water day passes `window end + horizon`. `None` (default)
+    /// keeps every group live forever, reproducing pre-lifecycle results
+    /// byte for byte. Defaults on deserialize so stored configs parse.
+    #[serde(default)]
+    pub window_horizon: Option<u32>,
 }
 
 impl EngineConfig {
     /// Default shard/queue sizing over a pipeline configuration.
     pub fn new(pipeline: PipelineConfig) -> Self {
-        EngineConfig { pipeline, shards: 0, queue_capacity: 1024 }
+        EngineConfig { pipeline, shards: 0, queue_capacity: 1024, window_horizon: None }
     }
 
     /// Override the shard count.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Set a window-retirement lateness horizon (days).
+    pub fn with_window_horizon(mut self, days: u32) -> Self {
+        self.window_horizon = Some(days);
         self
     }
 
@@ -75,6 +92,20 @@ pub struct EngineBusy {
     pub merge_nanos: u64,
 }
 
+/// Window-lifecycle counters, summed over shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetireStats {
+    /// (URL × window) groups retired under the lateness horizon.
+    pub windows_retired: u64,
+    /// Cells solved at retirement time.
+    pub cells_retired: u64,
+    /// Observations dropped because their tomography window had already
+    /// retired.
+    pub late_dropped: u64,
+    /// Churn samples dropped below the fold frontier.
+    pub churn_late_dropped: u64,
+}
+
 /// Aggregate engine-side work counters (incremental-solve effectiveness).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineStats {
@@ -101,6 +132,10 @@ pub struct EngineStats {
     /// deserialize so pre-solver-stats blobs still parse.
     #[serde(default)]
     pub sat: CtxStats,
+    /// Window-lifecycle counters. Defaults on deserialize so
+    /// pre-lifecycle stats blobs still parse.
+    #[serde(default)]
+    pub retire: RetireStats,
 }
 
 /// Mirror a `u64` counter value into an absolute gauge (gauges are
@@ -199,6 +234,24 @@ impl EngineStats {
             "models counted across all SAT censuses",
             self.sat.census_models,
         );
+        stats_gauge(
+            registry,
+            "churnlab_stats_windows_retired",
+            "(URL x window) groups retired under the lateness horizon",
+            self.retire.windows_retired,
+        );
+        stats_gauge(
+            registry,
+            "churnlab_stats_cells_retired",
+            "cells solved at retirement time",
+            self.retire.cells_retired,
+        );
+        stats_gauge(
+            registry,
+            "churnlab_stats_late_dropped",
+            "observations dropped for already-retired windows",
+            self.retire.late_dropped,
+        );
     }
 }
 
@@ -226,14 +279,32 @@ impl EngineStats {
 pub struct Engine<'c> {
     topo: &'c churnlab_topology::Topology,
     cfg: PipelineConfig,
+    /// Window-retirement lateness horizon (see
+    /// [`EngineConfig::window_horizon`]).
+    horizon: Option<u32>,
     senders: Vec<SyncSender<Msg>>,
     /// Joined on shutdown, or eagerly by [`Engine::worker_died`] when a
     /// send fails — `Mutex` because `&self` senders may hit a dead
     /// worker concurrently and exactly one of them gets to join it.
     workers: Mutex<Vec<Option<JoinHandle<()>>>>,
+    /// Engine-persistent retired state: what [`Engine::compact`] drained
+    /// from the shards (findings, trivial counts) plus the globally
+    /// folded churn tallies and fold frontier. Re-merged into every
+    /// report, so draining retired cells never changes censor findings,
+    /// leakage, churn distributions, or trivial accounting.
+    retired: Mutex<EngineRetired>,
     /// Observability context; `None` is the stripped configuration the
     /// overhead gate baselines against (no registry, no atomics).
     obs: Option<Arc<EngineObs>>,
+}
+
+/// See [`Engine::retired`].
+#[derive(Default)]
+struct EngineRetired {
+    churn: RetiredChurn,
+    churn_frontier: u32,
+    findings: FindingsAccumulator,
+    trivial: u64,
 }
 
 /// Deterministic URL → shard routing: round robin over the id.
@@ -311,22 +382,52 @@ impl<'c> Engine<'c> {
     ) -> Self {
         let obs = obs.map(Arc::new);
         let n = cfg.resolved_shards().max(1);
+        let states = (0..n)
+            .map(|i| {
+                let shard_obs = obs.as_ref().map(|o| ShardObs::new(o, i));
+                ShardState::new(cfg.pipeline.clone(), cfg.window_horizon, shard_obs)
+            })
+            .collect();
+        Self::spawn(db, topo, cfg, obs, states)
+    }
+
+    /// Spawn workers over pre-built shard states — shared by fresh
+    /// construction and checkpoint restore, so both run the same worker.
+    fn spawn(
+        db: &churnlab_topology::Ip2AsDb,
+        topo: &'c churnlab_topology::Topology,
+        cfg: EngineConfig,
+        obs: Option<Arc<EngineObs>>,
+        states: Vec<ShardState>,
+    ) -> Self {
+        assert!(
+            cfg.window_horizon.is_none() || cfg.pipeline.churn_mode != ChurnMode::FirstPathOnly,
+            "window_horizon is incompatible with the FirstPathOnly ablation: \
+             \"first path\" is only defined over the whole stream, so its \
+             windows can never retire"
+        );
         let db = Arc::new(db.clone());
-        let mut senders = Vec::with_capacity(n);
-        let mut workers = Vec::with_capacity(n);
-        for i in 0..n {
+        let mut senders = Vec::with_capacity(states.len());
+        let mut workers = Vec::with_capacity(states.len());
+        for (i, state) in states.into_iter().enumerate() {
             let (tx, rx) = sync_channel(cfg.queue_capacity.max(1));
-            let worker_cfg = cfg.pipeline.clone();
             let worker_db = Arc::clone(&db);
-            let shard_obs = obs.as_ref().map(|o| ShardObs::new(o, i));
             let handle = std::thread::Builder::new()
                 .name(format!("churnlab-shard-{i}"))
-                .spawn(move || run_worker(rx, worker_cfg, worker_db, shard_obs))
+                .spawn(move || run_worker(rx, state, worker_db))
                 .expect("spawn shard worker");
             senders.push(tx);
             workers.push(Some(handle));
         }
-        Engine { topo, cfg: cfg.pipeline, senders, workers: Mutex::new(workers), obs }
+        Engine {
+            topo,
+            cfg: cfg.pipeline,
+            horizon: cfg.window_horizon,
+            senders,
+            workers: Mutex::new(workers),
+            retired: Mutex::new(EngineRetired::default()),
+            obs,
+        }
     }
 
     /// The engine's observability context, if one was attached.
@@ -374,7 +475,9 @@ impl<'c> Engine<'c> {
 
     /// Test instrumentation: make shard `shard`'s worker panic, so the
     /// worker-death propagation path can be exercised deterministically.
-    /// Not part of the public API.
+    /// Compiled only under the `test-instrumentation` feature; not part
+    /// of the public API.
+    #[cfg(feature = "test-instrumentation")]
     #[doc(hidden)]
     pub fn inject_worker_panic(&self, shard: usize) {
         // An Err means the worker is already gone, which is fine — the
@@ -446,6 +549,10 @@ impl<'c> Engine<'c> {
         let mut churn = ChurnAccumulator::new();
         let mut trivial = 0u64;
         let mut total_cells = 0usize;
+        // The global fold watermark: the *minimum* high-water day across
+        // every shard. `None` if any shard has seen no data yet — then
+        // no churn window can be proven globally closed.
+        let mut min_hw = Some(u32::MAX);
         for r in &reports {
             stats.observations += r.observations;
             stats.incremental.merge(r.stats);
@@ -453,9 +560,16 @@ impl<'c> Engine<'c> {
             stats.sat = stats.sat.merged(r.sat);
             stats.busy.shard_total_nanos += r.busy_nanos;
             stats.busy.shard_max_nanos = stats.busy.shard_max_nanos.max(r.busy_nanos);
+            stats.retire.windows_retired += r.windows_retired;
+            stats.retire.cells_retired += r.cells_retired;
+            stats.retire.late_dropped += r.late_dropped;
             conversion.merge(r.conversion);
             trivial += r.trivial;
             total_cells += r.cells.len();
+            min_hw = match (min_hw, r.high_water) {
+                (Some(m), Some(h)) => Some(m.min(h)),
+                _ => None,
+            };
         }
         // Cells carry PathIds; each id is only meaningful against its own
         // shard's snapshot, so findings accumulate per shard — in
@@ -513,6 +627,36 @@ impl<'c> Engine<'c> {
         }
         // One deterministic global order, whatever the shard layout.
         outcomes.sort_by_key(|o| o.key);
+        stats.retire.churn_late_dropped = churn.late_dropped();
+        // Fold in the engine's persistent retired state, then (with a
+        // horizon configured and every shard reporting a watermark) fold
+        // churn windows closed below the global watermark into it and
+        // tell the shards to free their matching partials. The
+        // adopt → fold → write-back happens under one lock hold, so
+        // concurrent snapshots cannot interleave fold frontiers;
+        // re-folding is additionally guarded by the accumulator's stale
+        // check.
+        let mut prune = None;
+        {
+            let mut ret = self.retired.lock().unwrap_or_else(|e| e.into_inner());
+            churn.adopt_retired(&ret.churn, ret.churn_frontier);
+            if self.horizon.is_some() {
+                if let Some(hw) = min_hw {
+                    churn.fold_closed(hw);
+                    let (folded, frontier) = churn.retired_state();
+                    ret.churn = folded.clone();
+                    ret.churn_frontier = frontier;
+                    prune = Some(hw);
+                }
+            }
+            trivial += ret.trivial;
+            acc.merge(ret.findings.clone());
+        }
+        if let Some(hw) = prune {
+            for shard in 0..self.senders.len() {
+                self.send(shard, Msg::PruneChurn(hw));
+            }
+        }
         let FindingsAccumulator { censor_findings, leakage, on_censored_path } = acc;
         stats.busy.merge_nanos = match (cpu0, thread_cpu_nanos()) {
             // Caller CPU excludes the scoped workers (and the idle wait
@@ -545,6 +689,218 @@ impl<'c> Engine<'c> {
     /// tail is excluded from both).
     pub fn snapshot(&self) -> PipelineResults {
         self.merge(self.collect_reports(false)).0
+    }
+
+    /// Drain every shard's retired outcomes — the daemon's memory
+    /// reclamation step. The drained per-cell outcomes are returned
+    /// (sorted by key) for the caller to emit or discard; their censor
+    /// findings, leakage, observability horizon, trivial counts, and
+    /// globally-closed churn windows fold into the engine's persistent
+    /// retired state, so every aggregate in later reports stays exact —
+    /// only the per-cell `outcomes` list of later reports no longer
+    /// re-lists what was drained here.
+    pub fn compact(&self) -> CompactReport {
+        let mut pending = Vec::with_capacity(self.senders.len());
+        for shard in 0..self.senders.len() {
+            let (tx, rx) = sync_channel(1);
+            self.send(shard, Msg::Compact { reply: tx });
+            pending.push(rx);
+        }
+        let cuts: Vec<CompactCut> = pending
+            .into_iter()
+            .enumerate()
+            .map(|(shard, rx)| match rx.recv() {
+                Ok(cut) => cut,
+                Err(_) => self.worker_died(shard),
+            })
+            .collect();
+        let mut churn = ChurnAccumulator::new();
+        let mut min_hw = Some(u32::MAX);
+        let mut outcomes = Vec::new();
+        let mut trivial = 0u64;
+        let mut prune = None;
+        {
+            let mut ret = self.retired.lock().unwrap_or_else(|e| e.into_inner());
+            for cut in cuts {
+                let CompactCut { high_water, churn: shard_churn, cells, trivial: t, paths } = cut;
+                min_hw = match (min_hw, high_water) {
+                    (Some(m), Some(h)) => Some(m.min(h)),
+                    _ => None,
+                };
+                churn.merge(shard_churn);
+                trivial += t;
+                ret.trivial += t;
+                for cell in &cells {
+                    ret.findings.record(
+                        &cell.outcome,
+                        cell.censored_paths.iter().map(|id| paths.path(*id)),
+                        self.topo,
+                    );
+                }
+                outcomes.extend(cells.into_iter().map(|c| c.outcome));
+            }
+            churn.adopt_retired(&ret.churn, ret.churn_frontier);
+            if self.horizon.is_some() {
+                if let Some(hw) = min_hw {
+                    churn.fold_closed(hw);
+                    let (folded, frontier) = churn.retired_state();
+                    ret.churn = folded.clone();
+                    ret.churn_frontier = frontier;
+                    prune = Some(hw);
+                }
+            }
+        }
+        if let Some(hw) = prune {
+            for shard in 0..self.senders.len() {
+                self.send(shard, Msg::PruneChurn(hw));
+            }
+        }
+        outcomes.sort_by_key(|o| o.key);
+        CompactReport { outcomes, trivial }
+    }
+
+    /// Write a versioned binary checkpoint of the engine's full state:
+    /// per-shard live groups, path tables, retired accumulators, and
+    /// counters, plus the engine's own retired state. `cursor` is the
+    /// caller's stream position and `user` an opaque caller blob (e.g.
+    /// import counters); both come back verbatim from
+    /// [`Engine::restore`]. The cut is per-shard consistent — everything
+    /// enqueued before the call is included — so quiesce feeders (flush
+    /// or [`Feeder::take_pending`]) first if the checkpoint must line up
+    /// exactly with `cursor`. Checkpointing the same logical state twice
+    /// produces byte-identical output.
+    pub fn checkpoint<W: Write>(&self, cursor: u64, user: &[u8], w: &mut W) -> std::io::Result<()> {
+        let mut pending = Vec::with_capacity(self.senders.len());
+        for shard in 0..self.senders.len() {
+            let (tx, rx) = sync_channel(1);
+            self.send(shard, Msg::Checkpoint { reply: tx });
+            pending.push(rx);
+        }
+        let blobs: Vec<Vec<u8>> = pending
+            .into_iter()
+            .enumerate()
+            .map(|(shard, rx)| match rx.recv() {
+                Ok(blob) => blob,
+                Err(_) => self.worker_died(shard),
+            })
+            .collect();
+        let mut e = Enc::default();
+        e.buf.extend_from_slice(&MAGIC);
+        e.u32(VERSION);
+        e.u32(0); // reserved
+        e.u64(cursor);
+        e.bytes(user);
+        e.str(&serde_json::to_string(&self.cfg).expect("pipeline config serializes"));
+        e.u32(self.senders.len() as u32);
+        e.opt_u32(self.horizon);
+        {
+            let ret = self.retired.lock().unwrap_or_else(|x| x.into_inner());
+            ckpt::encode_retired_churn(&mut e, &ret.churn);
+            e.u32(ret.churn_frontier);
+            ckpt::encode_findings(&mut e, &ret.findings);
+            e.u64(ret.trivial);
+        }
+        for blob in &blobs {
+            e.bytes(blob);
+            e.u64(ckpt::fnv64(blob));
+        }
+        w.write_all(&e.buf)
+    }
+
+    /// Restore an engine from a checkpoint written by
+    /// [`Engine::checkpoint`]. The configuration must match the
+    /// checkpointing engine's — same pipeline config, same shard count
+    /// (path ids and URL routing are shard-local, so resharding a
+    /// checkpoint is not defined), same horizon; `queue_capacity` is
+    /// free. Returns the engine plus the stored cursor and user blob.
+    /// Continuing the stream from `cursor` produces reports identical to
+    /// an uninterrupted run's.
+    pub fn restore(
+        db: &churnlab_topology::Ip2AsDb,
+        topo: &'c churnlab_topology::Topology,
+        cfg: EngineConfig,
+        r: &mut impl Read,
+    ) -> Result<Restored<'c>, RestoreError> {
+        Self::restore_with_obs(db, topo, cfg, r, None)
+    }
+
+    /// [`Engine::restore`] with an observability context. Restored
+    /// shards seed the `churnlab_windows_open` gauge from their live
+    /// group count, but emit no journal events for pre-checkpoint
+    /// history: a restored journal narrates the post-restore stream
+    /// only.
+    pub fn restore_with_obs(
+        db: &churnlab_topology::Ip2AsDb,
+        topo: &'c churnlab_topology::Topology,
+        cfg: EngineConfig,
+        r: &mut impl Read,
+        obs: Option<EngineObs>,
+    ) -> Result<Restored<'c>, RestoreError> {
+        fn c<T>(r: Result<T, String>) -> Result<T, RestoreError> {
+            r.map_err(RestoreError::Corrupt)
+        }
+        let mut bytes = Vec::new();
+        r.read_to_end(&mut bytes).map_err(RestoreError::Io)?;
+        if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+            return Err(RestoreError::Corrupt("bad magic — not a checkpoint".to_string()));
+        }
+        let mut d = Dec::new(&bytes[MAGIC.len()..]);
+        let version = c(d.u32())?;
+        if version != VERSION {
+            return Err(RestoreError::Corrupt(format!(
+                "unsupported checkpoint version {version} (expected {VERSION})"
+            )));
+        }
+        let _reserved = c(d.u32())?;
+        let cursor = c(d.u64())?;
+        let user = c(d.bytes())?.to_vec();
+        let stored_cfg = c(d.str())?;
+        let our_cfg = serde_json::to_string(&cfg.pipeline).expect("pipeline config serializes");
+        if stored_cfg != our_cfg {
+            return Err(RestoreError::Mismatch(format!(
+                "pipeline config differs from the checkpoint's: checkpoint {stored_cfg}, \
+                 configured {our_cfg}"
+            )));
+        }
+        let n_shards = c(d.u32())? as usize;
+        let ours = cfg.resolved_shards().max(1);
+        if n_shards != ours {
+            return Err(RestoreError::Mismatch(format!(
+                "checkpoint was taken with {n_shards} shards but the engine is configured \
+                 for {ours}; path ids and URL routing are shard-local, so restore requires \
+                 the same shard count"
+            )));
+        }
+        let horizon = c(d.opt_u32())?;
+        if horizon != cfg.window_horizon {
+            return Err(RestoreError::Mismatch(format!(
+                "checkpoint window horizon {horizon:?} differs from configured {:?}",
+                cfg.window_horizon
+            )));
+        }
+        let retired = EngineRetired {
+            churn: c(ckpt::decode_retired_churn(&mut d))?,
+            churn_frontier: c(d.u32())?,
+            findings: c(ckpt::decode_findings(&mut d))?,
+            trivial: c(d.u64())?,
+        };
+        let obs = obs.map(Arc::new);
+        let mut states = Vec::with_capacity(n_shards);
+        for shard in 0..n_shards {
+            let blob = c(d.bytes())?;
+            let checksum = c(d.u64())?;
+            if ckpt::fnv64(blob) != checksum {
+                return Err(RestoreError::Corrupt(format!("shard {shard} blob checksum mismatch")));
+            }
+            let shard_obs = obs.as_ref().map(|o| ShardObs::new(o, shard));
+            let state = ShardState::decode(cfg.pipeline.clone(), horizon, shard_obs, blob)
+                .map_err(|m| RestoreError::Corrupt(format!("shard {shard}: {m}")))?;
+            states.push(state);
+        }
+        c(d.done())?;
+        let engine = Self::spawn(db, topo, cfg, obs, states);
+        *engine.retired.lock().unwrap_or_else(|e| e.into_inner()) = retired;
+        Ok(Restored { engine, cursor, user })
     }
 
     /// Final report plus the engine-side work counters; shuts the shard
@@ -586,6 +942,29 @@ impl Drop for Engine<'_> {
         let unwinding = std::thread::panicking();
         self.shutdown(!unwinding);
     }
+}
+
+/// What [`Engine::compact`] drained: the per-cell outcomes of every
+/// retired window (sorted by instance key) and the trivial-cell count
+/// that retired alongside them. Aggregates derived from these cells
+/// remain inside the engine and keep appearing in later reports.
+#[derive(Debug, Clone, Default)]
+pub struct CompactReport {
+    /// Solved outcomes of the drained retired cells, sorted by key.
+    pub outcomes: Vec<InstanceOutcome>,
+    /// Trivial (all-clean) cells drained along with them.
+    pub trivial: u64,
+}
+
+/// An engine resurrected by [`Engine::restore`], with the stream
+/// position and caller blob stored at checkpoint time.
+pub struct Restored<'c> {
+    /// The restored engine, ready for further ingest.
+    pub engine: Engine<'c>,
+    /// Stream cursor passed to [`Engine::checkpoint`].
+    pub cursor: u64,
+    /// Opaque caller blob passed to [`Engine::checkpoint`].
+    pub user: Vec<u8>,
 }
 
 /// A per-thread buffering ingest handle (see [`Engine::feeder`]). Holds
@@ -638,6 +1017,18 @@ impl Feeder<'_, '_> {
                 self.engine.send(shard, Msg::Batch(batch));
             }
         }
+    }
+
+    /// Take the unflushed tail instead of shipping it — the checkpoint
+    /// cut protocol: take the tail, checkpoint the engine with a cursor
+    /// that excludes it, then re-ingest the tail (or drop it, if the
+    /// stream will be replayed from the cursor).
+    pub fn take_pending(&mut self) -> Vec<Measurement> {
+        let mut out = Vec::new();
+        for buf in &mut self.buffers {
+            out.append(buf);
+        }
+        out
     }
 }
 

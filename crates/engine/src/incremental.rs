@@ -47,6 +47,7 @@
 //! check the retained un-interned [`crate::reference`] implementation
 //! differentially).
 
+use crate::ckpt::{Dec, Enc};
 use crate::intern::{FxMap, PathTable};
 use crate::obs::ResolveObs;
 use churnlab_bgp::TimeWindow;
@@ -815,6 +816,196 @@ impl IncrementalInstance {
             eliminated,
             eliminated_frac,
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint encode/decode.
+//
+// Lives here because group and cell state is private by design. Encoding
+// is canonical (resolved spans written sorted by `PathId`); decoding
+// revalidates every index and tag so a corrupt checkpoint surfaces as an
+// error at restore time instead of a panic deep inside a later solve.
+
+impl InstanceGroup {
+    /// Serialize the group: variable space, resolved spans, and the five
+    /// cells in [`AnomalyType::ALL`] order.
+    pub(crate) fn encode(&self, e: &mut Enc) {
+        e.asns(&self.space.vars);
+        e.u32s(&self.space.lits);
+        let mut resolved: Vec<(PathId, Resolved)> =
+            self.space.resolved.iter().map(|(p, r)| (*p, *r)).collect();
+        resolved.sort_by_key(|(p, _)| p.0);
+        e.u64(resolved.len() as u64);
+        for (pid, r) in resolved {
+            e.u32(pid.0);
+            e.u32(r.start);
+            e.u32(r.len);
+            for m in r.masks {
+                e.u8(m);
+            }
+        }
+        for cell in &self.cells {
+            cell.encode(e);
+        }
+    }
+
+    /// Rebuild a group from its encoded form. The identity (URL and
+    /// window) comes from the enclosing shard map key, so it is not
+    /// stored per group; `n_paths` is the restored shard table's size,
+    /// bounding every path id the group may reference.
+    pub(crate) fn decode(
+        url_id: u32,
+        window: TimeWindow,
+        n_paths: usize,
+        d: &mut Dec,
+    ) -> Result<Self, String> {
+        let vars = d.asns()?;
+        let mut var_ix = FxMap::default();
+        for (ix, a) in vars.iter().enumerate() {
+            if var_ix.insert(*a, ix as u32).is_some() {
+                return Err(format!("duplicate group variable AS{}", a.0));
+            }
+        }
+        let lits = d.u32s()?;
+        for &ix in &lits {
+            if ix as usize >= vars.len() {
+                return Err(format!("literal index {ix} out of variable range"));
+            }
+        }
+        let n = d.len()?;
+        let mut resolved = FxMap::default();
+        for _ in 0..n {
+            let pid = PathId(d.u32()?);
+            if pid.usize() >= n_paths {
+                return Err(format!("resolved path {} out of table range", pid.0));
+            }
+            let start = d.u32()?;
+            let len = d.u32()?;
+            if u64::from(start) + u64::from(len) > lits.len() as u64 {
+                return Err(format!("resolved span {start}+{len} exceeds literal arena"));
+            }
+            let mut masks = [0u8; N_CELLS];
+            for m in &mut masks {
+                *m = d.u8()?;
+                if *m & !(SEEN_CLEAN | SEEN_CENSORED) != 0 {
+                    return Err(format!("bad dedup mask {m:#x}"));
+                }
+            }
+            if resolved.insert(pid, Resolved { start, len, masks }).is_some() {
+                return Err(format!("duplicate resolved path {}", pid.0));
+            }
+        }
+        let space = VarSpace { vars, var_ix, lits, resolved };
+        let mut cells = Vec::with_capacity(N_CELLS);
+        for anomaly in AnomalyType::ALL {
+            let key = InstanceKey { url_id, anomaly, window };
+            cells.push(IncrementalInstance::decode(key, &space, d)?);
+        }
+        let cells: [IncrementalInstance; N_CELLS] =
+            cells.try_into().expect("exactly N_CELLS cells decoded");
+        Ok(InstanceGroup { space, cells })
+    }
+}
+
+impl IncrementalInstance {
+    /// Serialize the cell: the observation log plus the memo. Derived
+    /// state (positive clauses, clean-path axiom units) is not stored —
+    /// it replays deterministically from the log at decode time.
+    fn encode(&self, e: &mut Enc) {
+        e.u64(self.observations.len() as u64);
+        for o in &self.observations {
+            e.u32(o.path.0);
+            e.u8(u8::from(o.censored));
+        }
+        match &self.memo {
+            Memo::Trivial => e.u8(0),
+            Memo::Unsat => e.u8(1),
+            Memo::Solved { count, fate } => {
+                e.u8(2);
+                match count {
+                    SolutionCount::Exact(n) => {
+                        e.u8(0);
+                        e.u64(*n);
+                    }
+                    SolutionCount::AtLeast(n) => {
+                        e.u8(1);
+                        e.u64(*n);
+                    }
+                }
+                e.u64(fate.len() as u64);
+                for f in fate {
+                    e.u8(match f {
+                        Fate::AlwaysTrue => 0,
+                        Fate::AlwaysFalse => 1,
+                        Fate::Both => 2,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Rebuild a cell against its group's already-decoded space.
+    fn decode(key: InstanceKey, space: &VarSpace, d: &mut Dec) -> Result<Self, String> {
+        let n = d.len()?;
+        let mut inst = IncrementalInstance::new(key);
+        for _ in 0..n {
+            let pid = PathId(d.u32()?);
+            let censored = match d.u8()? {
+                0 => false,
+                1 => true,
+                t => return Err(format!("bad polarity tag {t}")),
+            };
+            if !space.resolved.contains_key(&pid) {
+                return Err(format!("observation of unresolved path {}", pid.0));
+            }
+            inst.observations.push(ObsRec { path: pid, censored });
+            if censored {
+                inst.n_positive += 1;
+                inst.pos_clauses.push(pid);
+            } else {
+                for &ix in space.lit_slice(pid) {
+                    let ix = ix as usize;
+                    if ix >= inst.neg_forced.len() {
+                        inst.neg_forced.resize(ix + 1, false);
+                    }
+                    inst.neg_forced[ix] = true;
+                }
+            }
+        }
+        inst.memo = match d.u8()? {
+            0 => Memo::Trivial,
+            1 => Memo::Unsat,
+            2 => {
+                let count = match d.u8()? {
+                    0 => SolutionCount::Exact(d.u64()?),
+                    1 => SolutionCount::AtLeast(d.u64()?),
+                    t => return Err(format!("bad count tag {t}")),
+                };
+                let n_fate = d.len()?;
+                if n_fate != space.vars.len() {
+                    return Err(format!(
+                        "memo covers {n_fate} variables, group has {}",
+                        space.vars.len()
+                    ));
+                }
+                let mut fate = Vec::with_capacity(n_fate);
+                for _ in 0..n_fate {
+                    fate.push(match d.u8()? {
+                        0 => Fate::AlwaysTrue,
+                        1 => Fate::AlwaysFalse,
+                        2 => Fate::Both,
+                        t => return Err(format!("bad fate tag {t}")),
+                    });
+                }
+                Memo::Solved { count, fate }
+            }
+            t => return Err(format!("bad memo tag {t}")),
+        };
+        if matches!(inst.memo, Memo::Trivial) && inst.n_positive > 0 {
+            return Err("trivial memo alongside censored observations".to_string());
+        }
+        Ok(inst)
     }
 }
 

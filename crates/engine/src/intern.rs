@@ -246,6 +246,46 @@ impl PathTable {
     }
 }
 
+impl PathTable {
+    /// Serialize the table for a checkpoint: the CSR arena, offsets, and
+    /// hit counter. The dedup map, distinct lists, and snapshot cache are
+    /// all derivable, so they are rebuilt at decode time.
+    pub(crate) fn encode(&self, e: &mut crate::ckpt::Enc) {
+        e.u64(self.hits);
+        e.u32s(&self.offsets);
+        e.asns(&self.arena);
+    }
+
+    /// Rebuild a table by re-interning every stored path in id order —
+    /// ids are dense and assigned in first-intern order, so path `i`
+    /// regains id `i` and every `PathId` referenced elsewhere in the
+    /// checkpoint stays valid.
+    pub(crate) fn decode(d: &mut crate::ckpt::Dec) -> Result<PathTable, String> {
+        let hits = d.u64()?;
+        let offsets = d.u32s()?;
+        let arena = d.asns()?;
+        if offsets.first() != Some(&0) {
+            return Err("path arena offsets must start at 0".to_string());
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("path arena offsets must be monotone".to_string());
+        }
+        if offsets.last().copied().unwrap_or(0) as usize != arena.len() {
+            return Err("path arena offsets do not cover the arena".to_string());
+        }
+        let mut t = PathTable::new();
+        for i in 0..offsets.len() - 1 {
+            let path = &arena[offsets[i] as usize..offsets[i + 1] as usize];
+            let id = t.intern(path);
+            if id.usize() != i {
+                return Err(format!("duplicate path in arena at id {i}"));
+            }
+        }
+        t.hits = hits;
+        Ok(t)
+    }
+}
+
 /// A detached id → path resolver (see [`PathTable::snapshot`]).
 #[derive(Debug, Clone)]
 pub struct PathSnapshot {

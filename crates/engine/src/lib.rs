@@ -67,6 +67,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod ckpt;
 mod engine;
 pub mod incremental;
 pub mod intern;
@@ -74,7 +75,10 @@ mod obs;
 pub mod reference;
 mod shard;
 
-pub use engine::{Engine, EngineBusy, EngineConfig, EngineStats, Feeder};
+pub use ckpt::RestoreError;
+pub use engine::{
+    CompactReport, Engine, EngineBusy, EngineConfig, EngineStats, Feeder, Restored, RetireStats,
+};
 pub use incremental::{IncrementalInstance, IncrementalStats, InstanceGroup, SolveScratch};
 pub use intern::{InternStats, PathSnapshot, PathTable};
 pub use obs::EngineObs;

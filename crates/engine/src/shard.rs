@@ -23,7 +23,21 @@
 //! works on the id alone. Report cells carry ids too; the merger
 //! resolves them back to AS paths through the report's [`PathSnapshot`]
 //! only at the boundary.
+//!
+//! **Window lifecycle.** The shard tracks a high-water day watermark.
+//! With a lateness horizon configured, any (URL × window) group whose
+//! window ended more than `horizon` days below the watermark is
+//! **retired**: its cells are solved once, journal
+//! `cell_solved`/`window_closed` events fire, the outcomes move to a
+//! compact retired list, and the solver state is freed. Observations for
+//! an already-retired window are counted and dropped — an observation is
+//! never late for its *own* window (a window containing day `d` ends at
+//! or after `d`), so only genuinely stale data is affected. Retired
+//! outcomes stay part of every later report until the engine drains them
+//! through [`Msg::Compact`], which is what bounds shard memory on an
+//! unbounded stream.
 
+use crate::ckpt::{anomaly_from, anomaly_tag, Dec, Enc};
 use crate::incremental::{IncrementalStats, InstanceGroup, SolveScratch};
 use crate::intern::{FxMap, FxSet, InternStats, PathSnapshot, PathTable};
 use crate::obs::ShardObs;
@@ -31,12 +45,13 @@ use churnlab_bgp::TimeWindow;
 use churnlab_core::analyze::{analyze_with, InstanceOutcome};
 use churnlab_core::batch::{first_path_refs, for_each_instance};
 use churnlab_core::convert::ConversionStats;
+use churnlab_core::instance::InstanceKey;
 use churnlab_core::obs::{ConvertedObs, PathId};
 use churnlab_core::pipeline::{ChurnMode, PipelineConfig};
 use churnlab_core::ChurnAccumulator;
 use churnlab_obs::{BusyTimer, Counter, Stopwatch};
 use churnlab_platform::Measurement;
-use churnlab_sat::CtxStats;
+use churnlab_sat::{CtxStats, Solvability};
 use churnlab_topology::{Asn, Ip2AsDb};
 use std::collections::hash_map::Entry;
 use std::collections::HashSet;
@@ -53,14 +68,24 @@ pub(crate) enum Msg {
     Batch(Vec<Measurement>),
     /// Produce a report of everything processed so far. `fin` marks the
     /// engine's final cut: journal window-closed/cell-solved events are
-    /// emitted only then, so the event stream reconciles exactly with
-    /// one report instead of double-counting across snapshots.
+    /// emitted only then (or earlier, at retirement), so the event
+    /// stream reconciles exactly with one report instead of
+    /// double-counting across snapshots.
     Report {
         reply: SyncSender<ShardReport>,
         fin: bool,
     },
+    /// Drain the shard's retired outcomes (daemon memory reclamation).
+    Compact { reply: SyncSender<CompactCut> },
+    /// The engine folded churn windows closed below this global
+    /// watermark into its retired tallies; the shard can free its
+    /// matching partials.
+    PruneChurn(u32),
+    /// Serialize the shard's full state for a checkpoint.
+    Checkpoint { reply: SyncSender<Vec<u8>> },
     /// Test instrumentation: panic the worker, so the engine's
     /// worker-death propagation can be exercised deterministically.
+    #[cfg(feature = "test-instrumentation")]
     Poison,
 }
 
@@ -68,6 +93,7 @@ pub(crate) enum Msg {
 /// the ids of the censored paths the merger's leakage analysis needs
 /// (attached only when the instance pinned down a censor; resolved
 /// against the owning [`ShardReport::paths`] snapshot).
+#[derive(Clone)]
 pub(crate) struct SolvedCell {
     pub outcome: InstanceOutcome,
     pub censored_paths: Vec<PathId>,
@@ -89,13 +115,38 @@ pub(crate) struct ShardReport {
     /// Conversion accounting for every measurement routed here —
     /// exactly consistent with this report's cut.
     pub conversion: ConversionStats,
-    /// Cumulative SAT-solver work counters of this shard's warm context.
+    /// Cumulative SAT-solver work counters of this shard's warm context
+    /// (plus any work restored from a checkpoint).
     pub sat: CtxStats,
     pub observations: u64,
+    /// Highest day observed by this shard, `None` until data arrives.
+    /// The engine folds churn windows only below the *minimum* watermark
+    /// across all shards.
+    pub high_water: Option<u32>,
+    /// (URL × window) groups retired under the lateness horizon.
+    pub windows_retired: u64,
+    /// Cells solved at retirement time.
+    pub cells_retired: u64,
+    /// Observations dropped because their window had already retired.
+    pub late_dropped: u64,
     /// Cumulative busy time of this worker (conversion + ingest +
     /// report building), in nanoseconds — the per-thread attribution the
     /// bench's scaling-efficiency model is built on.
     pub busy_nanos: u64,
+}
+
+/// A shard's answer to [`Msg::Compact`]: ownership of its retired
+/// outcomes (plus the aggregates the engine folds into its persistent
+/// retired state) — after this cut the shard no longer holds them.
+pub(crate) struct CompactCut {
+    pub high_water: Option<u32>,
+    /// Clone of the shard's churn accumulator, so the engine can fold
+    /// globally-closed windows during the same cut.
+    pub churn: ChurnAccumulator,
+    pub cells: Vec<SolvedCell>,
+    pub trivial: u64,
+    /// Resolver for the ids in `cells`.
+    pub paths: Arc<PathSnapshot>,
 }
 
 /// One URL's deferred buffer for the Figure-4 ablation, where "first
@@ -133,11 +184,15 @@ impl DeferredBuf {
 /// Shard-local state.
 pub(crate) struct ShardState {
     cfg: PipelineConfig,
+    /// Lateness horizon in days: a window retires once the watermark
+    /// passes `end_day + horizon`. `None` = groups live forever (the
+    /// pre-lifecycle behavior, byte-identical results).
+    horizon: Option<u32>,
     /// The shard-local path interner: each distinct path hashed and
     /// copied once, everything downstream id-based.
     table: PathTable,
     /// Incrementally solved instance groups (Normal churn mode), one per
-    /// (URL × window), each holding every anomaly cell.
+    /// live (URL × window), each holding every anomaly cell.
     groups: FxMap<(u32, TimeWindow), InstanceGroup>,
     /// Per-URL buffers for the Figure-4 ablation, processed (without
     /// consuming) at report time over the restored test order.
@@ -149,6 +204,21 @@ pub(crate) struct ShardState {
     stats: IncrementalStats,
     conversion: ConversionStats,
     observations: u64,
+    /// Highest day seen so far.
+    high_water: Option<u32>,
+    /// Outcomes of retired groups, held until the next report /
+    /// [`ShardState::compact_cut`]. Path ids stay valid: the table never
+    /// reassigns them.
+    retired_cells: Vec<SolvedCell>,
+    /// Trivial (no-positive) cells skipped at retirement, not yet
+    /// drained by a compact cut.
+    retired_trivial: u64,
+    windows_retired: u64,
+    cells_retired: u64,
+    late_dropped: u64,
+    /// SAT work counters restored from a checkpoint — the warm scratch
+    /// context restarts at zero, so reports add this base back in.
+    sat_base: CtxStats,
     /// Worker-owned reusable solver state: every re-solve of every
     /// instance on this shard runs on one warm watched-literal context.
     scratch: SolveScratch,
@@ -159,23 +229,39 @@ pub(crate) struct ShardState {
 }
 
 impl ShardState {
-    pub(crate) fn new(cfg: PipelineConfig, obs: Option<ShardObs>) -> Self {
+    pub(crate) fn new(cfg: PipelineConfig, horizon: Option<u32>, obs: Option<ShardObs>) -> Self {
         let mut scratch = SolveScratch::new();
         if let Some(o) = &obs {
             scratch.set_resolve_obs(o.resolve.clone());
         }
+        // Both churn modes run the windowed accumulator so shard state is
+        // checkpointable; the ablation simply never retires churn
+        // windows (no horizon).
+        let churn_horizon = match cfg.churn_mode {
+            ChurnMode::Normal => horizon,
+            ChurnMode::FirstPathOnly => None,
+        };
+        let churn = ChurnAccumulator::windowed(&cfg.granularities, cfg.total_days, churn_horizon);
         ShardState {
-            cfg,
+            horizon,
             table: PathTable::new(),
             groups: FxMap::default(),
             deferred: FxMap::default(),
-            churn: ChurnAccumulator::new(),
+            churn,
             censored_path_ids: FxSet::default(),
             stats: IncrementalStats::default(),
             conversion: ConversionStats::default(),
             observations: 0,
+            high_water: None,
+            retired_cells: Vec::new(),
+            retired_trivial: 0,
+            windows_retired: 0,
+            cells_retired: 0,
+            late_dropped: 0,
+            sat_base: CtxStats::default(),
             scratch,
             obs,
+            cfg,
         }
     }
 
@@ -198,6 +284,10 @@ impl ShardState {
             obs.observations.inc();
         }
         self.churn.add(o.vp_asn, o.dest_asn, o.day, &o.path);
+        let advanced = self.high_water.is_none_or(|hw| o.day > hw);
+        if advanced {
+            self.high_water = Some(o.day);
+        }
         if self.cfg.churn_mode == ChurnMode::FirstPathOnly {
             self.deferred
                 .entry(o.url_id)
@@ -216,6 +306,12 @@ impl ShardState {
         let cap = self.cfg.solve.count_cap;
         for &g in &self.cfg.granularities {
             let window = TimeWindow::of(o.day, g, self.cfg.total_days);
+            if self.window_retired(window) {
+                // The window already retired under the horizon: its
+                // outcome is fixed and its state freed. Count and drop.
+                self.late_dropped += 1;
+                continue;
+            }
             let group = match self.groups.entry((o.url_id, window)) {
                 Entry::Occupied(e) => e.into_mut(),
                 Entry::Vacant(e) => {
@@ -227,6 +323,71 @@ impl ShardState {
             };
             group.observe(pid, &self.table, o.detected, cap, &mut self.stats, &mut self.scratch);
         }
+        if advanced && self.horizon.is_some() {
+            self.retire_closed();
+        }
+    }
+
+    /// True when `window` closed below the watermark-minus-horizon line —
+    /// i.e. it either has retired already or would retire immediately.
+    fn window_retired(&self, window: TimeWindow) -> bool {
+        let (Some(h), Some(hw)) = (self.horizon, self.high_water) else {
+            return false;
+        };
+        window
+            .end_day(self.cfg.total_days)
+            .is_some_and(|end| u64::from(end) + u64::from(h) < u64::from(hw))
+    }
+
+    /// Retire every live group whose window fell behind the horizon:
+    /// solve its cells once, emit the journal close, move the outcomes
+    /// to the retired list, and free the solver state. Retirement order
+    /// is sorted by (URL, window) so journal and retired-cell order
+    /// never depend on hash-map iteration.
+    fn retire_closed(&mut self) {
+        let mut keys: Vec<(u32, TimeWindow)> = self
+            .groups
+            .keys()
+            .filter(|&&(_, w)| self.window_retired(w))
+            .copied()
+            .collect();
+        if keys.is_empty() {
+            return;
+        }
+        keys.sort_unstable();
+        for key in keys {
+            let group = self.groups.remove(&key).expect("key just listed");
+            self.retire_group(key.0, key.1, &group);
+        }
+    }
+
+    /// Fold one removed group into the retired accumulators.
+    fn retire_group(&mut self, url_id: u32, window: TimeWindow, group: &InstanceGroup) {
+        let mut reported = 0u64;
+        let mut trivial = 0u64;
+        for inst in group.cells() {
+            if self.cfg.require_positive && !inst.has_positive() {
+                self.retired_trivial += 1;
+                trivial += 1;
+                continue;
+            }
+            let outcome = inst.outcome(group.vars());
+            if let Some(obs) = &self.obs {
+                obs.cell_solved(&outcome);
+            }
+            let censored_paths = if outcome.censors.is_empty() {
+                Vec::new()
+            } else {
+                inst.censored_paths().collect()
+            };
+            self.retired_cells.push(SolvedCell { outcome, censored_paths });
+            reported += 1;
+            self.cells_retired += 1;
+        }
+        self.windows_retired += 1;
+        if let Some(obs) = &self.obs {
+            obs.window_closed(url_id, window, reported, trivial);
+        }
     }
 
     /// Produce a report of everything processed so far. Non-destructive
@@ -234,11 +395,13 @@ impl ShardState {
     /// `&mut` only so deferred ablation buffers can be sorted in place
     /// (at most once per out-of-order batch) and the warm scratch solver
     /// reused. `fin` marks the engine's final cut: only then are journal
-    /// window-closed / cell-solved events emitted (once per window, once
-    /// per cell — so the journal reconciles exactly with this report).
+    /// window-closed / cell-solved events emitted for *live* groups
+    /// (retired groups emitted theirs at retirement — once per window,
+    /// once per cell, so the journal reconciles exactly with this
+    /// report).
     pub(crate) fn report(&mut self, fin: bool) -> ShardReport {
         let mut cells = Vec::new();
-        let mut trivial = 0u64;
+        let mut trivial = self.retired_trivial;
         let mut on_censored_path: HashSet<Asn> = HashSet::new();
         for &pid in &self.censored_path_ids {
             on_censored_path.extend(self.table.path(pid).iter().copied());
@@ -252,6 +415,10 @@ impl ShardState {
         // count of how many snapshots were taken.
         let paths = match self.cfg.churn_mode {
             ChurnMode::Normal => {
+                // Retired outcomes not yet drained by a compact cut are
+                // part of every report; their ids stay resolvable
+                // because the table never reassigns them.
+                cells.extend(self.retired_cells.iter().cloned());
                 for (&(url_id, window), group) in self.groups.iter() {
                     let mut group_reported = 0u64;
                     let mut group_trivial = 0u64;
@@ -339,10 +506,320 @@ impl ShardState {
             stats: self.stats,
             intern: self.table.stats(),
             conversion: self.conversion,
-            sat: self.scratch.sat_stats(),
+            sat: self.sat_base.merged(self.scratch.sat_stats()),
             observations: self.observations,
+            high_water: self.high_water,
+            windows_retired: self.windows_retired,
+            cells_retired: self.cells_retired,
+            late_dropped: self.late_dropped,
             busy_nanos: 0, // stamped by the worker loop
         }
+    }
+
+    /// Hand the retired outcomes (and the aggregates the engine folds
+    /// into its persistent retired state) to the caller, freeing them
+    /// shard-side. This is the memory-reclamation half of the window
+    /// lifecycle; after this, reports no longer carry the drained cells.
+    pub(crate) fn compact_cut(&mut self) -> CompactCut {
+        let cells = std::mem::take(&mut self.retired_cells);
+        let trivial = std::mem::take(&mut self.retired_trivial);
+        let paths = if cells.iter().all(|c| c.censored_paths.is_empty()) {
+            Arc::new(PathSnapshot::empty())
+        } else {
+            self.table.snapshot_shared()
+        };
+        CompactCut { high_water: self.high_water, churn: self.churn.clone(), cells, trivial, paths }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint encode/decode.
+
+/// Serialize one analysed outcome (retired cells cross checkpoints).
+fn encode_outcome(e: &mut Enc, o: &InstanceOutcome) {
+    e.u32(o.key.url_id);
+    e.u8(anomaly_tag(o.key.anomaly));
+    e.window(o.key.window);
+    e.u64(o.n_vars as u64);
+    e.u64(o.n_observations as u64);
+    e.u64(o.n_positive as u64);
+    e.u8(match o.solvability {
+        Solvability::Unsat => 0,
+        Solvability::Unique => 1,
+        Solvability::Multiple => 2,
+    });
+    e.u8(o.bucket);
+    e.asns(&o.censors);
+    e.asns(&o.potential_censors);
+    e.asns(&o.eliminated);
+    e.f64(o.eliminated_frac);
+}
+
+fn decode_outcome(d: &mut Dec) -> Result<InstanceOutcome, String> {
+    let url_id = d.u32()?;
+    let anomaly = anomaly_from(d.u8()?)?;
+    let window = d.window()?;
+    let n_vars = d.u64()? as usize;
+    let n_observations = d.u64()? as usize;
+    let n_positive = d.u64()? as usize;
+    let solvability = match d.u8()? {
+        0 => Solvability::Unsat,
+        1 => Solvability::Unique,
+        2 => Solvability::Multiple,
+        t => return Err(format!("bad solvability tag {t}")),
+    };
+    let bucket = d.u8()?;
+    let censors = d.asns()?;
+    let potential_censors = d.asns()?;
+    let eliminated = d.asns()?;
+    let eliminated_frac = d.f64()?;
+    Ok(InstanceOutcome {
+        key: InstanceKey { url_id, anomaly, window },
+        n_vars,
+        n_observations,
+        n_positive,
+        solvability,
+        bucket,
+        censors,
+        potential_censors,
+        eliminated,
+        eliminated_frac,
+    })
+}
+
+fn encode_cell(e: &mut Enc, c: &SolvedCell) {
+    encode_outcome(e, &c.outcome);
+    let ids: Vec<u32> = c.censored_paths.iter().map(|p| p.0).collect();
+    e.u32s(&ids);
+}
+
+fn decode_cell(d: &mut Dec, n_paths: usize) -> Result<SolvedCell, String> {
+    let outcome = decode_outcome(d)?;
+    let mut censored_paths = Vec::new();
+    for id in d.u32s()? {
+        if id as usize >= n_paths {
+            return Err(format!("retired cell references unknown path {id}"));
+        }
+        censored_paths.push(PathId(id));
+    }
+    Ok(SolvedCell { outcome, censored_paths })
+}
+
+fn encode_converted(e: &mut Enc, o: &ConvertedObs) {
+    e.u32(o.vp_id);
+    e.u32(o.vp_asn.0);
+    e.u32(o.url_id);
+    e.u32(o.dest_asn.0);
+    e.u32(o.day);
+    e.u32(o.epoch);
+    e.asns(&o.path);
+    e.anomaly_set(o.detected);
+}
+
+fn decode_converted(d: &mut Dec) -> Result<ConvertedObs, String> {
+    Ok(ConvertedObs {
+        vp_id: d.u32()?,
+        vp_asn: Asn(d.u32()?),
+        url_id: d.u32()?,
+        dest_asn: Asn(d.u32()?),
+        day: d.u32()?,
+        epoch: d.u32()?,
+        path: d.asns()?,
+        detected: d.anomaly_set()?,
+    })
+}
+
+impl ShardState {
+    /// Serialize the shard's full state. Every collection is written in
+    /// sorted order, so encoding the same logical state twice yields
+    /// identical bytes.
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::default();
+        e.u64(self.observations);
+        e.u64(self.conversion.converted);
+        for dcount in self.conversion.discarded {
+            e.u64(dcount);
+        }
+        e.u64(self.stats.updates);
+        e.u64(self.stats.duplicates);
+        e.u64(self.stats.direct_updates);
+        e.u64(self.stats.unsat_skips);
+        e.u64(self.stats.resolves);
+        let sat = self.sat_base.merged(self.scratch.sat_stats());
+        e.u64(sat.propagations);
+        e.u64(sat.backtracks);
+        e.u64(sat.censuses);
+        e.u64(sat.census_models);
+        e.opt_u32(self.high_water);
+        e.u64(self.windows_retired);
+        e.u64(self.cells_retired);
+        e.u64(self.late_dropped);
+        e.u64(self.retired_trivial);
+        self.table.encode(&mut e);
+        let mut censored: Vec<u32> = self.censored_path_ids.iter().map(|p| p.0).collect();
+        censored.sort_unstable();
+        e.u32s(&censored);
+        let (gs, total_days, horizon, entries, frontier, late) =
+            self.churn.export_windowed().expect("shard churn is always windowed");
+        e.u64(gs.len() as u64);
+        for g in gs {
+            e.u8(crate::ckpt::granularity_tag(*g));
+        }
+        e.u32(total_days);
+        e.opt_u32(horizon);
+        e.u64(entries.len() as u64);
+        for entry in &entries {
+            e.u8(crate::ckpt::granularity_tag(entry.granularity));
+            e.u32(entry.vp.0);
+            e.u32(entry.dest.0);
+            e.u32(entry.window);
+            e.u64s(&entry.hashes);
+            e.u64(entry.count);
+        }
+        e.u32(frontier);
+        e.u64(late);
+        let mut keys: Vec<(u32, TimeWindow)> = self.groups.keys().copied().collect();
+        keys.sort_unstable();
+        e.u64(keys.len() as u64);
+        for (url_id, window) in keys {
+            e.u32(url_id);
+            e.window(window);
+            self.groups[&(url_id, window)].encode(&mut e);
+        }
+        e.u64(self.retired_cells.len() as u64);
+        for cell in &self.retired_cells {
+            encode_cell(&mut e, cell);
+        }
+        let mut urls: Vec<u32> = self.deferred.keys().copied().collect();
+        urls.sort_unstable();
+        e.u64(urls.len() as u64);
+        for url in urls {
+            let buf = &self.deferred[&url];
+            e.u32(url);
+            e.u8(u8::from(buf.sorted));
+            e.u64(buf.obs.len() as u64);
+            for o in &buf.obs {
+                encode_converted(&mut e, o);
+            }
+        }
+        e.buf
+    }
+
+    /// Rebuild a shard from its encoded form. `cfg`/`horizon`/`obs` come
+    /// from the restoring engine (the checkpoint header already verified
+    /// they match the checkpointing engine's). The restored `windows_open`
+    /// gauge is seeded from the live group count *without* journal
+    /// events: a restored journal narrates the post-restore stream only.
+    pub(crate) fn decode(
+        cfg: PipelineConfig,
+        horizon: Option<u32>,
+        obs: Option<ShardObs>,
+        bytes: &[u8],
+    ) -> Result<ShardState, String> {
+        let mut d = Dec::new(bytes);
+        let mut state = ShardState::new(cfg, horizon, obs);
+        state.observations = d.u64()?;
+        state.conversion.converted = d.u64()?;
+        for dcount in &mut state.conversion.discarded {
+            *dcount = d.u64()?;
+        }
+        state.stats.updates = d.u64()?;
+        state.stats.duplicates = d.u64()?;
+        state.stats.direct_updates = d.u64()?;
+        state.stats.unsat_skips = d.u64()?;
+        state.stats.resolves = d.u64()?;
+        state.sat_base = CtxStats {
+            propagations: d.u64()?,
+            backtracks: d.u64()?,
+            censuses: d.u64()?,
+            census_models: d.u64()?,
+        };
+        state.high_water = d.opt_u32()?;
+        state.windows_retired = d.u64()?;
+        state.cells_retired = d.u64()?;
+        state.late_dropped = d.u64()?;
+        state.retired_trivial = d.u64()?;
+        state.table = PathTable::decode(&mut d)?;
+        let n_paths = state.table.len();
+        for id in d.u32s()? {
+            if id as usize >= n_paths {
+                return Err(format!("censored path id {id} out of range"));
+            }
+            state.censored_path_ids.insert(PathId(id));
+        }
+        let n_gs = d.len()?;
+        let mut gs = Vec::with_capacity(n_gs);
+        for _ in 0..n_gs {
+            gs.push(crate::ckpt::granularity_from(d.u8()?)?);
+        }
+        let total_days = d.u32()?;
+        let churn_horizon = d.opt_u32()?;
+        if gs != state.cfg.granularities || total_days != state.cfg.total_days {
+            return Err("churn window config does not match the pipeline config".to_string());
+        }
+        let n_entries = d.len()?;
+        let mut entries = Vec::with_capacity(n_entries);
+        for _ in 0..n_entries {
+            let granularity = crate::ckpt::granularity_from(d.u8()?)?;
+            let vp = Asn(d.u32()?);
+            let dest = Asn(d.u32()?);
+            let window = d.u32()?;
+            let hashes = d.u64s()?;
+            let count = d.u64()?;
+            entries.push(churnlab_core::ChurnWindowEntry {
+                granularity,
+                vp,
+                dest,
+                window,
+                hashes,
+                count,
+            });
+        }
+        let frontier = d.u32()?;
+        let late = d.u64()?;
+        state.churn = ChurnAccumulator::import_windowed(
+            &gs,
+            total_days,
+            churn_horizon,
+            entries,
+            frontier,
+            late,
+        );
+        let n_groups = d.len()?;
+        for _ in 0..n_groups {
+            let url_id = d.u32()?;
+            let window = d.window()?;
+            let group = InstanceGroup::decode(url_id, window, n_paths, &mut d)?;
+            if state.groups.insert((url_id, window), group).is_some() {
+                return Err(format!("duplicate group ({url_id}, {window})"));
+            }
+        }
+        let n_retired = d.len()?;
+        for _ in 0..n_retired {
+            state.retired_cells.push(decode_cell(&mut d, n_paths)?);
+        }
+        let n_urls = d.len()?;
+        for _ in 0..n_urls {
+            let url = d.u32()?;
+            let sorted = match d.u8()? {
+                0 => false,
+                1 => true,
+                t => return Err(format!("bad sorted flag {t}")),
+            };
+            let n_obs = d.len()?;
+            let mut obs_vec = Vec::with_capacity(n_obs.min(1 << 20));
+            for _ in 0..n_obs {
+                obs_vec.push(decode_converted(&mut d)?);
+            }
+            if state.deferred.insert(url, DeferredBuf { obs: obs_vec, sorted }).is_some() {
+                return Err(format!("duplicate deferred buffer for url {url}"));
+            }
+        }
+        d.done()?;
+        if let Some(o) = &state.obs {
+            o.windows_open.add(state.groups.len() as i64);
+        }
+        Ok(state)
     }
 }
 
@@ -357,25 +834,21 @@ struct PhaseCounters {
 
 /// The worker loop: drain messages until every sender is gone,
 /// converting and solving on this thread and attributing the busy time
-/// spent doing it (the scaling-efficiency model's raw data).
+/// spent doing it (the scaling-efficiency model's raw data). The state
+/// is built (or checkpoint-decoded) on the spawning thread, so a
+/// restored engine and a fresh one share one worker.
 ///
 /// Busy accounting runs on [`BusyTimer`]: the thread's cumulative
 /// on-CPU clock where `schedstat` exists (a blocked `recv` costs no
 /// CPU, so the whole on-CPU time is the shard's busy time), accumulated
 /// wall intervals around each message elsewhere (overstated under core
 /// oversubscription, but better than nothing on non-Linux hosts).
-pub(crate) fn run_worker(
-    rx: Receiver<Msg>,
-    cfg: PipelineConfig,
-    db: Arc<Ip2AsDb>,
-    obs: Option<ShardObs>,
-) {
-    let phase = obs.as_ref().map(|o| PhaseCounters {
+pub(crate) fn run_worker(rx: Receiver<Msg>, mut state: ShardState, db: Arc<Ip2AsDb>) {
+    let phase = state.obs.as_ref().map(|o| PhaseCounters {
         measurements: o.measurements.clone(),
         convert: o.phase_convert.clone(),
         intern: o.phase_intern.clone(),
     });
-    let mut state = ShardState::new(cfg, obs);
     let mut busy = BusyTimer::detect();
     // Instrumented batches convert into this worker-lifetime buffer and
     // lap this worker-lifetime stopwatch, so the phase split below costs
@@ -424,6 +897,16 @@ pub(crate) fn run_worker(
                 // the shard itself is still healthy.
                 drop(reply.send(report));
             }
+            Msg::Compact { reply } => {
+                let cut = busy.interval(|| state.compact_cut());
+                drop(reply.send(cut));
+            }
+            Msg::PruneChurn(min_hw) => busy.interval(|| state.churn.prune_closed(min_hw)),
+            Msg::Checkpoint { reply } => {
+                let blob = busy.interval(|| state.encode());
+                drop(reply.send(blob));
+            }
+            #[cfg(feature = "test-instrumentation")]
             Msg::Poison => panic!("poisoned by test instrumentation"),
         }
     }

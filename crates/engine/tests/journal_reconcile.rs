@@ -104,3 +104,88 @@ fn journal_reconciles_with_final_report() {
         .sum();
     assert_eq!(windows_open, 0, "every window must be closed after finish");
 }
+
+/// Same reconciliation with a lateness horizon over a day-sorted stream:
+/// windows now close **mid-stream** as the watermark passes them, not
+/// only at the final report — and the journal must still pair every open
+/// with exactly one close, carry exact tallies, and return the gauge to
+/// zero.
+#[test]
+fn journal_reconciles_with_midstream_retirement() {
+    let seed = 13;
+    let world = generator::generate(&WorldConfig::preset(WorldScale::Smoke, seed));
+    let mut censor_cfg = CensorConfig::scaled_for(world.topology.countries().len());
+    censor_cfg.seed = seed.wrapping_add(2);
+    let platform_cfg = PlatformConfig::preset(PlatformScale::Smoke, seed.wrapping_add(1));
+    censor_cfg.total_days = platform_cfg.total_days;
+    let scenario = CensorshipScenario::generate_for_world(&world, &censor_cfg);
+    let churn_cfg = ChurnConfig {
+        seed: seed.wrapping_add(3),
+        total_days: platform_cfg.total_days,
+        ..ChurnConfig::default()
+    };
+    let platform = Platform::new(&world, &scenario, platform_cfg.clone());
+    let sim = RoutingSim::new(&world.topology, &churn_cfg);
+    let (mut measurements, _) = platform.run_collect(&sim);
+    // Retirement needs an advancing watermark: feed in day order, the
+    // shape a live deployment's stream has.
+    measurements.sort_by_key(|m| m.day);
+
+    let sink = MemorySink::new();
+    let registry = Registry::new();
+    let obs = EngineObs::new(registry.clone()).with_journal(Journal::to_writer(sink.clone()));
+    let cfg = EngineConfig::new(PipelineConfig::paper(platform_cfg.total_days))
+        .with_shards(3)
+        .with_window_horizon(2);
+    let engine = Engine::new_with_obs(&platform, cfg, obs);
+    for m in &measurements {
+        engine.ingest(m);
+    }
+    let (results, stats) = engine.finish_with_stats();
+
+    assert!(
+        stats.retire.windows_retired > 0,
+        "a 2-day horizon over a day-sorted Smoke stream must retire windows mid-stream"
+    );
+    assert!(stats.retire.cells_retired > 0);
+
+    let text = sink.contents();
+    let events = parse_jsonl(&text).expect("journal parses back");
+    let opened = events_named(&events, "window_opened");
+    let closed = events_named(&events, "window_closed");
+    let solved = events_named(&events, "cell_solved");
+    assert_eq!(opened.len(), closed.len(), "every opened window closes exactly once");
+
+    let key = |e: &JournalEvent| {
+        (e.field("shard").unwrap(), e.field("url_id").unwrap(), e.field("window_index").unwrap())
+    };
+    let mut open_keys: Vec<_> = opened.iter().map(|e| key(e)).collect();
+    let mut close_keys: Vec<_> = closed.iter().map(|e| key(e)).collect();
+    open_keys.sort_unstable();
+    close_keys.sort_unstable();
+    assert_eq!(open_keys, close_keys, "retirement closes must pair with opens");
+
+    // Retired windows journal their closes *before* the stream ends; the
+    // final report closes the rest. Tallies still reconcile exactly.
+    let cells_reported: u64 = closed.iter().map(|e| e.field("cells_reported").unwrap()).sum();
+    let cells_trivial: u64 = closed.iter().map(|e| e.field("cells_trivial").unwrap()).sum();
+    assert_eq!(cells_reported, results.outcomes.len() as u64);
+    assert_eq!(cells_trivial, results.trivial_instances);
+    assert_eq!(solved.len() as u64, cells_reported);
+
+    let snap = registry.scrape();
+    let windows_open: i64 = snap
+        .samples
+        .iter()
+        .filter(|s| s.name == "churnlab_windows_open")
+        .map(|s| match &s.value {
+            churnlab_obs::SampleValue::Gauge(v) => *v,
+            other => panic!("windows_open should be a gauge, got {other:?}"),
+        })
+        .sum();
+    assert_eq!(windows_open, 0, "retired + finished must drain the gauge to zero");
+    assert_eq!(
+        snap.counter_sum("churnlab_measurements_total"),
+        measurements.len() as u64
+    );
+}

@@ -1,6 +1,12 @@
 //! A shard worker that dies must not surface as an unrelated `SendError`
 //! unwrap on the feeder thread: the engine joins the dead worker and
 //! re-raises its actual panic payload, tagged with the shard id.
+//!
+//! Needs the deterministic poison hook, which only exists under the
+//! `test-instrumentation` feature:
+//! `cargo test -p churnlab-engine --features test-instrumentation`.
+
+#![cfg(feature = "test-instrumentation")]
 
 use churnlab_bgp::{ChurnConfig, RoutingSim};
 use churnlab_censor::{CensorConfig, CensorshipScenario};

@@ -130,7 +130,30 @@ pub fn replay_jsonl<R: BufRead>(
     format: ReplayFormat,
 ) -> std::io::Result<ReplayReport> {
     let n = feeders.max(1);
+    let mut it = r.lines();
+    let (lines, per_feeder, _eof) = deal_lines(&mut it, engine, n, format, u64::MAX)?;
+    let mut stats = ImportStats::default();
+    for s in &per_feeder {
+        stats.merge(*s);
+    }
+    Ok(ReplayReport { format, feeders: n, lines, stats, per_feeder })
+}
+
+/// Deal up to `cap` lines from `it` to `n` scoped feeder threads and
+/// block until every feeder has parsed, ingested, and **flushed** its
+/// share — on return the engine's queues hold everything dealt, so a
+/// following `Engine::checkpoint` (which drains per-shard queues) cuts
+/// exactly at the line boundary. Returns `(lines_read, per_feeder
+/// stats, reached_eof)`.
+fn deal_lines<I: Iterator<Item = std::io::Result<String>>>(
+    it: &mut I,
+    engine: &Engine<'_>,
+    n: usize,
+    format: ReplayFormat,
+    cap: u64,
+) -> std::io::Result<(u64, Vec<ImportStats>, bool)> {
     let mut lines = 0u64;
+    let mut eof = false;
     let mut io_err: Option<std::io::Error> = None;
     let mut per_feeder: Vec<ImportStats> = Vec::with_capacity(n);
 
@@ -175,9 +198,9 @@ pub fn replay_jsonl<R: BufRead>(
 
         let mut next = 0usize;
         let mut batch = Vec::with_capacity(DEAL_BATCH);
-        for line in r.lines() {
-            match line {
-                Ok(l) => {
+        while lines < cap {
+            match it.next() {
+                Some(Ok(l)) => {
                     lines += 1;
                     batch.push(l);
                     if batch.len() == DEAL_BATCH {
@@ -186,8 +209,12 @@ pub fn replay_jsonl<R: BufRead>(
                         next = (next + 1) % n;
                     }
                 }
-                Err(e) => {
+                Some(Err(e)) => {
                     io_err = Some(e);
+                    break;
+                }
+                None => {
+                    eof = true;
                     break;
                 }
             }
@@ -204,9 +231,112 @@ pub fn replay_jsonl<R: BufRead>(
     if let Some(e) = io_err {
         return Err(e);
     }
-    let mut stats = ImportStats::default();
-    for s in &per_feeder {
-        stats.merge(*s);
+    Ok((lines, per_feeder, eof))
+}
+
+/// Resume/checkpoint controls for [`replay_jsonl_resumable`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResumeReplayOptions {
+    /// Input lines already ingested by a previous run (the restored
+    /// checkpoint's cursor): skipped without parsing, counted into the
+    /// report's `lines` so accounting stays whole-stream.
+    pub skip_lines: u64,
+    /// Import accounting for the skipped prefix (the restored
+    /// checkpoint's user blob), folded into the report's merged stats.
+    pub prior: ImportStats,
+    /// Checkpoint after every this many ingested lines; `None` never
+    /// checkpoints (plain replay with resume-skip semantics).
+    pub checkpoint_every: Option<u64>,
+    /// Stop (leaving the engine un-finished) after writing this many
+    /// checkpoints — the crash-injection hook the resume round-trip CI
+    /// lane kills the "process" with.
+    pub halt_after_checkpoints: Option<u64>,
+}
+
+/// What a resumable replay did.
+#[derive(Debug)]
+pub struct ResumableReplay {
+    /// Line/import accounting; `lines` and `stats` cover the **whole**
+    /// stream including any resumed prefix, while `per_feeder` covers
+    /// only this run's work.
+    pub report: ReplayReport,
+    /// Checkpoints written via the callback.
+    pub checkpoints: u64,
+    /// True when the run stopped early at `halt_after_checkpoints` —
+    /// the engine then holds a partial stream and must not be finished
+    /// into a report.
+    pub halted: bool,
+}
+
+/// [`replay_jsonl`] with a resume cursor and periodic checkpoint cuts.
+///
+/// The stream is ingested in chunks of `checkpoint_every` lines; between
+/// chunks every feeder has flushed (the chunk's scoped threads joined),
+/// so `on_checkpoint(cursor, stats)` runs at a quiesced line boundary:
+/// exactly `cursor` input lines are in the engine, with `stats` the
+/// import accounting over them. The callback owns the actual
+/// `Engine::checkpoint` call and file handling. No checkpoint fires at
+/// end-of-stream — an uninterrupted finish needs none.
+///
+/// With a finite retirement horizon, digest-identical resume requires
+/// `feeders == 1` (retirement is watermark-ordered, and multi-feeder
+/// parse order is nondeterministic); without a horizon any feeder count
+/// reproduces the uninterrupted digest.
+pub fn replay_jsonl_resumable<R: BufRead>(
+    r: R,
+    engine: &Engine<'_>,
+    feeders: usize,
+    format: ReplayFormat,
+    opts: &ResumeReplayOptions,
+    mut on_checkpoint: impl FnMut(u64, ImportStats) -> std::io::Result<()>,
+) -> std::io::Result<ResumableReplay> {
+    let n = feeders.max(1);
+    let mut it = r.lines();
+    for skipped in 0..opts.skip_lines {
+        match it.next() {
+            Some(Ok(_)) => {}
+            Some(Err(e)) => return Err(e),
+            None => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "resume cursor {} is beyond the input ({} lines) — wrong dump for \
+                         this checkpoint?",
+                        opts.skip_lines, skipped
+                    ),
+                ))
+            }
+        }
     }
-    Ok(ReplayReport { format, feeders: n, lines, stats, per_feeder })
+
+    let mut lines = opts.skip_lines;
+    let mut stats = opts.prior;
+    let mut per_feeder: Vec<ImportStats> = vec![ImportStats::default(); n];
+    let chunk = opts.checkpoint_every.unwrap_or(u64::MAX).max(1);
+    let mut checkpoints = 0u64;
+    let mut halted = false;
+    loop {
+        let (read, chunk_stats, eof) = deal_lines(&mut it, engine, n, format, chunk)?;
+        lines += read;
+        for (total, s) in per_feeder.iter_mut().zip(&chunk_stats) {
+            stats.merge(*s);
+            total.merge(*s);
+        }
+        if eof {
+            break;
+        }
+        if opts.checkpoint_every.is_some() {
+            on_checkpoint(lines, stats)?;
+            checkpoints += 1;
+            if opts.halt_after_checkpoints.is_some_and(|h| checkpoints >= h) {
+                halted = true;
+                break;
+            }
+        }
+    }
+    Ok(ResumableReplay {
+        report: ReplayReport { format, feeders: n, lines, stats, per_feeder },
+        checkpoints,
+        halted,
+    })
 }

@@ -37,10 +37,12 @@ pub mod cpu;
 pub mod journal;
 pub mod metrics;
 pub mod prom;
+pub mod rss;
 pub mod snapshot;
 pub mod span;
 
 pub use cpu::{force_wall_clock_for_tests, parse_schedstat, thread_cpu_nanos, CpuClock};
+pub use rss::rss_bytes;
 pub use journal::{parse_jsonl, Journal, JournalEvent, MemorySink};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
 pub use prom::render_prometheus;

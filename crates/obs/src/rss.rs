@@ -1,0 +1,69 @@
+//! Process resident-set size, via Linux `/proc/self/statm`.
+//!
+//! The long-haul deployment story ("run forever") rests on a memory
+//! claim: with window retirement on, the engine's working set plateaus
+//! instead of growing with stream length. A claim like that needs a
+//! first-party measurement the bench harness and CI gate can scrape —
+//! the kernel's own resident-page count, not an allocator statistic that
+//! misses fragmentation and arena overhead.
+//!
+//! `statm` field 1 is the process's resident pages; multiplying by the
+//! page size gives bytes. The file is a single short line, so one read
+//! per scrape tick is effectively free.
+
+/// Current resident-set size in bytes, or `None` where `/proc` isn't
+/// available (non-Linux). Consumers treat `None` as "don't export the
+/// gauge", never as zero.
+pub fn rss_bytes() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    parse_statm_rss_pages(&statm).map(|pages| pages * page_size())
+}
+
+/// Parse the resident-pages field (index 1) out of a `statm` line.
+fn parse_statm_rss_pages(statm: &str) -> Option<u64> {
+    statm.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// The system page size in bytes. `statm` counts pages; sysconf is the
+/// portable way to size them, but reading it needs libc — instead derive
+/// it from `/proc/self/smaps_rollup`-free ground truth: `auxv` exports
+/// `AT_PAGESZ`. Falls back to 4096 (every Linux target this project
+/// builds for) if auxv is unreadable.
+fn page_size() -> u64 {
+    std::fs::read("/proc/self/auxv")
+        .ok()
+        .and_then(|auxv| {
+            // auxv is (u64 key, u64 value) pairs, terminated by AT_NULL.
+            const AT_PAGESZ: u64 = 6;
+            auxv.chunks_exact(16).find_map(|pair| {
+                let key = u64::from_ne_bytes(pair[..8].try_into().ok()?);
+                let value = u64::from_ne_bytes(pair[8..].try_into().ok()?);
+                (key == AT_PAGESZ).then_some(value)
+            })
+        })
+        .filter(|&v| v > 0)
+        .unwrap_or(4096)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statm_parse_takes_the_resident_field() {
+        assert_eq!(parse_statm_rss_pages("12345 678 90 1 0 2 0\n"), Some(678));
+        assert_eq!(parse_statm_rss_pages(""), None);
+        assert_eq!(parse_statm_rss_pages("12345"), None);
+        assert_eq!(parse_statm_rss_pages("x y"), None);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn live_rss_is_plausible() {
+        let rss = rss_bytes().expect("statm readable on Linux");
+        // A running test binary is at least a megabyte and under a
+        // terabyte resident.
+        assert!(rss > 1 << 20, "implausibly small rss: {rss}");
+        assert!(rss < 1 << 40, "implausibly large rss: {rss}");
+    }
+}
