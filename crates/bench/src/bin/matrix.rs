@@ -9,7 +9,15 @@
 //! cargo run --release --bin matrix -- --engine      # same grid via churnlab-engine
 //! cargo run --release --bin matrix -- --seed 9 --threads 4 --out grid.jsonl
 //! cargo run --release --bin matrix -- --check grid.jsonl   # re-verify saved rows
+//! cargo run --release --bin matrix -- --huge-smoke --budget-secs 900
 //! ```
+//!
+//! `--huge-smoke` swaps the grid for the bounded-time Huge pair: the
+//! ~62k-AS world with the full ~12k-VP fleet under the rotating
+//! sampling schedule, trimmed period/corpus, fused sim→engine
+//! streaming inside each cell. `--budget-secs N` fails the run (exit 1)
+//! if the whole sweep exceeds the wall-clock budget — that is the CI
+//! guard that the Huge tier stays inside its time box.
 
 use churnlab_bench::matrix::{check_invariants, run_matrix, CellRow, MatrixConfig};
 use std::io::Write;
@@ -17,20 +25,31 @@ use std::io::Write;
 struct Args {
     full: bool,
     engine: bool,
+    huge_smoke: bool,
     seed: u64,
     threads: usize,
+    budget_secs: Option<u64>,
     out: Option<String>,
     check: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args =
-        Args { full: false, engine: false, seed: 42, threads: 0, out: None, check: None };
+    let mut args = Args {
+        full: false,
+        engine: false,
+        huge_smoke: false,
+        seed: 42,
+        threads: 0,
+        budget_secs: None,
+        out: None,
+        check: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--full" => args.full = true,
             "--engine" => args.engine = true,
+            "--huge-smoke" => args.huge_smoke = true,
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
                 args.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
@@ -39,11 +58,15 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--threads needs a value")?;
                 args.threads = v.parse().map_err(|_| format!("bad thread count `{v}`"))?;
             }
+            "--budget-secs" => {
+                let v = it.next().ok_or("--budget-secs needs a value")?;
+                args.budget_secs = Some(v.parse().map_err(|_| format!("bad budget `{v}`"))?);
+            }
             "--out" => args.out = Some(it.next().ok_or("--out needs a path")?),
             "--check" => args.check = Some(it.next().ok_or("--check needs a path")?),
             "--help" | "-h" => {
                 return Err(
-                    "usage: matrix [--full] [--engine] [--seed N] [--threads N] [--out FILE] [--check FILE]"
+                    "usage: matrix [--full] [--engine] [--huge-smoke] [--seed N] [--threads N] [--budget-secs N] [--out FILE] [--check FILE]"
                         .into(),
                 )
             }
@@ -88,18 +111,34 @@ fn main() {
             rows
         }
         None => {
-            let mut cfg = if args.full {
+            let mut cfg = if args.huge_smoke {
+                MatrixConfig::huge_smoke_grid(args.seed)
+            } else if args.full {
                 MatrixConfig::full_grid(args.seed)
             } else {
                 MatrixConfig::default_grid(args.seed)
             };
-            cfg.threads = args.threads;
-            cfg.engine = args.engine;
+            if args.huge_smoke {
+                // The Huge pair parallelizes inside each cell (fused
+                // generator workers); honor an explicit --threads only.
+                if args.threads != 0 {
+                    cfg.threads = args.threads;
+                }
+            } else {
+                cfg.threads = args.threads;
+                cfg.engine = args.engine;
+            }
             eprintln!(
                 "matrix: {} cells, seed {}{}",
                 cfg.cells().len(),
                 args.seed,
-                if args.engine { ", sharded engine" } else { "" }
+                if args.huge_smoke {
+                    ", Huge smoke (fused engine, sampled fleet)"
+                } else if args.engine {
+                    ", sharded engine"
+                } else {
+                    ""
+                }
             );
             run_matrix(&cfg)
         }
@@ -137,6 +176,16 @@ fn main() {
             row.wall_ms
         );
     }
+    for row in rows.iter().filter(|r| r.fleet > 0) {
+        eprintln!(
+            "matrix: {}: fleet {}, {} distinct VPs ran tests (floor {}), {} failed routes",
+            row.spec.label(),
+            row.fleet,
+            row.sampled_vps,
+            row.coverage_floor,
+            row.failed
+        );
+    }
     eprintln!("matrix: {} cells in {elapsed:.2?}", rows.len());
 
     let violations = check_invariants(&rows);
@@ -147,5 +196,15 @@ fn main() {
             eprintln!("INVARIANT VIOLATION: {v}");
         }
         std::process::exit(1);
+    }
+
+    if let Some(budget) = args.budget_secs {
+        if elapsed.as_secs() > budget {
+            eprintln!(
+                "matrix: BUDGET EXCEEDED: {elapsed:.2?} > {budget}s wall-clock budget"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("matrix: inside the {budget}s budget ({elapsed:.2?})");
     }
 }

@@ -10,6 +10,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod campaignbench;
 pub mod enginebench;
 pub mod internbench;
 pub mod longhaul;

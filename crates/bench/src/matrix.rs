@@ -28,6 +28,51 @@ use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Campaign-size overrides for bounded-time cells. A Huge world with the
+/// full Huge campaign is an hours-long run; the CI smoke cell keeps the
+/// world and the fleet at full size but trims the period and corpus so
+/// the cell fits a wall-clock budget. `None` fields leave the scale
+/// preset untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CampaignTrim {
+    /// Override the measurement period, days.
+    #[serde(default)]
+    pub total_days: Option<u32>,
+    /// Override the URL-corpus size.
+    #[serde(default)]
+    pub n_urls: Option<usize>,
+    /// Override tests per (vantage, URL) pair over the period.
+    #[serde(default)]
+    pub tests_per_pair: Option<u32>,
+    /// Override the fleet-sampling subset size.
+    #[serde(default)]
+    pub fleet_sample: Option<usize>,
+    /// Override the schedule's validated coverage floor (a trimmed
+    /// period usually can't honor the full-campaign floor).
+    #[serde(default)]
+    pub tests_per_pair_floor: Option<u32>,
+}
+
+impl CampaignTrim {
+    fn apply(&self, cfg: &mut PlatformConfig) {
+        if let Some(d) = self.total_days {
+            cfg.total_days = d;
+        }
+        if let Some(u) = self.n_urls {
+            cfg.n_urls = u;
+        }
+        if let Some(t) = self.tests_per_pair {
+            cfg.tests_per_pair = t;
+        }
+        if let Some(f) = self.fleet_sample {
+            cfg.fleet_sample = f;
+        }
+        if let Some(f) = self.tests_per_pair_floor {
+            cfg.tests_per_pair_floor = f;
+        }
+    }
+}
+
 /// One cell of the scenario grid.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CellSpec {
@@ -47,6 +92,10 @@ pub struct CellSpec {
     /// files saved before the engine existed still `--check` cleanly.
     #[serde(default)]
     pub engine: bool,
+    /// Campaign-size trim for bounded-time cells. Defaults to `None`
+    /// (the scale preset as-is) so pre-trim row files still parse.
+    #[serde(default)]
+    pub trim: Option<CampaignTrim>,
 }
 
 impl CellSpec {
@@ -72,8 +121,8 @@ impl CellSpec {
 
     /// The axes that identify a churn-ablation pair (everything except the
     /// churn mode).
-    fn pair_key(&self) -> (WorldScale, Mechanism, bool, u64, bool) {
-        (self.scale, self.mechanism, self.noise, self.seed, self.engine)
+    fn pair_key(&self) -> (WorldScale, Mechanism, bool, u64, bool, Option<CampaignTrim>) {
+        (self.scale, self.mechanism, self.noise, self.seed, self.engine, self.trim)
     }
 }
 
@@ -84,6 +133,21 @@ pub struct CellRow {
     pub spec: CellSpec,
     /// Total measurements taken.
     pub measurements: u64,
+    /// Vantage points placed (the fleet). Defaults on deserialize so
+    /// pre-sampling row files still parse.
+    #[serde(default)]
+    pub fleet: usize,
+    /// Distinct vantage points that actually ran tests.
+    #[serde(default)]
+    pub sampled_vps: usize,
+    /// Provable lower bound on `sampled_vps` from the rotation schedule
+    /// (the whole fleet when sampling is off; 0 in pre-sampling rows).
+    #[serde(default)]
+    pub coverage_floor: usize,
+    /// Measurements that could not run (no route) — the reachability
+    /// invariant's numerator.
+    #[serde(default)]
+    pub failed: u64,
     /// Non-trivial CNFs analysed.
     pub cnfs: usize,
     /// CNFs that pinned down at least one definite (backbone) censor.
@@ -126,6 +190,9 @@ pub struct MatrixConfig {
     /// Run every cell through the sharded engine instead of the batch
     /// pipeline.
     pub engine: bool,
+    /// Campaign trim applied to every cell (bounded-time Huge smoke).
+    #[serde(default)]
+    pub trim: Option<CampaignTrim>,
 }
 
 impl MatrixConfig {
@@ -140,6 +207,7 @@ impl MatrixConfig {
             seed,
             threads: 0,
             engine: false,
+            trim: None,
         }
     }
 
@@ -148,6 +216,37 @@ impl MatrixConfig {
         let mut cfg = MatrixConfig::default_grid(seed);
         cfg.scales.push(WorldScale::Small);
         cfg
+    }
+
+    /// The bounded-time Huge smoke: one churn-ablation pair on the
+    /// ~62k-AS world with the full ~12k-VP fleet and the rotating
+    /// sampling schedule, but a trimmed period/corpus so the pair of
+    /// cells fits a CI wall-clock budget. Cells run fused-parallel
+    /// through the engine (`run_cell` fans the generator out when the
+    /// scale is Huge), so `threads: 1` — parallelism lives inside the
+    /// cell, and two Huge worlds resident at once would double peak
+    /// memory for no wall-clock win.
+    pub fn huge_smoke_grid(seed: u64) -> MatrixConfig {
+        MatrixConfig {
+            scales: vec![WorldScale::Huge],
+            mechanisms: vec![Mechanism::DnsInjection],
+            churn_modes: vec![ChurnMode::Normal, ChurnMode::FirstPathOnly],
+            noise: vec![false],
+            seed,
+            threads: 1,
+            engine: true,
+            trim: Some(CampaignTrim {
+                total_days: Some(60),
+                n_urls: Some(64),
+                tests_per_pair: Some(4),
+                fleet_sample: None,
+                // Two testing days × 1024 sampled VPs can't give all
+                // ~12.2k fleet members a guaranteed test; the full-year
+                // floor is the preset's property, validated by the
+                // platform unit/property tests.
+                tests_per_pair_floor: Some(0),
+            }),
+        }
     }
 
     /// Materialize the cross-product.
@@ -164,6 +263,7 @@ impl MatrixConfig {
                             noise,
                             seed: self.seed,
                             engine: self.engine,
+                            trim: self.trim,
                         });
                     }
                 }
@@ -177,9 +277,10 @@ fn platform_scale(w: WorldScale) -> PlatformScale {
     match w {
         WorldScale::Smoke => PlatformScale::Smoke,
         WorldScale::Small => PlatformScale::Small,
-        // A Huge world routes Internet-scale topologies; the measurement
-        // campaign itself still runs at the paper's size.
-        WorldScale::Paper | WorldScale::Huge => PlatformScale::Paper,
+        WorldScale::Paper => PlatformScale::Paper,
+        // Huge worlds get the genuinely Huge campaign: thousands of URLs,
+        // the ~12k-VP fleet, bounded by the rotating sampling schedule.
+        WorldScale::Huge => PlatformScale::Huge,
     }
 }
 
@@ -193,6 +294,9 @@ pub fn run_cell(spec: &CellSpec) -> CellRow {
 
     let mut platform_cfg =
         PlatformConfig::preset(platform_scale(spec.scale), spec.seed.wrapping_add(1));
+    if let Some(trim) = &spec.trim {
+        trim.apply(&mut platform_cfg);
+    }
     let mut censor_cfg = CensorConfig::scaled_for(world_cfg.n_countries);
     censor_cfg.seed = spec.seed.wrapping_add(2);
     censor_cfg.total_days = platform_cfg.total_days;
@@ -223,7 +327,14 @@ pub fn run_cell(spec: &CellSpec) -> CellRow {
     );
     let mut pipeline_cfg = PipelineConfig::paper(platform_cfg.total_days);
     pipeline_cfg.churn_mode = spec.churn_mode;
-    let (stats, results) = if spec.engine {
+    let (stats, results) = if spec.engine && spec.scale == WorldScale::Huge {
+        // Huge cells fan the generator out: fused sim→engine streaming,
+        // one worker per core, 2 shards draining. Everything downstream
+        // is order-independent, so the row is identical to a serial feed.
+        let engine = Engine::new(&platform, EngineConfig::new(pipeline_cfg).with_shards(2));
+        let run = churnlab_engine::campaign::run_fused(&platform, &sim, &engine, 0);
+        (run.stats, engine.finish())
+    } else if spec.engine {
         // One shard per cell: `run_matrix` already spreads cells across
         // cores, and shard count cannot change the results (asserted by
         // `engine_cells_match_pipeline_cells`), so more would only
@@ -256,9 +367,24 @@ pub fn run_cell(spec: &CellSpec) -> CellRow {
     let mut identified: Vec<u32> = identified_set.iter().map(|a| a.0).collect();
     identified.sort_unstable();
 
+    let fleet = platform.vantage_points().len();
+    let schedule = platform.fleet_schedule();
+    let coverage_floor = if schedule.is_sampling() {
+        // Per-URL distinct-coverage floor over the minimum number of
+        // testing days any URL gets — a lower bound on the union.
+        let min_testing_days = platform_cfg.total_days / platform_cfg.testing_interval_days();
+        schedule.covered_after(min_testing_days)
+    } else {
+        fleet
+    };
+
     CellRow {
         spec: *spec,
         measurements: stats.measurements,
+        fleet,
+        sampled_vps: stats.vps,
+        coverage_floor,
+        failed: stats.failed,
         cnfs,
         localized_cnfs: localized,
         solvable_frac: if cnfs == 0 { 0.0 } else { localized as f64 / cnfs as f64 },
@@ -327,6 +453,34 @@ pub fn check_invariants(rows: &[CellRow]) -> Vec<String> {
                 violations.push(format!("{label}: solvability fractions sum to {sum}"));
             }
         }
+        // Sampling coverage: the campaign must touch at least the
+        // schedule's provable distinct-VP floor (rows from pre-sampling
+        // files carry 0 and pass trivially).
+        if row.sampled_vps < row.coverage_floor {
+            violations.push(format!(
+                "{label}: only {} distinct vantage points ran tests; the schedule guarantees {}",
+                row.sampled_vps, row.coverage_floor
+            ));
+        }
+        if row.spec.scale == WorldScale::Huge && row.fleet > 0 {
+            // The Huge tier's defining bounds: a genuinely huge sampled
+            // fleet, and a routable one.
+            if row.sampled_vps < 10_000 {
+                violations.push(format!(
+                    "{label}: Huge cell sampled only {} vantage ASes (tier floor 10000)",
+                    row.sampled_vps
+                ));
+            }
+            if row.measurements > 0 {
+                let failed_frac = row.failed as f64 / row.measurements as f64;
+                if failed_frac > 0.05 {
+                    violations.push(format!(
+                        "{label}: {:.1}% of measurements failed to route (reachability cap 5%)",
+                        100.0 * failed_frac
+                    ));
+                }
+            }
+        }
     }
 
     // Churn ablation pairs: Normal must never do worse than FirstPathOnly.
@@ -393,6 +547,7 @@ mod tests {
             seed: 7,
             threads: 2,
             engine: false,
+            trim: None,
         };
         let rows = run_matrix(&cfg);
         assert_eq!(rows.len(), 4);
@@ -420,6 +575,7 @@ mod tests {
             seed: 21,
             threads: 2,
             engine: false,
+            trim: None,
         };
         let rows = run_matrix(&cfg);
         assert_eq!(rows.len(), 2);
@@ -451,6 +607,7 @@ mod tests {
             seed: 13,
             threads: 2,
             engine: false,
+            trim: None,
         };
         let pipeline_rows = run_matrix(&cfg);
         cfg.engine = true;
@@ -475,6 +632,82 @@ mod tests {
         )
         .expect("old-format spec parses");
         assert!(!spec.engine, "missing field defaults to the batch pipeline");
+        assert!(spec.trim.is_none(), "missing trim defaults to the scale preset");
+    }
+
+    /// Row files saved before the sampling columns existed parse with
+    /// zeroed fleet/coverage fields, and those rows pass the sampling
+    /// invariants trivially.
+    #[test]
+    fn pre_sampling_rows_still_deserialize_and_check() {
+        let row: CellRow = serde_json::from_str(
+            r#"{"spec":{"scale":"Smoke","mechanism":"DnsInjection","churn_mode":"Normal","noise":false,"seed":42},
+                "measurements":100,"cnfs":1,"localized_cnfs":1,"solvable_frac":1.0,
+                "unsat_frac":0.0,"unique_frac":1.0,"multiple_frac":0.0,
+                "identified":[],"precision":1.0,"recall":1.0,"false_positives":0,"wall_ms":1}"#,
+        )
+        .expect("pre-sampling row parses");
+        assert_eq!((row.fleet, row.sampled_vps, row.coverage_floor, row.failed), (0, 0, 0, 0));
+        assert!(check_invariants(&[row]).is_empty(), "zeroed sampling columns pass trivially");
+    }
+
+    /// A trimmed, fleet-sampled cell wires the sampling bookkeeping end
+    /// to end: the sampled-VP count lands at or above the schedule's
+    /// provable floor and the row holds every invariant. (Smoke fleet is
+    /// 24 over 12 testing days, so k = 1 keeps the distinct-coverage
+    /// floor of 12 strictly below the fleet.)
+    #[test]
+    fn trimmed_sampled_cell_meets_coverage_floor() {
+        let cfg = MatrixConfig {
+            scales: vec![WorldScale::Smoke],
+            mechanisms: vec![Mechanism::DnsInjection],
+            churn_modes: vec![ChurnMode::Normal, ChurnMode::FirstPathOnly],
+            noise: vec![false],
+            seed: 33,
+            threads: 2,
+            engine: true,
+            trim: Some(CampaignTrim {
+                total_days: None,
+                n_urls: Some(6),
+                tests_per_pair: None,
+                fleet_sample: Some(1),
+                tests_per_pair_floor: Some(0),
+            }),
+        };
+        let rows = run_matrix(&cfg);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(row.fleet > 0, "{}: fleet not recorded", row.spec.label());
+            assert!(
+                row.coverage_floor > 0 && row.coverage_floor < row.fleet,
+                "{}: sampling should set a non-trivial floor ({} of {})",
+                row.spec.label(),
+                row.coverage_floor,
+                row.fleet
+            );
+            assert!(row.sampled_vps >= row.coverage_floor, "{}", row.spec.label());
+            let line = serde_json::to_string(row).expect("row serializes");
+            let back: CellRow = serde_json::from_str(&line).expect("row parses");
+            assert_eq!(&back, row, "trimmed row roundtrips losslessly");
+        }
+        let violations = check_invariants(&rows);
+        assert!(violations.is_empty(), "invariant violations: {violations:#?}");
+    }
+
+    /// `check_invariants` actually fires on a coverage shortfall.
+    #[test]
+    fn coverage_shortfall_is_flagged() {
+        let mut cfg = MatrixConfig::default_grid(5);
+        cfg.mechanisms.truncate(1);
+        cfg.churn_modes.truncate(1);
+        cfg.noise.truncate(1);
+        let mut rows = run_matrix(&cfg);
+        rows[0].coverage_floor = rows[0].sampled_vps + 1;
+        let violations = check_invariants(&rows);
+        assert!(
+            violations.iter().any(|v| v.contains("distinct vantage points")),
+            "shortfall not flagged: {violations:#?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! Fused simulate→tomography campaigns: the platform's parallel runner
+//! streaming straight into the engine's shard channels.
+//!
+//! Before this module, a campaign at scale meant "run the platform,
+//! write JSONL, replay the dump through the engine" — two passes over
+//! millions of records with a serialization round trip between them.
+//! Fused mode deletes the intermediate: each runner worker owns an
+//! [`Engine::feeder`] handle (per-thread buffering, chunked sends), so
+//! measurement generation and conversion/solving overlap on the same
+//! machine with no copy of the stream ever materialized.
+//!
+//! Correctness rides on two already-proven properties: the runner's
+//! per-(url, day) RNG reseeding makes the parallel measurement *set*
+//! exactly the serial one, and the engine is order-independent under
+//! multi-producer ingest — so the fused run's
+//! [`churnlab_core::report::CanonicalReport`] is byte-identical to a
+//! serial `Platform::run` feeding a single-threaded engine
+//! (`crates/engine/tests/fused_campaign.rs` pins this across thread ×
+//! shard × seed grids).
+
+use crate::Engine;
+use churnlab_bgp::RoutingSim;
+use churnlab_platform::{CampaignObs, ParallelRun, Platform};
+
+/// Run the full campaign across `threads` generator workers, each
+/// feeding the engine through its own [`Engine::feeder`]. Returns the
+/// platform-side stats and per-worker busy accounting; the engine is
+/// left loaded — snapshot or finish it for results.
+///
+/// `threads == 0` means one worker per available core.
+pub fn run_fused(
+    platform: &Platform<'_>,
+    sim: &RoutingSim<'_>,
+    engine: &Engine<'_>,
+    threads: usize,
+) -> ParallelRun {
+    run_fused_obs(platform, sim, engine, threads, None)
+}
+
+/// [`run_fused`] with `churnlab_campaign_*` counters attached.
+pub fn run_fused_obs(
+    platform: &Platform<'_>,
+    sim: &RoutingSim<'_>,
+    engine: &Engine<'_>,
+    threads: usize,
+    obs: Option<&CampaignObs>,
+) -> ParallelRun {
+    platform.run_parallel_obs(sim, threads, obs, |_worker| {
+        let mut feeder = engine.feeder();
+        move |m| feeder.ingest_owned(m)
+    })
+}

@@ -262,3 +262,35 @@ fn ooni_dialect_replays_through_the_engine() {
         "the censoring transit must be localized from OONI records alone"
     );
 }
+
+/// The fused parallel campaign (N generator workers streaming straight
+/// into engine feeders, no JSONL intermediate) must land on exactly the
+/// report the export → replay path produces — the two deployment shapes
+/// are interchangeable byte-for-byte.
+#[test]
+fn fused_parallel_run_matches_export_replay_path() {
+    let s = study(41);
+    let platform = Platform::new(&s.world, &s.scenario, s.platform_cfg.clone());
+    let sim = RoutingSim::new(&s.world.topology, &s.churn_cfg);
+    let cfg = PipelineConfig::paper(s.platform_cfg.total_days);
+
+    // Fused: 4 generator workers feeding a 4-shard engine in memory.
+    let engine = Engine::new(&platform, EngineConfig::new(cfg.clone()).with_shards(4));
+    let run = churnlab_engine::campaign::run_fused(&platform, &sim, &engine, 4);
+    let fused = engine.finish().canonical_report().to_json();
+
+    // Serial export to JSONL, then multi-feeder replay into a fresh
+    // engine built from the analyst's context only.
+    let mut dump = Vec::new();
+    let (records, _) = export_study(&platform, &sim, &mut dump).unwrap();
+    assert_eq!(records, run.stats.measurements, "export and fused run must see one stream");
+    let engine = Engine::with_context(
+        platform.measured_ip2as(),
+        &s.world.topology,
+        EngineConfig::new(cfg).with_shards(2),
+    );
+    let report = replay_jsonl(&dump[..], &engine, 2, ReplayFormat::Native).unwrap();
+    assert_eq!(report.stats.ok, records);
+    let replayed = engine.finish().canonical_report().to_json();
+    assert_eq!(fused, replayed, "fused in-memory report diverged from export/replay");
+}

@@ -38,7 +38,9 @@ pub mod anomaly;
 pub mod detect;
 pub mod measurement;
 pub mod noise;
+pub mod obs;
 pub mod runner;
+pub mod schedule;
 pub mod stats;
 pub mod urls;
 pub mod vantage;
@@ -46,7 +48,9 @@ pub mod vantage;
 pub use anomaly::{AnomalySet, AnomalyType};
 pub use measurement::{Measurement, TracerouteRecord};
 pub use noise::NoiseConfig;
-pub use runner::{Platform, PlatformConfig, PlatformScale};
+pub use obs::CampaignObs;
+pub use runner::{CampaignBusy, ParallelRun, Platform, PlatformConfig, PlatformScale};
+pub use schedule::{FleetSchedule, UrlFleetPlan};
 pub use stats::DatasetStats;
 pub use urls::{UrlCorpus, UrlEntry};
 pub use vantage::VantagePoint;

@@ -20,8 +20,10 @@ use crate::anomaly::{AnomalySet, AnomalyType};
 use crate::detect;
 use crate::measurement::{Measurement, TracerouteRecord};
 use crate::noise::NoiseConfig;
+use crate::obs::{CampaignObs, CampaignWorkerObs};
+use crate::schedule::FleetSchedule;
 use crate::stats::{DatasetStats, StatsAccumulator};
-use crate::urls::UrlCorpus;
+use crate::urls::{UrlCorpus, UrlEntry};
 use crate::vantage::{self, VantagePoint};
 use churnlab_bgp::RoutingSim;
 use churnlab_censor::{ActiveCensor, CensorshipScenario, CompiledCensor, TestContext};
@@ -34,6 +36,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Reusable AS-path buffers for the measurement loop: one campaign runs
 /// millions of tests, and the routing layer can fill paths in place
@@ -46,6 +51,52 @@ struct PathBuffers {
     alt: Vec<Asn>,
 }
 
+/// Per-worker mutable state for the campaign loop: the reused path
+/// buffers, the reused day-subset buffer, and the worker's private stats
+/// accumulator (merged after the join — workers never share mutable
+/// state).
+#[derive(Default)]
+struct WorkerCtx {
+    paths: PathBuffers,
+    day_vps: Vec<usize>,
+    acc: StatsAccumulator,
+}
+
+/// Per-worker busy-time attribution for a parallel campaign run — the
+/// generator-side analogue of the engine's `EngineBusy`, and the basis
+/// `campaign_bench` uses for its model-efficiency gate on machines with
+/// fewer cores than threads.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignBusy {
+    /// Each worker's on-CPU generation time, nanoseconds (wall-clock
+    /// fallback where no thread CPU clock exists).
+    pub per_worker_nanos: Vec<u64>,
+    /// Whether every worker measured on a real thread CPU clock.
+    pub cpu_clock: bool,
+}
+
+impl CampaignBusy {
+    /// The parallel section's critical path: the slowest worker.
+    pub fn max_nanos(&self) -> u64 {
+        self.per_worker_nanos.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total on-CPU work across workers.
+    pub fn total_nanos(&self) -> u64 {
+        self.per_worker_nanos.iter().sum()
+    }
+}
+
+/// Result of [`Platform::run_parallel`]: the dataset stats plus the
+/// per-worker busy attribution.
+#[derive(Debug, Clone)]
+pub struct ParallelRun {
+    /// Table-1 statistics, identical to the serial run's.
+    pub stats: DatasetStats,
+    /// Per-worker busy accounting.
+    pub busy: CampaignBusy,
+}
+
 /// Convenience scale presets for the platform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PlatformScale {
@@ -55,6 +106,11 @@ pub enum PlatformScale {
     Small,
     /// Paper: 774 URLs, ~539 VP ASes, ~5M measurements over a year.
     Paper,
+    /// Huge: a campaign sized for the ~62k-AS world — thousands of URLs,
+    /// tens of thousands of vantage ASes, kept bounded by the rotating
+    /// fleet-sampling schedule (every (url, testing-day) sees a k-subset
+    /// of the fleet instead of all of it).
+    Huge,
 }
 
 /// Platform configuration.
@@ -83,6 +139,18 @@ pub struct PlatformConfig {
     /// Maximum fraction of test URLs hosted inside censoring countries
     /// (sensitive content is mostly hosted abroad).
     pub url_censor_country_frac: f64,
+    /// Fleet sampling: vantage points tested per (url, testing-day).
+    /// `0` (the default, and every pre-Huge preset) disables sampling —
+    /// each testing day sees the entire fleet, exactly the pre-sampling
+    /// runner. Nonzero bounds per-day work at O(fleet_sample × urls).
+    #[serde(default)]
+    pub fleet_sample: usize,
+    /// Coverage guarantee the sampling schedule must honor: every
+    /// (vantage, url) pair is tested at least this many times over the
+    /// period. Validated at platform assembly against the rotation's
+    /// exact floor; ignored when sampling is off.
+    #[serde(default)]
+    pub tests_per_pair_floor: u32,
     /// Noise model.
     pub noise: NoiseConfig,
 }
@@ -102,6 +170,8 @@ impl PlatformConfig {
                 routers_per_as: (1, 2),
                 vp_censor_country_frac: 0.0,
                 url_censor_country_frac: 0.03,
+                fleet_sample: 0,
+                tests_per_pair_floor: 0,
                 noise: NoiseConfig::realistic(),
             },
             PlatformScale::Small => PlatformConfig {
@@ -115,6 +185,8 @@ impl PlatformConfig {
                 routers_per_as: (1, 3),
                 vp_censor_country_frac: 0.0,
                 url_censor_country_frac: 0.03,
+                fleet_sample: 0,
+                tests_per_pair_floor: 0,
                 noise: NoiseConfig::realistic(),
             },
             PlatformScale::Paper => PlatformConfig {
@@ -128,6 +200,27 @@ impl PlatformConfig {
                 routers_per_as: (1, 3),
                 vp_censor_country_frac: 0.0,
                 url_censor_country_frac: 0.03,
+                fleet_sample: 0,
+                tests_per_pair_floor: 0,
+                noise: NoiseConfig::realistic(),
+            },
+            PlatformScale::Huge => PlatformConfig {
+                seed,
+                n_urls: 2400,
+                n_vpn_vantage: 11_500,
+                n_residential_vantage: 700,
+                tests_per_pair: 24,
+                tests_per_testing_day: 2,
+                total_days: 365,
+                routers_per_as: (1, 3),
+                vp_censor_country_frac: 0.0,
+                url_censor_country_frac: 0.03,
+                // 12 testing days × 1024 sampled VPs ≥ the ~12.2k fleet,
+                // so the rotation's exact floor gives every (vp, url)
+                // pair ≥ 1 testing day (× 2 tests) over the year while a
+                // day's work stays at 1024·urls instead of 12200·urls.
+                fleet_sample: 1024,
+                tests_per_pair_floor: 2,
                 noise: NoiseConfig::realistic(),
             },
         }
@@ -213,7 +306,34 @@ impl<'w> Platform<'w> {
         // the staleness noise model).
         let measured_ip2as =
             world.registry_ip2as().degraded(cfg.noise.ip2as, &all_asns, &mut db_rng);
-        Platform { world, cfg, corpus, vantage, compiled, fingerprints: churnlab_censor::blockpage::fingerprint_list(), measured_ip2as }
+        let platform = Platform { world, cfg, corpus, vantage, compiled, fingerprints: churnlab_censor::blockpage::fingerprint_list(), measured_ip2as };
+        // A sampling schedule must honor its configured coverage floor.
+        // The rotation's per-pair pick count is exact (see [`crate::schedule`]),
+        // so this is a static check at assembly time, not a runtime hope.
+        let schedule = platform.fleet_schedule();
+        if schedule.is_sampling() && platform.cfg.tests_per_pair_floor > 0 {
+            let min_testing_days =
+                platform.cfg.total_days / platform.cfg.testing_interval_days();
+            let guaranteed = schedule.guaranteed_day_picks(min_testing_days)
+                * platform.cfg.tests_per_testing_day.max(1);
+            assert!(
+                guaranteed >= platform.cfg.tests_per_pair_floor,
+                "fleet_sample {} over a fleet of {} guarantees only {} tests/pair \
+                 across {} testing days; tests_per_pair_floor wants {}",
+                schedule.k(),
+                schedule.fleet(),
+                guaranteed,
+                min_testing_days,
+                platform.cfg.tests_per_pair_floor,
+            );
+        }
+        platform
+    }
+
+    /// The campaign's fleet-sampling schedule (the full-fleet identity
+    /// schedule when `fleet_sample` is 0).
+    pub fn fleet_schedule(&self) -> FleetSchedule {
+        FleetSchedule::new(mix64(self.cfg.seed ^ 0x44), self.vantage.len(), self.cfg.fleet_sample)
     }
 
     /// The URL corpus.
@@ -242,49 +362,166 @@ impl<'w> Platform<'w> {
         self.world
     }
 
-    /// Run the full measurement campaign, streaming records to `sink`.
-    pub fn run(&self, sim: &RoutingSim, mut sink: impl FnMut(Measurement)) -> DatasetStats {
-        let mut acc = StatsAccumulator::new();
+    /// Run one URL's full campaign: every testing day in its cadence, the
+    /// scheduled vantage subset, `tests_per_testing_day` tests each. This
+    /// is the unit of work both the serial and the parallel runner share —
+    /// all randomness is derived from (seed, url, day), so a URL's stream
+    /// is identical no matter which worker runs it.
+    fn run_url_campaign(
+        &self,
+        sim: &RoutingSim,
+        url: &UrlEntry,
+        schedule: &FleetSchedule,
+        ctx: &mut WorkerCtx,
+        obs: Option<&CampaignWorkerObs>,
+        sink: &mut impl FnMut(Measurement),
+    ) {
         let interval = self.cfg.testing_interval_days();
-        let all_vps: Vec<usize> = (0..self.vantage.len()).collect();
-        // Path buffers reused across every test in the campaign (the
-        // routing layer fills them in place — no per-measurement Vec).
-        let mut paths = PathBuffers::default();
-        for url in self.corpus.entries() {
-            // URL-list sweeps: every vantage point tests a URL on the same
-            // testing days (the platform walks its list on a global
-            // cadence, like ICLab's repeated full-list suites). The sweep
-            // phase is per-URL so load spreads across days, while each
-            // (url, testing-day) still sees the entire fleet — the
-            // cross-vantage coverage that lets one vantage's clean path
-            // exonerate ASes on another vantage's censored path.
-            let phase = (mix64(self.cfg.seed ^ u64::from(url.id)) % u64::from(interval)) as u32;
-            for day in 0..self.cfg.total_days {
-                if day % interval != phase {
-                    continue;
-                }
-                let bucket = &all_vps;
-                let mut rng = StdRng::seed_from_u64(mix64(
-                    self.cfg.seed ^ (u64::from(url.id) << 32) ^ u64::from(day),
-                ));
-                for &vi in bucket {
-                    let vp = &self.vantage[vi];
-                    let epochs_per_day = sim.mapper().epochs_per_day;
-                    let k = self.cfg.tests_per_testing_day.max(1);
-                    for t in 0..k {
-                        // Spread the day's tests across day segments
-                        // (measurement suites run hours apart), so intra-day
-                        // route changes are observable.
-                        let seg = (epochs_per_day * t / k, (epochs_per_day * (t + 1) / k).max(epochs_per_day * t / k + 1));
-                        let slot = rng.gen_range(seg.0..seg.1.min(epochs_per_day));
-                        let m = self.run_test(sim, vp, url.id, day, slot, &mut rng, &mut paths);
-                        acc.add(&m);
-                        sink(m);
+        // URL-list sweeps: every scheduled vantage point tests a URL on
+        // the same testing days (the platform walks its list on a global
+        // cadence, like ICLab's repeated full-list suites). The sweep
+        // phase is per-URL so load spreads across days; each
+        // (url, testing-day) sees the whole fleet at the classic tiers,
+        // or the schedule's rotating k-subset at the Huge tier — the
+        // cross-vantage coverage that lets one vantage's clean path
+        // exonerate ASes on another vantage's censored path now accrues
+        // over a few rotations instead of within every single day.
+        let phase = (mix64(self.cfg.seed ^ u64::from(url.id)) % u64::from(interval)) as u32;
+        let plan = schedule.plan_for_url(url.id);
+        let epochs_per_day = sim.mapper().epochs_per_day;
+        let k = self.cfg.tests_per_testing_day.max(1);
+        for day in 0..self.cfg.total_days {
+            if day % interval != phase {
+                continue;
+            }
+            plan.day_subset_into(day / interval, &mut ctx.day_vps);
+            if let Some(o) = obs {
+                o.scheduled.add(ctx.day_vps.len() as u64 * u64::from(k));
+                o.sampled_out
+                    .add((schedule.fleet() - ctx.day_vps.len()) as u64 * u64::from(k));
+            }
+            let mut rng = StdRng::seed_from_u64(mix64(
+                self.cfg.seed ^ (u64::from(url.id) << 32) ^ u64::from(day),
+            ));
+            for &vi in &ctx.day_vps {
+                let vp = &self.vantage[vi];
+                for t in 0..k {
+                    // Spread the day's tests across day segments
+                    // (measurement suites run hours apart), so intra-day
+                    // route changes are observable.
+                    let seg = (epochs_per_day * t / k, (epochs_per_day * (t + 1) / k).max(epochs_per_day * t / k + 1));
+                    let slot = rng.gen_range(seg.0..seg.1.min(epochs_per_day));
+                    let m = self.run_test(sim, vp, url.id, day, slot, &mut rng, &mut ctx.paths);
+                    ctx.acc.add(&m);
+                    if let Some(o) = obs {
+                        o.run.inc();
                     }
+                    sink(m);
                 }
             }
         }
-        acc.finish(&self.world.topology)
+    }
+
+    /// Run the full measurement campaign, streaming records to `sink`.
+    pub fn run(&self, sim: &RoutingSim, mut sink: impl FnMut(Measurement)) -> DatasetStats {
+        let schedule = self.fleet_schedule();
+        // Path buffers and the day-subset buffer are reused across every
+        // test in the campaign (the routing layer fills paths in place —
+        // no per-measurement Vec).
+        let mut ctx = WorkerCtx::default();
+        for url in self.corpus.entries() {
+            self.run_url_campaign(sim, url, &schedule, &mut ctx, None, &mut sink);
+        }
+        ctx.acc.finish(&self.world.topology)
+    }
+
+    /// Run the campaign across `threads` scoped worker threads. URLs are
+    /// the unit of work, claimed from a shared atomic counter (dynamic
+    /// load balancing); each worker owns its own [`PathBuffers`] and
+    /// [`StatsAccumulator`] and streams into its own sink from
+    /// `make_sink(worker_index)`. Because every per-(url, day) RNG is
+    /// reseeded from (seed, url, day), a URL's measurement stream is
+    /// byte-identical no matter which worker runs it — the parallel run
+    /// produces exactly the serial run's records, partitioned.
+    ///
+    /// `threads == 0` means one worker per available core.
+    pub fn run_parallel<S, F>(&self, sim: &RoutingSim, threads: usize, make_sink: F) -> ParallelRun
+    where
+        F: Fn(usize) -> S + Sync,
+        S: FnMut(Measurement) + Send,
+    {
+        self.run_parallel_obs(sim, threads, None, make_sink)
+    }
+
+    /// [`Platform::run_parallel`] with campaign counters attached.
+    pub fn run_parallel_obs<S, F>(
+        &self,
+        sim: &RoutingSim,
+        threads: usize,
+        obs: Option<&CampaignObs>,
+        make_sink: F,
+    ) -> ParallelRun
+    where
+        F: Fn(usize) -> S + Sync,
+        S: FnMut(Measurement) + Send,
+    {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            threads
+        };
+        let schedule = self.fleet_schedule();
+        let entries = self.corpus.entries();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let schedule = &schedule;
+                    let next = &next;
+                    let make_sink = &make_sink;
+                    scope.spawn(move || {
+                        let wall0 = Instant::now();
+                        let cpu0 = churnlab_obs::thread_cpu_nanos();
+                        let mut sink = make_sink(w);
+                        let wobs = obs.map(|o| o.worker(w));
+                        let mut ctx = WorkerCtx::default();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(url) = entries.get(i) else { break };
+                            self.run_url_campaign(
+                                sim,
+                                url,
+                                schedule,
+                                &mut ctx,
+                                wobs.as_ref(),
+                                &mut sink,
+                            );
+                        }
+                        // Flush buffering sinks (e.g. engine feeders)
+                        // before the clock stops: the flush is part of
+                        // this worker's generation work.
+                        drop(sink);
+                        let (busy, cpu_clock) = match (cpu0, churnlab_obs::thread_cpu_nanos()) {
+                            (Some(a), Some(b)) => (b.saturating_sub(a), true),
+                            _ => (wall0.elapsed().as_nanos() as u64, false),
+                        };
+                        if let Some(o) = &wobs {
+                            o.busy.add(busy);
+                        }
+                        (ctx.acc, busy, cpu_clock)
+                    })
+                })
+                .collect();
+            let mut acc = StatsAccumulator::new();
+            let mut busy = CampaignBusy { per_worker_nanos: Vec::with_capacity(threads), cpu_clock: true };
+            for h in handles {
+                let (a, nanos, cpu_clock) = h.join().expect("campaign worker panicked");
+                acc.merge(a);
+                busy.per_worker_nanos.push(nanos);
+                busy.cpu_clock &= cpu_clock;
+            }
+            ParallelRun { stats: acc.finish(&self.world.topology), busy }
+        })
     }
 
     /// Run the full measurement campaign, handing each measurement to
@@ -308,6 +545,34 @@ impl<'w> Platform<'w> {
         let mut out = Vec::new();
         let stats = self.run(sim, |m| out.push(m));
         (out, stats)
+    }
+
+    /// Parallel [`Platform::run_collect`], deterministic regardless of
+    /// worker interleaving: each URL's stream lands in its own slot
+    /// (URL ids are dense corpus indices, and one worker owns a URL at a
+    /// time), slots are flattened in corpus order, and the result is
+    /// stable-sorted by (url, day, vantage, slot) as the documented
+    /// ordering contract. Equal to [`Platform::run_collect`]'s output for
+    /// any thread count.
+    pub fn run_collect_parallel(
+        &self,
+        sim: &RoutingSim,
+        threads: usize,
+    ) -> (Vec<Measurement>, DatasetStats) {
+        let slots: Vec<Mutex<Vec<Measurement>>> =
+            (0..self.corpus.len()).map(|_| Mutex::new(Vec::new())).collect();
+        let slots_ref = &slots;
+        let run = self.run_parallel(sim, threads, move |_| {
+            move |m: Measurement| {
+                slots_ref[m.url_id as usize].lock().expect("collect slot poisoned").push(m)
+            }
+        });
+        let mut out = Vec::new();
+        for slot in slots {
+            out.extend(slot.into_inner().expect("collect slot poisoned"));
+        }
+        out.sort_by_key(|m| (m.url_id, m.day, m.vp_id, m.epoch));
+        (out, run.stats)
     }
 
     /// Execute one test.
@@ -572,6 +837,131 @@ mod tests {
             assert!(m.traceroutes.iter().all(|t| t.error.is_some()));
             assert!(m.detected.is_empty());
         }
+    }
+
+    fn smoke_setup(seed: u64) -> (Setup, CensorshipScenario, PlatformConfig) {
+        let s = world();
+        let mut ccfg = CensorConfig::scaled_for(s.world.topology.countries().len());
+        ccfg.total_days = 60;
+        let scenario = CensorshipScenario::generate_for_world(&s.world, &ccfg);
+        let pcfg = PlatformConfig::preset(PlatformScale::Smoke, seed);
+        (s, scenario, pcfg)
+    }
+
+    #[test]
+    fn parallel_collect_equals_serial_collect() {
+        let (s, scenario, pcfg) = smoke_setup(5);
+        let platform = Platform::new(&s.world, &scenario, pcfg.clone());
+        let sim = RoutingSim::new(&s.world.topology, &churn_cfg(pcfg.total_days));
+        let (serial, serial_stats) = platform.run_collect(&sim);
+        for threads in [1, 4] {
+            let (par, par_stats) = platform.run_collect_parallel(&sim, threads);
+            assert_eq!(par, serial, "threads={threads}");
+            assert_eq!(par_stats, serial_stats, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_collect_equals_serial_under_sampling() {
+        let (s, scenario, mut pcfg) = smoke_setup(7);
+        pcfg.fleet_sample = 5;
+        pcfg.tests_per_pair_floor = 2;
+        let platform = Platform::new(&s.world, &scenario, pcfg.clone());
+        let sim = RoutingSim::new(&s.world.topology, &churn_cfg(pcfg.total_days));
+        let (serial, serial_stats) = platform.run_collect(&sim);
+        let (par, par_stats) = platform.run_collect_parallel(&sim, 3);
+        assert_eq!(par, serial);
+        assert_eq!(par_stats, serial_stats);
+    }
+
+    #[test]
+    fn sampling_bounds_day_work_and_meets_coverage() {
+        let (s, scenario, mut pcfg) = smoke_setup(9);
+        pcfg.fleet_sample = 5;
+        pcfg.tests_per_pair_floor = 2;
+        let platform = Platform::new(&s.world, &scenario, pcfg.clone());
+        let sim = RoutingSim::new(&s.world.topology, &churn_cfg(pcfg.total_days));
+        let (ms, stats) = platform.run_collect(&sim);
+        let fleet = platform.vantage_points().len();
+        assert!(fleet > 5, "smoke fleet must be bigger than the sample");
+        // Per-day work is bounded by k, not the fleet.
+        let mut per_day: HashMap<(u32, u32), std::collections::HashSet<u32>> = HashMap::new();
+        for m in &ms {
+            per_day.entry((m.url_id, m.day)).or_default().insert(m.vp_id);
+        }
+        assert!(per_day.values().all(|vps| vps.len() == 5));
+        // Coverage floor: every (vp, url) pair tested ≥ floor times.
+        let mut pair_counts: HashMap<(u32, u32), u32> = HashMap::new();
+        for m in &ms {
+            *pair_counts.entry((m.vp_id, m.url_id)).or_default() += 1;
+        }
+        assert_eq!(pair_counts.len(), fleet * platform.corpus().len(), "every pair covered");
+        assert!(pair_counts.values().all(|&c| c >= pcfg.tests_per_pair_floor));
+        // The sampled campaign is smaller than the full-fleet one.
+        let full = fleet as u64
+            * platform.corpus().len() as u64
+            * u64::from(pcfg.tests_per_pair);
+        assert!(stats.measurements < full);
+        assert_eq!(stats.vps, fleet, "rotation must touch the whole fleet");
+    }
+
+    #[test]
+    #[should_panic(expected = "tests_per_pair_floor")]
+    fn unsatisfiable_coverage_floor_panics() {
+        let (s, scenario, mut pcfg) = smoke_setup(5);
+        // 1 sampled VP × 30 testing-day rotations cannot give each of the
+        // 24 fleet members 24 guaranteed tests.
+        pcfg.fleet_sample = 1;
+        pcfg.tests_per_pair_floor = pcfg.tests_per_pair;
+        Platform::new(&s.world, &scenario, pcfg);
+    }
+
+    #[test]
+    fn parallel_busy_accounting_is_populated() {
+        let (s, scenario, pcfg) = smoke_setup(5);
+        let platform = Platform::new(&s.world, &scenario, pcfg.clone());
+        let sim = RoutingSim::new(&s.world.topology, &churn_cfg(pcfg.total_days));
+        let counted = std::sync::atomic::AtomicU64::new(0);
+        let counted_ref = &counted;
+        let run = platform.run_parallel(&sim, 2, move |_| {
+            move |_m| {
+                counted_ref.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(run.busy.per_worker_nanos.len(), 2);
+        assert!(run.busy.total_nanos() > 0);
+        assert_eq!(counted.load(Ordering::Relaxed), run.stats.measurements);
+    }
+
+    #[test]
+    fn campaign_counters_account_for_every_scheduled_test() {
+        let (s, scenario, mut pcfg) = smoke_setup(11);
+        pcfg.fleet_sample = 5;
+        pcfg.tests_per_pair_floor = 2;
+        let platform = Platform::new(&s.world, &scenario, pcfg.clone());
+        let sim = RoutingSim::new(&s.world.topology, &churn_cfg(pcfg.total_days));
+        let registry = churnlab_obs::Registry::new();
+        let obs = CampaignObs::new(&registry);
+        let run = platform.run_parallel_obs(&sim, 2, Some(&obs), |_| |_m| {});
+        let text = churnlab_obs::render_prometheus(&registry.scrape());
+        let value = |name: &str| -> u64 {
+            text.lines()
+                .filter(|l| l.starts_with(name) && !l.starts_with('#'))
+                .map(|l| {
+                    l.rsplit(' ').next().expect("prometheus sample").parse::<u64>().expect("u64")
+                })
+                .sum()
+        };
+        // Every scheduled test executes (failed routes still produce a
+        // record), and sampling must have left some of the fleet out.
+        let run_total = value("churnlab_campaign_tests_run_total");
+        assert_eq!(run_total, run.stats.measurements);
+        assert_eq!(value("churnlab_campaign_tests_scheduled_total"), run_total);
+        assert!(value("churnlab_campaign_tests_sampled_out_total") > 0);
+        // Per-worker busy attribution reached the registry too.
+        assert!(text.contains("churnlab_campaign_worker_busy_nanos_total{worker=\"0\"}"));
+        assert!(text.contains("churnlab_campaign_worker_busy_nanos_total{worker=\"1\"}"));
+        assert_eq!(value("churnlab_campaign_worker_busy_nanos_total"), run.busy.total_nanos());
     }
 
     #[test]

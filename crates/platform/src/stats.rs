@@ -11,6 +11,11 @@ use std::collections::HashSet;
 pub struct DatasetStats {
     /// Unique URLs tested.
     pub unique_urls: usize,
+    /// Distinct vantage points that actually ran tests (under a
+    /// fleet-sampling schedule this can trail the placed fleet early in
+    /// the period; the schedule's coverage floor bounds it from below).
+    #[serde(default)]
+    pub vps: usize,
     /// Distinct vantage-point ASes.
     pub vp_ases: usize,
     /// Distinct destination ASes.
@@ -80,6 +85,7 @@ impl DatasetStats {
 #[derive(Debug, Default)]
 pub struct StatsAccumulator {
     urls: HashSet<u32>,
+    vps: HashSet<u32>,
     vp_ases: HashSet<Asn>,
     dest_ases: HashSet<Asn>,
     measurements: u64,
@@ -97,12 +103,29 @@ impl StatsAccumulator {
     pub fn add(&mut self, m: &Measurement) {
         self.measurements += 1;
         self.urls.insert(m.url_id);
+        self.vps.insert(m.vp_id);
         self.vp_ases.insert(m.vp_asn);
         self.dest_ases.insert(m.dest_asn);
         if m.failed {
             self.failed += 1;
         }
         Self::add_set(&mut self.anomalies, m.detected);
+    }
+
+    /// Fold another accumulator in — the parallel runner's reduction.
+    /// Every field is a set union or a sum, so merge order is irrelevant
+    /// and the merged result equals a serial accumulation over the same
+    /// measurements.
+    pub fn merge(&mut self, other: StatsAccumulator) {
+        self.urls.extend(other.urls);
+        self.vps.extend(other.vps);
+        self.vp_ases.extend(other.vp_ases);
+        self.dest_ases.extend(other.dest_ases);
+        self.measurements += other.measurements;
+        self.failed += other.failed;
+        for (a, b) in self.anomalies.iter_mut().zip(other.anomalies) {
+            *a += b;
+        }
     }
 
     fn add_set(anomalies: &mut [u64; 5], set: AnomalySet) {
@@ -121,6 +144,7 @@ impl StatsAccumulator {
         }
         DatasetStats {
             unique_urls: self.urls.len(),
+            vps: self.vps.len(),
             vp_ases: self.vp_ases.len(),
             dest_ases: self.dest_ases.len(),
             countries: countries.len(),
@@ -169,6 +193,7 @@ mod tests {
         });
         let stats = acc.finish(&w.topology);
         assert_eq!(stats.measurements, 2);
+        assert_eq!(stats.vps, 2);
         assert_eq!(stats.failed, 1);
         assert_eq!(stats.unique_urls, 2);
         assert_eq!(stats.vp_ases, 2);
@@ -180,5 +205,48 @@ mod tests {
         let table = stats.render_table1("2016-05 ~ 2017-05");
         assert!(table.contains("Unique URLs"));
         assert!(table.contains("w/DNS anomalies"));
+    }
+
+    #[test]
+    fn merge_equals_serial_accumulation() {
+        let w = generator::generate(&WorldConfig::preset(WorldScale::Smoke, 1));
+        let asns = w.asns();
+        let mk = |vp: u32, url: u32, failed: bool, a: Option<AnomalyType>| {
+            let mut detected = AnomalySet::empty();
+            if let Some(t) = a {
+                detected.insert(t);
+            }
+            Measurement {
+                vp_id: vp,
+                vp_asn: asns[vp as usize % asns.len()],
+                url_id: url,
+                dest_asn: asns[(url as usize + 1) % asns.len()],
+                day: url,
+                epoch: 0,
+                detected,
+                traceroutes: vec![],
+                failed,
+            }
+        };
+        let ms = [
+            mk(0, 0, false, Some(AnomalyType::Dns)),
+            mk(1, 1, true, None),
+            mk(2, 0, false, Some(AnomalyType::Reset)),
+            mk(0, 2, false, None),
+        ];
+        let mut serial = StatsAccumulator::new();
+        for m in &ms {
+            serial.add(m);
+        }
+        let mut left = StatsAccumulator::new();
+        let mut right = StatsAccumulator::new();
+        left.add(&ms[0]);
+        right.add(&ms[1]);
+        right.add(&ms[2]);
+        left.add(&ms[3]);
+        let mut merged = StatsAccumulator::new();
+        merged.merge(right);
+        merged.merge(left);
+        assert_eq!(merged.finish(&w.topology), serial.finish(&w.topology));
     }
 }

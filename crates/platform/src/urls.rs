@@ -92,9 +92,18 @@ impl UrlCorpus {
                 !avoid.contains(&world.topology.info_by_asn(*a).expect("host").country)
             })
             .collect();
-        let avoided: Vec<Asn> =
-            all_hosts.iter().copied().filter(|a| !preferred.contains(a)).collect();
+        // Complement of `preferred` by the same country test (an O(n²)
+        // membership scan would dominate Huge-corpus generation).
+        let avoided: Vec<Asn> = all_hosts
+            .iter()
+            .copied()
+            .filter(|a| {
+                avoid.contains(&world.topology.info_by_asn(*a).expect("host").country)
+            })
+            .collect();
+        let avoided_set: std::collections::HashSet<Asn> = avoided.iter().copied().collect();
         let max_avoided = ((n as f64) * avoid_frac).round() as usize;
+        let mut n_avoided_placed = 0usize;
 
         // Weighted category pool.
         let mut pool: Vec<UrlCategory> = Vec::new();
@@ -117,17 +126,17 @@ impl UrlCorpus {
             let word = WORDS[rng.gen_range(0..WORDS.len())];
             let tld = TLDS[rng.gen_range(0..TLDS.len())];
             let domain = format!("{}-{}{}.{}", category.label(), word, i, tld);
+            // Short-circuit order matters: `gen_bool` must draw exactly
+            // when it did before the running-counter rewrite, or seeds
+            // change meaning.
             let in_avoided = !avoided.is_empty()
-                && entries
-                    .iter()
-                    .filter(|e: &&UrlEntry| {
-                        avoided.contains(&e.server_asn)
-                    })
-                    .count()
-                    < max_avoided
+                && n_avoided_placed < max_avoided
                 && rng.gen_bool(avoid_frac.clamp(0.0, 1.0));
             let pool = if in_avoided || preferred.is_empty() { &avoided } else { &preferred };
             let server_asn = pool[rng.gen_range(0..pool.len())];
+            if avoided_set.contains(&server_asn) {
+                n_avoided_placed += 1;
+            }
             let server_ip = world
                 .host_in(server_asn, 1000 + i as u32)
                 .expect("content AS has prefixes");

@@ -76,8 +76,17 @@ pub fn place_avoiding(
                 !avoid.contains(&c)
             })
             .collect();
-        let mut avoided: Vec<Asn> =
-            hosts.iter().copied().filter(|a| !preferred.contains(a)).collect();
+        // Complement of `preferred`, computed by the same country test
+        // rather than an O(n²) membership scan — at the Huge tier the
+        // eligible-host pool is ~20k ASes.
+        let mut avoided: Vec<Asn> = hosts
+            .iter()
+            .copied()
+            .filter(|a| {
+                let c = world.topology.info_by_asn(*a).expect("host exists").country;
+                avoid.contains(&c)
+            })
+            .collect();
         preferred.shuffle(rng);
         avoided.shuffle(rng);
         // Concentrate in hosting hubs: commercial VPN exits cluster in a
